@@ -1,0 +1,94 @@
+// Ablations over the design choices DESIGN.md calls out, on BERT:
+//   1. feedback frequency N (sparse E2E reward, §3.3.3 / Table 4),
+//   2. GAT depth k (§3.4 / Table 4),
+//   3. invalid-action masking vs penalty termination (§3.3.2),
+//   4. device profile sensitivity of the cost model (§4.2 note).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "rules/corpus.h"
+
+using namespace xrlbench;
+
+namespace {
+
+struct Ablation_result {
+    double mean_return = 0.0;
+    double speedup_percent = 0.0;
+};
+
+Ablation_result run_variant(const Rule_set& rules, const Bench_setup& setup,
+                            const Xrlflow_config& config, int episodes)
+{
+    Xrlflow system(rules, config);
+    const Graph model = make_bert(setup.scale, 32);
+    system.train(model, episodes);
+
+    Ablation_result result;
+    int counted = 0;
+    const auto& history = system.training_history();
+    for (std::size_t i = history.size() >= 3 ? history.size() - 3 : 0; i < history.size(); ++i) {
+        result.mean_return += history[i].episode_return;
+        ++counted;
+    }
+    if (counted > 0) result.mean_return /= counted;
+
+    E2e_simulator sim(gtx1080_profile(), 0x55AA);
+    const Latency_stats initial = sim.measure_repeated(model, 5);
+    const Optimisation_outcome outcome = system.optimise(model);
+    const Latency_stats optimised = sim.measure_repeated(outcome.best_graph, 5);
+    result.speedup_percent = (initial.mean_ms / optimised.mean_ms - 1.0) * 100.0;
+    return result;
+}
+
+} // namespace
+
+int main()
+{
+    const Bench_setup setup = setup_from_env(/*smoke_episodes=*/6, /*paper_episodes=*/200);
+    print_header("Ablations (BERT): reward frequency N, GAT depth k, masking policy");
+
+    const Rule_set rules = standard_rule_corpus();
+    const int episodes = setup.episodes;
+
+    std::printf("%-34s %16s %12s\n", "variant", "mean return", "speedup");
+    std::printf("----------------------------------------------------------------\n");
+
+    for (const int n : {1, 5, 10}) {
+        Xrlflow_config config = default_xrlflow_config(setup);
+        config.env.feedback_frequency = n;
+        const Ablation_result r = run_variant(rules, setup, config, episodes);
+        std::printf("feedback frequency N=%-13d %16.2f %11.1f%%\n", n, r.mean_return,
+                    r.speedup_percent);
+        std::fflush(stdout);
+    }
+
+    for (const int k : {1, 5}) {
+        Xrlflow_config config = default_xrlflow_config(setup);
+        config.agent.gnn.num_gat_layers = k;
+        const Ablation_result r = run_variant(rules, setup, config, episodes);
+        std::printf("GAT depth k=%-22d %16.2f %11.1f%%\n", k, r.mean_return, r.speedup_percent);
+        std::fflush(stdout);
+    }
+
+    {
+        Xrlflow_config config = default_xrlflow_config(setup);
+        config.env.invalid_policy = Invalid_action_policy::penalise;
+        const Ablation_result r = run_variant(rules, setup, config, episodes);
+        std::printf("%-34s %16.2f %11.1f%%\n", "penalty instead of masking", r.mean_return,
+                    r.speedup_percent);
+    }
+
+    // Device sensitivity: the same graph ranks differently on different
+    // hardware profiles (the paper notes cost modelling "depends on the
+    // execution hardware").
+    {
+        const Graph model = make_bert(setup.scale, 32);
+        const Cost_model gtx(gtx1080_profile());
+        const Cost_model a100(a100_profile());
+        std::printf("\nDevice sensitivity (unoptimised BERT cost estimate):\n");
+        std::printf("  %-12s %10.4f ms\n", gtx.device().name.c_str(), gtx.graph_cost_ms(model));
+        std::printf("  %-12s %10.4f ms\n", a100.device().name.c_str(), a100.graph_cost_ms(model));
+    }
+    return 0;
+}

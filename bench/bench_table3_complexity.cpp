@@ -1,0 +1,48 @@
+// Table 3: properties of the evaluated DNNs — architecture type and
+// "complexity", the average number of substitution candidates at each
+// iteration of the transformation process.
+//
+// Paper values: InceptionV3 50, SqueezeNet 20, ResNext-50 13, BERT 26,
+// DALL-E 20, T-T 25, ViT 32. Shape to reproduce: InceptionV3 by far the
+// richest; ResNext-50 the poorest.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "env/environment.h"
+#include "rules/corpus.h"
+
+using namespace xrlbench;
+
+int main()
+{
+    const Bench_setup setup = setup_from_env();
+    print_header("Table 3: evaluated DNNs — type and complexity (avg candidates/step)");
+
+    const Rule_set rules = standard_rule_corpus();
+
+    std::printf("%-14s %-16s %12s\n", "DNN", "type", "complexity");
+    std::printf("--------------------------------------------\n");
+    for (const Model_spec& spec : evaluation_models(setup.scale)) {
+        E2e_simulator sim(gtx1080_profile(), setup.seed);
+        Env_config config;
+        config.max_candidates = 128; // do not truncate the statistic
+        config.max_steps = 12;
+        Environment env(spec.build(), rules, sim, config);
+
+        // Walk the transformation process with a uniform-random policy
+        // (two episodes) and average the candidate counts.
+        Rng rng(setup.seed ^ 0x77ULL);
+        for (int episode = 0; episode < 2; ++episode) {
+            env.reset();
+            while (!env.done()) {
+                const std::size_t n = env.candidates().size();
+                env.step(n == 0 ? env.noop_action() : static_cast<int>(rng.uniform_index(n)));
+            }
+        }
+        std::printf("%-14s %-16s %12.1f\n", spec.name.c_str(), spec.type.c_str(),
+                    env.mean_candidates_per_step());
+    }
+    std::printf("\nPaper Table 3: InceptionV3 50, SqueezeNet 20, ResNext-50 13, BERT 26,\n"
+                "DALL-E 20, T-T 25, ViT 32.\n");
+    return 0;
+}

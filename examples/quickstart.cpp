@@ -1,0 +1,56 @@
+// Quickstart: build the paper's Figure-1 graph (y = ReLU(w.x + b)), inspect
+// it, optimise it with the TASO baseline, and verify that the optimised
+// graph computes the same function.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "cost/cost_model.h"
+#include "cost/e2e_simulator.h"
+#include "ir/builder.h"
+#include "ir/executor.h"
+#include "optimizers/taso/taso_optimizer.h"
+#include "rules/corpus.h"
+
+using namespace xrl;
+
+int main()
+{
+    // 1. Build a computation graph through the TASO-style builder API.
+    Graph_builder builder;
+    const Edge x = builder.input({4, 32}, "x");
+    const Edge w = builder.weight({32, 16}, "w");
+    const Edge bias = builder.weight({16}, "b");
+    const Edge y = builder.relu(builder.add(builder.matmul(x, w), bias));
+    const Graph graph = builder.finish({y});
+
+    std::printf("Unoptimised graph (%zu nodes):\n%s\n", graph.size(), graph.to_dot().c_str());
+
+    // 2. Estimate latency with the sum-of-kernels cost model and the
+    //    end-to-end simulator — note they disagree (paper Table 1).
+    const Cost_model cost(gtx1080_profile());
+    E2e_simulator simulator(gtx1080_profile(), /*seed=*/1);
+    std::printf("cost model estimate : %.6f ms\n", cost.graph_cost_ms(graph));
+    std::printf("end-to-end simulated: %.6f ms\n\n", simulator.noiseless_ms(graph));
+
+    // 3. Optimise with the TASO backtracking search over the standard
+    //    rewrite-rule corpus.
+    const Rule_set rules = standard_rule_corpus();
+    const Taso_result result = optimise_taso(graph, rules, cost);
+    std::printf("TASO: %.6f ms -> %.6f ms (%d search iterations, %d candidates)\n",
+                result.initial_cost_ms, result.best_cost_ms, result.iterations,
+                result.candidates_generated);
+    std::printf("Optimised graph (%zu nodes):\n%s\n", result.best_graph.size(),
+                result.best_graph.to_dot().c_str());
+
+    // 4. Verify the transformation preserved semantics by executing both
+    //    graphs on the same random inputs.
+    Rng rng(42);
+    const Binding_map bindings = random_bindings(graph, rng);
+    const auto before = execute(graph, bindings);
+    const auto after = execute(result.best_graph, bindings);
+    const float difference = Tensor::max_abs_difference(before[0], after[0]);
+    std::printf("max |before - after| = %.2e  (%s)\n", difference,
+                difference < 1e-4F ? "equivalent" : "NOT equivalent!");
+    return difference < 1e-4F ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+#include "core/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+constexpr std::uint64_t checkpoint_magic = 0x78726c666c6f7731ULL; // "xrlflow1"
+
+} // namespace
+
+void save_parameters(const std::string& path, const std::vector<Parameter*>& parameters)
+{
+    std::ofstream os(path, std::ios::binary);
+    XRL_EXPECTS(os.good());
+    const std::uint64_t magic = checkpoint_magic;
+    const std::uint64_t count = parameters.size();
+    os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const Parameter* p : parameters) {
+        const std::uint64_t rank = p->value.shape().size();
+        os.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+        for (const std::int64_t dim : p->value.shape())
+            os.write(reinterpret_cast<const char*>(&dim), sizeof(dim));
+        os.write(reinterpret_cast<const char*>(p->value.data()),
+                 static_cast<std::streamsize>(p->value.volume() * sizeof(float)));
+    }
+    XRL_ENSURES(os.good());
+}
+
+void load_parameters(const std::string& path, const std::vector<Parameter*>& parameters)
+{
+    std::ifstream is(path, std::ios::binary);
+    XRL_EXPECTS(is.good());
+    std::uint64_t magic = 0;
+    std::uint64_t count = 0;
+    is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    XRL_EXPECTS(magic == checkpoint_magic);
+    is.read(reinterpret_cast<char*>(&count), sizeof(count));
+    XRL_EXPECTS(count == parameters.size());
+    for (Parameter* p : parameters) {
+        std::uint64_t rank = 0;
+        is.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+        XRL_EXPECTS(rank == p->value.shape().size());
+        Shape shape(rank);
+        for (auto& dim : shape) is.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+        XRL_EXPECTS(shape == p->value.shape());
+        is.read(reinterpret_cast<char*>(p->value.data()),
+                static_cast<std::streamsize>(p->value.volume() * sizeof(float)));
+        p->zero_grad();
+    }
+    XRL_EXPECTS(is.good());
+}
+
+} // namespace xrl

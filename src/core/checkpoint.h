@@ -1,0 +1,18 @@
+// Binary (de)serialisation of parameter sets — lets the generalisation
+// experiments (Figure 7) train once and reuse the policy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace xrl {
+
+void save_parameters(const std::string& path, const std::vector<Parameter*>& parameters);
+
+/// Shapes must match the checkpoint exactly; throws Contract_violation
+/// otherwise.
+void load_parameters(const std::string& path, const std::vector<Parameter*>& parameters);
+
+} // namespace xrl

@@ -1,0 +1,75 @@
+#include "core/xrlflow.h"
+
+#include <chrono>
+
+#include "support/check.h"
+
+namespace xrl {
+
+Xrlflow::Xrlflow(const Rule_set& rules, Xrlflow_config config)
+    : rules_(&rules), config_(std::move(config))
+{
+    // The environment caps candidates at the agent's padded action size.
+    config_.env.max_candidates = config_.agent.max_candidates;
+    agent_ = std::make_unique<Agent>(config_.agent, config_.seed);
+    episode_seed_ = config_.seed;
+}
+
+void Xrlflow::train(const Graph& model, int episodes)
+{
+    E2e_simulator simulator(config_.device, episode_seed_ ^ 0xabcdULL);
+    Environment env(model, *rules_, simulator, config_.env);
+    Trainer_config trainer_config = config_.trainer;
+    trainer_config.seed = episode_seed_;
+    Trainer trainer(*agent_, env, trainer_config);
+    trainer.train(episodes);
+    for (const Episode_stats& s : trainer.history()) history_.push_back(s);
+    episode_seed_ = episode_seed_ * 6364136223846793005ULL + 1442695040888963407ULL;
+}
+
+Optimisation_outcome Xrlflow::optimise(const Graph& model)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    E2e_simulator simulator(config_.device, config_.seed ^ 0x7777ULL);
+
+    Optimisation_outcome outcome;
+    outcome.initial_ms = simulator.noiseless_ms(model);
+    outcome.best_graph = model;
+    outcome.final_ms = outcome.initial_ms;
+    outcome.rule_counts.assign(rules_->size(), 0);
+
+    Rng rng(config_.seed ^ 0x9999ULL);
+    const int rollouts = std::max(config_.inference_rollouts, 1);
+    for (int rollout = 0; rollout < rollouts; ++rollout) {
+        Environment env(model, *rules_, simulator, config_.env);
+        const bool greedy = rollout == 0;
+        int steps = 0;
+        bool improved = false;
+        while (!env.done()) {
+            std::vector<const Graph*> candidate_ptrs;
+            for (const Candidate& c : env.candidates()) candidate_ptrs.push_back(&c.graph);
+            const Encoded_graph state = encode_meta_graph(env.current_graph(), candidate_ptrs);
+            const Agent::Decision decision = agent_->act(state, env.action_mask(), rng, greedy);
+            env.step(decision.action);
+            ++steps;
+
+            const double latency = simulator.noiseless_ms(env.current_graph());
+            if (latency < outcome.final_ms) {
+                outcome.final_ms = latency;
+                outcome.best_graph = env.current_graph();
+                improved = true;
+            }
+        }
+        if (improved || rollout == 0) {
+            outcome.steps = steps;
+            outcome.rule_counts = env.rule_application_counts();
+        }
+    }
+
+    outcome.optimisation_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return outcome;
+}
+
+} // namespace xrl

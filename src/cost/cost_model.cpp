@@ -1,0 +1,159 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+std::int64_t volume_of(const Graph& g, Edge e)
+{
+    return shape_volume(g.shape_of(e));
+}
+
+std::int64_t output_volume(const Graph& g, Node_id id)
+{
+    std::int64_t total = 0;
+    for (const Shape& s : g.node(id).output_shapes) total += shape_volume(s);
+    return total;
+}
+
+std::int64_t input_volume(const Graph& g, Node_id id)
+{
+    std::int64_t total = 0;
+    for (const Edge& e : g.node(id).inputs) total += volume_of(g, e);
+    return total;
+}
+
+/// Extra elementwise flops contributed by a fused activation.
+std::int64_t activation_flops(Activation act, std::int64_t volume)
+{
+    switch (act) {
+    case Activation::none: return 0;
+    case Activation::relu: return volume;
+    case Activation::gelu: return 8 * volume;
+    case Activation::tanh: return 4 * volume;
+    case Activation::sigmoid: return 4 * volume;
+    }
+    return 0;
+}
+
+} // namespace
+
+bool is_free_op(Op_kind kind)
+{
+    switch (kind) {
+    case Op_kind::input:
+    case Op_kind::weight:
+    case Op_kind::constant:
+    case Op_kind::reshape:
+    case Op_kind::identity:
+    case Op_kind::dropout:
+    case Op_kind::split:
+    case Op_kind::slice:
+        // Views: runtimes return strided views for splits/slices, so no
+        // kernel executes (the contiguous-copy cost, when needed, is borne
+        // by the consumer's memory traffic, already counted).
+        return true;
+    default:
+        return false;
+    }
+}
+
+std::int64_t node_flops(const Graph& g, Node_id id)
+{
+    const Node& n = g.node(id);
+    const std::int64_t out_volume = output_volume(g, id);
+    switch (n.kind) {
+    case Op_kind::matmul: {
+        const Shape& a = g.shape_of(n.inputs[0]);
+        const std::int64_t k = a.back();
+        return 2 * out_volume * k + activation_flops(n.params.activation, out_volume);
+    }
+    case Op_kind::conv2d: {
+        const Shape& w = g.shape_of(n.inputs[1]);
+        // 2 * N*K*OH*OW * (C/g)*R*S
+        return 2 * out_volume * w[1] * w[2] * w[3] +
+               activation_flops(n.params.activation, out_volume);
+    }
+    case Op_kind::add:
+    case Op_kind::sub:
+    case Op_kind::mul:
+    case Op_kind::div:
+    case Op_kind::relu:
+    case Op_kind::leaky_relu:
+    case Op_kind::scale:
+        return out_volume;
+    case Op_kind::gelu:
+    case Op_kind::erf:
+        return 8 * out_volume;
+    case Op_kind::sigmoid:
+    case Op_kind::tanh:
+    case Op_kind::exp:
+    case Op_kind::sqrt:
+        return 4 * out_volume;
+    case Op_kind::max_pool2d:
+    case Op_kind::avg_pool2d:
+        return out_volume * n.params.kernel_h * n.params.kernel_w;
+    case Op_kind::global_avg_pool:
+        return input_volume(g, id);
+    case Op_kind::batch_norm:
+        return 2 * out_volume;
+    case Op_kind::layer_norm:
+        return 8 * out_volume;
+    case Op_kind::softmax:
+        return 5 * out_volume;
+    case Op_kind::reduce_sum:
+    case Op_kind::reduce_mean:
+        return input_volume(g, id);
+    default:
+        return 0; // data movement / sources
+    }
+}
+
+std::int64_t node_bytes(const Graph& g, Node_id id)
+{
+    const Node& n = g.node(id);
+    if (is_free_op(n.kind)) return 0;
+    return 4 * (input_volume(g, id) + output_volume(g, id));
+}
+
+double Cost_model::op_cost_ms(const Graph& g, Node_id id) const
+{
+    const Node& n = g.node(id);
+    if (is_free_op(n.kind)) return 0.0;
+    const std::int64_t flops = node_flops(g, id);
+    // Grouped convolutions launch one kernel per group (pre-Volta CuDNN
+    // loops over groups), and each group's kernel is small: utilisation is
+    // judged per group.
+    const std::int64_t launches = n.kind == Op_kind::conv2d ? n.params.groups : 1;
+    const double util = device_.utilisation(n.kind, flops / launches);
+    const double effective_rate = device_.efficiency(n.kind) * util * device_.flops_per_ms;
+    const double compute_ms = static_cast<double>(flops) / effective_rate;
+    const double memory_ms = static_cast<double>(node_bytes(g, id)) / device_.bytes_per_ms;
+    return static_cast<double>(launches) * device_.kernel_launch_ms +
+           std::max(compute_ms, memory_ms);
+}
+
+double Cost_model::graph_cost_ms(const Graph& g) const
+{
+    // Only nodes that contribute to the outputs count.
+    std::unordered_set<Node_id> reachable;
+    std::vector<Node_id> stack;
+    for (const Edge& e : g.outputs())
+        if (reachable.insert(e.node).second) stack.push_back(e.node);
+    while (!stack.empty()) {
+        const Node_id id = stack.back();
+        stack.pop_back();
+        for (const Edge& e : g.node(id).inputs)
+            if (reachable.insert(e.node).second) stack.push_back(e.node);
+    }
+    double total = 0.0;
+    for (const Node_id id : reachable) total += op_cost_ms(g, id);
+    return total;
+}
+
+} // namespace xrl

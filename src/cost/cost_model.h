@@ -1,0 +1,42 @@
+// TASO-style sum-of-operators cost model.
+//
+// Ranks candidate graphs by summing per-operator kernel times measured in
+// isolation — the assumption the paper shows to be inaccurate (Table 1):
+// "the cost model ... assumes the summation of individual operator runtime
+// is the same as the end-to-end inference latency."
+#pragma once
+
+#include <cstdint>
+
+#include "cost/device.h"
+#include "ir/graph.h"
+
+namespace xrl {
+
+/// Floating point operations performed by a node (0 for data movement).
+std::int64_t node_flops(const Graph& graph, Node_id id);
+
+/// Bytes moved by a node (inputs read + outputs written, 4 B/element).
+std::int64_t node_bytes(const Graph& graph, Node_id id);
+
+/// Ops with no kernel at all (views / erased at runtime).
+bool is_free_op(Op_kind kind);
+
+class Cost_model {
+public:
+    explicit Cost_model(Device_profile device) : device_(std::move(device)) {}
+
+    const Device_profile& device() const { return device_; }
+
+    /// Kernel time for one operator in isolation: launch overhead plus the
+    /// roofline max of compute and memory time.
+    double op_cost_ms(const Graph& graph, Node_id id) const;
+
+    /// Sum of op costs over all nodes reachable from the graph outputs.
+    double graph_cost_ms(const Graph& graph) const;
+
+private:
+    Device_profile device_;
+};
+
+} // namespace xrl

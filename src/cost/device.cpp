@@ -1,0 +1,52 @@
+#include "cost/device.h"
+
+namespace xrl {
+
+double Device_profile::efficiency(Op_kind kind) const
+{
+    switch (kind) {
+    case Op_kind::matmul: return 0.70;
+    case Op_kind::conv2d: return 0.60;
+    case Op_kind::batch_norm:
+    case Op_kind::layer_norm:
+    case Op_kind::softmax: return 0.25;
+    case Op_kind::max_pool2d:
+    case Op_kind::avg_pool2d:
+    case Op_kind::global_avg_pool: return 0.30;
+    default: return 0.20; // elementwise & data movement: bandwidth-bound anyway
+    }
+}
+
+double Device_profile::utilisation(Op_kind kind, std::int64_t flops) const
+{
+    if (kind != Op_kind::matmul && kind != Op_kind::conv2d) return 1.0;
+    const double f = static_cast<double>(flops);
+    return f / (f + utilisation_knee_flops);
+}
+
+Device_profile gtx1080_profile()
+{
+    Device_profile p;
+    p.name = "gtx1080-sim";
+    p.flops_per_ms = 8.9e9;
+    p.bytes_per_ms = 3.2e8;
+    p.kernel_launch_ms = 8e-3;
+    p.scheduler_overhead_ms = 4e-3;
+    p.measurement_noise = 0.01;
+    return p;
+}
+
+Device_profile a100_profile()
+{
+    Device_profile p;
+    p.name = "a100-sim";
+    p.flops_per_ms = 19.5e9;
+    p.bytes_per_ms = 1.555e9;
+    p.kernel_launch_ms = 5e-3;
+    p.scheduler_overhead_ms = 2.5e-3;
+    p.measurement_noise = 0.005;
+    p.utilisation_knee_flops = 8e6; // bigger device: needs larger kernels
+    return p;
+}
+
+} // namespace xrl

@@ -1,0 +1,48 @@
+// Simulated execution device.
+//
+// Substitution for the paper's GTX 1080 + CUDA/CuDNN testbed (see
+// DESIGN.md §1): an analytical roofline model with per-operator efficiency
+// factors. Per-kernel *launch* overhead is visible to the cost model (TASO
+// measures kernels in isolation, launch included); per-kernel *scheduler*
+// overhead and runtime fusion/folding are only visible to the end-to-end
+// simulator — exactly the split that creates the paper's Table 1
+// discrepancy between cost-model estimates and end-to-end latency.
+#pragma once
+
+#include <string>
+
+#include "ir/op.h"
+
+namespace xrl {
+
+struct Device_profile {
+    std::string name;
+
+    double flops_per_ms = 8.9e9;      ///< Peak FP32 throughput (flops / ms).
+    double bytes_per_ms = 3.2e8;      ///< Memory bandwidth (bytes / ms).
+    double kernel_launch_ms = 8e-3;   ///< Per-kernel launch latency (measured by kernels-in-isolation).
+    double scheduler_overhead_ms = 4e-3;  ///< Per-kernel framework/stream overhead (end-to-end only).
+    double measurement_noise = 0.01;  ///< Relative std-dev of an end-to-end measurement.
+
+    /// Occupancy knee for dense kernels (matmul/conv): a kernel of F flops
+    /// reaches F/(F + knee) of its peak efficiency, so small kernels
+    /// under-utilise the device and merging them into larger ones pays off.
+    double utilisation_knee_flops = 2e6;
+
+    /// Fraction of peak compute an operator kind achieves.
+    double efficiency(Op_kind kind) const;
+
+    /// Occupancy factor in (0, 1] for a dense kernel of `flops` work; 1 for
+    /// non-dense kinds.
+    double utilisation(Op_kind kind, std::int64_t flops) const;
+};
+
+/// GTX-1080-like profile (the paper's testbed). Default everywhere.
+Device_profile gtx1080_profile();
+
+/// A100-like profile: higher compute/bandwidth ratio, cheaper launches.
+/// Used by the ablation bench to show device-dependent cost modelling
+/// (§4.2: "the cost modelling depends on the execution hardware").
+Device_profile a100_profile();
+
+} // namespace xrl

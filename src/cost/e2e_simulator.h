@@ -1,0 +1,65 @@
+// End-to-end inference latency simulator.
+//
+// Plays the role of actually running the optimised network (the feedback
+// signal of §3.3.3). Unlike the sum-of-ops cost model it simulates the
+// *schedule*: weight-only subgraphs are constant-folded away (the effect
+// behind the paper's ViT result), single-consumer elementwise ops fuse into
+// their producer kernel at runtime, and every launched kernel pays
+// framework scheduler overhead the cost model never sees. Measurements add
+// seeded noise; repeated measurement returns mean ± std as in the paper's
+// "run five times" protocol.
+#pragma once
+
+#include <cstdint>
+
+#include "cost/cost_model.h"
+#include "cost/device.h"
+#include "ir/graph.h"
+#include "support/rng.h"
+
+namespace xrl {
+
+struct Latency_stats {
+    double mean_ms = 0.0;
+    double std_ms = 0.0;
+    int repeats = 0;
+};
+
+/// Noiseless decomposition of a simulated end-to-end run (for tests and
+/// benchmarks).
+struct E2e_breakdown {
+    double total_ms = 0.0;
+    double compute_ms = 0.0;
+    double launch_ms = 0.0;
+    double scheduler_ms = 0.0;
+    int kernels_launched = 0;  ///< Kernels that actually execute.
+    int kernels_fused = 0;     ///< Elementwise ops folded into a producer kernel.
+    int nodes_folded = 0;      ///< Ops evaluated offline (weight-only inputs).
+};
+
+class E2e_simulator {
+public:
+    E2e_simulator(Device_profile device, std::uint64_t seed)
+        : cost_model_(std::move(device)), rng_(seed)
+    {
+    }
+
+    const Device_profile& device() const { return cost_model_.device(); }
+
+    /// Deterministic schedule analysis (no measurement noise).
+    E2e_breakdown analyse(const Graph& graph) const;
+
+    double noiseless_ms(const Graph& graph) const { return analyse(graph).total_ms; }
+
+    /// One noisy end-to-end measurement (advances the noise stream).
+    double measure_ms(const Graph& graph);
+
+    /// Mean and standard deviation over `repeats` noisy measurements.
+    Latency_stats measure_repeated(const Graph& graph, int repeats);
+
+private:
+    Cost_model cost_model_;
+    Rng rng_;
+};
+
+} // namespace xrl

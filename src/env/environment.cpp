@@ -1,0 +1,138 @@
+#include "env/environment.h"
+
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace xrl {
+
+Environment::Environment(Graph initial, const Rule_set& rules, E2e_simulator& simulator,
+                         Env_config config)
+    : initial_(std::move(initial)),
+      current_(initial_),
+      rules_(&rules),
+      simulator_(&simulator),
+      config_(std::move(config)),
+      rule_counts_(rules.size(), 0)
+{
+    XRL_EXPECTS(config_.max_candidates > 0);
+    XRL_EXPECTS(config_.feedback_frequency >= 1);
+    reset();
+}
+
+void Environment::reset()
+{
+    current_ = initial_;
+    steps_ = 0;
+    done_ = false;
+    initial_latency_ms_ = simulator_->measure_ms(current_);
+    last_latency_ms_ = initial_latency_ms_;
+    regenerate_candidates();
+    if (candidates_.empty()) done_ = true;
+}
+
+void Environment::regenerate_candidates()
+{
+    candidates_.clear();
+    std::unordered_set<std::uint64_t> seen;
+    seen.insert(current_.canonical_hash());
+    for (std::size_t rule_index = 0; rule_index < rules_->size(); ++rule_index) {
+        for (Graph& candidate : (*rules_)[rule_index]->apply_all(current_, config_.per_rule_limit)) {
+            if (!seen.insert(candidate.canonical_hash()).second) continue;
+            if (candidates_.size() >= static_cast<std::size_t>(config_.max_candidates)) {
+                ++truncated_;
+                continue;
+            }
+            candidates_.push_back({std::move(candidate), static_cast<int>(rule_index)});
+        }
+    }
+    candidate_observations_ += static_cast<std::int64_t>(candidates_.size());
+    ++candidate_steps_;
+}
+
+std::vector<std::uint8_t> Environment::action_mask() const
+{
+    std::vector<std::uint8_t> mask(static_cast<std::size_t>(action_space()), 0);
+    for (std::size_t i = 0; i < candidates_.size(); ++i) mask[i] = 1;
+    mask.back() = 1; // No-Op is always legal
+    return mask;
+}
+
+double Environment::default_reward(const Reward_context& ctx) const
+{
+    if (!ctx.measured) return config_.exploration_reward;
+    // Eq. 2: percentage latency improvement against the previous
+    // measurement, normalised by the initial latency.
+    return (ctx.previous_latency_ms - ctx.current_latency_ms) / ctx.initial_latency_ms * 100.0;
+}
+
+void Environment::register_reward_callback(Reward_callback callback)
+{
+    reward_callback_ = std::move(callback);
+}
+
+double Environment::measure_current()
+{
+    return simulator_->measure_ms(current_);
+}
+
+Env_step Environment::step(int action)
+{
+    XRL_EXPECTS(!done_);
+    Env_step result;
+
+    const bool is_noop = action == noop_action();
+    const bool is_valid_candidate =
+        action >= 0 && action < static_cast<int>(candidates_.size());
+
+    if (!is_noop && !is_valid_candidate) {
+        if (config_.invalid_policy == Invalid_action_policy::penalise) {
+            // §3.3.2's alternative: punish and terminate.
+            done_ = true;
+            result.done = true;
+            result.reward = -1.0;
+            return result;
+        }
+        XRL_EXPECTS(false && "invalid action with masking enabled");
+    }
+
+    ++steps_;
+    bool terminal = false;
+    if (is_noop) {
+        terminal = true;
+    } else {
+        current_ = candidates_[static_cast<std::size_t>(action)].graph;
+        ++rule_counts_[static_cast<std::size_t>(
+            candidates_[static_cast<std::size_t>(action)].rule_index)];
+        regenerate_candidates();
+        if (candidates_.empty()) terminal = true;
+        if (steps_ >= config_.max_steps) terminal = true;
+    }
+
+    Reward_context ctx;
+    ctx.initial_latency_ms = initial_latency_ms_;
+    ctx.previous_latency_ms = last_latency_ms_;
+    ctx.step = steps_;
+    ctx.measured = terminal || (steps_ % config_.feedback_frequency == 0);
+    if (ctx.measured) {
+        ctx.current_latency_ms = simulator_->measure_ms(current_);
+        last_latency_ms_ = ctx.current_latency_ms;
+        result.measured = true;
+        result.latency_ms = ctx.current_latency_ms;
+    } else {
+        ctx.current_latency_ms = last_latency_ms_;
+    }
+
+    result.reward = reward_callback_ ? reward_callback_(ctx) : default_reward(ctx);
+    done_ = terminal;
+    result.done = terminal;
+    return result;
+}
+
+double Environment::mean_candidates_per_step() const
+{
+    if (candidate_steps_ == 0) return 0.0;
+    return static_cast<double>(candidate_observations_) / static_cast<double>(candidate_steps_);
+}
+
+} // namespace xrl

@@ -1,0 +1,92 @@
+#include "gnn/encoding.h"
+
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+void append_graph(Encoded_graph& enc, const Graph& graph, std::int64_t member,
+                  std::vector<float>& edge_rows)
+{
+    const std::int64_t base = enc.num_nodes;
+    std::unordered_map<Node_id, std::int64_t> row_of;
+    for (const Node_id id : graph.topo_order()) {
+        row_of.emplace(id, enc.num_nodes);
+        enc.node_kinds.push_back(static_cast<std::int32_t>(graph.node(id).kind));
+        enc.node_graph.push_back(member);
+        ++enc.num_nodes;
+    }
+    for (const Node_id id : graph.node_ids()) {
+        const Node& n = graph.node(id);
+        const std::int64_t dst = row_of.at(id);
+        for (const Edge& e : n.inputs) {
+            const std::int64_t src = row_of.at(e.node);
+            enc.edge_src.push_back(src);
+            enc.edge_dst.push_back(dst);
+            // Shape of the carried tensor, leading-padded to rank 4 and
+            // normalised by M.
+            const Shape& shape = graph.shape_of(e);
+            float padded[edge_feature_dim] = {0.0F, 0.0F, 0.0F, 0.0F};
+            const std::size_t offset =
+                shape.size() >= edge_feature_dim ? 0 : edge_feature_dim - shape.size();
+            for (std::size_t d = 0; d < shape.size() && d + offset < edge_feature_dim; ++d)
+                padded[d + offset] = static_cast<float>(shape[d]) / edge_normaliser;
+            for (const float f : padded) edge_rows.push_back(f);
+        }
+    }
+    (void)base;
+}
+
+void finalise(Encoded_graph& enc, std::vector<float>&& edge_rows)
+{
+    const auto num_edges = static_cast<std::int64_t>(enc.edge_src.size());
+    enc.edge_features = Tensor(Shape{num_edges, edge_feature_dim}, std::move(edge_rows));
+    // Attention connectivity: dataflow edges + one self loop per node so
+    // every node attends at least to itself.
+    enc.attn_src = enc.edge_src;
+    enc.attn_dst = enc.edge_dst;
+    for (std::int64_t i = 0; i < enc.num_nodes; ++i) {
+        enc.attn_src.push_back(i);
+        enc.attn_dst.push_back(i);
+    }
+}
+
+} // namespace
+
+std::size_t Encoded_graph::memory_bytes() const
+{
+    return node_kinds.size() * sizeof(std::int32_t) +
+           static_cast<std::size_t>(edge_features.volume()) * sizeof(float) +
+           (edge_src.size() + edge_dst.size() + attn_src.size() + attn_dst.size() +
+            node_graph.size()) *
+               sizeof(std::int64_t);
+}
+
+Encoded_graph encode_graph_for_gnn(const Graph& graph)
+{
+    Encoded_graph enc;
+    std::vector<float> edge_rows;
+    append_graph(enc, graph, 0, edge_rows);
+    enc.num_graphs = 1;
+    finalise(enc, std::move(edge_rows));
+    return enc;
+}
+
+Encoded_graph encode_meta_graph(const Graph& current, const std::vector<const Graph*>& candidates)
+{
+    Encoded_graph enc;
+    std::vector<float> edge_rows;
+    append_graph(enc, current, 0, edge_rows);
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+        XRL_EXPECTS(candidates[k] != nullptr);
+        append_graph(enc, *candidates[k], static_cast<std::int64_t>(k + 1), edge_rows);
+    }
+    enc.num_graphs = static_cast<std::int64_t>(candidates.size()) + 1;
+    finalise(enc, std::move(edge_rows));
+    return enc;
+}
+
+} // namespace xrl

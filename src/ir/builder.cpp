@@ -1,0 +1,258 @@
+#include "ir/builder.h"
+
+#include "ir/shape_inference.h"
+#include "support/check.h"
+
+namespace xrl {
+
+Edge Graph_builder::input(Shape shape, std::string name)
+{
+    const Node_id id = graph_.add_node(Op_kind::input, {}, {}, std::move(name));
+    graph_.node_mut(id).output_shapes = {std::move(shape)};
+    return {id, 0};
+}
+
+Edge Graph_builder::weight(Shape shape, std::string name)
+{
+    const Node_id id = graph_.add_node(Op_kind::weight, {}, {}, std::move(name));
+    graph_.node_mut(id).output_shapes = {std::move(shape)};
+    return {id, 0};
+}
+
+Edge Graph_builder::constant(Tensor value, std::string name)
+{
+    const Node_id id = graph_.add_constant(std::move(value), std::move(name));
+    graph_.node_mut(id).output_shapes = infer_output_shapes(graph_, id);
+    return {id, 0};
+}
+
+Edge Graph_builder::unary(Op_kind kind, Edge x, Op_params params)
+{
+    const Node_id id = graph_.add_node(kind, {x}, std::move(params));
+    graph_.node_mut(id).output_shapes = infer_output_shapes(graph_, id);
+    return {id, 0};
+}
+
+Edge Graph_builder::binary(Op_kind kind, Edge a, Edge b)
+{
+    const Node_id id = graph_.add_node(kind, {a, b});
+    graph_.node_mut(id).output_shapes = infer_output_shapes(graph_, id);
+    return {id, 0};
+}
+
+Edge Graph_builder::matmul(Edge a, Edge b, Activation activation)
+{
+    Op_params p;
+    p.activation = activation;
+    const Node_id id = graph_.add_node(Op_kind::matmul, {a, b}, std::move(p));
+    graph_.node_mut(id).output_shapes = infer_output_shapes(graph_, id);
+    return {id, 0};
+}
+
+Edge Graph_builder::conv2d(Edge x, Edge w, std::int64_t stride, std::int64_t padding,
+                           Activation activation, std::int64_t groups)
+{
+    Op_params p;
+    p.stride_h = stride;
+    p.stride_w = stride;
+    p.pad_h = padding;
+    p.pad_w = padding;
+    p.activation = activation;
+    p.groups = groups;
+    const Node_id id = graph_.add_node(Op_kind::conv2d, {x, w}, std::move(p));
+    graph_.node_mut(id).output_shapes = infer_output_shapes(graph_, id);
+    return {id, 0};
+}
+
+Edge Graph_builder::relu(Edge x) { return unary(Op_kind::relu, x); }
+
+Edge Graph_builder::leaky_relu(Edge x, float slope)
+{
+    Op_params p;
+    p.scalar = slope;
+    return unary(Op_kind::leaky_relu, x, std::move(p));
+}
+
+Edge Graph_builder::gelu(Edge x) { return unary(Op_kind::gelu, x); }
+Edge Graph_builder::sigmoid(Edge x) { return unary(Op_kind::sigmoid, x); }
+Edge Graph_builder::tanh(Edge x) { return unary(Op_kind::tanh, x); }
+Edge Graph_builder::exp(Edge x) { return unary(Op_kind::exp, x); }
+Edge Graph_builder::sqrt(Edge x) { return unary(Op_kind::sqrt, x); }
+Edge Graph_builder::erf(Edge x) { return unary(Op_kind::erf, x); }
+Edge Graph_builder::identity(Edge x) { return unary(Op_kind::identity, x); }
+Edge Graph_builder::dropout(Edge x) { return unary(Op_kind::dropout, x); }
+
+Edge Graph_builder::scale(Edge x, float factor)
+{
+    Op_params p;
+    p.scalar = factor;
+    return unary(Op_kind::scale, x, std::move(p));
+}
+
+Edge Graph_builder::add(Edge a, Edge b) { return binary(Op_kind::add, a, b); }
+Edge Graph_builder::sub(Edge a, Edge b) { return binary(Op_kind::sub, a, b); }
+Edge Graph_builder::mul(Edge a, Edge b) { return binary(Op_kind::mul, a, b); }
+Edge Graph_builder::div(Edge a, Edge b) { return binary(Op_kind::div, a, b); }
+
+Edge Graph_builder::max_pool2d(Edge x, std::int64_t kernel, std::int64_t stride, std::int64_t padding)
+{
+    Op_params p;
+    p.kernel_h = kernel;
+    p.kernel_w = kernel;
+    p.stride_h = stride;
+    p.stride_w = stride;
+    p.pad_h = padding;
+    p.pad_w = padding;
+    return unary(Op_kind::max_pool2d, x, std::move(p));
+}
+
+Edge Graph_builder::avg_pool2d(Edge x, std::int64_t kernel, std::int64_t stride, std::int64_t padding)
+{
+    Op_params p;
+    p.kernel_h = kernel;
+    p.kernel_w = kernel;
+    p.stride_h = stride;
+    p.stride_w = stride;
+    p.pad_h = padding;
+    p.pad_w = padding;
+    return unary(Op_kind::avg_pool2d, x, std::move(p));
+}
+
+Edge Graph_builder::global_avg_pool(Edge x) { return unary(Op_kind::global_avg_pool, x); }
+
+Edge Graph_builder::batch_norm(Edge x, Edge gamma, Edge beta, Edge mean, Edge variance, float epsilon)
+{
+    Op_params p;
+    p.epsilon = epsilon;
+    const Node_id id = graph_.add_node(Op_kind::batch_norm, {x, gamma, beta, mean, variance}, std::move(p));
+    graph_.node_mut(id).output_shapes = infer_output_shapes(graph_, id);
+    return {id, 0};
+}
+
+Edge Graph_builder::batch_norm(Edge x, std::int64_t channels)
+{
+    const Edge gamma = weight({channels});
+    const Edge beta = weight({channels});
+    const Edge mean = weight({channels});
+    const Edge variance = weight({channels});
+    return batch_norm(x, gamma, beta, mean, variance);
+}
+
+Edge Graph_builder::layer_norm(Edge x, Edge gamma, Edge beta, float epsilon)
+{
+    Op_params p;
+    p.epsilon = epsilon;
+    const Node_id id = graph_.add_node(Op_kind::layer_norm, {x, gamma, beta}, std::move(p));
+    graph_.node_mut(id).output_shapes = infer_output_shapes(graph_, id);
+    return {id, 0};
+}
+
+Edge Graph_builder::layer_norm(Edge x, std::int64_t width)
+{
+    const Edge gamma = weight({width});
+    const Edge beta = weight({width});
+    return layer_norm(x, gamma, beta);
+}
+
+Edge Graph_builder::softmax(Edge x) { return unary(Op_kind::softmax, x); }
+
+Edge Graph_builder::concat(std::int64_t axis, std::vector<Edge> parts)
+{
+    XRL_EXPECTS(!parts.empty());
+    Op_params p;
+    p.axis = axis;
+    const Node_id id = graph_.add_node(Op_kind::concat, std::move(parts), std::move(p));
+    graph_.node_mut(id).output_shapes = infer_output_shapes(graph_, id);
+    return {id, 0};
+}
+
+std::vector<Edge> Graph_builder::split(Edge x, std::int64_t axis, std::vector<std::int64_t> sizes)
+{
+    Op_params p;
+    p.axis = axis;
+    p.split_sizes = std::move(sizes);
+    const auto pieces = static_cast<std::int32_t>(p.split_sizes.size());
+    const Node_id id = graph_.add_node(Op_kind::split, {x}, std::move(p));
+    graph_.node_mut(id).output_shapes = infer_output_shapes(graph_, id);
+    std::vector<Edge> out;
+    out.reserve(static_cast<std::size_t>(pieces));
+    for (std::int32_t port = 0; port < pieces; ++port) out.push_back({id, port});
+    return out;
+}
+
+Edge Graph_builder::slice(Edge x, std::int64_t axis, std::int64_t begin, std::int64_t end)
+{
+    Op_params p;
+    p.axis = axis;
+    p.begin = begin;
+    p.end = end;
+    return unary(Op_kind::slice, x, std::move(p));
+}
+
+Edge Graph_builder::reshape(Edge x, Shape target)
+{
+    Op_params p;
+    p.target_shape = std::move(target);
+    return unary(Op_kind::reshape, x, std::move(p));
+}
+
+Edge Graph_builder::transpose(Edge x, std::vector<std::int64_t> perm)
+{
+    Op_params p;
+    p.perm = std::move(perm);
+    return unary(Op_kind::transpose, x, std::move(p));
+}
+
+Edge Graph_builder::pad(Edge x, std::vector<std::int64_t> before, std::vector<std::int64_t> after)
+{
+    Op_params p;
+    p.pads_before = std::move(before);
+    p.pads_after = std::move(after);
+    return unary(Op_kind::pad, x, std::move(p));
+}
+
+Edge Graph_builder::reduce_sum(Edge x, std::int64_t axis, bool keep_dim)
+{
+    Op_params p;
+    p.axis = axis;
+    p.keep_dim = keep_dim;
+    return unary(Op_kind::reduce_sum, x, std::move(p));
+}
+
+Edge Graph_builder::reduce_mean(Edge x, std::int64_t axis, bool keep_dim)
+{
+    Op_params p;
+    p.axis = axis;
+    p.keep_dim = keep_dim;
+    return unary(Op_kind::reduce_mean, x, std::move(p));
+}
+
+Edge Graph_builder::embedding(Edge ids, Edge table) { return binary(Op_kind::embedding, ids, table); }
+
+Edge Graph_builder::enlarge(Edge w, std::int64_t target_r, std::int64_t target_s)
+{
+    Op_params p;
+    p.target_r = target_r;
+    p.target_s = target_s;
+    return unary(Op_kind::enlarge, w, std::move(p));
+}
+
+Edge Graph_builder::apply_unary(Op_kind kind, Edge x)
+{
+    return unary(kind, x);
+}
+
+Shape Graph_builder::shape_of(Edge e) const
+{
+    return graph_.shape_of(e);
+}
+
+Graph Graph_builder::finish(std::vector<Edge> outputs)
+{
+    graph_.set_outputs(std::move(outputs));
+    graph_.infer_shapes();
+    graph_.validate();
+    return std::move(graph_);
+}
+
+} // namespace xrl

@@ -1,0 +1,95 @@
+// Fluent construction API for computation graphs, mirroring TASO's
+// programming interface (§3.1: "users can manually define the computation
+// graph via TASO's programming interface").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace xrl {
+
+class Graph_builder {
+public:
+    Graph_builder() = default;
+
+    // -- sources ------------------------------------------------------------
+
+    Edge input(Shape shape, std::string name = "");
+    Edge weight(Shape shape, std::string name = "");
+    Edge constant(Tensor value, std::string name = "");
+
+    // -- dense --------------------------------------------------------------
+
+    Edge matmul(Edge a, Edge b, Activation activation = Activation::none);
+    Edge conv2d(Edge x, Edge w, std::int64_t stride = 1, std::int64_t padding = 0,
+                Activation activation = Activation::none, std::int64_t groups = 1);
+
+    // -- elementwise ---------------------------------------------------------
+
+    Edge relu(Edge x);
+    Edge leaky_relu(Edge x, float slope = 0.01F);
+    Edge gelu(Edge x);
+    Edge sigmoid(Edge x);
+    Edge tanh(Edge x);
+    Edge exp(Edge x);
+    Edge sqrt(Edge x);
+    Edge erf(Edge x);
+    Edge identity(Edge x);
+    Edge dropout(Edge x);
+    Edge scale(Edge x, float factor);
+    Edge add(Edge a, Edge b);
+    Edge sub(Edge a, Edge b);
+    Edge mul(Edge a, Edge b);
+    Edge div(Edge a, Edge b);
+
+    // -- pooling / normalisation ---------------------------------------------
+
+    Edge max_pool2d(Edge x, std::int64_t kernel, std::int64_t stride, std::int64_t padding = 0);
+    Edge avg_pool2d(Edge x, std::int64_t kernel, std::int64_t stride, std::int64_t padding = 0);
+    Edge global_avg_pool(Edge x);
+    Edge batch_norm(Edge x, Edge gamma, Edge beta, Edge mean, Edge variance, float epsilon = 1e-5F);
+
+    /// Batch norm with freshly created per-channel weights (convenience for
+    /// the model zoo).
+    Edge batch_norm(Edge x, std::int64_t channels);
+
+    Edge layer_norm(Edge x, Edge gamma, Edge beta, float epsilon = 1e-5F);
+    Edge layer_norm(Edge x, std::int64_t width);
+    Edge softmax(Edge x);
+
+    // -- shape ---------------------------------------------------------------
+
+    Edge concat(std::int64_t axis, std::vector<Edge> parts);
+    std::vector<Edge> split(Edge x, std::int64_t axis, std::vector<std::int64_t> sizes);
+    Edge slice(Edge x, std::int64_t axis, std::int64_t begin, std::int64_t end);
+    Edge reshape(Edge x, Shape target);
+    Edge transpose(Edge x, std::vector<std::int64_t> perm = {});
+    Edge pad(Edge x, std::vector<std::int64_t> before, std::vector<std::int64_t> after);
+    Edge reduce_sum(Edge x, std::int64_t axis, bool keep_dim = true);
+    Edge reduce_mean(Edge x, std::int64_t axis, bool keep_dim = true);
+    Edge embedding(Edge ids, Edge table);
+    Edge enlarge(Edge w, std::int64_t target_r, std::int64_t target_s);
+
+    /// Generic single-input op constructor with default parameters (used by
+    /// pattern definitions and tests that iterate over op kinds).
+    Edge apply_unary(Op_kind kind, Edge x);
+
+    /// Shape of an edge built so far (runs incremental inference).
+    Shape shape_of(Edge e) const;
+
+    /// Finalise: set outputs, infer shapes, validate, and return the graph.
+    Graph finish(std::vector<Edge> outputs);
+
+    /// Access to the graph under construction (used by tests).
+    const Graph& graph() const { return graph_; }
+
+private:
+    Edge unary(Op_kind kind, Edge x, Op_params params = {});
+    Edge binary(Op_kind kind, Edge a, Edge b);
+
+    Graph graph_;
+};
+
+} // namespace xrl

@@ -1,0 +1,35 @@
+// Reference graph executor.
+//
+// Runs a graph through the naive kernels in `tensor/kernels.h`. Used by the
+// rewrite-rule verifier and the property-test suite to check that graph
+// transformations preserve semantics: a transformed graph executed with the
+// same bindings must produce the same outputs.
+#pragma once
+
+#include <unordered_map>
+
+#include "ir/graph.h"
+#include "tensor/tensor.h"
+
+namespace xrl {
+
+/// Values for graph inputs, keyed by node id.
+using Binding_map = std::unordered_map<Node_id, Tensor>;
+
+/// Execute `graph` and return its output tensors (in graph output order).
+///
+/// * `input` nodes read from `bindings` (required).
+/// * `weight` nodes are materialised deterministically from
+///   `weight_seed ^ node id`, so the *same* weight node produces the same
+///   tensor before and after a transformation (ids are stable).
+/// * `constant` nodes use their payload.
+std::vector<Tensor> execute(const Graph& graph, const Binding_map& bindings,
+                            std::uint64_t weight_seed = 0x5eedULL);
+
+/// Deterministic tensor for a weight node (exposed for tests).
+Tensor materialise_weight(const Shape& shape, Node_id id, std::uint64_t weight_seed);
+
+/// Random bindings for every `input` node of the graph.
+Binding_map random_bindings(const Graph& graph, Rng& rng, float lo = -1.0F, float hi = 1.0F);
+
+} // namespace xrl

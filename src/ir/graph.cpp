@@ -1,0 +1,292 @@
+#include "ir/graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "ir/shape_inference.h"
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value)
+{
+    return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+std::uint64_t hash_payload(const Tensor& t)
+{
+    std::uint64_t h = 0xfeedULL;
+    for (const std::int64_t d : t.shape()) h = hash_combine(h, static_cast<std::uint64_t>(d));
+    for (std::int64_t i = 0; i < t.volume(); ++i) {
+        // Quantise so that float noise does not defeat dedup of identical
+        // constants.
+        h = hash_combine(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(t.at(i) * 1e6F)));
+    }
+    return h;
+}
+
+} // namespace
+
+std::int32_t num_outputs(const Node& node)
+{
+    if (node.kind == Op_kind::split)
+        return static_cast<std::int32_t>(node.params.split_sizes.size());
+    return 1;
+}
+
+Node_id Graph::add_node(Op_kind kind, std::vector<Edge> inputs, Op_params params, std::string name)
+{
+    for (const Edge& e : inputs) {
+        XRL_EXPECTS(is_alive(e.node));
+        XRL_EXPECTS(e.port >= 0 && e.port < num_outputs(node(e.node)));
+    }
+    Node n;
+    n.kind = kind;
+    n.params = std::move(params);
+    n.inputs = std::move(inputs);
+    n.name = std::move(name);
+    nodes_.push_back(std::move(n));
+    alive_.push_back(1);
+    ++alive_count_;
+    return static_cast<Node_id>(nodes_.size() - 1);
+}
+
+Node_id Graph::add_constant(Tensor value, std::string name)
+{
+    const Node_id id = add_node(Op_kind::constant, {}, {}, std::move(name));
+    nodes_[static_cast<std::size_t>(id)].payload = std::make_shared<const Tensor>(std::move(value));
+    return id;
+}
+
+void Graph::set_outputs(std::vector<Edge> outputs)
+{
+    for (const Edge& e : outputs) {
+        XRL_EXPECTS(is_alive(e.node));
+        XRL_EXPECTS(e.port >= 0 && e.port < num_outputs(node(e.node)));
+    }
+    outputs_ = std::move(outputs);
+}
+
+const Node& Graph::node(Node_id id) const
+{
+    XRL_EXPECTS(is_alive(id));
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+Node& Graph::node_mut(Node_id id)
+{
+    XRL_EXPECTS(is_alive(id));
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+bool Graph::is_alive(Node_id id) const
+{
+    return id >= 0 && static_cast<std::size_t>(id) < nodes_.size() &&
+           alive_[static_cast<std::size_t>(id)] != 0;
+}
+
+std::vector<Node_id> Graph::node_ids() const
+{
+    std::vector<Node_id> ids;
+    ids.reserve(alive_count_);
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        if (alive_[i] != 0) ids.push_back(static_cast<Node_id>(i));
+    return ids;
+}
+
+const Shape& Graph::shape_of(Edge edge) const
+{
+    const Node& n = node(edge.node);
+    XRL_EXPECTS(edge.port >= 0 && static_cast<std::size_t>(edge.port) < n.output_shapes.size());
+    return n.output_shapes[static_cast<std::size_t>(edge.port)];
+}
+
+std::vector<std::vector<Edge_use>> Graph::build_users() const
+{
+    std::vector<std::vector<Edge_use>> users(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (alive_[i] == 0) continue;
+        const Node& n = nodes_[i];
+        for (std::size_t slot = 0; slot < n.inputs.size(); ++slot)
+            users[static_cast<std::size_t>(n.inputs[slot].node)].push_back(
+                {static_cast<Node_id>(i), static_cast<std::int32_t>(slot)});
+    }
+    return users;
+}
+
+std::vector<Node_id> Graph::topo_order() const
+{
+    // Kahn's algorithm over alive nodes.
+    std::vector<std::int32_t> pending(nodes_.size(), 0);
+    std::vector<Node_id> ready;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (alive_[i] == 0) continue;
+        pending[i] = static_cast<std::int32_t>(nodes_[i].inputs.size());
+        if (pending[i] == 0) ready.push_back(static_cast<Node_id>(i));
+    }
+    const auto users = build_users();
+    std::vector<Node_id> order;
+    order.reserve(alive_count_);
+    for (std::size_t head = 0; head < ready.size(); ++head) {
+        const Node_id id = ready[head];
+        order.push_back(id);
+        for (const Edge_use& use : users[static_cast<std::size_t>(id)])
+            if (--pending[static_cast<std::size_t>(use.user)] == 0) ready.push_back(use.user);
+    }
+    XRL_ENSURES(order.size() == alive_count_); // otherwise: cycle
+    return order;
+}
+
+bool Graph::is_acyclic() const
+{
+    std::vector<std::int32_t> pending(nodes_.size(), 0);
+    std::vector<Node_id> ready;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (alive_[i] == 0) continue;
+        pending[i] = static_cast<std::int32_t>(nodes_[i].inputs.size());
+        if (pending[i] == 0) ready.push_back(static_cast<Node_id>(i));
+    }
+    const auto users = build_users();
+    std::size_t seen = 0;
+    for (std::size_t head = 0; head < ready.size(); ++head) {
+        ++seen;
+        for (const Edge_use& use : users[static_cast<std::size_t>(ready[head])])
+            if (--pending[static_cast<std::size_t>(use.user)] == 0) ready.push_back(use.user);
+    }
+    return seen == alive_count_;
+}
+
+std::uint64_t Graph::canonical_hash() const
+{
+    std::vector<std::uint64_t> node_hash(nodes_.size(), 0);
+    for (const Node_id id : topo_order()) {
+        const Node& n = nodes_[static_cast<std::size_t>(id)];
+        std::uint64_t h = hash_combine(0x51edULL, static_cast<std::uint64_t>(n.kind));
+        h = hash_combine(h, hash_params(n.params));
+        for (const Edge& e : n.inputs) {
+            h = hash_combine(h, node_hash[static_cast<std::size_t>(e.node)]);
+            h = hash_combine(h, static_cast<std::uint64_t>(e.port));
+        }
+        if (n.kind == Op_kind::constant && n.payload != nullptr)
+            h = hash_combine(h, hash_payload(*n.payload));
+        if (n.kind == Op_kind::input || n.kind == Op_kind::weight) {
+            // Source identity matters: two distinct inputs must not collide.
+            h = hash_combine(h, static_cast<std::uint64_t>(id));
+        }
+        node_hash[static_cast<std::size_t>(id)] = h;
+    }
+    std::uint64_t h = 0xabcdULL;
+    for (const Edge& e : outputs_) {
+        h = hash_combine(h, node_hash[static_cast<std::size_t>(e.node)]);
+        h = hash_combine(h, static_cast<std::uint64_t>(e.port));
+    }
+    return h;
+}
+
+void Graph::replace_all_uses(Edge from, Edge to)
+{
+    XRL_EXPECTS(is_alive(from.node) && is_alive(to.node));
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (alive_[i] == 0) continue;
+        for (Edge& e : nodes_[i].inputs)
+            if (e == from) e = to;
+    }
+    for (Edge& e : outputs_)
+        if (e == from) e = to;
+}
+
+void Graph::erase_node(Node_id id)
+{
+    XRL_EXPECTS(is_alive(id));
+    const auto users = build_users();
+    XRL_EXPECTS(users[static_cast<std::size_t>(id)].empty());
+    for (const Edge& e : outputs_) XRL_EXPECTS(e.node != id);
+    alive_[static_cast<std::size_t>(id)] = 0;
+    nodes_[static_cast<std::size_t>(id)] = Node{};
+    --alive_count_;
+}
+
+int Graph::eliminate_dead_nodes()
+{
+    std::vector<std::uint8_t> reachable(nodes_.size(), 0);
+    std::vector<Node_id> stack;
+    for (const Edge& e : outputs_) {
+        if (reachable[static_cast<std::size_t>(e.node)] == 0) {
+            reachable[static_cast<std::size_t>(e.node)] = 1;
+            stack.push_back(e.node);
+        }
+    }
+    while (!stack.empty()) {
+        const Node_id id = stack.back();
+        stack.pop_back();
+        for (const Edge& e : nodes_[static_cast<std::size_t>(id)].inputs) {
+            if (reachable[static_cast<std::size_t>(e.node)] == 0) {
+                reachable[static_cast<std::size_t>(e.node)] = 1;
+                stack.push_back(e.node);
+            }
+        }
+    }
+    int removed = 0;
+    // Erase in reverse topological order so "no users" holds at each step.
+    const auto order = topo_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const Node_id id = *it;
+        if (reachable[static_cast<std::size_t>(id)] != 0) continue;
+        if (nodes_[static_cast<std::size_t>(id)].kind == Op_kind::input) continue;
+        erase_node(id);
+        ++removed;
+    }
+    return removed;
+}
+
+void Graph::infer_shapes()
+{
+    for (const Node_id id : topo_order()) {
+        Node& n = nodes_[static_cast<std::size_t>(id)];
+        n.output_shapes = infer_output_shapes(*this, id);
+    }
+}
+
+void Graph::validate() const
+{
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (alive_[i] == 0) continue;
+        const Node& n = nodes_[i];
+        for (const Edge& e : n.inputs) {
+            XRL_ENSURES(is_alive(e.node));
+            XRL_ENSURES(e.port >= 0 && e.port < num_outputs(node(e.node)));
+        }
+        if (!n.output_shapes.empty())
+            XRL_ENSURES(static_cast<std::int32_t>(n.output_shapes.size()) == num_outputs(n));
+    }
+    for (const Edge& e : outputs_) {
+        XRL_ENSURES(is_alive(e.node));
+        XRL_ENSURES(e.port >= 0 && e.port < num_outputs(node(e.node)));
+    }
+    XRL_ENSURES(is_acyclic());
+}
+
+std::string Graph::to_dot() const
+{
+    std::ostringstream os;
+    os << "digraph G {\n  rankdir=TB;\n";
+    for (const Node_id id : node_ids()) {
+        const Node& n = node(id);
+        os << "  n" << id << " [label=\"" << op_kind_name(n.kind);
+        if (!n.name.empty()) os << "\\n" << n.name;
+        if (!n.output_shapes.empty()) os << "\\n" << shape_to_string(n.output_shapes.front());
+        os << "\"];\n";
+    }
+    for (const Node_id id : node_ids()) {
+        const Node& n = node(id);
+        for (const Edge& e : n.inputs)
+            os << "  n" << e.node << " -> n" << id << " [label=\"" << e.port << "\"];\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace xrl

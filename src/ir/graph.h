@@ -1,0 +1,132 @@
+// Computation-graph IR: a DAG of tensor operators.
+//
+// The same representation TASO exposes (§3.1 of the paper): operators are
+// nodes, tensors are edges. Graphs have value semantics — the environment
+// generates candidate graphs by copying and transforming them, exactly as
+// the paper's candidate cache does.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/op.h"
+#include "tensor/tensor.h"
+
+namespace xrl {
+
+using Node_id = std::int32_t;
+constexpr Node_id invalid_node = -1;
+
+/// A tensor value: output `port` of node `node`.
+struct Edge {
+    Node_id node = invalid_node;
+    std::int32_t port = 0;
+
+    bool operator==(const Edge&) const = default;
+};
+
+/// One use of a value: input slot `input_index` of node `user`.
+struct Edge_use {
+    Node_id user = invalid_node;
+    std::int32_t input_index = 0;
+};
+
+/// An operator instance.
+struct Node {
+    Op_kind kind = Op_kind::input;
+    Op_params params;
+    std::vector<Edge> inputs;
+    std::vector<Shape> output_shapes;       ///< Filled by Graph::infer_shapes().
+    std::shared_ptr<const Tensor> payload;  ///< Literal value for `constant` nodes.
+    std::string name;                       ///< Optional debug label.
+};
+
+/// Number of output ports an op kind produces (split: one per piece).
+std::int32_t num_outputs(const Node& node);
+
+/// Directed acyclic graph of operators with value semantics.
+///
+/// Node ids are stable: erasing leaves a tombstone so surviving ids keep
+/// meaning across transformations (important for binding executor inputs
+/// before/after a substitution).
+class Graph {
+public:
+    // -- construction -------------------------------------------------------
+
+    /// Append a node; inputs must reference alive nodes. Returns its id.
+    Node_id add_node(Op_kind kind, std::vector<Edge> inputs, Op_params params = {},
+                     std::string name = "");
+
+    /// Append a `constant` node carrying `value`.
+    Node_id add_constant(Tensor value, std::string name = "");
+
+    /// Declare the graph outputs (order is significant).
+    void set_outputs(std::vector<Edge> outputs);
+    const std::vector<Edge>& outputs() const { return outputs_; }
+
+    // -- access -------------------------------------------------------------
+
+    const Node& node(Node_id id) const;
+    Node& node_mut(Node_id id);
+    bool is_alive(Node_id id) const;
+
+    /// Total id slots ever allocated (alive + tombstones).
+    std::size_t capacity() const { return nodes_.size(); }
+
+    /// Number of alive nodes.
+    std::size_t size() const { return alive_count_; }
+
+    /// Ids of all alive nodes, ascending.
+    std::vector<Node_id> node_ids() const;
+
+    /// Shape of the tensor carried by an edge (requires inferred shapes).
+    const Shape& shape_of(Edge edge) const;
+
+    /// Uses of every node's outputs: users()[id] lists (user, input_index).
+    std::vector<std::vector<Edge_use>> build_users() const;
+
+    // -- structure queries ---------------------------------------------------
+
+    /// Alive nodes in topological order; throws if the graph has a cycle.
+    std::vector<Node_id> topo_order() const;
+
+    bool is_acyclic() const;
+
+    /// Structural hash of the sub-DAG reachable from the outputs. Two graphs
+    /// with equal hashes are treated as the same candidate by the
+    /// environment's dedup cache.
+    std::uint64_t canonical_hash() const;
+
+    // -- mutation ------------------------------------------------------------
+
+    /// Redirect every use of `from` (including graph outputs) to `to`.
+    void replace_all_uses(Edge from, Edge to);
+
+    /// Remove a node. Precondition: nothing uses its outputs.
+    void erase_node(Node_id id);
+
+    /// Drop nodes unreachable from the outputs; returns how many were
+    /// removed. Source nodes (inputs) are kept even when unused so the
+    /// external interface of the graph never changes.
+    int eliminate_dead_nodes();
+
+    /// Run shape inference over the whole graph in topological order.
+    void infer_shapes();
+
+    /// Check all invariants (edge validity, acyclicity, shapes if inferred);
+    /// throws Contract_violation on failure.
+    void validate() const;
+
+    /// Graphviz DOT rendering for debugging / documentation.
+    std::string to_dot() const;
+
+private:
+    std::vector<Node> nodes_;
+    std::vector<std::uint8_t> alive_;
+    std::vector<Edge> outputs_;
+    std::size_t alive_count_ = 0;
+};
+
+} // namespace xrl

@@ -1,0 +1,167 @@
+#include "ir/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+Edge parse_edge_token(const std::string& token)
+{
+    const std::size_t colon = token.find(':');
+    XRL_EXPECTS(colon != std::string::npos);
+    return Edge{static_cast<Node_id>(std::stoi(token.substr(0, colon))),
+                static_cast<std::int32_t>(std::stoi(token.substr(colon + 1)))};
+}
+
+} // namespace
+
+void serialise_graph_text(std::ostream& os, const Graph& graph)
+{
+    // Canonical form: ids are renumbered to topological positions, so
+    // serialise(load(serialise(g))) == serialise(g) regardless of how the
+    // in-memory graph's id space looks after transformations.
+    std::unordered_map<Node_id, Node_id> renumber;
+    const auto order = graph.topo_order();
+    for (std::size_t position = 0; position < order.size(); ++position)
+        renumber.emplace(order[position], static_cast<Node_id>(position));
+
+    os << "xrlflow-graph v1\n";
+    for (const Node_id id : order) {
+        const Node& n = graph.node(id);
+        if (n.kind == Op_kind::constant) {
+            XRL_EXPECTS(n.payload != nullptr);
+            const Tensor& t = *n.payload;
+            os << "const " << renumber.at(id) << " shape " << t.shape().size();
+            for (const std::int64_t dim : t.shape()) os << ' ' << dim;
+            os << " values " << t.volume();
+            for (std::int64_t i = 0; i < t.volume(); ++i) os << ' ' << t.at(i);
+            os << "\n";
+            continue;
+        }
+        os << "node " << renumber.at(id) << ' ' << op_kind_name(n.kind) << " inputs "
+           << n.inputs.size();
+        for (const Edge& e : n.inputs) os << ' ' << renumber.at(e.node) << ':' << e.port;
+        // Names must be single tokens in this line-oriented format.
+        XRL_EXPECTS(n.name.find_first_of(" \t\n") == std::string::npos);
+        os << " name " << (n.name.empty() ? "-" : n.name);
+        const Shape shape = n.output_shapes.empty() ? Shape{} : n.output_shapes.front();
+        os << " shape " << shape.size();
+        for (const std::int64_t dim : shape) os << ' ' << dim;
+        os << " { " << params_to_string(n.params) << " }\n";
+    }
+    os << "outputs " << graph.outputs().size();
+    for (const Edge& e : graph.outputs()) os << ' ' << renumber.at(e.node) << ':' << e.port;
+    os << "\n";
+}
+
+Graph deserialise_graph_text(std::istream& is)
+{
+    std::string header;
+    std::string version;
+    is >> header >> version;
+    XRL_EXPECTS(header == "xrlflow-graph" && version == "v1");
+
+    Graph graph;
+    std::unordered_map<Node_id, Node_id> id_map;
+    std::string token;
+    while (is >> token) {
+        if (token == "node") {
+            Node_id file_id = 0;
+            std::string kind_name;
+            std::string marker;
+            std::size_t num_inputs = 0;
+            is >> file_id >> kind_name >> marker >> num_inputs;
+            XRL_EXPECTS(marker == "inputs");
+            std::vector<Edge> inputs;
+            inputs.reserve(num_inputs);
+            for (std::size_t i = 0; i < num_inputs; ++i) {
+                std::string edge_token;
+                is >> edge_token;
+                const Edge e = parse_edge_token(edge_token);
+                inputs.push_back(Edge{id_map.at(e.node), e.port});
+            }
+            is >> marker;
+            XRL_EXPECTS(marker == "name");
+            std::string name;
+            is >> name;
+            if (name == "-") name.clear();
+            is >> marker;
+            XRL_EXPECTS(marker == "shape");
+            std::size_t rank = 0;
+            is >> rank;
+            Shape shape(rank);
+            for (auto& dim : shape) is >> dim;
+            is >> marker;
+            XRL_EXPECTS(marker == "{");
+            std::string params_text;
+            std::string word;
+            while (is >> word && word != "}") {
+                if (!params_text.empty()) params_text += ' ';
+                params_text += word;
+            }
+            const Op_kind kind = op_kind_from_name(kind_name);
+            const Node_id id =
+                graph.add_node(kind, std::move(inputs), params_from_string(params_text), name);
+            if (is_source(kind)) graph.node_mut(id).output_shapes = {shape};
+            id_map.emplace(file_id, id);
+        } else if (token == "const") {
+            Node_id file_id = 0;
+            std::string marker;
+            is >> file_id >> marker;
+            XRL_EXPECTS(marker == "shape");
+            std::size_t rank = 0;
+            is >> rank;
+            Shape shape(rank);
+            for (auto& dim : shape) is >> dim;
+            is >> marker;
+            XRL_EXPECTS(marker == "values");
+            std::int64_t count = 0;
+            is >> count;
+            XRL_EXPECTS(count == shape_volume(shape));
+            std::vector<float> values(static_cast<std::size_t>(count));
+            for (auto& v : values) is >> v;
+            const Node_id id = graph.add_constant(Tensor(std::move(shape), std::move(values)));
+            id_map.emplace(file_id, id);
+        } else if (token == "outputs") {
+            std::size_t num_outputs = 0;
+            is >> num_outputs;
+            std::vector<Edge> outputs;
+            outputs.reserve(num_outputs);
+            for (std::size_t i = 0; i < num_outputs; ++i) {
+                std::string edge_token;
+                is >> edge_token;
+                const Edge e = parse_edge_token(edge_token);
+                outputs.push_back(Edge{id_map.at(e.node), e.port});
+            }
+            graph.set_outputs(std::move(outputs));
+            graph.infer_shapes();
+            graph.validate();
+            return graph;
+        } else {
+            XRL_EXPECTS(false && "unexpected token in graph file");
+        }
+    }
+    XRL_EXPECTS(false && "graph file missing outputs record");
+    return graph;
+}
+
+void save_graph(const std::string& path, const Graph& graph)
+{
+    std::ofstream os(path);
+    XRL_EXPECTS(os.good());
+    serialise_graph_text(os, graph);
+}
+
+Graph load_graph(const std::string& path)
+{
+    std::ifstream is(path);
+    XRL_EXPECTS(is.good());
+    return deserialise_graph_text(is);
+}
+
+} // namespace xrl

@@ -1,0 +1,26 @@
+// Textual (de)serialisation of computation graphs.
+//
+// Plays the role of the ONNX import/export interface in §3.1: models enter
+// the system from a portable description and optimised graphs can be
+// exported for deployment. The format is line-oriented and stable:
+//
+//   xrlflow-graph v1
+//   node <id> <kind> inputs <n> <node>:<port>... shape <rank> <dims...> { <params> }
+//   const <id> shape <rank> <dims...> values <count> <floats...>
+//   outputs <n> <node>:<port>...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ir/graph.h"
+
+namespace xrl {
+
+void serialise_graph_text(std::ostream& os, const Graph& graph);
+Graph deserialise_graph_text(std::istream& is);
+
+void save_graph(const std::string& path, const Graph& graph);
+Graph load_graph(const std::string& path);
+
+} // namespace xrl

@@ -1,0 +1,16 @@
+// Per-operator output shape inference.
+#pragma once
+
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace xrl {
+
+/// Compute the output shapes of `id` from its inputs' (already inferred)
+/// shapes. Source nodes (input/weight) return their pre-assigned shapes;
+/// constants return their payload shape. Throws Contract_violation on
+/// malformed operands.
+std::vector<Shape> infer_output_shapes(const Graph& graph, Node_id id);
+
+} // namespace xrl

@@ -1,0 +1,249 @@
+#include <algorithm>
+
+#include "ir/builder.h"
+#include "models/models.h"
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+/// conv + batch norm + relu, the standard convnet building block. The BN
+/// carries its own per-channel weight nodes; folding it into the conv is
+/// one of the rewrites the optimisers discover.
+Edge conv_bn_relu(Graph_builder& b, Edge x, std::int64_t out_channels, std::int64_t in_channels,
+                  std::int64_t kernel, std::int64_t stride, std::int64_t padding,
+                  std::int64_t groups = 1)
+{
+    const Edge w = b.weight({out_channels, in_channels / groups, kernel, kernel});
+    const Edge conv = b.conv2d(x, w, stride, padding, Activation::none, groups);
+    return b.relu(b.batch_norm(conv, out_channels));
+}
+
+Edge conv_relu(Graph_builder& b, Edge x, std::int64_t out_channels, std::int64_t in_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t padding)
+{
+    const Edge w = b.weight({out_channels, in_channels, kernel, kernel});
+    return b.relu(b.conv2d(x, w, stride, padding));
+}
+
+/// Asymmetric conv (1xk then kx1), the InceptionV3 factorisation.
+Edge conv_factorised(Graph_builder& b, Edge x, std::int64_t channels, std::int64_t in_channels,
+                     std::int64_t k)
+{
+    // Graph_builder::conv2d exposes square padding only; emulate the
+    // asymmetric 1xk / kx1 cases with explicit pad nodes.
+    const Edge wh = b.weight({channels, in_channels, 1, k});
+    const Edge padded_w = b.pad(x, {0, 0, 0, (k - 1) / 2}, {0, 0, 0, (k - 1) / 2});
+    const Edge c1 = b.relu(b.conv2d(padded_w, wh, 1, 0));
+
+    const Edge wv = b.weight({channels, channels, k, 1});
+    const Edge padded_h = b.pad(c1, {0, 0, (k - 1) / 2, 0}, {0, 0, (k - 1) / 2, 0});
+    return b.relu(b.conv2d(padded_h, wv, 1, 0));
+}
+
+std::int64_t spatial_of(Graph_builder& b, Edge x)
+{
+    return b.shape_of(x)[2];
+}
+
+std::int64_t channels_of(Graph_builder& b, Edge x)
+{
+    return b.shape_of(x)[1];
+}
+
+} // namespace
+
+Graph make_inception_v3(Scale scale, std::int64_t image)
+{
+    const std::int64_t base = scale == Scale::paper ? 32 : 8;
+    const int modules_a = scale == Scale::paper ? 3 : 2;
+    const int modules_b = scale == Scale::paper ? 4 : 2;
+    const int modules_c = scale == Scale::paper ? 2 : 1;
+
+    Graph_builder b;
+    Edge x = b.input({1, 3, image, image}, "image");
+
+    // Stem.
+    x = conv_bn_relu(b, x, base, 3, 3, 2, 1);
+    x = conv_bn_relu(b, x, base, base, 3, 1, 1);
+    x = b.max_pool2d(x, 3, 2, 1);
+    x = conv_bn_relu(b, x, base * 2, base, 1, 1, 0);
+    x = conv_bn_relu(b, x, base * 6, base * 2, 3, 1, 1);
+    x = b.max_pool2d(x, 3, 2, 1);
+
+    // Inception-A modules: 1x1 / 5x5 / double-3x3 / pool-proj branches.
+    const std::int64_t wa = base * 2;
+    for (int m = 0; m < modules_a; ++m) {
+        const std::int64_t in = channels_of(b, x);
+        const Edge b1 = conv_bn_relu(b, x, wa, in, 1, 1, 0);
+        Edge b2 = conv_bn_relu(b, x, wa, in, 1, 1, 0);
+        b2 = conv_bn_relu(b, b2, wa, wa, 5, 1, 2);
+        Edge b3 = conv_bn_relu(b, x, wa, in, 1, 1, 0);
+        b3 = conv_bn_relu(b, b3, wa, wa, 3, 1, 1);
+        b3 = conv_bn_relu(b, b3, wa, wa, 3, 1, 1);
+        Edge b4 = b.avg_pool2d(x, 3, 1, 1);
+        b4 = conv_bn_relu(b, b4, wa, in, 1, 1, 0);
+        x = b.concat(1, {b1, b2, b3, b4});
+    }
+
+    // Reduction-A.
+    {
+        const std::int64_t in = channels_of(b, x);
+        const Edge r1 = conv_bn_relu(b, x, wa * 2, in, 3, 2, 1);
+        Edge r2 = conv_bn_relu(b, x, wa, in, 1, 1, 0);
+        r2 = conv_bn_relu(b, r2, wa * 2, wa, 3, 2, 1);
+        const Edge r3 = b.max_pool2d(x, 3, 2, 1);
+        x = b.concat(1, {r1, r2, r3});
+    }
+
+    // Inception-B modules with 1x7/7x1 factorised branches.
+    const std::int64_t wb = base * 3;
+    for (int m = 0; m < modules_b; ++m) {
+        const std::int64_t in = channels_of(b, x);
+        const Edge b1 = conv_bn_relu(b, x, wb, in, 1, 1, 0);
+        Edge b2 = conv_bn_relu(b, x, wb, in, 1, 1, 0);
+        b2 = conv_factorised(b, b2, wb, wb, 7);
+        Edge b3 = b.avg_pool2d(x, 3, 1, 1);
+        b3 = conv_bn_relu(b, b3, wb, in, 1, 1, 0);
+        x = b.concat(1, {b1, b2, b3});
+    }
+
+    // Reduction-B.
+    {
+        const std::int64_t in = channels_of(b, x);
+        Edge r1 = conv_bn_relu(b, x, wb, in, 1, 1, 0);
+        r1 = conv_bn_relu(b, r1, wb * 2, wb, 3, 2, 1);
+        const Edge r2 = b.max_pool2d(x, 3, 2, 1);
+        x = b.concat(1, {r1, r2});
+    }
+
+    // Inception-C modules (parallel 1x3 / 3x1 style expanded branches).
+    const std::int64_t wc = base * 4;
+    for (int m = 0; m < modules_c; ++m) {
+        const std::int64_t in = channels_of(b, x);
+        const Edge b1 = conv_bn_relu(b, x, wc, in, 1, 1, 0);
+        Edge b2 = conv_bn_relu(b, x, wc, in, 1, 1, 0);
+        const Edge b2a = conv_bn_relu(b, b2, wc, wc, 3, 1, 1);
+        const Edge b2b = conv_bn_relu(b, b2, wc, wc, 1, 1, 0);
+        Edge b3 = b.avg_pool2d(x, 3, 1, 1);
+        b3 = conv_bn_relu(b, b3, wc, in, 1, 1, 0);
+        x = b.concat(1, {b1, b2a, b2b, b3});
+    }
+
+    x = b.global_avg_pool(x);
+    const std::int64_t features = channels_of(b, x);
+    x = b.reshape(x, {1, features});
+    const Edge classifier = b.weight({features, 100});
+    return b.finish({b.matmul(x, classifier)});
+}
+
+Graph make_squeezenet(Scale scale, std::int64_t image)
+{
+    const std::int64_t base = scale == Scale::paper ? 16 : 8;
+    const int fire_modules = scale == Scale::paper ? 8 : 4;
+
+    Graph_builder b;
+    Edge x = b.input({1, 3, image, image}, "image");
+    x = conv_relu(b, x, base * 4, 3, 3, 2, 1);
+    x = b.max_pool2d(x, 3, 2, 1);
+
+    // Fire modules: squeeze 1x1, then parallel expand 1x1 / 3x3 concat.
+    for (int m = 0; m < fire_modules; ++m) {
+        const std::int64_t in = channels_of(b, x);
+        const std::int64_t squeeze = base * (1 + m / 2);
+        const std::int64_t expand = squeeze * 4;
+        const Edge s = conv_relu(b, x, squeeze, in, 1, 1, 0);
+        const Edge e1 = conv_relu(b, s, expand, squeeze, 1, 1, 0);
+        const Edge e3 = conv_relu(b, s, expand, squeeze, 3, 1, 1);
+        x = b.concat(1, {e1, e3});
+        if (m == fire_modules / 2 - 1 && spatial_of(b, x) >= 8) x = b.max_pool2d(x, 3, 2, 1);
+    }
+
+    const std::int64_t in = channels_of(b, x);
+    x = conv_relu(b, x, 100, in, 1, 1, 0);
+    x = b.global_avg_pool(x);
+    return b.finish({b.reshape(x, {1, 100})});
+}
+
+Graph make_resnext50(Scale scale, std::int64_t image)
+{
+    const std::int64_t base = scale == Scale::paper ? 32 : 16;
+    const std::int64_t cardinality = scale == Scale::paper ? 32 : 8;
+    const std::vector<int> blocks = scale == Scale::paper ? std::vector<int>{3, 4, 6, 3}
+                                                          : std::vector<int>{1, 2, 2, 1};
+
+    Graph_builder b;
+    Edge x = b.input({1, 3, image, image}, "image");
+    x = conv_bn_relu(b, x, base * 2, 3, 7, 2, 3);
+    x = b.max_pool2d(x, 3, 2, 1);
+
+    std::int64_t width = base * 4;
+    for (std::size_t stage = 0; stage < blocks.size(); ++stage) {
+        for (int block = 0; block < blocks[stage]; ++block) {
+            const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+            const std::int64_t in = channels_of(b, x);
+            const std::int64_t out = width * 2;
+
+            Edge y = conv_bn_relu(b, x, width, in, 1, 1, 0);
+            // The grouped 3x3 convolution — ResNeXt's aggregated transform.
+            y = conv_bn_relu(b, y, width, width, 3, stride, 1, cardinality);
+            const Edge w3 = b.weight({out, width, 1, 1});
+            y = b.batch_norm(b.conv2d(y, w3, 1, 0), out);
+
+            Edge shortcut = x;
+            if (in != out || stride != 1) {
+                const Edge wp = b.weight({out, in, 1, 1});
+                shortcut = b.batch_norm(b.conv2d(x, wp, stride, 0), out);
+            }
+            x = b.relu(b.add(y, shortcut));
+        }
+        width *= 2;
+    }
+
+    x = b.global_avg_pool(x);
+    const std::int64_t features = channels_of(b, x);
+    x = b.reshape(x, {1, features});
+    const Edge classifier = b.weight({features, 100});
+    return b.finish({b.matmul(x, classifier)});
+}
+
+Graph make_resnet18(Scale scale, std::int64_t image)
+{
+    const std::int64_t base = scale == Scale::paper ? 64 : 16;
+    const std::vector<int> blocks = scale == Scale::paper ? std::vector<int>{2, 2, 2, 2}
+                                                          : std::vector<int>{1, 1, 1, 1};
+
+    Graph_builder b;
+    Edge x = b.input({1, 3, image, image}, "image");
+    x = conv_bn_relu(b, x, base, 3, 7, 2, 3);
+    x = b.max_pool2d(x, 3, 2, 1);
+
+    std::int64_t width = base;
+    for (std::size_t stage = 0; stage < blocks.size(); ++stage) {
+        for (int block = 0; block < blocks[stage]; ++block) {
+            const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+            const std::int64_t in = channels_of(b, x);
+
+            Edge y = conv_bn_relu(b, x, width, in, 3, stride, 1);
+            const Edge w2 = b.weight({width, width, 3, 3});
+            y = b.batch_norm(b.conv2d(y, w2, 1, 1), width);
+
+            Edge shortcut = x;
+            if (in != width || stride != 1) {
+                const Edge wp = b.weight({width, in, 1, 1});
+                shortcut = b.batch_norm(b.conv2d(x, wp, stride, 0), width);
+            }
+            x = b.relu(b.add(y, shortcut));
+        }
+        width *= 2;
+    }
+
+    x = b.global_avg_pool(x);
+    const std::int64_t features = channels_of(b, x);
+    x = b.reshape(x, {1, features});
+    const Edge classifier = b.weight({features, 100});
+    return b.finish({b.matmul(x, classifier)});
+}
+
+} // namespace xrl

@@ -1,0 +1,53 @@
+// Model zoo: programmatic graph builders for the paper's evaluation DNNs
+// (Table 3) plus ResNet-18 (Table 2).
+//
+// Only graph *structure and shapes* matter to a tensor-graph
+// superoptimiser; weights are placeholder `weight` nodes exactly as in
+// TASO's optimisation phase. Every builder accepts the experiment scale —
+// `smoke` shrinks channel widths and block counts so the full bench suite
+// runs in minutes on a CPU; `paper` uses full-size architectures — and the
+// primary input dimension (image side or sequence length), which the
+// Figure 7 generalisation experiments vary.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/graph.h"
+#include "support/config.h"
+
+namespace xrl {
+
+// -- convolutional (Table 3: "convolutional") --------------------------------
+
+Graph make_inception_v3(Scale scale, std::int64_t image = 224);
+Graph make_squeezenet(Scale scale, std::int64_t image = 224);
+Graph make_resnext50(Scale scale, std::int64_t image = 224);
+Graph make_resnet18(Scale scale, std::int64_t image = 224);
+
+// -- transformer (Table 3: "transformer") ------------------------------------
+
+Graph make_bert(Scale scale, std::int64_t sequence = 64);
+Graph make_vit(Scale scale, std::int64_t image = 224);
+Graph make_dalle(Scale scale, std::int64_t sequence = 64);
+Graph make_transformer_transducer(Scale scale, std::int64_t sequence = 64);
+
+/// The quickstart's dense layer (paper Figure 1): y = relu(w . x + b).
+Graph make_dense_layer_example();
+
+// -- registry ------------------------------------------------------------------
+
+struct Model_spec {
+    std::string name;
+    std::string type; ///< "convolutional" | "transformer" (Table 3).
+    std::function<Graph()> build;
+};
+
+/// The seven DNNs of the paper's evaluation, in Table 3 order.
+std::vector<Model_spec> evaluation_models(Scale scale);
+
+/// The six DNNs of Table 1 (Table 3 set minus ViT).
+std::vector<Model_spec> table1_models(Scale scale);
+
+} // namespace xrl

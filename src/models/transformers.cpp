@@ -1,0 +1,173 @@
+#include <cmath>
+
+#include "ir/builder.h"
+#include "models/models.h"
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+struct Transformer_dims {
+    std::int64_t hidden;
+    std::int64_t ffn;
+    int layers;
+};
+
+Transformer_dims transformer_dims(Scale scale)
+{
+    if (scale == Scale::paper) return {256, 1024, 6};
+    return {64, 256, 3};
+}
+
+/// One encoder block: single-head self-attention (separate Q/K/V matmuls —
+/// exactly the structure the merge-matmul rewrite targets) + gelu FFN, with
+/// residual connections and layer norm.
+Edge transformer_block(Graph_builder& b, Edge x, std::int64_t hidden, std::int64_t ffn)
+{
+    const Edge wq = b.weight({hidden, hidden});
+    const Edge wk = b.weight({hidden, hidden});
+    const Edge wv = b.weight({hidden, hidden});
+    const Edge q = b.matmul(x, wq);
+    const Edge k = b.matmul(x, wk);
+    const Edge v = b.matmul(x, wv);
+
+    const float inv_sqrt = 1.0F / std::sqrt(static_cast<float>(hidden));
+    const Edge scores = b.scale(b.matmul(q, b.transpose(k)), inv_sqrt);
+    const Edge attention = b.softmax(scores);
+    const Edge context = b.matmul(attention, v);
+
+    const Edge wo = b.weight({hidden, hidden});
+    const Edge projected = b.matmul(context, wo);
+    Edge y = b.layer_norm(b.add(x, projected), hidden);
+
+    const Edge w1 = b.weight({hidden, ffn});
+    const Edge w2 = b.weight({ffn, hidden});
+    const Edge ff = b.matmul(b.gelu(b.matmul(y, w1)), w2);
+    return b.layer_norm(b.add(y, ff), hidden);
+}
+
+} // namespace
+
+Graph make_bert(Scale scale, std::int64_t sequence)
+{
+    const Transformer_dims dims = transformer_dims(scale);
+    constexpr std::int64_t vocabulary = 512;
+
+    Graph_builder b;
+    const Edge ids = b.input({sequence}, "token-ids");
+    // ALBERT-style factorised embedding: narrow table + up-projection (a
+    // weight-only chain a superoptimiser can fold into one lookup).
+    const Edge table = b.weight({vocabulary, dims.hidden / 2});
+    const Edge projection = b.weight({dims.hidden / 2, dims.hidden});
+    Edge x = b.matmul(b.embedding(ids, table), projection);
+    const Edge positions = b.weight({sequence, dims.hidden});
+    x = b.layer_norm(b.add(x, positions), dims.hidden);
+
+    for (int layer = 0; layer < dims.layers; ++layer)
+        x = transformer_block(b, x, dims.hidden, dims.ffn);
+
+    const Edge pooler = b.weight({dims.hidden, dims.hidden});
+    const Edge pooled = b.matmul(x, pooler, Activation::tanh);
+    const Edge classifier = b.weight({dims.hidden, 2});
+    return b.finish({b.matmul(pooled, classifier)});
+}
+
+Graph make_vit(Scale scale, std::int64_t image)
+{
+    const Transformer_dims dims = transformer_dims(scale);
+    const std::int64_t patch = 16;
+    XRL_EXPECTS(image % patch == 0);
+    const std::int64_t tokens_per_side = image / patch;
+    const std::int64_t tokens = tokens_per_side * tokens_per_side;
+
+    Graph_builder b;
+    const Edge pixels = b.input({1, 3, image, image}, "image");
+    // Patch embedding: a stride-`patch` convolution, then flatten to tokens.
+    const Edge patch_kernel = b.weight({dims.hidden, 3, patch, patch});
+    Edge x = b.conv2d(pixels, patch_kernel, patch, 0);
+    x = b.reshape(x, {dims.hidden, tokens});
+    x = b.transpose(x); // tokens x hidden
+
+    // Learned position embeddings, scaled — the weight-only arithmetic that
+    // becomes constant-foldable after rewrites (the paper's ViT effect).
+    const Edge positions = b.weight({tokens, dims.hidden});
+    const Edge position_scale = b.scale(positions, 0.125F);
+    x = b.layer_norm(b.add(x, position_scale), dims.hidden);
+
+    for (int layer = 0; layer < dims.layers; ++layer)
+        x = transformer_block(b, x, dims.hidden, dims.ffn);
+
+    x = b.layer_norm(x, dims.hidden);
+    x = b.reduce_mean(x, 0, /*keep_dim=*/true); // 1 x hidden token pooling
+    // Linear representation layer before the classifier: the weight-weight
+    // product that re-association + constant folding removes at runtime.
+    const Edge representation = b.weight({dims.hidden, dims.hidden});
+    const Edge classifier = b.weight({dims.hidden, 100});
+    return b.finish({b.matmul(b.matmul(x, representation), classifier)});
+}
+
+Graph make_dalle(Scale scale, std::int64_t sequence)
+{
+    const Transformer_dims dims = transformer_dims(scale);
+    constexpr std::int64_t vocabulary = 512;
+
+    Graph_builder b;
+    const Edge ids = b.input({sequence}, "token-ids");
+    // Factorised embedding, as in make_bert.
+    const Edge table = b.weight({vocabulary, dims.hidden / 2});
+    const Edge projection = b.weight({dims.hidden / 2, dims.hidden});
+    Edge x = b.matmul(b.embedding(ids, table), projection);
+    const Edge positions = b.weight({sequence, dims.hidden});
+    x = b.add(x, positions);
+
+    // Decoder-style blocks with extra elementwise gating, making the model
+    // elementwise-heavy (the direction where Table 1 shows the cost model
+    // over-estimating: runtime fusion wins).
+    for (int layer = 0; layer < dims.layers; ++layer) {
+        x = transformer_block(b, x, dims.hidden, dims.ffn);
+        const Edge gate = b.weight({1, dims.hidden});
+        x = b.mul(x, b.sigmoid(gate));
+        x = b.scale(x, 1.0F / 1.1F);
+    }
+
+    const Edge head = b.weight({dims.hidden, vocabulary});
+    return b.finish({b.softmax(b.matmul(x, head))});
+}
+
+Graph make_transformer_transducer(Scale scale, std::int64_t sequence)
+{
+    const Transformer_dims dims = transformer_dims(scale);
+    const std::int64_t features = 80; // log-mel audio frames
+
+    Graph_builder b;
+    const Edge frames = b.input({sequence, features}, "audio-frames");
+    // Low-rank factorised front-end (features -> bottleneck -> hidden): a
+    // weight-weight product that re-association exposes for folding.
+    const Edge front_a = b.weight({features, features / 2});
+    const Edge front_b = b.weight({features / 2, dims.hidden});
+    Edge x = b.relu(b.matmul(b.matmul(frames, front_a), front_b));
+
+    for (int layer = 0; layer < dims.layers; ++layer)
+        x = transformer_block(b, x, dims.hidden, dims.ffn);
+
+    // RNN-T style joint network: encoder projection + prediction projection
+    // combined through tanh (prediction input folded into a weight here:
+    // inference over a fixed label context).
+    const Edge enc_proj = b.weight({dims.hidden, dims.hidden});
+    const Edge pred = b.weight({sequence, dims.hidden});
+    const Edge joint = b.tanh(b.add(b.matmul(x, enc_proj), pred));
+    const Edge head = b.weight({dims.hidden, 64});
+    return b.finish({b.softmax(b.matmul(joint, head))});
+}
+
+Graph make_dense_layer_example()
+{
+    Graph_builder b;
+    const Edge x = b.input({4, 32}, "x");
+    const Edge w = b.weight({32, 16}, "w");
+    const Edge bias = b.weight({16}, "b");
+    return b.finish({b.relu(b.add(b.matmul(x, w), bias))});
+}
+
+} // namespace xrl

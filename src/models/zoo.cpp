@@ -1,0 +1,33 @@
+#include "models/models.h"
+
+namespace xrl {
+
+std::vector<Model_spec> evaluation_models(Scale scale)
+{
+    // Table 3 order. Image/sequence sizes follow the paper's defaults
+    // (224-class images, short token sequences) at both scales; `scale`
+    // controls width/depth.
+    return {
+        {"InceptionV3", "convolutional", [scale] { return make_inception_v3(scale); }},
+        {"SqueezeNet", "convolutional", [scale] { return make_squeezenet(scale); }},
+        {"ResNext-50", "convolutional", [scale] { return make_resnext50(scale); }},
+        {"BERT", "transformer", [scale] { return make_bert(scale); }},
+        {"DALL-E", "transformer", [scale] { return make_dalle(scale); }},
+        {"T-T", "transformer", [scale] { return make_transformer_transducer(scale); }},
+        {"ViT", "transformer", [scale] { return make_vit(scale); }},
+    };
+}
+
+std::vector<Model_spec> table1_models(Scale scale)
+{
+    return {
+        {"DALL-E", "transformer", [scale] { return make_dalle(scale); }},
+        {"InceptionV3", "convolutional", [scale] { return make_inception_v3(scale); }},
+        {"BERT", "transformer", [scale] { return make_bert(scale); }},
+        {"SqueezeNet", "convolutional", [scale] { return make_squeezenet(scale); }},
+        {"ResNext-50", "convolutional", [scale] { return make_resnext50(scale); }},
+        {"T-T", "transformer", [scale] { return make_transformer_transducer(scale); }},
+    };
+}
+
+} // namespace xrl

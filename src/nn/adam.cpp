@@ -1,0 +1,59 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace xrl {
+
+Adam::Adam(std::vector<Parameter*> parameters, Adam_config config)
+    : parameters_(std::move(parameters)), config_(config)
+{
+    moments_.reserve(parameters_.size());
+    for (const Parameter* p : parameters_)
+        moments_.push_back({Tensor(p->value.shape()), Tensor(p->value.shape())});
+}
+
+void Adam::step()
+{
+    ++steps_;
+
+    if (config_.max_grad_norm > 0.0) {
+        double total_sq = 0.0;
+        for (const Parameter* p : parameters_)
+            for (std::int64_t i = 0; i < p->grad.volume(); ++i)
+                total_sq += static_cast<double>(p->grad.at(i)) * p->grad.at(i);
+        const double norm = std::sqrt(total_sq);
+        if (norm > config_.max_grad_norm) {
+            const auto factor = static_cast<float>(config_.max_grad_norm / norm);
+            for (Parameter* p : parameters_)
+                for (std::int64_t i = 0; i < p->grad.volume(); ++i) p->grad.at(i) *= factor;
+        }
+    }
+
+    const double bias1 = 1.0 - std::pow(config_.beta1, static_cast<double>(steps_));
+    const double bias2 = 1.0 - std::pow(config_.beta2, static_cast<double>(steps_));
+    for (std::size_t k = 0; k < parameters_.size(); ++k) {
+        Parameter& p = *parameters_[k];
+        Moment& mo = moments_[k];
+        for (std::int64_t i = 0; i < p.value.volume(); ++i) {
+            const float g = p.grad.at(i);
+            mo.m.at(i) = static_cast<float>(config_.beta1) * mo.m.at(i) +
+                         (1.0F - static_cast<float>(config_.beta1)) * g;
+            mo.v.at(i) = static_cast<float>(config_.beta2) * mo.v.at(i) +
+                         (1.0F - static_cast<float>(config_.beta2)) * g * g;
+            const double m_hat = mo.m.at(i) / bias1;
+            const double v_hat = mo.v.at(i) / bias2;
+            p.value.at(i) -= static_cast<float>(config_.learning_rate * m_hat /
+                                                (std::sqrt(v_hat) + config_.epsilon));
+        }
+        p.zero_grad();
+    }
+}
+
+void Adam::zero_grad()
+{
+    for (Parameter* p : parameters_) p->zero_grad();
+}
+
+} // namespace xrl

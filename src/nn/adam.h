@@ -1,0 +1,43 @@
+// Adam optimiser with optional global-norm gradient clipping.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace xrl {
+
+struct Adam_config {
+    double learning_rate = 5e-4;  ///< Paper Table 4.
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+    double max_grad_norm = 0.5;   ///< <= 0 disables clipping.
+};
+
+class Adam {
+public:
+    explicit Adam(std::vector<Parameter*> parameters, Adam_config config = {});
+
+    /// Apply one update from the accumulated gradients, then zero them.
+    void step();
+
+    /// Zero gradients without stepping.
+    void zero_grad();
+
+    std::int64_t steps_taken() const { return steps_; }
+
+private:
+    struct Moment {
+        Tensor m;
+        Tensor v;
+    };
+
+    std::vector<Parameter*> parameters_;
+    std::vector<Moment> moments_;
+    Adam_config config_;
+    std::int64_t steps_ = 0;
+};
+
+} // namespace xrl

@@ -1,0 +1,488 @@
+#include "nn/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.h"
+#include "tensor/kernels.h"
+
+namespace xrl {
+
+namespace {
+
+/// Sum `grad` down to `shape` (inverse of NumPy broadcasting).
+Tensor reduce_to_shape(const Tensor& grad, const Shape& shape)
+{
+    if (grad.shape() == shape) return grad;
+    Tensor current = grad;
+    // Collapse extra leading axes.
+    while (current.rank() > static_cast<std::int64_t>(shape.size()))
+        current = reduce_sum(current, 0, /*keep_dim=*/false);
+    // Sum axes broadcast from extent 1.
+    for (std::int64_t axis = 0; axis < current.rank(); ++axis) {
+        if (shape[static_cast<std::size_t>(axis)] == 1 && current.dim(axis) != 1)
+            current = reduce_sum(current, axis, /*keep_dim=*/true);
+    }
+    XRL_ENSURES(current.shape() == shape);
+    return current;
+}
+
+void accumulate(Tensor& into, const Tensor& delta)
+{
+    XRL_EXPECTS(into.shape() == delta.shape());
+    float* dst = into.data();
+    const float* src = delta.data();
+    for (std::int64_t i = 0; i < into.volume(); ++i) dst[i] += src[i];
+}
+
+} // namespace
+
+Var Tape::push(Tensor value, std::function<void()> backprop, Parameter* parameter)
+{
+    Node n;
+    n.grad = Tensor(value.shape());
+    n.value = std::move(value);
+    n.backprop = std::move(backprop);
+    n.parameter = parameter;
+    nodes_.push_back(std::move(n));
+    return Var{static_cast<int>(nodes_.size() - 1)};
+}
+
+Tape::Node& Tape::node(Var v)
+{
+    XRL_EXPECTS(v.valid() && v.index < static_cast<int>(nodes_.size()));
+    return nodes_[static_cast<std::size_t>(v.index)];
+}
+
+const Tape::Node& Tape::node(Var v) const
+{
+    XRL_EXPECTS(v.valid() && v.index < static_cast<int>(nodes_.size()));
+    return nodes_[static_cast<std::size_t>(v.index)];
+}
+
+const Tensor& Tape::value(Var v) const
+{
+    return node(v).value;
+}
+
+const Tensor& Tape::grad(Var v) const
+{
+    return node(v).grad;
+}
+
+Var Tape::constant(Tensor value)
+{
+    return push(std::move(value));
+}
+
+Var Tape::param(Parameter& p)
+{
+    const Var v = push(p.value);
+    const int i = v.index;
+    node(v).parameter = &p;
+    node(v).backprop = [this, i, &p] {
+        accumulate(p.grad, nodes_[static_cast<std::size_t>(i)].grad);
+    };
+    return v;
+}
+
+Var Tape::add(Var a, Var b)
+{
+    const Var out = push(xrl::add(value(a), value(b)));
+    const int ia = a.index;
+    const int ib = b.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, ib, io] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        accumulate(nodes_[static_cast<std::size_t>(ia)].grad,
+                   reduce_to_shape(g, nodes_[static_cast<std::size_t>(ia)].value.shape()));
+        accumulate(nodes_[static_cast<std::size_t>(ib)].grad,
+                   reduce_to_shape(g, nodes_[static_cast<std::size_t>(ib)].value.shape()));
+    };
+    return out;
+}
+
+Var Tape::sub(Var a, Var b)
+{
+    const Var out = push(xrl::sub(value(a), value(b)));
+    const int ia = a.index;
+    const int ib = b.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, ib, io] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        accumulate(nodes_[static_cast<std::size_t>(ia)].grad,
+                   reduce_to_shape(g, nodes_[static_cast<std::size_t>(ia)].value.shape()));
+        accumulate(nodes_[static_cast<std::size_t>(ib)].grad,
+                   reduce_to_shape(xrl::scale(g, -1.0F), nodes_[static_cast<std::size_t>(ib)].value.shape()));
+    };
+    return out;
+}
+
+Var Tape::mul(Var a, Var b)
+{
+    const Var out = push(xrl::mul(value(a), value(b)));
+    const int ia = a.index;
+    const int ib = b.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, ib, io] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        const Tensor& va = nodes_[static_cast<std::size_t>(ia)].value;
+        const Tensor& vb = nodes_[static_cast<std::size_t>(ib)].value;
+        accumulate(nodes_[static_cast<std::size_t>(ia)].grad,
+                   reduce_to_shape(xrl::mul(g, vb), va.shape()));
+        accumulate(nodes_[static_cast<std::size_t>(ib)].grad,
+                   reduce_to_shape(xrl::mul(g, va), vb.shape()));
+    };
+    return out;
+}
+
+Var Tape::scale(Var a, float factor)
+{
+    const Var out = push(xrl::scale(value(a), factor));
+    const int ia = a.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, io, factor] {
+        accumulate(nodes_[static_cast<std::size_t>(ia)].grad,
+                   xrl::scale(nodes_[static_cast<std::size_t>(io)].grad, factor));
+    };
+    return out;
+}
+
+Var Tape::matmul(Var a, Var b)
+{
+    XRL_EXPECTS(value(a).rank() == 2 && value(b).rank() == 2);
+    const Var out = push(xrl::matmul(value(a), value(b)));
+    const int ia = a.index;
+    const int ib = b.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, ib, io] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        const Tensor& va = nodes_[static_cast<std::size_t>(ia)].value;
+        const Tensor& vb = nodes_[static_cast<std::size_t>(ib)].value;
+        accumulate(nodes_[static_cast<std::size_t>(ia)].grad, xrl::matmul(g, transpose_last2(vb)));
+        accumulate(nodes_[static_cast<std::size_t>(ib)].grad, xrl::matmul(transpose_last2(va), g));
+    };
+    return out;
+}
+
+Var Tape::relu(Var a)
+{
+    const Var out = push(xrl::relu(value(a)));
+    const int ia = a.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, io] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        const Tensor& va = nodes_[static_cast<std::size_t>(ia)].value;
+        Tensor delta(va.shape());
+        for (std::int64_t i = 0; i < va.volume(); ++i)
+            delta.at(i) = va.at(i) > 0.0F ? g.at(i) : 0.0F;
+        accumulate(nodes_[static_cast<std::size_t>(ia)].grad, delta);
+    };
+    return out;
+}
+
+Var Tape::leaky_relu(Var a, float slope)
+{
+    const Var out = push(xrl::leaky_relu(value(a), slope));
+    const int ia = a.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, io, slope] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        const Tensor& va = nodes_[static_cast<std::size_t>(ia)].value;
+        Tensor delta(va.shape());
+        for (std::int64_t i = 0; i < va.volume(); ++i)
+            delta.at(i) = va.at(i) > 0.0F ? g.at(i) : slope * g.at(i);
+        accumulate(nodes_[static_cast<std::size_t>(ia)].grad, delta);
+    };
+    return out;
+}
+
+Var Tape::tanh(Var a)
+{
+    const Var out = push(tanh_op(value(a)));
+    const int ia = a.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, io] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        const Tensor& y = nodes_[static_cast<std::size_t>(io)].value;
+        Tensor delta(y.shape());
+        for (std::int64_t i = 0; i < y.volume(); ++i)
+            delta.at(i) = g.at(i) * (1.0F - y.at(i) * y.at(i));
+        accumulate(nodes_[static_cast<std::size_t>(ia)].grad, delta);
+    };
+    return out;
+}
+
+Var Tape::exp(Var a)
+{
+    const Var out = push(exp_op(value(a)));
+    const int ia = a.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, io] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        const Tensor& y = nodes_[static_cast<std::size_t>(io)].value;
+        accumulate(nodes_[static_cast<std::size_t>(ia)].grad, xrl::mul(g, y));
+    };
+    return out;
+}
+
+Var Tape::log(Var a)
+{
+    const Tensor& va = value(a);
+    Tensor out_value(va.shape());
+    for (std::int64_t i = 0; i < va.volume(); ++i) {
+        XRL_EXPECTS(va.at(i) > 0.0F);
+        out_value.at(i) = std::log(va.at(i));
+    }
+    const Var out = push(std::move(out_value));
+    const int ia = a.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, io] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        const Tensor& va2 = nodes_[static_cast<std::size_t>(ia)].value;
+        Tensor delta(va2.shape());
+        for (std::int64_t i = 0; i < va2.volume(); ++i) delta.at(i) = g.at(i) / va2.at(i);
+        accumulate(nodes_[static_cast<std::size_t>(ia)].grad, delta);
+    };
+    return out;
+}
+
+Var Tape::minimum(Var a, Var b)
+{
+    const Tensor& va = value(a);
+    const Tensor& vb = value(b);
+    XRL_EXPECTS(va.shape() == vb.shape());
+    Tensor out_value(va.shape());
+    for (std::int64_t i = 0; i < va.volume(); ++i) out_value.at(i) = std::min(va.at(i), vb.at(i));
+    const Var out = push(std::move(out_value));
+    const int ia = a.index;
+    const int ib = b.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, ib, io] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        const Tensor& va2 = nodes_[static_cast<std::size_t>(ia)].value;
+        const Tensor& vb2 = nodes_[static_cast<std::size_t>(ib)].value;
+        Tensor da(va2.shape());
+        Tensor db(vb2.shape());
+        for (std::int64_t i = 0; i < va2.volume(); ++i) {
+            if (va2.at(i) <= vb2.at(i))
+                da.at(i) = g.at(i);
+            else
+                db.at(i) = g.at(i);
+        }
+        accumulate(nodes_[static_cast<std::size_t>(ia)].grad, da);
+        accumulate(nodes_[static_cast<std::size_t>(ib)].grad, db);
+    };
+    return out;
+}
+
+Var Tape::clamp(Var a, float lo, float hi)
+{
+    const Tensor& va = value(a);
+    Tensor out_value(va.shape());
+    for (std::int64_t i = 0; i < va.volume(); ++i)
+        out_value.at(i) = std::clamp(va.at(i), lo, hi);
+    const Var out = push(std::move(out_value));
+    const int ia = a.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, io, lo, hi] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        const Tensor& va2 = nodes_[static_cast<std::size_t>(ia)].value;
+        Tensor delta(va2.shape());
+        for (std::int64_t i = 0; i < va2.volume(); ++i)
+            delta.at(i) = (va2.at(i) >= lo && va2.at(i) <= hi) ? g.at(i) : 0.0F;
+        accumulate(nodes_[static_cast<std::size_t>(ia)].grad, delta);
+    };
+    return out;
+}
+
+Var Tape::concat_cols(Var a, Var b)
+{
+    const Tensor& va = value(a);
+    const Tensor& vb = value(b);
+    XRL_EXPECTS(va.rank() == 2 && vb.rank() == 2 && va.dim(0) == vb.dim(0));
+    // Sizes must be read before push(): pushing may reallocate the node
+    // storage and invalidate va/vb.
+    const std::int64_t ca = va.dim(1);
+    const std::int64_t cb = vb.dim(1);
+    const Var out = push(concat({va, vb}, 1));
+    const int ia = a.index;
+    const int ib = b.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, ib, io, ca, cb] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        const auto parts = split(g, 1, {ca, cb});
+        accumulate(nodes_[static_cast<std::size_t>(ia)].grad, parts[0]);
+        accumulate(nodes_[static_cast<std::size_t>(ib)].grad, parts[1]);
+    };
+    return out;
+}
+
+Var Tape::concat_rows(Var a, Var b)
+{
+    const Tensor& va = value(a);
+    const Tensor& vb = value(b);
+    XRL_EXPECTS(va.rank() == 2 && vb.rank() == 2 && va.dim(1) == vb.dim(1));
+    // Read sizes before push() (reallocation invalidates va/vb).
+    const std::int64_t ra = va.dim(0);
+    const std::int64_t rb = vb.dim(0);
+    const Var out = push(concat({va, vb}, 0));
+    const int ia = a.index;
+    const int ib = b.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, ib, io, ra, rb] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        const auto parts = split(g, 0, {ra, rb});
+        if (ra > 0) accumulate(nodes_[static_cast<std::size_t>(ia)].grad, parts[0]);
+        if (rb > 0) accumulate(nodes_[static_cast<std::size_t>(ib)].grad, parts[1]);
+    };
+    return out;
+}
+
+Var Tape::gather_rows(Var a, std::vector<std::int64_t> rows)
+{
+    const Tensor& va = value(a);
+    XRL_EXPECTS(va.rank() == 2);
+    const std::int64_t width = va.dim(1);
+    Tensor out_value(Shape{static_cast<std::int64_t>(rows.size()), width});
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        XRL_EXPECTS(rows[r] >= 0 && rows[r] < va.dim(0));
+        std::copy(va.data() + rows[r] * width, va.data() + (rows[r] + 1) * width,
+                  out_value.data() + static_cast<std::int64_t>(r) * width);
+    }
+    const Var out = push(std::move(out_value));
+    const int ia = a.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, io, rows = std::move(rows), width] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        Tensor& ga = nodes_[static_cast<std::size_t>(ia)].grad;
+        for (std::size_t r = 0; r < rows.size(); ++r) {
+            const float* src = g.data() + static_cast<std::int64_t>(r) * width;
+            float* dst = ga.data() + rows[r] * width;
+            for (std::int64_t c = 0; c < width; ++c) dst[c] += src[c];
+        }
+    };
+    return out;
+}
+
+Var Tape::segment_sum(Var a, std::vector<std::int64_t> segments, std::int64_t num_segments)
+{
+    const Tensor& va = value(a);
+    XRL_EXPECTS(va.rank() == 2);
+    XRL_EXPECTS(static_cast<std::int64_t>(segments.size()) == va.dim(0));
+    const std::int64_t width = va.dim(1);
+    Tensor out_value(Shape{num_segments, width});
+    for (std::size_t r = 0; r < segments.size(); ++r) {
+        XRL_EXPECTS(segments[r] >= 0 && segments[r] < num_segments);
+        const float* src = va.data() + static_cast<std::int64_t>(r) * width;
+        float* dst = out_value.data() + segments[r] * width;
+        for (std::int64_t c = 0; c < width; ++c) dst[c] += src[c];
+    }
+    const Var out = push(std::move(out_value));
+    const int ia = a.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, io, segments = std::move(segments), width] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        Tensor& ga = nodes_[static_cast<std::size_t>(ia)].grad;
+        for (std::size_t r = 0; r < segments.size(); ++r) {
+            const float* src = g.data() + segments[r] * width;
+            float* dst = ga.data() + static_cast<std::int64_t>(r) * width;
+            for (std::int64_t c = 0; c < width; ++c) dst[c] += src[c];
+        }
+    };
+    return out;
+}
+
+Var Tape::segment_softmax(Var scores, std::vector<std::int64_t> segments, std::int64_t num_segments)
+{
+    const Tensor& vs = value(scores);
+    XRL_EXPECTS(vs.rank() == 2 && vs.dim(1) == 1);
+    XRL_EXPECTS(static_cast<std::int64_t>(segments.size()) == vs.dim(0));
+
+    std::vector<float> seg_max(static_cast<std::size_t>(num_segments),
+                               -std::numeric_limits<float>::infinity());
+    for (std::size_t r = 0; r < segments.size(); ++r)
+        seg_max[static_cast<std::size_t>(segments[r])] =
+            std::max(seg_max[static_cast<std::size_t>(segments[r])], vs.at(static_cast<std::int64_t>(r)));
+
+    Tensor out_value(vs.shape());
+    std::vector<float> seg_sum(static_cast<std::size_t>(num_segments), 0.0F);
+    for (std::size_t r = 0; r < segments.size(); ++r) {
+        const float e = std::exp(vs.at(static_cast<std::int64_t>(r)) -
+                                 seg_max[static_cast<std::size_t>(segments[r])]);
+        out_value.at(static_cast<std::int64_t>(r)) = e;
+        seg_sum[static_cast<std::size_t>(segments[r])] += e;
+    }
+    for (std::size_t r = 0; r < segments.size(); ++r)
+        out_value.at(static_cast<std::int64_t>(r)) /= seg_sum[static_cast<std::size_t>(segments[r])];
+
+    const Var out = push(std::move(out_value));
+    const int ia = scores.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, io, segments = std::move(segments), num_segments] {
+        const Tensor& g = nodes_[static_cast<std::size_t>(io)].grad;
+        const Tensor& y = nodes_[static_cast<std::size_t>(io)].value;
+        // grad_x = y * (g - sum_seg(g*y))
+        std::vector<float> seg_dot(static_cast<std::size_t>(num_segments), 0.0F);
+        for (std::size_t r = 0; r < segments.size(); ++r)
+            seg_dot[static_cast<std::size_t>(segments[r])] +=
+                g.at(static_cast<std::int64_t>(r)) * y.at(static_cast<std::int64_t>(r));
+        Tensor delta(y.shape());
+        for (std::size_t r = 0; r < segments.size(); ++r)
+            delta.at(static_cast<std::int64_t>(r)) =
+                y.at(static_cast<std::int64_t>(r)) *
+                (g.at(static_cast<std::int64_t>(r)) - seg_dot[static_cast<std::size_t>(segments[r])]);
+        accumulate(nodes_[static_cast<std::size_t>(ia)].grad, delta);
+    };
+    return out;
+}
+
+Var Tape::sum_all(Var a)
+{
+    const Tensor& va = value(a);
+    float total = 0.0F;
+    for (std::int64_t i = 0; i < va.volume(); ++i) total += va.at(i);
+    const Var out = push(Tensor(Shape{1, 1}, {total}));
+    const int ia = a.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, io] {
+        const float g = nodes_[static_cast<std::size_t>(io)].grad.at(0);
+        Tensor& ga = nodes_[static_cast<std::size_t>(ia)].grad;
+        for (std::int64_t i = 0; i < ga.volume(); ++i) ga.at(i) += g;
+    };
+    return out;
+}
+
+Var Tape::mean_all(Var a)
+{
+    const auto n = static_cast<float>(value(a).volume());
+    return scale(sum_all(a), 1.0F / n);
+}
+
+Var Tape::pick(Var a, std::int64_t flat_index)
+{
+    const Tensor& va = value(a);
+    XRL_EXPECTS(flat_index >= 0 && flat_index < va.volume());
+    const Var out = push(Tensor(Shape{1, 1}, {va.at(flat_index)}));
+    const int ia = a.index;
+    const int io = out.index;
+    node(out).backprop = [this, ia, io, flat_index] {
+        nodes_[static_cast<std::size_t>(ia)].grad.at(flat_index) +=
+            nodes_[static_cast<std::size_t>(io)].grad.at(0);
+    };
+    return out;
+}
+
+void Tape::backward(Var loss)
+{
+    Node& l = node(loss);
+    XRL_EXPECTS(l.value.volume() == 1);
+    l.grad.at(0) = 1.0F;
+    for (int i = loss.index; i >= 0; --i) {
+        auto& n = nodes_[static_cast<std::size_t>(i)];
+        if (n.backprop) n.backprop();
+    }
+}
+
+} // namespace xrl

@@ -1,0 +1,63 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+Tensor xavier_uniform(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+{
+    const float bound = std::sqrt(6.0F / static_cast<float>(in_features + out_features));
+    return Tensor::random_uniform({in_features, out_features}, rng, -bound, bound);
+}
+
+} // namespace
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng)
+    : weight_(xavier_uniform(in_features, out_features, rng)),
+      bias_(Tensor(Shape{1, out_features}))
+{
+}
+
+Var Linear::operator()(Tape& tape, Var x)
+{
+    return tape.add(tape.matmul(x, tape.param(weight_)), tape.param(bias_));
+}
+
+std::vector<Parameter*> Linear::parameters()
+{
+    return {&weight_, &bias_};
+}
+
+Mlp::Mlp(std::int64_t in_features, std::vector<std::int64_t> hidden, std::int64_t out_features,
+         Rng& rng)
+{
+    std::int64_t width = in_features;
+    for (const std::int64_t h : hidden) {
+        layers_.emplace_back(width, h, rng);
+        width = h;
+    }
+    layers_.emplace_back(width, out_features, rng);
+}
+
+Var Mlp::operator()(Tape& tape, Var x)
+{
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        x = layers_[i](tape, x);
+        if (i + 1 < layers_.size()) x = tape.relu(x);
+    }
+    return x;
+}
+
+std::vector<Parameter*> Mlp::parameters()
+{
+    std::vector<Parameter*> out;
+    for (Linear& layer : layers_)
+        for (Parameter* p : layer.parameters()) out.push_back(p);
+    return out;
+}
+
+} // namespace xrl

@@ -1,0 +1,44 @@
+// Layers: Linear and Mlp over the autograd tape.
+#pragma once
+
+#include <vector>
+
+#include "nn/autograd.h"
+#include "support/rng.h"
+
+namespace xrl {
+
+/// Dense layer y = x W + b with Xavier-uniform initialisation.
+class Linear {
+public:
+    Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng);
+
+    Var operator()(Tape& tape, Var x);
+
+    std::vector<Parameter*> parameters();
+
+    Parameter& weight() { return weight_; }
+    Parameter& bias() { return bias_; }
+
+private:
+    Parameter weight_;
+    Parameter bias_;
+};
+
+/// Multi-layer perceptron with ReLU between layers and a linear final layer
+/// (the paper's policy/value heads are two-layer MLPs, Table 4:
+/// hidden sizes [256, 64]).
+class Mlp {
+public:
+    Mlp(std::int64_t in_features, std::vector<std::int64_t> hidden, std::int64_t out_features,
+        Rng& rng);
+
+    Var operator()(Tape& tape, Var x);
+
+    std::vector<Parameter*> parameters();
+
+private:
+    std::vector<Linear> layers_;
+};
+
+} // namespace xrl

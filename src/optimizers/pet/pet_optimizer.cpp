@@ -1,0 +1,157 @@
+#include "optimizers/pet/pet_optimizer.h"
+
+#include <unordered_set>
+
+#include "rules/corpus.h"
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+bool pet_counts_op(Op_kind kind)
+{
+    switch (kind) {
+    case Op_kind::matmul:
+    case Op_kind::conv2d:
+    case Op_kind::max_pool2d:
+    case Op_kind::avg_pool2d:
+    case Op_kind::global_avg_pool:
+    case Op_kind::batch_norm:
+    case Op_kind::layer_norm:
+    case Op_kind::softmax:
+    case Op_kind::reduce_sum:
+    case Op_kind::reduce_mean:
+    case Op_kind::embedding:
+        return true;
+    default:
+        return false; // element-wise + data movement: invisible to PET
+    }
+}
+
+class Pet_spatial_split_rule final : public Rewrite_rule {
+public:
+    Pet_spatial_split_rule() : Rewrite_rule("pet-spatial-split") {}
+
+    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    {
+        std::vector<Graph> out;
+        for (const Node_id id : host.node_ids()) {
+            if (out.size() >= limit) break;
+            const Node& conv = host.node(id);
+            if (conv.kind != Op_kind::conv2d) continue;
+            if (conv.params.stride_h != 1 || conv.params.stride_w != 1) continue;
+            const Shape& out_shape = host.shape_of({id, 0});
+            if (out_shape[2] < 4) continue; // too small to be worth splitting
+            if (auto g = split_conv(host, id); g.has_value()) out.push_back(std::move(*g));
+        }
+        return out;
+    }
+
+private:
+    static std::optional<Graph> split_conv(const Graph& host, Node_id conv_id)
+    {
+        Graph g = host;
+        const Edge x = g.node(conv_id).inputs[0];
+        const Edge w = g.node(conv_id).inputs[1];
+        const Op_params conv_params = g.node(conv_id).params;
+        const Shape w_shape = g.shape_of(w);
+        const Shape out_shape = g.shape_of({conv_id, 0});
+        const std::int64_t r = w_shape[2];
+        const std::int64_t oh = out_shape[2];
+        const std::int64_t h1 = oh / 2;
+
+        Op_params pad_params;
+        pad_params.pads_before = {0, 0, conv_params.pad_h, conv_params.pad_w};
+        pad_params.pads_after = {0, 0, conv_params.pad_h, conv_params.pad_w};
+        const Node_id padded = g.add_node(Op_kind::pad, {x}, pad_params);
+
+        Op_params top_params;
+        top_params.axis = 2;
+        top_params.begin = 0;
+        top_params.end = h1 + r - 1;
+        const Node_id top = g.add_node(Op_kind::slice, {{padded, 0}}, top_params);
+
+        Op_params bottom_params;
+        bottom_params.axis = 2;
+        bottom_params.begin = h1;
+        bottom_params.end = oh + r - 1;
+        const Node_id bottom = g.add_node(Op_kind::slice, {{padded, 0}}, bottom_params);
+
+        Op_params piece_conv = conv_params;
+        piece_conv.pad_h = 0;
+        piece_conv.pad_w = 0;
+        const Node_id conv_top = g.add_node(Op_kind::conv2d, {{top, 0}, w}, piece_conv);
+        const Node_id conv_bottom = g.add_node(Op_kind::conv2d, {{bottom, 0}, w}, piece_conv);
+
+        Op_params cat_params;
+        cat_params.axis = 2;
+        const Node_id cat =
+            g.add_node(Op_kind::concat, {{conv_top, 0}, {conv_bottom, 0}}, cat_params);
+
+        g.replace_all_uses({conv_id, 0}, {cat, 0});
+        try {
+            if (!g.is_acyclic()) return std::nullopt;
+            g.eliminate_dead_nodes();
+            g.infer_shapes();
+            g.validate();
+        } catch (const Contract_violation&) {
+            return std::nullopt;
+        }
+        return g;
+    }
+};
+
+} // namespace
+
+double pet_graph_cost_ms(const Cost_model& cost, const Graph& g)
+{
+    std::unordered_set<Node_id> reachable;
+    std::vector<Node_id> stack;
+    for (const Edge& e : g.outputs())
+        if (reachable.insert(e.node).second) stack.push_back(e.node);
+    while (!stack.empty()) {
+        const Node_id id = stack.back();
+        stack.pop_back();
+        for (const Edge& e : g.node(id).inputs)
+            if (reachable.insert(e.node).second) stack.push_back(e.node);
+    }
+    // PET predicts latency from flop counts of the compute-heavy kernels:
+    // element-wise/data-movement ops are invisible (§2.2.2) and so are
+    // kernel-launch overheads and occupancy effects. This blindness is what
+    // makes PET shape-sensitive: it cannot see the wins (or losses) of
+    // launch-bound graphs such as grouped-convolution ResNext.
+    const Device_profile& device = cost.device();
+    double total = 0.0;
+    for (const Node_id id : reachable) {
+        const Op_kind kind = g.node(id).kind;
+        if (!pet_counts_op(kind)) continue;
+        total += static_cast<double>(node_flops(g, id)) /
+                 (device.efficiency(kind) * device.flops_per_ms);
+    }
+    return total;
+}
+
+std::unique_ptr<Rewrite_rule> make_pet_spatial_split_rule()
+{
+    return std::make_unique<Pet_spatial_split_rule>();
+}
+
+Pet_result optimise_pet(const Graph& input, const Cost_model& cost, const Taso_config& config)
+{
+    Rule_set rules = standard_rule_corpus();
+    rules.push_back(make_pet_spatial_split_rule());
+
+    const Taso_result inner = optimise_taso_with_cost(
+        input, rules, [&cost](const Graph& g) { return pet_graph_cost_ms(cost, g); }, config);
+
+    Pet_result result;
+    result.best_graph = inner.best_graph;
+    result.pet_cost_ms = inner.best_cost_ms;
+    result.honest_cost_ms = cost.graph_cost_ms(inner.best_graph);
+    result.iterations = inner.iterations;
+    result.optimisation_seconds = inner.optimisation_seconds;
+    return result;
+}
+
+} // namespace xrl

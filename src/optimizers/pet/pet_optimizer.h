@@ -1,0 +1,46 @@
+// PET-style optimiser (Wang et al., OSDI'21), simplified.
+//
+// Reproduces the two properties of PET the paper leans on in §2.2.2 and
+// Table 2:
+//   1. PET's cost model "ignores all element-wise operators' runtime" —
+//      implemented as an element-wise-and-data-movement-blind graph cost.
+//   2. PET performs *partially equivalent* transformations. Our stand-in is
+//      spatial splitting of convolutions with halo recomputation: the split
+//      introduces correction work (pad/slice/concat kernels) that PET's
+//      cost model believes is free, so PET over-applies it on branch-heavy
+//      graphs (ResNeXt) and pays at end-to-end time — the paper's observed
+//      shape sensitivity.
+#pragma once
+
+#include <memory>
+
+#include "cost/cost_model.h"
+#include "optimizers/taso/taso_optimizer.h"
+#include "rules/rule.h"
+
+namespace xrl {
+
+/// PET's graph cost: sum of op costs over compute-heavy kernels only;
+/// element-wise and data-movement operators are free.
+double pet_graph_cost_ms(const Cost_model& cost, const Graph& graph);
+
+/// Spatial-split transform: conv2d(x) -> concat_h(conv2d(top+halo),
+/// conv2d(bottom+halo)). Exact on values; "partially equivalent" in PET's
+/// sense because the halo rows are recomputed and corrected via explicit
+/// pad/slice kernels.
+std::unique_ptr<Rewrite_rule> make_pet_spatial_split_rule();
+
+struct Pet_result {
+    Graph best_graph;
+    double pet_cost_ms = 0.0;      ///< What PET believes it achieved.
+    double honest_cost_ms = 0.0;   ///< Full cost model of the same graph.
+    int iterations = 0;
+    double optimisation_seconds = 0.0;
+};
+
+/// TASO-style backtracking search driven by PET's blind cost model over the
+/// standard corpus plus the spatial-split transform.
+Pet_result optimise_pet(const Graph& input, const Cost_model& cost,
+                        const Taso_config& config = {});
+
+} // namespace xrl

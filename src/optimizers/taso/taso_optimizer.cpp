@@ -1,0 +1,79 @@
+#include "optimizers/taso/taso_optimizer.h"
+
+#include <chrono>
+#include <queue>
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+struct Queued_graph {
+    double cost;
+    std::size_t order; // FIFO tie-break for determinism
+    Graph graph;
+};
+
+struct Cost_greater {
+    bool operator()(const Queued_graph& a, const Queued_graph& b) const
+    {
+        if (a.cost != b.cost) return a.cost > b.cost;
+        return a.order > b.order;
+    }
+};
+
+} // namespace
+
+Taso_result optimise_taso_with_cost(const Graph& input, const Rule_set& rules,
+                                    const Graph_cost_fn& cost, const Taso_config& config)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    Taso_result result;
+    result.initial_cost_ms = cost(input);
+    result.best_graph = input;
+    result.best_cost_ms = result.initial_cost_ms;
+
+    std::priority_queue<Queued_graph, std::vector<Queued_graph>, Cost_greater> queue;
+    std::unordered_set<std::uint64_t> seen;
+    std::size_t order = 0;
+    queue.push({result.initial_cost_ms, order++, input});
+    seen.insert(input.canonical_hash());
+
+    while (!queue.empty() && result.iterations < config.budget) {
+        Queued_graph current = queue.top();
+        queue.pop();
+        ++result.iterations;
+
+        for (const auto& rule : rules) {
+            for (Graph& candidate : rule->apply_all(current.graph, config.max_candidates_per_step)) {
+                ++result.candidates_generated;
+                const std::uint64_t hash = candidate.canonical_hash();
+                if (!seen.insert(hash).second) continue;
+                const double candidate_cost = cost(candidate);
+                if (candidate_cost < result.best_cost_ms) {
+                    result.best_cost_ms = candidate_cost;
+                    result.best_graph = candidate;
+                }
+                if (candidate_cost < config.alpha * result.best_cost_ms &&
+                    queue.size() < config.max_queue)
+                    queue.push({candidate_cost, order++, std::move(candidate)});
+            }
+        }
+    }
+
+    result.optimisation_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return result;
+}
+
+Taso_result optimise_taso(const Graph& input, const Rule_set& rules, const Cost_model& cost,
+                          const Taso_config& config)
+{
+    return optimise_taso_with_cost(
+        input, rules, [&cost](const Graph& g) { return cost.graph_cost_ms(g); }, config);
+}
+
+} // namespace xrl

@@ -1,0 +1,47 @@
+// TASO's cost-based backtracking search (Jia et al., SOSP'19).
+//
+// The greedy baseline of the paper's evaluation: a priority queue of
+// candidate graphs ordered by cost-model estimate; at each step the
+// cheapest graph is dequeued, every rewrite rule is applied at every
+// location, and candidates within `alpha` of the best cost are enqueued.
+// Backtracking tolerance alpha > 1 admits slightly-worse intermediates but
+// (as the paper argues, §2.2.2) cannot plan for long-term gains.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "cost/cost_model.h"
+#include "ir/graph.h"
+#include "rules/rule.h"
+
+namespace xrl {
+
+struct Taso_config {
+    double alpha = 1.05;          ///< Backtracking threshold.
+    int budget = 100;             ///< Queue pops before giving up.
+    std::size_t max_candidates_per_step = 1000;
+    std::size_t max_queue = 10000;
+};
+
+struct Taso_result {
+    Graph best_graph;
+    double initial_cost_ms = 0.0;
+    double best_cost_ms = 0.0;
+    int iterations = 0;
+    int candidates_generated = 0;
+    double optimisation_seconds = 0.0;
+};
+
+/// Run the search; `cost` supplies the ranking signal (the TASO cost model
+/// by default; PET substitutes its element-wise-blind variant).
+Taso_result optimise_taso(const Graph& input, const Rule_set& rules, const Cost_model& cost,
+                          const Taso_config& config = {});
+
+/// Generic cost callback variant (used by the PET emulation).
+using Graph_cost_fn = std::function<double(const Graph&)>;
+Taso_result optimise_taso_with_cost(const Graph& input, const Rule_set& rules,
+                                    const Graph_cost_fn& cost, const Taso_config& config);
+
+} // namespace xrl

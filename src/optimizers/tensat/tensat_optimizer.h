@@ -1,0 +1,52 @@
+// Tensat-style equality-saturation optimiser (the paper's Figure 8
+// baseline).
+//
+// Single-output declarative patterns are applied as e-graph rewrites until
+// saturation, an iteration cap, or the node limit (10000 in Tensat's
+// default setting, which the paper notes keeps the e-graph far from
+// saturated on real models). Multi-output rules — Tensat's "multi-pattern
+// rewrite rules" — are limited to k applications (k = 1 by default, the
+// setting the paper identifies as the reason Tensat under-performs on
+// BERT-style attention stacks).
+#pragma once
+
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "optimizers/tensat/egraph.h"
+#include "rules/rule.h"
+
+namespace xrl {
+
+struct Tensat_config {
+    int max_iterations = 10;
+    std::size_t node_limit = 10000;
+    int multi_pattern_limit_k = 1;        ///< Tensat's k (§4.6).
+    std::size_t match_limit_per_rule = 2000;
+};
+
+struct Tensat_result {
+    Graph best_graph;
+    double initial_cost_ms = 0.0;
+    double best_cost_ms = 0.0;
+    int iterations = 0;
+    bool saturated = false;
+    std::size_t egraph_nodes = 0;
+    std::size_t egraph_classes = 0;
+    double optimisation_seconds = 0.0;
+};
+
+/// Find all matches of a single-output pattern in the e-graph and splice in
+/// the target, merging it with each matched class. Returns the number of
+/// unions performed. (Exposed for tests.)
+int apply_pattern_to_egraph(E_graph& egraph, const Pattern& pattern, std::size_t match_limit);
+
+/// True when the pattern can run as an e-graph rewrite (single output, no
+/// multi-output operators in either side).
+bool is_egraph_compatible(const Pattern& pattern);
+
+Tensat_result optimise_tensat(const Graph& input, const std::vector<Pattern>& patterns,
+                              const Rule_set& multi_pattern_rules, const Cost_model& cost,
+                              const Tensat_config& config = {});
+
+} // namespace xrl

@@ -1,0 +1,95 @@
+#include "rl/categorical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+Tensor mask_column(const std::vector<std::uint8_t>& mask)
+{
+    Tensor t(Shape{static_cast<std::int64_t>(mask.size()), 1});
+    for (std::size_t i = 0; i < mask.size(); ++i) t.at(static_cast<std::int64_t>(i)) = mask[i] ? 1.0F : 0.0F;
+    return t;
+}
+
+Tensor penalty_column(const std::vector<std::uint8_t>& mask)
+{
+    Tensor t(Shape{static_cast<std::int64_t>(mask.size()), 1});
+    for (std::size_t i = 0; i < mask.size(); ++i)
+        t.at(static_cast<std::int64_t>(i)) = mask[i] ? 0.0F : masked_logit_penalty;
+    return t;
+}
+
+} // namespace
+
+Categorical_vars masked_categorical(Tape& tape, Var logits_col, const std::vector<std::uint8_t>& mask)
+{
+    XRL_EXPECTS(tape.value(logits_col).rank() == 2 && tape.value(logits_col).dim(1) == 1);
+    XRL_EXPECTS(static_cast<std::int64_t>(mask.size()) == tape.value(logits_col).dim(0));
+    XRL_EXPECTS(std::any_of(mask.begin(), mask.end(), [](std::uint8_t m) { return m != 0; }));
+
+    const Var masked = tape.add(logits_col, tape.constant(penalty_column(mask)));
+
+    // Numerically stable log-sum-exp with a detached max shift (a constant
+    // shift leaves the gradient exact).
+    float max_v = -std::numeric_limits<float>::infinity();
+    const Tensor& mv = tape.value(masked);
+    for (std::int64_t i = 0; i < mv.volume(); ++i) max_v = std::max(max_v, mv.at(i));
+    const Var shifted = tape.add(masked, tape.constant(Tensor(Shape{1, 1}, {-max_v})));
+    const Var lse = tape.add(tape.log(tape.sum_all(tape.exp(shifted))),
+                             tape.constant(Tensor(Shape{1, 1}, {max_v})));
+    const Var log_probs = tape.add(masked, tape.neg(lse)); // (A,1) + (1,1) broadcast
+
+    const Var mask_const = tape.constant(mask_column(mask));
+    const Var probs = tape.mul(tape.exp(log_probs), mask_const);
+    const Var entropy = tape.neg(tape.sum_all(tape.mul(tape.mul(probs, log_probs), mask_const)));
+    return {log_probs, entropy};
+}
+
+std::vector<double> masked_probabilities(const Tensor& logits_col,
+                                         const std::vector<std::uint8_t>& mask)
+{
+    XRL_EXPECTS(static_cast<std::int64_t>(mask.size()) == logits_col.volume());
+    double max_v = -std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < mask.size(); ++i)
+        if (mask[i] != 0) max_v = std::max(max_v, static_cast<double>(logits_col.at(static_cast<std::int64_t>(i))));
+    std::vector<double> probs(mask.size(), 0.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+        if (mask[i] == 0) continue;
+        probs[i] = std::exp(static_cast<double>(logits_col.at(static_cast<std::int64_t>(i))) - max_v);
+        total += probs[i];
+    }
+    XRL_ENSURES(total > 0.0);
+    for (double& p : probs) p /= total;
+    return probs;
+}
+
+int sample_masked(const Tensor& logits_col, const std::vector<std::uint8_t>& mask, Rng& rng)
+{
+    const auto probs = masked_probabilities(logits_col, mask);
+    return static_cast<int>(rng.sample_weights(probs));
+}
+
+int argmax_masked(const Tensor& logits_col, const std::vector<std::uint8_t>& mask)
+{
+    int best = -1;
+    float best_v = -std::numeric_limits<float>::infinity();
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+        if (mask[i] == 0) continue;
+        const float v = logits_col.at(static_cast<std::int64_t>(i));
+        if (v > best_v) {
+            best_v = v;
+            best = static_cast<int>(i);
+        }
+    }
+    XRL_ENSURES(best >= 0);
+    return best;
+}
+
+} // namespace xrl

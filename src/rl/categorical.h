@@ -1,0 +1,36 @@
+// Masked categorical distribution over a padded action space (§3.3.2):
+// invalid entries receive a large negative logit, which "effectively turns
+// the gradients to zero if they correspond to an invalid action".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "support/rng.h"
+
+namespace xrl {
+
+constexpr float masked_logit_penalty = -1e9F;
+
+/// Differentiable pieces of a masked categorical built on the tape.
+struct Categorical_vars {
+    Var log_probs;  ///< (A x 1) log-probabilities (masked entries ~ -1e9).
+    Var entropy;    ///< 1x1 entropy over the valid entries.
+};
+
+/// Build masked log-softmax + entropy from a column of logits.
+Categorical_vars masked_categorical(Tape& tape, Var logits_col,
+                                    const std::vector<std::uint8_t>& mask);
+
+/// Sample an action index from masked logit *values* (no tape involvement).
+int sample_masked(const Tensor& logits_col, const std::vector<std::uint8_t>& mask, Rng& rng);
+
+/// Argmax over the valid entries.
+int argmax_masked(const Tensor& logits_col, const std::vector<std::uint8_t>& mask);
+
+/// Probabilities from masked logit values (for tests / diagnostics).
+std::vector<double> masked_probabilities(const Tensor& logits_col,
+                                         const std::vector<std::uint8_t>& mask);
+
+} // namespace xrl

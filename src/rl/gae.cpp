@@ -1,0 +1,44 @@
+#include "rl/gae.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace xrl {
+
+Gae_result compute_gae(const std::vector<double>& rewards, const std::vector<double>& values,
+                       const std::vector<std::uint8_t>& dones, const Gae_config& config)
+{
+    XRL_EXPECTS(rewards.size() == values.size() && rewards.size() == dones.size());
+    const std::size_t n = rewards.size();
+    Gae_result result;
+    result.advantages.resize(n, 0.0);
+    result.returns.resize(n, 0.0);
+
+    double running = 0.0;
+    for (std::size_t i = n; i-- > 0;) {
+        const bool terminal = dones[i] != 0;
+        const double next_value = (terminal || i + 1 == n) ? 0.0 : values[i + 1];
+        if (terminal) running = 0.0;
+        const double delta = rewards[i] + config.gamma * next_value - values[i];
+        running = delta + config.gamma * config.lambda * (terminal ? 0.0 : running);
+        result.advantages[i] = running;
+        result.returns[i] = running + values[i];
+    }
+    return result;
+}
+
+void normalise_advantages(std::vector<double>& advantages)
+{
+    if (advantages.size() < 2) return;
+    double mean = 0.0;
+    for (const double a : advantages) mean += a;
+    mean /= static_cast<double>(advantages.size());
+    double var = 0.0;
+    for (const double a : advantages) var += (a - mean) * (a - mean);
+    var /= static_cast<double>(advantages.size());
+    const double std_dev = std::sqrt(var) + 1e-8;
+    for (double& a : advantages) a = (a - mean) / std_dev;
+}
+
+} // namespace xrl

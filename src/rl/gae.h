@@ -1,0 +1,29 @@
+// Generalised Advantage Estimation (Schulman et al., 2015) — Eq. 3's
+// A^{pi_theta_k} terms.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xrl {
+
+struct Gae_config {
+    double gamma = 0.99;
+    double lambda = 0.95;
+};
+
+struct Gae_result {
+    std::vector<double> advantages;
+    std::vector<double> returns; ///< advantage + value (the V_target of Eq. 4).
+};
+
+/// Compute GAE over a flat buffer of (possibly several) episodes; `dones`
+/// marks episode boundaries. Terminal states bootstrap with value 0.
+Gae_result compute_gae(const std::vector<double>& rewards, const std::vector<double>& values,
+                       const std::vector<std::uint8_t>& dones, const Gae_config& config);
+
+/// Normalise advantages to zero mean / unit variance (a standard PPO
+/// implementation detail; no-op for fewer than two elements).
+void normalise_advantages(std::vector<double>& advantages);
+
+} // namespace xrl

@@ -1,0 +1,436 @@
+#include "rules/bespoke_rules.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+/// Clean up a hand-built transformation; returns false when the result is
+/// structurally invalid (cycle or failed shape inference).
+bool finalise_transformed(Graph& graph)
+{
+    try {
+        if (!graph.is_acyclic()) return false;
+        graph.eliminate_dead_nodes();
+        graph.infer_shapes();
+        graph.validate();
+        return true;
+    } catch (const Contract_violation&) {
+        return false;
+    }
+}
+
+bool is_graph_output(const Graph& g, Node_id id)
+{
+    for (const Edge& e : g.outputs())
+        if (e.node == id) return true;
+    return false;
+}
+
+class Merge_matmul_shared_lhs_rule final : public Rewrite_rule {
+public:
+    Merge_matmul_shared_lhs_rule() : Rewrite_rule("merge-matmul-shared-lhs") {}
+
+    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    {
+        std::vector<Graph> out;
+        std::vector<Node_id> matmuls;
+        for (const Node_id id : host.node_ids())
+            if (host.node(id).kind == Op_kind::matmul) matmuls.push_back(id);
+
+        for (std::size_t i = 0; i < matmuls.size() && out.size() < limit; ++i) {
+            for (std::size_t j = i + 1; j < matmuls.size() && out.size() < limit; ++j) {
+                const Node& m1 = host.node(matmuls[i]);
+                const Node& m2 = host.node(matmuls[j]);
+                if (!(m1.params == m2.params)) continue;
+                if (!(m1.inputs[0] == m2.inputs[0])) continue;
+                const Shape& w1 = host.shape_of(m1.inputs[1]);
+                const Shape& w2 = host.shape_of(m2.inputs[1]);
+                if (w1.size() != 2 || w2.size() != 2) continue;
+                if (w1[0] != w2[0]) continue;
+                if (m1.inputs[1] == m2.inputs[1]) continue; // degenerate
+                if (auto g = merge(host, matmuls[i], matmuls[j], w1[1], w2[1]); g.has_value())
+                    out.push_back(std::move(*g));
+            }
+        }
+        return out;
+    }
+
+private:
+    static std::optional<Graph> merge(const Graph& host, Node_id id1, Node_id id2,
+                                      std::int64_t n1, std::int64_t n2)
+    {
+        Graph g = host;
+        // Copy edges/params by value before add_node, which may reallocate
+        // the node storage.
+        const Edge x = g.node(id1).inputs[0];
+        const Edge w1 = g.node(id1).inputs[1];
+        const Edge w2 = g.node(id2).inputs[1];
+        const Op_params matmul_params = g.node(id1).params;
+        Op_params concat_params;
+        concat_params.axis = 1;
+        const Node_id wc = g.add_node(Op_kind::concat, {w1, w2}, concat_params);
+        const Node_id merged = g.add_node(Op_kind::matmul, {x, {wc, 0}}, matmul_params);
+
+        const auto out_rank = static_cast<std::int64_t>(g.shape_of({id1, 0}).size());
+        Op_params split_params;
+        split_params.axis = out_rank - 1;
+        split_params.split_sizes = {n1, n2};
+        const Node_id sp = g.add_node(Op_kind::split, {{merged, 0}}, split_params);
+
+        g.replace_all_uses({id1, 0}, {sp, 0});
+        g.replace_all_uses({id2, 0}, {sp, 1});
+        if (!finalise_transformed(g)) return std::nullopt;
+        return g;
+    }
+};
+
+class Merge_conv_shared_input_rule final : public Rewrite_rule {
+public:
+    Merge_conv_shared_input_rule() : Rewrite_rule("merge-conv-shared-input") {}
+
+    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    {
+        std::vector<Graph> out;
+        std::vector<Node_id> convs;
+        for (const Node_id id : host.node_ids())
+            if (host.node(id).kind == Op_kind::conv2d) convs.push_back(id);
+
+        for (std::size_t i = 0; i < convs.size() && out.size() < limit; ++i) {
+            for (std::size_t j = i + 1; j < convs.size() && out.size() < limit; ++j) {
+                const Node& c1 = host.node(convs[i]);
+                const Node& c2 = host.node(convs[j]);
+                if (!(c1.params == c2.params)) continue;
+                if (c1.params.groups != 1) continue;
+                if (!(c1.inputs[0] == c2.inputs[0])) continue;
+                const Shape& w1 = host.shape_of(c1.inputs[1]);
+                const Shape& w2 = host.shape_of(c2.inputs[1]);
+                // Filter geometry must agree for filter-bank concatenation.
+                if (w1[1] != w2[1] || w1[2] != w2[2] || w1[3] != w2[3]) continue;
+                if (c1.inputs[1] == c2.inputs[1]) continue;
+                if (auto g = merge(host, convs[i], convs[j], w1[0], w2[0]); g.has_value())
+                    out.push_back(std::move(*g));
+            }
+        }
+        return out;
+    }
+
+private:
+    static std::optional<Graph> merge(const Graph& host, Node_id id1, Node_id id2,
+                                      std::int64_t k1, std::int64_t k2)
+    {
+        Graph g = host;
+        const Edge x = g.node(id1).inputs[0];
+        const Edge w1 = g.node(id1).inputs[1];
+        const Edge w2 = g.node(id2).inputs[1];
+        const Op_params conv_params = g.node(id1).params;
+        Op_params concat_params;
+        concat_params.axis = 0; // filter-bank axis K
+        const Node_id wc = g.add_node(Op_kind::concat, {w1, w2}, concat_params);
+        const Node_id merged = g.add_node(Op_kind::conv2d, {x, {wc, 0}}, conv_params);
+
+        Op_params split_params;
+        split_params.axis = 1; // channel axis of the NCHW output
+        split_params.split_sizes = {k1, k2};
+        const Node_id sp = g.add_node(Op_kind::split, {{merged, 0}}, split_params);
+
+        g.replace_all_uses({id1, 0}, {sp, 0});
+        g.replace_all_uses({id2, 0}, {sp, 1});
+        if (!finalise_transformed(g)) return std::nullopt;
+        return g;
+    }
+};
+
+class Eliminate_split_concat_rule final : public Rewrite_rule {
+public:
+    Eliminate_split_concat_rule() : Rewrite_rule("eliminate-split-concat") {}
+
+    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    {
+        std::vector<Graph> out;
+        for (const Node_id id : host.node_ids()) {
+            if (out.size() >= limit) break;
+            const Node& cat = host.node(id);
+            if (cat.kind != Op_kind::concat) continue;
+            // All inputs must be consecutive ports 0..n-1 of one split node.
+            const Node_id split_id = cat.inputs.front().node;
+            const Node& sp = host.node(split_id);
+            if (sp.kind != Op_kind::split) continue;
+            if (sp.params.axis != cat.params.axis) continue;
+            if (cat.inputs.size() != sp.params.split_sizes.size()) continue;
+            bool in_order = true;
+            for (std::size_t port = 0; port < cat.inputs.size(); ++port) {
+                if (cat.inputs[port].node != split_id ||
+                    cat.inputs[port].port != static_cast<std::int32_t>(port)) {
+                    in_order = false;
+                    break;
+                }
+            }
+            if (!in_order) continue;
+
+            Graph g = host;
+            g.replace_all_uses({id, 0}, g.node(split_id).inputs[0]);
+            if (finalise_transformed(g)) out.push_back(std::move(g));
+        }
+        return out;
+    }
+};
+
+class Eliminate_concat_split_rule final : public Rewrite_rule {
+public:
+    Eliminate_concat_split_rule() : Rewrite_rule("eliminate-concat-split") {}
+
+    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    {
+        std::vector<Graph> out;
+        for (const Node_id id : host.node_ids()) {
+            if (out.size() >= limit) break;
+            const Node& sp = host.node(id);
+            if (sp.kind != Op_kind::split) continue;
+            const Node_id cat_id = sp.inputs[0].node;
+            const Node& cat = host.node(cat_id);
+            if (cat.kind != Op_kind::concat) continue;
+            if (cat.params.axis != sp.params.axis) continue;
+            if (cat.inputs.size() != sp.params.split_sizes.size()) continue;
+            bool sizes_match = true;
+            const auto axis = static_cast<std::size_t>(cat.params.axis);
+            for (std::size_t piece = 0; piece < cat.inputs.size(); ++piece) {
+                if (host.shape_of(cat.inputs[piece])[axis] != sp.params.split_sizes[piece]) {
+                    sizes_match = false;
+                    break;
+                }
+            }
+            if (!sizes_match) continue;
+
+            Graph g = host;
+            for (std::size_t piece = 0; piece < cat.inputs.size(); ++piece)
+                g.replace_all_uses({id, static_cast<std::int32_t>(piece)},
+                                   g.node(cat_id).inputs[piece]);
+            if (finalise_transformed(g)) out.push_back(std::move(g));
+        }
+        return out;
+    }
+};
+
+class Fold_batch_norm_rule final : public Rewrite_rule {
+public:
+    Fold_batch_norm_rule() : Rewrite_rule("fold-batch-norm-into-conv") {}
+
+    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    {
+        std::vector<Graph> out;
+        const auto users = host.build_users();
+        for (const Node_id id : host.node_ids()) {
+            if (out.size() >= limit) break;
+            const Node& bn = host.node(id);
+            if (bn.kind != Op_kind::batch_norm) continue;
+            const Node_id conv_id = bn.inputs[0].node;
+            const Node& conv = host.node(conv_id);
+            if (conv.kind != Op_kind::conv2d) continue;
+            if (conv.params.activation != Activation::none) continue;
+            // The conv output must feed only this batch norm.
+            if (users[static_cast<std::size_t>(conv_id)].size() != 1) continue;
+            if (is_graph_output(host, conv_id)) continue;
+            if (auto g = fold(host, id, conv_id); g.has_value()) out.push_back(std::move(*g));
+        }
+        return out;
+    }
+
+private:
+    static std::optional<Graph> fold(const Graph& host, Node_id bn_id, Node_id conv_id)
+    {
+        Graph g = host;
+        const Node& bn = g.node(bn_id);
+        const Node& conv = g.node(conv_id);
+        const Edge x = conv.inputs[0];
+        const Edge w = conv.inputs[1];
+        const Edge gamma = bn.inputs[1];
+        const Edge beta = bn.inputs[2];
+        const Edge mean = bn.inputs[3];
+        const Edge variance = bn.inputs[4];
+        const std::int64_t k = g.shape_of(w)[0];
+        const Op_params conv_params = conv.params;
+        const float eps = bn.params.epsilon;
+
+        // d = gamma / sqrt(var + eps)   -- weight-only arithmetic.
+        const Node_id eps_c = g.add_constant(Tensor::scalar(eps), "bn-eps");
+        const Node_id var_eps = g.add_node(Op_kind::add, {variance, {eps_c, 0}});
+        const Node_id stddev = g.add_node(Op_kind::sqrt, {{var_eps, 0}});
+        const Node_id d = g.add_node(Op_kind::div, {gamma, {stddev, 0}});
+
+        Op_params reshape_w;
+        reshape_w.target_shape = {k, 1, 1, 1};
+        const Node_id d_col = g.add_node(Op_kind::reshape, {{d, 0}}, reshape_w);
+        const Node_id w_scaled = g.add_node(Op_kind::mul, {w, {d_col, 0}});
+
+        const Node_id folded_conv = g.add_node(Op_kind::conv2d, {x, {w_scaled, 0}}, conv_params);
+
+        // bias = beta - mean * d, broadcast over (1, K, 1, 1).
+        const Node_id mean_d = g.add_node(Op_kind::mul, {mean, {d, 0}});
+        const Node_id bias = g.add_node(Op_kind::sub, {beta, {mean_d, 0}});
+        Op_params reshape_b;
+        reshape_b.target_shape = {1, k, 1, 1};
+        const Node_id bias_col = g.add_node(Op_kind::reshape, {{bias, 0}}, reshape_b);
+        const Node_id y = g.add_node(Op_kind::add, {{folded_conv, 0}, {bias_col, 0}});
+
+        g.replace_all_uses({bn_id, 0}, {y, 0});
+        if (!finalise_transformed(g)) return std::nullopt;
+        return g;
+    }
+};
+
+class Merge_conv_add_enlarge_rule final : public Rewrite_rule {
+public:
+    Merge_conv_add_enlarge_rule() : Rewrite_rule("merge-conv-add-enlarge") {}
+
+    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    {
+        std::vector<Graph> out;
+        const auto users = host.build_users();
+        for (const Node_id id : host.node_ids()) {
+            if (out.size() >= limit) break;
+            const Node& a = host.node(id);
+            if (a.kind != Op_kind::add) continue;
+            const Node_id lhs = a.inputs[0].node;
+            const Node_id rhs = a.inputs[1].node;
+            if (lhs == rhs) continue;
+            if (host.node(lhs).kind != Op_kind::conv2d || host.node(rhs).kind != Op_kind::conv2d)
+                continue;
+            // Try both orders: the larger kernel hosts the enlarged smaller one.
+            for (const auto& [big, small] : {std::pair{lhs, rhs}, std::pair{rhs, lhs}}) {
+                if (!mergeable(host, users, id, big, small)) continue;
+                if (auto g = merge(host, id, big, small); g.has_value()) {
+                    out.push_back(std::move(*g));
+                    break;
+                }
+            }
+        }
+        return out;
+    }
+
+private:
+    static bool mergeable(const Graph& host, const std::vector<std::vector<Edge_use>>& users,
+                          Node_id add_id, Node_id big, Node_id small)
+    {
+        const Node& cb = host.node(big);
+        const Node& cs = host.node(small);
+        if (cb.params.activation != Activation::none || cs.params.activation != Activation::none)
+            return false;
+        if (cb.params.groups != 1 || cs.params.groups != 1) return false;
+        if (cb.params.stride_h != cs.params.stride_h || cb.params.stride_w != cs.params.stride_w)
+            return false;
+        if (!(cb.inputs[0] == cs.inputs[0])) return false;
+        // Both convs must feed only the add.
+        for (const Node_id conv : {big, small}) {
+            if (users[static_cast<std::size_t>(conv)].size() != 1) return false;
+            if (users[static_cast<std::size_t>(conv)].front().user != add_id) return false;
+            if (is_graph_output(host, conv)) return false;
+        }
+        const Shape& wb = host.shape_of(cb.inputs[1]);
+        const Shape& ws = host.shape_of(cs.inputs[1]);
+        if (wb[0] != ws[0] || wb[1] != ws[1]) return false;
+        if (wb[2] < ws[2] || wb[3] < ws[3]) return false;
+        if ((wb[2] - ws[2]) % 2 != 0 || (wb[3] - ws[3]) % 2 != 0) return false;
+        // Padding must line up so the enlarged kernel sees the same window.
+        if (cb.params.pad_h - cs.params.pad_h != (wb[2] - ws[2]) / 2) return false;
+        if (cb.params.pad_w - cs.params.pad_w != (wb[3] - ws[3]) / 2) return false;
+        return true;
+    }
+
+    static std::optional<Graph> merge(const Graph& host, Node_id add_id, Node_id big, Node_id small)
+    {
+        Graph g = host;
+        const Edge x = g.node(big).inputs[0];
+        const Edge w_big = g.node(big).inputs[1];
+        const Edge w_small = g.node(small).inputs[1];
+        const Op_params conv_params = g.node(big).params;
+        const Shape wb = g.shape_of(w_big);
+
+        Op_params enlarge_params;
+        enlarge_params.target_r = wb[2];
+        enlarge_params.target_s = wb[3];
+        const Node_id enlarged = g.add_node(Op_kind::enlarge, {w_small}, enlarge_params);
+        const Node_id w_sum = g.add_node(Op_kind::add, {w_big, {enlarged, 0}});
+        const Node_id merged = g.add_node(Op_kind::conv2d, {x, {w_sum, 0}}, conv_params);
+
+        g.replace_all_uses({add_id, 0}, {merged, 0});
+        if (!finalise_transformed(g)) return std::nullopt;
+        return g;
+    }
+};
+
+class Fold_embedding_projection_rule final : public Rewrite_rule {
+public:
+    Fold_embedding_projection_rule() : Rewrite_rule("fold-embedding-projection") {}
+
+    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    {
+        std::vector<Graph> out;
+        const auto users = host.build_users();
+        for (const Node_id id : host.node_ids()) {
+            if (out.size() >= limit) break;
+            const Node& mm = host.node(id);
+            if (mm.kind != Op_kind::matmul) continue;
+            if (mm.params.activation != Activation::none) continue;
+            const Node_id emb_id = mm.inputs[0].node;
+            const Node& emb = host.node(emb_id);
+            if (emb.kind != Op_kind::embedding) continue;
+            // The embedding must feed only this projection.
+            if (users[static_cast<std::size_t>(emb_id)].size() != 1) continue;
+            if (is_graph_output(host, emb_id)) continue;
+            if (host.shape_of(mm.inputs[1]).size() != 2) continue;
+
+            Graph g = host;
+            const Edge ids = g.node(emb_id).inputs[0];
+            const Edge table = g.node(emb_id).inputs[1];
+            const Edge projection = g.node(id).inputs[1];
+            const Node_id folded_table = g.add_node(Op_kind::matmul, {table, projection});
+            const Node_id folded = g.add_node(Op_kind::embedding, {ids, {folded_table, 0}});
+            g.replace_all_uses({id, 0}, {folded, 0});
+            if (finalise_transformed(g)) out.push_back(std::move(g));
+        }
+        return out;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Rewrite_rule> make_merge_matmul_shared_lhs_rule()
+{
+    return std::make_unique<Merge_matmul_shared_lhs_rule>();
+}
+
+std::unique_ptr<Rewrite_rule> make_merge_conv_shared_input_rule()
+{
+    return std::make_unique<Merge_conv_shared_input_rule>();
+}
+
+std::unique_ptr<Rewrite_rule> make_eliminate_split_concat_rule()
+{
+    return std::make_unique<Eliminate_split_concat_rule>();
+}
+
+std::unique_ptr<Rewrite_rule> make_eliminate_concat_split_rule()
+{
+    return std::make_unique<Eliminate_concat_split_rule>();
+}
+
+std::unique_ptr<Rewrite_rule> make_fold_batch_norm_rule()
+{
+    return std::make_unique<Fold_batch_norm_rule>();
+}
+
+std::unique_ptr<Rewrite_rule> make_merge_conv_add_enlarge_rule()
+{
+    return std::make_unique<Merge_conv_add_enlarge_rule>();
+}
+
+std::unique_ptr<Rewrite_rule> make_fold_embedding_projection_rule()
+{
+    return std::make_unique<Fold_embedding_projection_rule>();
+}
+
+} // namespace xrl

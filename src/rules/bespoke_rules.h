@@ -1,0 +1,56 @@
+// Shape-dependent rewrite rules.
+//
+// These rules need parameters computed from the matched operands' shapes
+// (split sizes, reshape targets), which declarative Patterns cannot
+// express, so they implement Rewrite_rule directly. All of them are
+// verified against the reference executor by the property-test suite.
+#pragma once
+
+#include <memory>
+
+#include "rules/rule.h"
+
+namespace xrl {
+
+/// matmul(x, w1), matmul(x, w2)  ==>  split(matmul(x, concat(w1, w2)))
+///
+/// The transformer workhorse: repeated application fuses the Q/K/V
+/// projections of an attention block into one large matmul.
+std::unique_ptr<Rewrite_rule> make_merge_matmul_shared_lhs_rule();
+
+/// conv(x, w1), conv(x, w2) with identical geometry
+///   ==>  split_c(conv(x, concat_k(w1, w2)))
+///
+/// TASO's convolution merge: two convolutions that read the same tensor
+/// become one convolution over concatenated filters.
+std::unique_ptr<Rewrite_rule> make_merge_conv_shared_input_rule();
+
+/// concat(split(x)[0], ..., split(x)[n-1]) along the split axis  ==>  x
+std::unique_ptr<Rewrite_rule> make_eliminate_split_concat_rule();
+
+/// split(concat(a, b)) with matching sizes along the same axis  ==>  (a, b)
+std::unique_ptr<Rewrite_rule> make_eliminate_concat_split_rule();
+
+/// batch_norm(conv(x, w), gamma, beta, mu, var)
+///   ==>  add(conv(x, w * d), bias)   with d = gamma / sqrt(var + eps)
+///
+/// The folded multipliers are weight-only subgraphs, so the end-to-end
+/// executor constant-folds them away — the effect behind the paper's ViT
+/// observation (§4.2).
+std::unique_ptr<Rewrite_rule> make_fold_batch_norm_rule();
+
+/// add(conv_{r1}(x, w1), conv_{r2}(x, w2))  ==>  conv_{r1}(x, w1 + enlarge(w2))
+///
+/// TASO's enlarge-and-merge rule for parallel convolutions of different
+/// kernel sizes over the same input.
+std::unique_ptr<Rewrite_rule> make_merge_conv_add_enlarge_rule();
+
+/// matmul(embedding(ids, T), P)  ==>  embedding(ids, matmul(T, P))
+///
+/// Folds a factored (ALBERT-style) embedding projection into the table.
+/// T.P is weight-only, so the end-to-end executor evaluates it offline —
+/// while the cost model *charges* for it, making this exactly the kind of
+/// rewrite only the end-to-end feedback signal discovers (§4.2).
+std::unique_ptr<Rewrite_rule> make_fold_embedding_projection_rule();
+
+} // namespace xrl

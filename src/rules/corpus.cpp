@@ -1,0 +1,541 @@
+#include "rules/corpus.h"
+
+#include "ir/builder.h"
+#include "rules/bespoke_rules.h"
+
+namespace xrl {
+
+namespace {
+
+// Sample shapes used when constructing pattern graphs. Matching ignores
+// them entirely; they only let Graph_builder sanity-check each pattern's
+// structure at definition time.
+constexpr std::int64_t d = 4;
+
+Pattern fuse_matmul_activation(Op_kind act_kind, Activation act)
+{
+    Pattern p;
+    p.name = std::string("fuse-matmul-") + op_kind_name(act_kind);
+    Graph_builder src;
+    const Edge x = src.input({d, d});
+    const Edge w = src.input({d, d});
+    const Edge m = src.matmul(x, w);
+    const Edge r = src.apply_unary(act_kind, m);
+    p.source = src.finish({r});
+    p.param_modes[m.node] = Param_match::ignore;
+    p.required_activation[m.node] = Activation::none;
+
+    Graph_builder tgt;
+    const Edge tx = tgt.input({d, d});
+    const Edge tw = tgt.input({d, d});
+    const Edge tm = tgt.matmul(tx, tw);
+    p.target = tgt.finish({tm});
+    p.param_transfers[tm.node] = Param_transfer{m.node, act};
+    return p;
+}
+
+Pattern fuse_conv_activation(Op_kind act_kind, Activation act)
+{
+    Pattern p;
+    p.name = std::string("fuse-conv-") + op_kind_name(act_kind);
+    Graph_builder src;
+    const Edge x = src.input({1, d, 8, 8});
+    const Edge w = src.input({d, d, 3, 3});
+    const Edge c = src.conv2d(x, w, 1, 1);
+    const Edge r = src.apply_unary(act_kind, c);
+    p.source = src.finish({r});
+    p.param_modes[c.node] = Param_match::ignore;
+    p.required_activation[c.node] = Activation::none;
+
+    Graph_builder tgt;
+    const Edge tx = tgt.input({1, d, 8, 8});
+    const Edge tw = tgt.input({d, d, 3, 3});
+    const Edge tc = tgt.conv2d(tx, tw, 1, 1);
+    p.target = tgt.finish({tc});
+    p.param_transfers[tc.node] = Param_transfer{c.node, act};
+    return p;
+}
+
+Pattern matmul_assoc_right()
+{
+    Pattern p;
+    p.name = "matmul-assoc-right";
+    Graph_builder src;
+    const Edge a = src.input({d, d});
+    const Edge b = src.input({d, d});
+    const Edge c = src.input({d, d});
+    p.source = src.finish({src.matmul(src.matmul(a, b), c)});
+
+    Graph_builder tgt;
+    const Edge ta = tgt.input({d, d});
+    const Edge tb = tgt.input({d, d});
+    const Edge tc = tgt.input({d, d});
+    p.target = tgt.finish({tgt.matmul(ta, tgt.matmul(tb, tc))});
+    return p;
+}
+
+Pattern matmul_assoc_left()
+{
+    Pattern p;
+    p.name = "matmul-assoc-left";
+    Graph_builder src;
+    const Edge a = src.input({d, d});
+    const Edge b = src.input({d, d});
+    const Edge c = src.input({d, d});
+    p.source = src.finish({src.matmul(a, src.matmul(b, c))});
+
+    Graph_builder tgt;
+    const Edge ta = tgt.input({d, d});
+    const Edge tb = tgt.input({d, d});
+    const Edge tc = tgt.input({d, d});
+    p.target = tgt.finish({tgt.matmul(tgt.matmul(ta, tb), tc)});
+    return p;
+}
+
+Pattern matmul_factor_rhs()
+{
+    // add(matmul(A,B), matmul(A,C)) -> matmul(A, add(B,C))
+    Pattern p;
+    p.name = "matmul-factor-rhs";
+    Graph_builder src;
+    const Edge a = src.input({d, d});
+    const Edge b = src.input({d, d});
+    const Edge c = src.input({d, d});
+    p.source = src.finish({src.add(src.matmul(a, b), src.matmul(a, c))});
+
+    Graph_builder tgt;
+    const Edge ta = tgt.input({d, d});
+    const Edge tb = tgt.input({d, d});
+    const Edge tc = tgt.input({d, d});
+    p.target = tgt.finish({tgt.matmul(ta, tgt.add(tb, tc))});
+    return p;
+}
+
+Pattern matmul_factor_lhs()
+{
+    // add(matmul(A,C), matmul(B,C)) -> matmul(add(A,B), C)
+    Pattern p;
+    p.name = "matmul-factor-lhs";
+    Graph_builder src;
+    const Edge a = src.input({d, d});
+    const Edge b = src.input({d, d});
+    const Edge c = src.input({d, d});
+    p.source = src.finish({src.add(src.matmul(a, c), src.matmul(b, c))});
+
+    Graph_builder tgt;
+    const Edge ta = tgt.input({d, d});
+    const Edge tb = tgt.input({d, d});
+    const Edge tc = tgt.input({d, d});
+    p.target = tgt.finish({tgt.matmul(tgt.add(ta, tb), tc)});
+    return p;
+}
+
+Pattern matmul_distribute_rhs()
+{
+    // matmul(A, add(B,C)) -> add(matmul(A,B), matmul(A,C))
+    // A deliberately compute-increasing move the agent can exploit for
+    // long-term gain (the paper's "temporary loss of performance").
+    Pattern p;
+    p.name = "matmul-distribute-rhs";
+    Graph_builder src;
+    const Edge a = src.input({d, d});
+    const Edge b = src.input({d, d});
+    const Edge c = src.input({d, d});
+    p.source = src.finish({src.matmul(a, src.add(b, c))});
+
+    Graph_builder tgt;
+    const Edge ta = tgt.input({d, d});
+    const Edge tb = tgt.input({d, d});
+    const Edge tc = tgt.input({d, d});
+    p.target = tgt.finish({tgt.add(tgt.matmul(ta, tb), tgt.matmul(ta, tc))});
+    return p;
+}
+
+Pattern transpose_transpose_elim()
+{
+    Pattern p;
+    p.name = "transpose-transpose-elim";
+    Graph_builder src;
+    const Edge x = src.input({d, d});
+    p.source = src.finish({src.transpose(src.transpose(x))});
+
+    Graph_builder tgt;
+    const Edge tx = tgt.input({d, d});
+    p.target = tgt.finish({tx});
+    return p;
+}
+
+Pattern transpose_of_matmul()
+{
+    // transpose(matmul(A,B)) -> matmul(transpose(B), transpose(A))
+    Pattern p;
+    p.name = "transpose-of-matmul";
+    Graph_builder src;
+    const Edge a = src.input({d, d});
+    const Edge b = src.input({d, d});
+    p.source = src.finish({src.transpose(src.matmul(a, b))});
+
+    Graph_builder tgt;
+    const Edge ta = tgt.input({d, d});
+    const Edge tb = tgt.input({d, d});
+    p.target = tgt.finish({tgt.matmul(tgt.transpose(tb), tgt.transpose(ta))});
+    return p;
+}
+
+Pattern matmul_of_transposes()
+{
+    // matmul(transpose(B), transpose(A)) -> transpose(matmul(A,B))
+    Pattern p;
+    p.name = "matmul-of-transposes";
+    Graph_builder src;
+    const Edge b = src.input({d, d});
+    const Edge a = src.input({d, d});
+    p.source = src.finish({src.matmul(src.transpose(b), src.transpose(a))});
+
+    Graph_builder tgt;
+    const Edge tb = tgt.input({d, d});
+    const Edge ta = tgt.input({d, d});
+    p.target = tgt.finish({tgt.transpose(tgt.matmul(ta, tb))});
+    return p;
+}
+
+Pattern add_assoc()
+{
+    Pattern p;
+    p.name = "add-assoc";
+    Graph_builder src;
+    const Edge x = src.input({d, d});
+    const Edge y = src.input({d, d});
+    const Edge z = src.input({d, d});
+    p.source = src.finish({src.add(src.add(x, y), z)});
+
+    Graph_builder tgt;
+    const Edge tx = tgt.input({d, d});
+    const Edge ty = tgt.input({d, d});
+    const Edge tz = tgt.input({d, d});
+    p.target = tgt.finish({tgt.add(tx, tgt.add(ty, tz))});
+    return p;
+}
+
+Pattern mul_distribute_add()
+{
+    Pattern p;
+    p.name = "mul-distribute-add";
+    Graph_builder src;
+    const Edge x = src.input({d, d});
+    const Edge y = src.input({d, d});
+    const Edge z = src.input({d, d});
+    p.source = src.finish({src.mul(src.add(x, y), z)});
+
+    Graph_builder tgt;
+    const Edge tx = tgt.input({d, d});
+    const Edge ty = tgt.input({d, d});
+    const Edge tz = tgt.input({d, d});
+    p.target = tgt.finish({tgt.add(tgt.mul(tx, tz), tgt.mul(ty, tz))});
+    return p;
+}
+
+Pattern mul_factor_add()
+{
+    Pattern p;
+    p.name = "mul-factor-add";
+    Graph_builder src;
+    const Edge x = src.input({d, d});
+    const Edge y = src.input({d, d});
+    const Edge z = src.input({d, d});
+    p.source = src.finish({src.add(src.mul(x, z), src.mul(y, z))});
+
+    Graph_builder tgt;
+    const Edge tx = tgt.input({d, d});
+    const Edge ty = tgt.input({d, d});
+    const Edge tz = tgt.input({d, d});
+    p.target = tgt.finish({tgt.mul(tgt.add(tx, ty), tz)});
+    return p;
+}
+
+Pattern relu_relu_elim()
+{
+    Pattern p;
+    p.name = "relu-relu-elim";
+    Graph_builder src;
+    const Edge x = src.input({d, d});
+    p.source = src.finish({src.relu(src.relu(x))});
+    Graph_builder tgt;
+    const Edge tx = tgt.input({d, d});
+    p.target = tgt.finish({tgt.relu(tx)});
+    return p;
+}
+
+Pattern unary_elim(Op_kind kind)
+{
+    Pattern p;
+    p.name = std::string(op_kind_name(kind)) + "-elim";
+    Graph_builder src;
+    const Edge x = src.input({d, d});
+    const Edge y = src.apply_unary(kind, x);
+    p.source = src.finish({y});
+    Graph_builder tgt;
+    const Edge tx = tgt.input({d, d});
+    p.target = tgt.finish({tx});
+    return p;
+}
+
+Pattern relu_of_concat()
+{
+    // relu(concat(a,b)) -> concat(relu(a), relu(b))
+    Pattern p;
+    p.name = "relu-of-concat";
+    Graph_builder src;
+    const Edge a = src.input({d, d});
+    const Edge b = src.input({d, d});
+    const Edge cat = src.concat(0, {a, b});
+    p.source = src.finish({src.relu(cat)});
+    p.param_modes[cat.node] = Param_match::ignore;
+
+    Graph_builder tgt;
+    const Edge ta = tgt.input({d, d});
+    const Edge tb = tgt.input({d, d});
+    const Edge tcat = tgt.concat(0, {tgt.relu(ta), tgt.relu(tb)});
+    p.target = tgt.finish({tcat});
+    p.param_transfers[tcat.node] = Param_transfer{cat.node, std::nullopt};
+    return p;
+}
+
+Pattern concat_of_relus()
+{
+    // concat(relu(a), relu(b)) -> relu(concat(a,b))
+    Pattern p;
+    p.name = "concat-of-relus";
+    Graph_builder src;
+    const Edge a = src.input({d, d});
+    const Edge b = src.input({d, d});
+    const Edge cat = src.concat(0, {src.relu(a), src.relu(b)});
+    p.source = src.finish({cat});
+    p.param_modes[cat.node] = Param_match::ignore;
+
+    Graph_builder tgt;
+    const Edge ta = tgt.input({d, d});
+    const Edge tb = tgt.input({d, d});
+    const Edge tcat = tgt.concat(0, {ta, tb});
+    p.target = tgt.finish({tgt.relu(tcat)});
+    p.param_transfers[tcat.node] = Param_transfer{cat.node, std::nullopt};
+    return p;
+}
+
+Pattern add_of_concats()
+{
+    // add(concat(a,b), concat(c,d)) -> concat(add(a,c), add(b,d))
+    Pattern p;
+    p.name = "add-of-concats";
+    Graph_builder src;
+    const Edge a = src.input({d, d});
+    const Edge b = src.input({d, d});
+    const Edge c = src.input({d, d});
+    const Edge e = src.input({d, d});
+    const Edge cat1 = src.concat(0, {a, b});
+    const Edge cat2 = src.concat(0, {c, e});
+    p.source = src.finish({src.add(cat1, cat2)});
+    p.param_modes[cat1.node] = Param_match::ignore;
+    p.param_modes[cat2.node] = Param_match::ignore;
+    p.equal_params.emplace_back(cat1.node, cat2.node);
+
+    Graph_builder tgt;
+    const Edge ta = tgt.input({d, d});
+    const Edge tb = tgt.input({d, d});
+    const Edge tc = tgt.input({d, d});
+    const Edge te = tgt.input({d, d});
+    const Edge tcat = tgt.concat(0, {tgt.add(ta, tc), tgt.add(tb, te)});
+    p.target = tgt.finish({tcat});
+    p.param_transfers[tcat.node] = Param_transfer{cat1.node, std::nullopt};
+    return p;
+}
+
+Pattern pool_relu_commute()
+{
+    // max_pool(relu(x)) -> relu(max_pool(x)) : pooling fewer activations.
+    Pattern p;
+    p.name = "pool-relu-commute";
+    Graph_builder src;
+    const Edge x = src.input({1, d, 8, 8});
+    const Edge pool = src.max_pool2d(src.relu(x), 2, 2);
+    p.source = src.finish({pool});
+    p.param_modes[pool.node] = Param_match::ignore;
+
+    Graph_builder tgt;
+    const Edge tx = tgt.input({1, d, 8, 8});
+    const Edge tpool = tgt.max_pool2d(tx, 2, 2);
+    p.target = tgt.finish({tgt.relu(tpool)});
+    p.param_transfers[tpool.node] = Param_transfer{pool.node, std::nullopt};
+    return p;
+}
+
+Pattern relu_pool_commute()
+{
+    // relu(max_pool(x)) -> max_pool(relu(x))
+    Pattern p;
+    p.name = "relu-pool-commute";
+    Graph_builder src;
+    const Edge x = src.input({1, d, 8, 8});
+    const Edge pool = src.max_pool2d(x, 2, 2);
+    p.source = src.finish({src.relu(pool)});
+    p.param_modes[pool.node] = Param_match::ignore;
+
+    Graph_builder tgt;
+    const Edge tx = tgt.input({1, d, 8, 8});
+    const Edge tpool = tgt.max_pool2d(tgt.relu(tx), 2, 2);
+    p.target = tgt.finish({tpool});
+    p.param_transfers[tpool.node] = Param_transfer{pool.node, std::nullopt};
+    return p;
+}
+
+Pattern scale_into_matmul()
+{
+    // scale(matmul(x,w)) -> matmul(x, scale(w)) : fold the scalar into the
+    // (typically weight-only) right-hand side.
+    Pattern p;
+    p.name = "scale-into-matmul";
+    Graph_builder src;
+    const Edge x = src.input({d, d});
+    const Edge w = src.input({d, d});
+    const Edge m = src.matmul(x, w);
+    const Edge s = src.scale(m, 2.0F);
+    p.source = src.finish({s});
+    p.param_modes[m.node] = Param_match::ignore;
+    p.required_activation[m.node] = Activation::none;
+    p.param_modes[s.node] = Param_match::ignore;
+
+    Graph_builder tgt;
+    const Edge tx = tgt.input({d, d});
+    const Edge tw = tgt.input({d, d});
+    const Edge ts = tgt.scale(tw, 2.0F);
+    const Edge tm = tgt.matmul(tx, ts);
+    p.target = tgt.finish({tm});
+    p.param_transfers[ts.node] = Param_transfer{s.node, std::nullopt};
+    p.param_transfers[tm.node] = Param_transfer{m.node, std::nullopt};
+    return p;
+}
+
+Pattern scale_into_conv()
+{
+    Pattern p;
+    p.name = "scale-into-conv";
+    Graph_builder src;
+    const Edge x = src.input({1, d, 8, 8});
+    const Edge w = src.input({d, d, 3, 3});
+    const Edge c = src.conv2d(x, w, 1, 1);
+    const Edge s = src.scale(c, 2.0F);
+    p.source = src.finish({s});
+    p.param_modes[c.node] = Param_match::ignore;
+    p.required_activation[c.node] = Activation::none;
+    p.param_modes[s.node] = Param_match::ignore;
+
+    Graph_builder tgt;
+    const Edge tx = tgt.input({1, d, 8, 8});
+    const Edge tw = tgt.input({d, d, 3, 3});
+    const Edge ts = tgt.scale(tw, 2.0F);
+    const Edge tc = tgt.conv2d(tx, ts, 1, 1);
+    p.target = tgt.finish({tc});
+    p.param_transfers[ts.node] = Param_transfer{s.node, std::nullopt};
+    p.param_transfers[tc.node] = Param_transfer{c.node, std::nullopt};
+    return p;
+}
+
+Pattern concat_of_matmuls_shared_rhs()
+{
+    // concat0(matmul(A,W), matmul(B,W)) -> matmul(concat0(A,B), W)
+    Pattern p;
+    p.name = "concat-of-matmuls-shared-rhs";
+    Graph_builder src;
+    const Edge a = src.input({d, d});
+    const Edge b = src.input({d, d});
+    const Edge w = src.input({d, d});
+    const Edge cat = src.concat(0, {src.matmul(a, w), src.matmul(b, w)});
+    p.source = src.finish({cat});
+
+    Graph_builder tgt;
+    const Edge ta = tgt.input({d, d});
+    const Edge tb = tgt.input({d, d});
+    const Edge tw = tgt.input({d, d});
+    p.target = tgt.finish({tgt.matmul(tgt.concat(0, {ta, tb}), tw)});
+    return p;
+}
+
+Pattern matmul_of_concat_rows()
+{
+    // matmul(concat0(A,B), W) -> concat0(matmul(A,W), matmul(B,W))
+    Pattern p;
+    p.name = "matmul-of-concat-rows";
+    Graph_builder src;
+    const Edge a = src.input({d, d});
+    const Edge b = src.input({d, d});
+    const Edge w = src.input({d, d});
+    p.source = src.finish({src.matmul(src.concat(0, {a, b}), w)});
+
+    Graph_builder tgt;
+    const Edge ta = tgt.input({d, d});
+    const Edge tb = tgt.input({d, d});
+    const Edge tw = tgt.input({d, d});
+    p.target = tgt.finish({tgt.concat(0, {tgt.matmul(ta, tw), tgt.matmul(tb, tw)})});
+    return p;
+}
+
+} // namespace
+
+std::vector<Pattern> curated_patterns()
+{
+    std::vector<Pattern> patterns;
+    patterns.push_back(fuse_matmul_activation(Op_kind::relu, Activation::relu));
+    patterns.push_back(fuse_matmul_activation(Op_kind::gelu, Activation::gelu));
+    patterns.push_back(fuse_matmul_activation(Op_kind::tanh, Activation::tanh));
+    patterns.push_back(fuse_conv_activation(Op_kind::relu, Activation::relu));
+    patterns.push_back(fuse_conv_activation(Op_kind::sigmoid, Activation::sigmoid));
+    patterns.push_back(matmul_assoc_right());
+    patterns.push_back(matmul_assoc_left());
+    patterns.push_back(matmul_factor_rhs());
+    patterns.push_back(matmul_factor_lhs());
+    patterns.push_back(matmul_distribute_rhs());
+    patterns.push_back(transpose_transpose_elim());
+    patterns.push_back(transpose_of_matmul());
+    patterns.push_back(matmul_of_transposes());
+    patterns.push_back(add_assoc());
+    patterns.push_back(mul_distribute_add());
+    patterns.push_back(mul_factor_add());
+    patterns.push_back(relu_relu_elim());
+    patterns.push_back(unary_elim(Op_kind::identity));
+    patterns.push_back(unary_elim(Op_kind::dropout));
+    patterns.push_back(relu_of_concat());
+    patterns.push_back(concat_of_relus());
+    patterns.push_back(add_of_concats());
+    patterns.push_back(pool_relu_commute());
+    patterns.push_back(relu_pool_commute());
+    patterns.push_back(scale_into_matmul());
+    patterns.push_back(scale_into_conv());
+    patterns.push_back(concat_of_matmuls_shared_rhs());
+    patterns.push_back(matmul_of_concat_rows());
+    for (Pattern& p : patterns) p.finalise();
+    return patterns;
+}
+
+Rule_set standard_rule_corpus()
+{
+    Rule_set rules;
+    for (Pattern& p : curated_patterns())
+        rules.push_back(std::make_unique<Pattern_rule>(std::move(p)));
+    rules.push_back(make_merge_matmul_shared_lhs_rule());
+    rules.push_back(make_merge_conv_shared_input_rule());
+    rules.push_back(make_eliminate_split_concat_rule());
+    rules.push_back(make_eliminate_concat_split_rule());
+    rules.push_back(make_fold_batch_norm_rule());
+    rules.push_back(make_merge_conv_add_enlarge_rule());
+    rules.push_back(make_fold_embedding_projection_rule());
+    return rules;
+}
+
+std::vector<std::string> standard_rule_names()
+{
+    std::vector<std::string> names;
+    for (const auto& rule : standard_rule_corpus()) names.push_back(rule->name());
+    return names;
+}
+
+} // namespace xrl

@@ -1,0 +1,27 @@
+// The standard rewrite-rule corpus.
+//
+// A curated, executor-verified set of TASO-style substitutions: kernel
+// fusion, linear-algebra re-association, distribution/factoring, operator
+// merging, concat/elementwise commuting and cleanup rules. Together with
+// the generated algebraic rules (rules/generator.h) this plays the role of
+// TASO's 150 auto-generated rules in the paper.
+#pragma once
+
+#include <vector>
+
+#include "rules/rule.h"
+
+namespace xrl {
+
+/// All curated declarative patterns (used directly by Tensat's e-graph and
+/// wrapped as Pattern_rules elsewhere).
+std::vector<Pattern> curated_patterns();
+
+/// Curated patterns + bespoke shape-dependent rules: the rule set every
+/// optimiser in this repository activates by default.
+Rule_set standard_rule_corpus();
+
+/// Names of all rules in standard_rule_corpus(), in order.
+std::vector<std::string> standard_rule_names();
+
+} // namespace xrl

@@ -1,0 +1,258 @@
+#include "rules/generator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <cmath>
+#include <iterator>
+
+#include "ir/builder.h"
+#include "ir/executor.h"
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace xrl {
+
+namespace {
+
+constexpr std::int64_t fp_dim = 4; // fingerprint tensors are fp_dim x fp_dim
+
+const Op_kind unary_family[] = {Op_kind::relu, Op_kind::tanh, Op_kind::identity, Op_kind::transpose};
+const Op_kind binary_family[] = {Op_kind::add, Op_kind::mul, Op_kind::sub, Op_kind::matmul};
+
+/// One operator of a straight-line program. Operand indices < nv refer to
+/// variables; operand index nv+i refers to the output of step i.
+struct Op_step {
+    Op_kind kind;
+    int in0 = 0;
+    int in1 = -1; // -1 for unary ops
+};
+
+using Program = std::vector<Op_step>;
+
+int op_cost(Op_kind kind)
+{
+    switch (kind) {
+    case Op_kind::matmul: return 64;
+    case Op_kind::transpose: return 2;
+    case Op_kind::identity: return 0;
+    default: return 1;
+    }
+}
+
+int program_cost(const Program& program)
+{
+    int cost = 0;
+    for (const Op_step& step : program) cost += op_cost(step.kind);
+    return cost;
+}
+
+/// Build the program as a pattern graph: `nv` square-matrix variables
+/// followed by the ops; the last op is the sole output.
+Graph build_graph(const Program& program, int nv)
+{
+    Graph_builder b;
+    std::vector<Edge> values;
+    for (int v = 0; v < nv; ++v) values.push_back(b.input({fp_dim, fp_dim}));
+    for (const Op_step& step : program) {
+        const Edge a = values[static_cast<std::size_t>(step.in0)];
+        Edge result;
+        switch (step.kind) {
+        case Op_kind::add: result = b.add(a, values[static_cast<std::size_t>(step.in1)]); break;
+        case Op_kind::mul: result = b.mul(a, values[static_cast<std::size_t>(step.in1)]); break;
+        case Op_kind::sub: result = b.sub(a, values[static_cast<std::size_t>(step.in1)]); break;
+        case Op_kind::matmul: result = b.matmul(a, values[static_cast<std::size_t>(step.in1)]); break;
+        case Op_kind::relu: result = b.relu(a); break;
+        case Op_kind::tanh: result = b.tanh(a); break;
+        case Op_kind::identity: result = b.identity(a); break;
+        case Op_kind::transpose: result = b.transpose(a); break;
+        default: XRL_EXPECTS(false);
+        }
+        values.push_back(result);
+    }
+    return b.finish({values.back()});
+}
+
+/// Each non-final op must be consumed by a later op (no dead compute).
+bool is_connected(const Program& program, int nv)
+{
+    for (std::size_t i = 0; i + 1 < program.size(); ++i) {
+        const int value_index = nv + static_cast<int>(i);
+        bool used = false;
+        for (std::size_t j = i + 1; j < program.size() && !used; ++j)
+            used = program[j].in0 == value_index || program[j].in1 == value_index;
+        if (!used) return false;
+    }
+    return true;
+}
+
+void enumerate_programs(const Generator_config& cfg, Program& current, std::vector<Program>& out)
+{
+    if (!current.empty() && is_connected(current, cfg.num_variables)) out.push_back(current);
+    if (static_cast<int>(current.size()) >= cfg.max_ops) return;
+    const int num_values = cfg.num_variables + static_cast<int>(current.size());
+    for (const Op_kind kind : unary_family) {
+        for (int a = 0; a < num_values; ++a) {
+            current.push_back({kind, a, -1});
+            enumerate_programs(cfg, current, out);
+            current.pop_back();
+        }
+    }
+    for (const Op_kind kind : binary_family) {
+        for (int a = 0; a < num_values; ++a) {
+            for (int b = 0; b < num_values; ++b) {
+                current.push_back({kind, a, b});
+                enumerate_programs(cfg, current, out);
+                current.pop_back();
+            }
+        }
+    }
+}
+
+Program sample_program(const Generator_config& cfg, int length, Rng& rng)
+{
+    Program program;
+    for (int i = 0; i < length; ++i) {
+        const int num_values = cfg.num_variables + i;
+        // Bias the final op toward consuming the previous one so sampled
+        // programs are usually connected.
+        const bool binary = rng.uniform() < 0.6;
+        Op_step step;
+        if (binary) {
+            step.kind = binary_family[rng.uniform_index(std::size(binary_family))];
+            step.in0 = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(num_values)));
+            step.in1 = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(num_values)));
+        } else {
+            step.kind = unary_family[rng.uniform_index(std::size(unary_family))];
+            step.in0 = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(num_values)));
+        }
+        program.push_back(step);
+    }
+    return program;
+}
+
+std::uint64_t fingerprint(const Graph& graph, const std::vector<Binding_map>& trials)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](std::uint64_t v) { h = (h ^ v) * 0x100000001b3ULL; };
+    for (const Binding_map& bindings : trials) {
+        const auto outputs = execute(graph, bindings);
+        for (const Tensor& t : outputs) {
+            for (const std::int64_t dim : t.shape()) mix(static_cast<std::uint64_t>(dim));
+            for (std::int64_t i = 0; i < t.volume(); ++i) {
+                // Quantise so float noise cannot split a group; verification
+                // weeds out accidental collisions.
+                mix(static_cast<std::uint64_t>(
+                    static_cast<std::int64_t>(std::round(t.at(i) * 256.0F))));
+            }
+        }
+    }
+    return h;
+}
+
+bool outputs_equal(const Graph& a, const Graph& b, const Binding_map& bindings, float tolerance)
+{
+    const auto oa = execute(a, bindings);
+    const auto ob = execute(b, bindings);
+    if (oa.size() != ob.size()) return false;
+    for (std::size_t i = 0; i < oa.size(); ++i)
+        if (!Tensor::all_close(oa[i], ob[i], tolerance)) return false;
+    return true;
+}
+
+Binding_map make_trial_bindings(int nv, Rng& rng)
+{
+    Binding_map bindings;
+    for (Node_id v = 0; v < nv; ++v)
+        bindings.emplace(v, Tensor::random_uniform({fp_dim, fp_dim}, rng, -1.0F, 1.0F));
+    return bindings;
+}
+
+} // namespace
+
+Generation_report generate_algebraic_rules(const Generator_config& cfg)
+{
+    XRL_EXPECTS(cfg.num_variables >= 1 && cfg.max_ops >= 1);
+    Generation_report report;
+    Rng rng(cfg.seed);
+
+    std::vector<Program> programs;
+    Program scratch;
+    enumerate_programs(cfg, scratch, programs);
+    for (int i = 0; i < cfg.extra_sampled_programs; ++i) {
+        Program p = sample_program(cfg, cfg.max_ops + 1, rng);
+        if (is_connected(p, cfg.num_variables)) programs.push_back(std::move(p));
+    }
+    report.programs_enumerated = static_cast<int>(programs.size());
+
+    // Build graphs, dedup structurally identical programs.
+    struct Candidate {
+        Program program;
+        Graph graph;
+        int cost;
+    };
+    std::vector<Candidate> candidates;
+    std::set<std::uint64_t> seen_structures;
+    for (const Program& p : programs) {
+        Graph g = build_graph(p, cfg.num_variables);
+        if (!seen_structures.insert(g.canonical_hash()).second) continue;
+        candidates.push_back({p, std::move(g), program_cost(p)});
+    }
+
+    // Fingerprint with shared trial inputs (variables share node ids 0..nv-1
+    // across all candidate graphs by construction).
+    std::vector<Binding_map> fp_trials;
+    for (int t = 0; t < cfg.fingerprint_trials; ++t)
+        fp_trials.push_back(make_trial_bindings(cfg.num_variables, rng));
+
+    std::map<std::uint64_t, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+        groups[fingerprint(candidates[i].graph, fp_trials)].push_back(i);
+
+    std::vector<Binding_map> verify_trials;
+    for (int t = 0; t < cfg.verify_trials; ++t)
+        verify_trials.push_back(make_trial_bindings(cfg.num_variables, rng));
+
+    std::set<std::pair<std::uint64_t, std::uint64_t>> emitted;
+    int rule_index = 0;
+    for (const auto& [fp, members] : groups) {
+        if (members.size() < 2) continue;
+        ++report.fingerprint_groups;
+        // Pair the cheapest member with every costlier one.
+        std::size_t best = members.front();
+        for (const std::size_t m : members)
+            if (candidates[m].cost < candidates[best].cost) best = m;
+        for (const std::size_t m : members) {
+            if (report.patterns.size() >= cfg.max_rules) break;
+            if (m == best || candidates[m].cost <= candidates[best].cost) continue;
+            ++report.pairs_considered;
+            const auto key = std::make_pair(candidates[m].graph.canonical_hash(),
+                                            candidates[best].graph.canonical_hash());
+            if (!emitted.insert(key).second) continue;
+            bool verified = true;
+            for (const Binding_map& bindings : verify_trials) {
+                if (!outputs_equal(candidates[m].graph, candidates[best].graph, bindings,
+                                   cfg.tolerance)) {
+                    verified = false;
+                    break;
+                }
+            }
+            if (!verified) {
+                ++report.pairs_rejected;
+                continue;
+            }
+            ++report.pairs_verified;
+            Pattern p;
+            p.name = "gen-" + std::to_string(rule_index++);
+            p.source = candidates[m].graph;
+            p.target = candidates[best].graph;
+            p.finalise();
+            report.patterns.push_back(std::move(p));
+        }
+        if (report.patterns.size() >= cfg.max_rules) break;
+    }
+    return report;
+}
+
+} // namespace xrl

@@ -1,0 +1,42 @@
+// TASO-style automatic rule generation.
+//
+// Mirrors the mechanism the paper inherits from TASO (§2.2.1/§3.2): small
+// operator DAGs are enumerated up to a constant size, fingerprinted by
+// executing them on random tensors, and every fingerprint-equal pair whose
+// costs differ becomes a candidate rewrite rule. Candidates are then
+// verified on further random inputs before being emitted (and can be
+// serialised to the text rule file).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rules/pattern.h"
+
+namespace xrl {
+
+struct Generator_config {
+    int max_ops = 2;             ///< Exhaustive enumeration depth.
+    int num_variables = 3;       ///< Variables available to each program.
+    int extra_sampled_programs = 400;  ///< Random size-(max_ops+1) programs.
+    int fingerprint_trials = 2;  ///< Random input sets used for grouping.
+    int verify_trials = 4;       ///< Additional input sets for verification.
+    float tolerance = 1e-3F;     ///< Max |difference| treated as equal.
+    std::size_t max_rules = 64;  ///< Emission cap.
+    std::uint64_t seed = 99;
+};
+
+struct Generation_report {
+    std::vector<Pattern> patterns;
+    int programs_enumerated = 0;
+    int fingerprint_groups = 0;
+    int pairs_considered = 0;
+    int pairs_verified = 0;
+    int pairs_rejected = 0;
+};
+
+/// Enumerate, fingerprint, verify and emit algebraic rewrite rules over the
+/// {add, mul, sub, relu, tanh, transpose, matmul, identity} operator family.
+Generation_report generate_algebraic_rules(const Generator_config& config);
+
+} // namespace xrl

@@ -1,0 +1,300 @@
+#include "rules/pattern.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+bool is_variable(const Graph& pattern_graph, Node_id id)
+{
+    return pattern_graph.node(id).kind == Op_kind::input;
+}
+
+} // namespace
+
+void Pattern::finalise()
+{
+    XRL_EXPECTS(!source.outputs().empty());
+    XRL_EXPECTS(source.outputs().size() == target.outputs().size());
+
+    source_variables.clear();
+    target_variables.clear();
+    for (const Node_id id : source.node_ids())
+        if (source.node(id).kind == Op_kind::input) source_variables.push_back(id);
+    for (const Node_id id : target.node_ids())
+        if (target.node(id).kind == Op_kind::input) target_variables.push_back(id);
+    XRL_EXPECTS(source_variables.size() == target_variables.size());
+
+    // Every internal source node must be reachable from the outputs: the
+    // matcher explores the pattern downward from its output producers.
+    // (Unused variables are permitted — generated rules keep a fixed-size
+    // variable list even when an identity drops an operand.)
+    std::unordered_set<Node_id> reachable;
+    std::vector<Node_id> stack;
+    for (const Edge& e : source.outputs()) {
+        if (reachable.insert(e.node).second) stack.push_back(e.node);
+    }
+    while (!stack.empty()) {
+        const Node_id id = stack.back();
+        stack.pop_back();
+        for (const Edge& e : source.node(id).inputs)
+            if (reachable.insert(e.node).second) stack.push_back(e.node);
+    }
+    for (const Node_id id : source.node_ids())
+        XRL_EXPECTS(reachable.contains(id) || is_variable(source, id));
+}
+
+namespace {
+
+struct Match_state {
+    std::unordered_map<Node_id, Edge> vars;      // source variable -> host edge
+    std::unordered_map<Node_id, Node_id> nodes;  // source internal -> host node
+    std::unordered_set<Node_id> used_host;
+};
+
+class Matcher {
+public:
+    Matcher(const Graph& host, const Pattern& pattern, std::size_t limit)
+        : host_(host), pattern_(pattern), limit_(limit), host_users_(host.build_users())
+    {
+        for (const Edge& e : pattern_.source.outputs()) {
+            if (std::find(roots_.begin(), roots_.end(), e.node) == roots_.end() &&
+                !is_variable(pattern_.source, e.node))
+                roots_.push_back(e.node);
+        }
+        host_nodes_ = host_.node_ids();
+    }
+
+    std::vector<Pattern_match> run()
+    {
+        Match_state state;
+        enumerate_roots(0, state);
+        return std::move(results_);
+    }
+
+private:
+    bool params_match(const Node& pattern_node, const Node& host_node, Node_id pattern_id) const
+    {
+        const auto mode_it = pattern_.param_modes.find(pattern_id);
+        const Param_match mode = mode_it == pattern_.param_modes.end() ? Param_match::exact : mode_it->second;
+        if (mode == Param_match::exact) return pattern_node.params == host_node.params;
+        const auto act_it = pattern_.required_activation.find(pattern_id);
+        if (act_it != pattern_.required_activation.end())
+            return host_node.params.activation == act_it->second;
+        return true;
+    }
+
+    bool match_edge(Match_state& state, const Edge& pattern_edge, const Edge& host_edge)
+    {
+        if (is_variable(pattern_.source, pattern_edge.node)) {
+            const auto [it, inserted] = state.vars.emplace(pattern_edge.node, host_edge);
+            return inserted || it->second == host_edge;
+        }
+        if (pattern_edge.port != host_edge.port) return false;
+        return match_node(state, pattern_edge.node, host_edge.node);
+    }
+
+    bool match_node(Match_state& state, Node_id pattern_id, Node_id host_id)
+    {
+        const auto existing = state.nodes.find(pattern_id);
+        if (existing != state.nodes.end()) return existing->second == host_id;
+        if (state.used_host.contains(host_id)) return false;
+
+        const Node& pn = pattern_.source.node(pattern_id);
+        const Node& hn = host_.node(host_id);
+        if (pn.kind != hn.kind) return false;
+        if (pn.inputs.size() != hn.inputs.size()) return false;
+        if (!params_match(pn, hn, pattern_id)) return false;
+
+        state.nodes.emplace(pattern_id, host_id);
+        state.used_host.insert(host_id);
+
+        if (is_commutative(pn.kind) && pn.inputs.size() == 2) {
+            // Try both operand orders; backtrack via state snapshots.
+            Match_state saved = state;
+            if (match_edge(state, pn.inputs[0], hn.inputs[0]) &&
+                match_edge(state, pn.inputs[1], hn.inputs[1]))
+                return true;
+            state = std::move(saved);
+            state.nodes.emplace(pattern_id, host_id);
+            state.used_host.insert(host_id);
+            if (match_edge(state, pn.inputs[0], hn.inputs[1]) &&
+                match_edge(state, pn.inputs[1], hn.inputs[0]))
+                return true;
+            return false;
+        }
+
+        for (std::size_t slot = 0; slot < pn.inputs.size(); ++slot)
+            if (!match_edge(state, pn.inputs[slot], hn.inputs[slot])) return false;
+        return true;
+    }
+
+    void enumerate_roots(std::size_t root_index, const Match_state& state)
+    {
+        if (results_.size() >= limit_) return;
+        if (root_index == roots_.size()) {
+            finish_match(state);
+            return;
+        }
+        const Node_id root = roots_[root_index];
+        const Op_kind kind = pattern_.source.node(root).kind;
+        for (const Node_id host_id : host_nodes_) {
+            if (results_.size() >= limit_) return;
+            if (host_.node(host_id).kind != kind) continue;
+            Match_state next = state;
+            if (match_node(next, root, host_id)) enumerate_roots(root_index + 1, next);
+        }
+    }
+
+    void finish_match(const Match_state& state)
+    {
+        // Equal-params constraints between matched source nodes.
+        for (const auto& [a, b] : pattern_.equal_params) {
+            const Node& ha = host_.node(state.nodes.at(a));
+            const Node& hb = host_.node(state.nodes.at(b));
+            if (!(ha.params == hb.params)) return;
+        }
+
+        // Internal matched nodes that do not produce a pattern output must
+        // have all their uses inside the match, and must not be graph
+        // outputs (TASO's substitution validity condition).
+        std::unordered_set<Node_id> matched;
+        for (const auto& [pn, hn] : state.nodes) matched.insert(hn);
+        std::unordered_set<Node_id> output_producers;
+        for (const Edge& e : pattern_.source.outputs()) {
+            if (!is_variable(pattern_.source, e.node))
+                output_producers.insert(state.nodes.at(e.node));
+        }
+        for (const Node_id hn : matched) {
+            if (output_producers.contains(hn)) continue;
+            for (const Edge_use& use : host_users_[static_cast<std::size_t>(hn)])
+                if (!matched.contains(use.user)) return;
+            for (const Edge& out : host_.outputs())
+                if (out.node == hn) return;
+        }
+
+        // Dedup identical matches reached via different search orders.
+        std::uint64_t key = 0x811c9dc5ULL;
+        auto mix = [&key](std::uint64_t v) { key = (key ^ v) * 0x100000001b3ULL; };
+        std::vector<std::pair<Node_id, Node_id>> sorted_nodes(state.nodes.begin(), state.nodes.end());
+        std::sort(sorted_nodes.begin(), sorted_nodes.end());
+        for (const auto& [pn, hn] : sorted_nodes) {
+            mix(static_cast<std::uint64_t>(pn));
+            mix(static_cast<std::uint64_t>(hn));
+        }
+        std::vector<std::pair<Node_id, Edge>> sorted_vars(state.vars.begin(), state.vars.end());
+        std::sort(sorted_vars.begin(), sorted_vars.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        for (const auto& [pv, e] : sorted_vars) {
+            mix(static_cast<std::uint64_t>(pv));
+            mix(static_cast<std::uint64_t>(e.node));
+            mix(static_cast<std::uint64_t>(e.port));
+        }
+        if (!seen_.insert(key).second) return;
+
+        results_.push_back(Pattern_match{state.vars, state.nodes});
+    }
+
+    const Graph& host_;
+    const Pattern& pattern_;
+    std::size_t limit_;
+    std::vector<std::vector<Edge_use>> host_users_;
+    std::vector<Node_id> roots_;
+    std::vector<Node_id> host_nodes_;
+    std::unordered_set<std::uint64_t> seen_;
+    std::vector<Pattern_match> results_;
+};
+
+} // namespace
+
+std::vector<Pattern_match> find_matches(const Graph& host, const Pattern& pattern, std::size_t limit)
+{
+    return Matcher(host, pattern, limit).run();
+}
+
+std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern, const Pattern_match& match)
+{
+    Graph out = host;
+
+    // Map source variable index -> bound host edge, then target variable
+    // node -> that edge.
+    std::unordered_map<Node_id, Edge> target_var_edges;
+    for (std::size_t i = 0; i < pattern.target_variables.size(); ++i) {
+        const Node_id source_var = pattern.source_variables[i];
+        const auto it = match.var_bindings.find(source_var);
+        if (it == match.var_bindings.end()) {
+            // A variable unused by any matched edge (can happen when the
+            // source output *is* the variable); nothing to bind.
+            continue;
+        }
+        target_var_edges.emplace(pattern.target_variables[i], it->second);
+    }
+
+    // Instantiate target nodes in topological order.
+    std::unordered_map<Node_id, Node_id> instantiated; // target node -> new host node
+    auto resolve = [&](const Edge& target_edge) -> Edge {
+        if (is_variable(pattern.target, target_edge.node)) {
+            const auto it = target_var_edges.find(target_edge.node);
+            XRL_EXPECTS(it != target_var_edges.end());
+            return it->second;
+        }
+        return Edge{instantiated.at(target_edge.node), target_edge.port};
+    };
+
+    try {
+        for (const Node_id tid : pattern.target.topo_order()) {
+            const Node& tn = pattern.target.node(tid);
+            if (tn.kind == Op_kind::input) continue;
+            if (tn.kind == Op_kind::constant) {
+                XRL_EXPECTS(tn.payload != nullptr);
+                const Node_id nid = out.add_constant(*tn.payload, tn.name);
+                instantiated.emplace(tid, nid);
+                continue;
+            }
+            std::vector<Edge> inputs;
+            inputs.reserve(tn.inputs.size());
+            for (const Edge& e : tn.inputs) inputs.push_back(resolve(e));
+
+            Op_params params = tn.params;
+            const auto transfer = pattern.param_transfers.find(tid);
+            if (transfer != pattern.param_transfers.end()) {
+                const Node_id matched_host = match.node_map.at(transfer->second.from_source_node);
+                params = host.node(matched_host).params;
+                if (transfer->second.set_activation.has_value())
+                    params.activation = *transfer->second.set_activation;
+            }
+            const Node_id nid = out.add_node(tn.kind, std::move(inputs), std::move(params), tn.name);
+            instantiated.emplace(tid, nid);
+        }
+
+        // Rewire each source output to the corresponding target output.
+        for (std::size_t k = 0; k < pattern.source.outputs().size(); ++k) {
+            const Edge src_out = pattern.source.outputs()[k];
+            Edge old_edge;
+            if (is_variable(pattern.source, src_out.node)) {
+                old_edge = match.var_bindings.at(src_out.node);
+            } else {
+                old_edge = Edge{match.node_map.at(src_out.node), src_out.port};
+            }
+            const Edge new_edge = resolve(pattern.target.outputs()[k]);
+            if (old_edge == new_edge) continue;
+            out.replace_all_uses(old_edge, new_edge);
+        }
+
+        if (!out.is_acyclic()) return std::nullopt;
+        out.eliminate_dead_nodes();
+        out.infer_shapes();
+        out.validate();
+    } catch (const Contract_violation&) {
+        // Shape inference rejected this instantiation (the rule does not
+        // apply at this site for these operand shapes).
+        return std::nullopt;
+    }
+    return out;
+}
+
+} // namespace xrl

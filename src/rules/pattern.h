@@ -1,0 +1,90 @@
+// Subgraph pattern matching and substitution.
+//
+// A Pattern is a pair of small graphs (source, target) over shared
+// variables, exactly as in TASO's rewrite rules (paper Figure 2): applying
+// a rule means pattern-matching the source against the host computation
+// graph and splicing in the target. Variables are `input` nodes; the i-th
+// variable of the target binds to whatever matched the i-th variable of the
+// source.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/graph.h"
+
+namespace xrl {
+
+/// How a source-pattern node's parameters participate in matching.
+enum class Param_match : std::uint8_t {
+    exact,   ///< Host params must equal the pattern node's params.
+    ignore,  ///< Any params match (geometry wildcards, e.g. conv stride).
+};
+
+/// Copy parameters from a matched source node into a target node when the
+/// target is instantiated; optionally overriding the fused activation.
+struct Param_transfer {
+    Node_id from_source_node = invalid_node;
+    std::optional<Activation> set_activation;
+};
+
+/// A rewrite pattern. Invariants: `source` and `target` have the same number
+/// of variables (input nodes, matched by order of node id) and the same
+/// number of outputs.
+struct Pattern {
+    std::string name;
+    Graph source;
+    Graph target;
+
+    /// Per source node id: matching mode (defaults to exact).
+    std::unordered_map<Node_id, Param_match> param_modes;
+
+    /// When a source node's params are ignored, optionally still require its
+    /// fused activation to equal this value.
+    std::unordered_map<Node_id, Activation> required_activation;
+
+    /// Pairs of source nodes whose matched host params must be equal
+    /// (e.g. two convolutions with identical geometry).
+    std::vector<std::pair<Node_id, Node_id>> equal_params;
+
+    /// Per target node id: params copied from the matched source node.
+    std::unordered_map<Node_id, Param_transfer> param_transfers;
+
+    /// Ordered variable lists (computed by finalise()).
+    std::vector<Node_id> source_variables;
+    std::vector<Node_id> target_variables;
+
+    /// Validate structure and compute the variable lists. Call once after
+    /// construction.
+    void finalise();
+};
+
+/// A successful match of a pattern source against a host graph.
+struct Pattern_match {
+    /// Source variable node -> host edge bound to it.
+    std::unordered_map<Node_id, Edge> var_bindings;
+    /// Source internal node -> host node.
+    std::unordered_map<Node_id, Node_id> node_map;
+};
+
+/// Find (up to `limit`) matches of `pattern.source` in `host`.
+///
+/// Enforced conditions: operator kinds and arities agree; params agree per
+/// `param_modes`/`equal_params`; the mapping is injective on internal
+/// nodes; matched internal nodes that do not produce a pattern output have
+/// no uses outside the match (TASO's substitution condition).
+std::vector<Pattern_match> find_matches(const Graph& host, const Pattern& pattern,
+                                        std::size_t limit = SIZE_MAX);
+
+/// Splice `pattern.target` into a copy of `host` at `match`.
+///
+/// Returns the transformed graph (shapes inferred, dead nodes removed,
+/// validated), or std::nullopt when the transformation is structurally
+/// invalid at this site (shape inference failure or a cycle).
+std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern,
+                                 const Pattern_match& match);
+
+} // namespace xrl

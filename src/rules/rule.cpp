@@ -1,0 +1,21 @@
+#include "rules/rule.h"
+
+namespace xrl {
+
+Pattern_rule::Pattern_rule(Pattern pattern) : Rewrite_rule(pattern.name), pattern_(std::move(pattern))
+{
+    pattern_.finalise();
+}
+
+std::vector<Graph> Pattern_rule::apply_all(const Graph& graph, std::size_t limit) const
+{
+    std::vector<Graph> out;
+    for (const Pattern_match& match : find_matches(graph, pattern_, limit)) {
+        if (out.size() >= limit) break;
+        if (auto transformed = apply_match(graph, pattern_, match); transformed.has_value())
+            out.push_back(std::move(*transformed));
+    }
+    return out;
+}
+
+} // namespace xrl

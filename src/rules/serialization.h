@@ -1,0 +1,27 @@
+// Rule (de)serialisation.
+//
+// The paper (§3.2): rewrite rules "are serialised to a text file. At the
+// beginning of the optimisation phase, rewrite rules are deserialised from
+// the text file and activated." This module implements that round-trip for
+// declarative Patterns (generated rules use it; bespoke rules are code).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rules/pattern.h"
+
+namespace xrl {
+
+/// Write patterns in the textual rule format.
+void serialise_patterns(std::ostream& os, const std::vector<Pattern>& patterns);
+
+/// Parse patterns back; throws Contract_violation on malformed input.
+std::vector<Pattern> deserialise_patterns(std::istream& is);
+
+/// File-based convenience wrappers.
+void save_patterns(const std::string& path, const std::vector<Pattern>& patterns);
+std::vector<Pattern> load_patterns(const std::string& path);
+
+} // namespace xrl

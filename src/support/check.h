@@ -1,0 +1,52 @@
+// Precondition / postcondition / invariant checks, in the spirit of the
+// GSL Expects()/Ensures() placeholders recommended by the C++ Core
+// Guidelines (I.6, I.8). Violations throw so tests can observe them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace xrl {
+
+/// Thrown when a contract (precondition, postcondition, invariant) fails.
+class Contract_violation : public std::logic_error {
+public:
+    explicit Contract_violation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+#ifdef XRL_BACKTRACE_ON_CONTRACT_FAIL
+void dump_backtrace();
+#endif
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line)
+{
+#ifdef XRL_BACKTRACE_ON_CONTRACT_FAIL
+    dump_backtrace();
+#endif
+    std::ostringstream os;
+    os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+    throw Contract_violation(os.str());
+}
+
+} // namespace detail
+
+} // namespace xrl
+
+#define XRL_EXPECTS(cond)                                                        \
+    do {                                                                         \
+        if (!(cond)) ::xrl::detail::contract_fail("Expects", #cond, __FILE__, __LINE__); \
+    } while (false)
+
+#define XRL_ENSURES(cond)                                                        \
+    do {                                                                         \
+        if (!(cond)) ::xrl::detail::contract_fail("Ensures", #cond, __FILE__, __LINE__); \
+    } while (false)
+
+#define XRL_ASSERT(cond)                                                         \
+    do {                                                                         \
+        if (!(cond)) ::xrl::detail::contract_fail("Assert", #cond, __FILE__, __LINE__); \
+    } while (false)

@@ -1,0 +1,39 @@
+#include "support/config.h"
+
+#include <cstdlib>
+
+namespace xrl {
+
+std::string env_or(const std::string& name, const std::string& fallback)
+{
+    const char* v = std::getenv(name.c_str());
+    if (v == nullptr || *v == '\0') return fallback;
+    return std::string(v);
+}
+
+std::int64_t env_or_int(const std::string& name, std::int64_t fallback)
+{
+    const std::string v = env_or(name, "");
+    if (v.empty()) return fallback;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0') return fallback;
+    return parsed;
+}
+
+Scale scale_from_env()
+{
+    return env_or("XRLFLOW_SCALE", "smoke") == "paper" ? Scale::paper : Scale::smoke;
+}
+
+std::uint64_t seed_from_env()
+{
+    return static_cast<std::uint64_t>(env_or_int("XRLFLOW_SEED", 7));
+}
+
+int episodes_from_env()
+{
+    return static_cast<int>(env_or_int("XRLFLOW_EPISODES", 0));
+}
+
+} // namespace xrl

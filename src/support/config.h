@@ -1,0 +1,31 @@
+// Process-wide experiment configuration, read once from environment
+// variables. Keeps benchmark binaries scriptable without argv plumbing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xrl {
+
+/// Experiment scale. `smoke` (default) shrinks model depth and RL episode
+/// counts so the whole bench suite completes in minutes on a laptop CPU;
+/// `paper` runs full-size models and longer training.
+enum class Scale { smoke, paper };
+
+/// Read an environment variable, returning `fallback` when unset/empty.
+std::string env_or(const std::string& name, const std::string& fallback);
+
+/// Read an integer environment variable, returning `fallback` when
+/// unset/invalid.
+std::int64_t env_or_int(const std::string& name, std::int64_t fallback);
+
+/// XRLFLOW_SCALE=smoke|paper (default smoke).
+Scale scale_from_env();
+
+/// XRLFLOW_SEED (default 7).
+std::uint64_t seed_from_env();
+
+/// XRLFLOW_EPISODES override for RL training benches (0 = use scale default).
+int episodes_from_env();
+
+} // namespace xrl

@@ -1,0 +1,66 @@
+#include "support/logging.h"
+
+#include <iostream>
+
+#include "support/config.h"
+
+namespace xrl {
+
+namespace {
+
+Log_level initial_threshold()
+{
+    const std::string v = env_or("XRLFLOW_LOG", "info");
+    if (v == "debug") return Log_level::debug;
+    if (v == "warn") return Log_level::warn;
+    if (v == "error") return Log_level::error;
+    return Log_level::info;
+}
+
+Log_level& threshold_ref()
+{
+    static Log_level level = initial_threshold();
+    return level;
+}
+
+const char* level_name(Log_level level)
+{
+    switch (level) {
+    case Log_level::debug: return "DEBUG";
+    case Log_level::info: return "INFO";
+    case Log_level::warn: return "WARN";
+    case Log_level::error: return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace
+
+Log_level log_threshold()
+{
+    return threshold_ref();
+}
+
+void set_log_threshold(Log_level level)
+{
+    threshold_ref() = level;
+}
+
+void log_message(Log_level level, const std::string& message)
+{
+    std::cerr << "[xrlflow " << level_name(level) << "] " << message << '\n';
+}
+
+} // namespace xrl
+
+#include <execinfo.h>
+namespace xrl {
+namespace detail {
+void dump_backtrace()
+{
+    void* frames[40];
+    const int n = ::backtrace(frames, 40);
+    ::backtrace_symbols_fd(frames, n, 2);
+}
+} // namespace detail
+} // namespace xrl

@@ -1,0 +1,60 @@
+// Minimal leveled logging to stderr. Intentionally tiny: benches and
+// examples print their results to stdout themselves; the log is for
+// progress/diagnostic lines only.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace xrl {
+
+enum class Log_level { debug = 0, info = 1, warn = 2, error = 3 };
+
+/// Global threshold; messages below it are dropped. Default: info.
+/// Override with XRLFLOW_LOG=debug|info|warn|error.
+Log_level log_threshold();
+void set_log_threshold(Log_level level);
+
+void log_message(Log_level level, const std::string& message);
+
+namespace detail {
+
+template <typename... Args>
+std::string format_parts(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args)
+{
+    if (log_threshold() <= Log_level::debug)
+        log_message(Log_level::debug, detail::format_parts(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(Args&&... args)
+{
+    if (log_threshold() <= Log_level::info)
+        log_message(Log_level::info, detail::format_parts(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(Args&&... args)
+{
+    if (log_threshold() <= Log_level::warn)
+        log_message(Log_level::warn, detail::format_parts(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(Args&&... args)
+{
+    if (log_threshold() <= Log_level::error)
+        log_message(Log_level::error, detail::format_parts(std::forward<Args>(args)...));
+}
+
+} // namespace xrl

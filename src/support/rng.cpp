@@ -1,0 +1,113 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace xrl {
+
+std::uint64_t splitmix64(std::uint64_t& state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+std::uint64_t rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double Rng::uniform()
+{
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::size_t Rng::uniform_index(std::size_t n)
+{
+    XRL_EXPECTS(n > 0);
+    return static_cast<std::size_t>(next_u64() % n);
+}
+
+double Rng::normal()
+{
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * 3.14159265358979323846 * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+std::vector<float> Rng::uniform_vector(std::size_t n, float lo, float hi)
+{
+    std::vector<float> v(n);
+    for (auto& x : v) x = static_cast<float>(uniform(lo, hi));
+    return v;
+}
+
+std::size_t Rng::sample_weights(const std::vector<double>& weights)
+{
+    XRL_EXPECTS(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+        XRL_EXPECTS(w >= 0.0);
+        total += w;
+    }
+    XRL_EXPECTS(total > 0.0);
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r <= 0.0) return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng Rng::split()
+{
+    return Rng(next_u64());
+}
+
+} // namespace xrl

@@ -1,0 +1,55 @@
+// Deterministic, seedable random number generation (xoshiro256**).
+//
+// All stochastic components of the system (rule-generator fingerprints,
+// latency measurement noise, PPO sampling, weight init) draw from explicit
+// Rng instances so experiments are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xrl {
+
+/// Counter-free splitmix64; used to expand a single seed into xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator. Small, fast, and good enough for simulation and
+/// initialisation purposes (not cryptographic).
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /// Uniform 64-bit value.
+    std::uint64_t next_u64();
+
+    /// Uniform in [0, 1).
+    double uniform();
+
+    /// Uniform in [lo, hi).
+    double uniform(double lo, double hi);
+
+    /// Uniform integer in [0, n). Requires n > 0.
+    std::size_t uniform_index(std::size_t n);
+
+    /// Standard normal via Box-Muller.
+    double normal();
+
+    /// Normal with the given mean and standard deviation.
+    double normal(double mean, double stddev);
+
+    /// Vector of iid uniform floats in [lo, hi).
+    std::vector<float> uniform_vector(std::size_t n, float lo, float hi);
+
+    /// Sample an index from an (unnormalised, non-negative) weight vector.
+    std::size_t sample_weights(const std::vector<double>& weights);
+
+    /// Split off an independently-seeded child generator.
+    Rng split();
+
+private:
+    std::uint64_t s_[4];
+    bool has_cached_normal_ = false;
+    double cached_normal_ = 0.0;
+};
+
+} // namespace xrl

@@ -1,0 +1,112 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/check.h"
+
+namespace xrl {
+
+std::int64_t shape_volume(const Shape& shape)
+{
+    std::int64_t v = 1;
+    for (const std::int64_t d : shape) {
+        XRL_EXPECTS(d >= 0);
+        v *= d;
+    }
+    return v;
+}
+
+std::string shape_to_string(const Shape& shape)
+{
+    std::ostringstream os;
+    os << '[';
+    for (std::size_t i = 0; i < shape.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << shape[i];
+    }
+    os << ']';
+    return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(static_cast<std::size_t>(shape_volume(shape_)), 0.0F)
+{
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data) : shape_(std::move(shape)), data_(std::move(data))
+{
+    XRL_EXPECTS(static_cast<std::int64_t>(data_.size()) == shape_volume(shape_));
+}
+
+Tensor Tensor::scalar(float value)
+{
+    return Tensor(Shape{}, std::vector<float>{value});
+}
+
+Tensor Tensor::full(Shape shape, float value)
+{
+    Tensor t(std::move(shape));
+    std::fill(t.data_.begin(), t.data_.end(), value);
+    return t;
+}
+
+Tensor Tensor::random_uniform(Shape shape, Rng& rng, float lo, float hi)
+{
+    Tensor t(std::move(shape));
+    for (auto& x : t.data_) x = static_cast<float>(rng.uniform(lo, hi));
+    return t;
+}
+
+std::int64_t Tensor::dim(std::int64_t axis) const
+{
+    XRL_EXPECTS(axis >= 0 && axis < rank());
+    return shape_[static_cast<std::size_t>(axis)];
+}
+
+float& Tensor::at(std::int64_t flat_index)
+{
+    XRL_EXPECTS(flat_index >= 0 && flat_index < volume());
+    return data_[static_cast<std::size_t>(flat_index)];
+}
+
+float Tensor::at(std::int64_t flat_index) const
+{
+    XRL_EXPECTS(flat_index >= 0 && flat_index < volume());
+    return data_[static_cast<std::size_t>(flat_index)];
+}
+
+std::int64_t Tensor::flat_index(const std::vector<std::int64_t>& index) const
+{
+    XRL_EXPECTS(static_cast<std::int64_t>(index.size()) == rank());
+    std::int64_t flat = 0;
+    for (std::size_t axis = 0; axis < index.size(); ++axis) {
+        XRL_EXPECTS(index[axis] >= 0 && index[axis] < shape_[axis]);
+        flat = flat * shape_[axis] + index[axis];
+    }
+    return flat;
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const
+{
+    XRL_EXPECTS(shape_volume(new_shape) == volume());
+    return Tensor(std::move(new_shape), data_);
+}
+
+float Tensor::max_abs_difference(const Tensor& a, const Tensor& b)
+{
+    XRL_EXPECTS(a.shape() == b.shape());
+    float worst = 0.0F;
+    for (std::int64_t i = 0; i < a.volume(); ++i)
+        worst = std::max(worst, std::abs(a.at(i) - b.at(i)));
+    return worst;
+}
+
+bool Tensor::all_close(const Tensor& a, const Tensor& b, float tolerance)
+{
+    if (a.shape() != b.shape()) return false;
+    return max_abs_difference(a, b) <= tolerance;
+}
+
+} // namespace xrl

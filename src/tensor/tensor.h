@@ -1,0 +1,76 @@
+// Dense row-major float tensor.
+//
+// This is the *reference* numeric substrate: it executes operators exactly
+// (naively) so that the rewrite-rule generator and the property-test suite
+// can check that graph transformations preserve semantics on random inputs.
+// It is deliberately simple — clarity over speed (Per.1/Per.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace xrl {
+
+/// Tensor shape: a list of extents. Rank 0 denotes a scalar.
+using Shape = std::vector<std::int64_t>;
+
+/// Number of elements in a shape (1 for scalars).
+std::int64_t shape_volume(const Shape& shape);
+
+/// Human-readable "[a, b, c]" form.
+std::string shape_to_string(const Shape& shape);
+
+/// Dense row-major float tensor with value semantics.
+class Tensor {
+public:
+    Tensor() = default;
+
+    /// Zero-initialised tensor of the given shape.
+    explicit Tensor(Shape shape);
+
+    /// Tensor with explicit contents; data.size() must equal the volume.
+    Tensor(Shape shape, std::vector<float> data);
+
+    /// Scalar tensor.
+    static Tensor scalar(float value);
+
+    /// Constant-filled tensor.
+    static Tensor full(Shape shape, float value);
+
+    /// Uniform random tensor in [lo, hi).
+    static Tensor random_uniform(Shape shape, Rng& rng, float lo = -1.0F, float hi = 1.0F);
+
+    const Shape& shape() const { return shape_; }
+    std::int64_t rank() const { return static_cast<std::int64_t>(shape_.size()); }
+    std::int64_t dim(std::int64_t axis) const;
+    std::int64_t volume() const { return static_cast<std::int64_t>(data_.size()); }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+    std::vector<float>& values() { return data_; }
+    const std::vector<float>& values() const { return data_; }
+
+    float& at(std::int64_t flat_index);
+    float at(std::int64_t flat_index) const;
+
+    /// Row-major flat index for a multi-index (size must equal rank).
+    std::int64_t flat_index(const std::vector<std::int64_t>& index) const;
+
+    /// Reinterpret as a new shape with the same volume.
+    Tensor reshaped(Shape new_shape) const;
+
+    /// Max |a - b| over all elements; shapes must match.
+    static float max_abs_difference(const Tensor& a, const Tensor& b);
+
+    /// True when shapes match and all elements differ by at most `tolerance`.
+    static bool all_close(const Tensor& a, const Tensor& b, float tolerance = 1e-4F);
+
+private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+} // namespace xrl

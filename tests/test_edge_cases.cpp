@@ -1,0 +1,280 @@
+// Edge-case and failure-injection tests across modules.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/agent.h"
+#include "core/checkpoint.h"
+#include "env/environment.h"
+#include "ir/builder.h"
+#include "ir/executor.h"
+#include "models/models.h"
+#include "nn/adam.h"
+#include "optimizers/tensat/egraph.h"
+#include "rules/corpus.h"
+#include "support/check.h"
+
+namespace xrl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Autograd corner cases
+// ---------------------------------------------------------------------------
+
+TEST(AutogradEdge, BackwardRequiresScalarLoss)
+{
+    Tape tape;
+    const Var v = tape.constant(Tensor(Shape{2, 2}));
+    EXPECT_THROW(tape.backward(v), Contract_violation);
+}
+
+TEST(AutogradEdge, LogRejectsNonPositive)
+{
+    Tape tape;
+    const Var v = tape.constant(Tensor(Shape{1, 1}, {-1.0F}));
+    EXPECT_THROW(tape.log(v), Contract_violation);
+}
+
+TEST(AutogradEdge, GatherRejectsOutOfRangeRow)
+{
+    Tape tape;
+    const Var v = tape.constant(Tensor(Shape{2, 3}));
+    EXPECT_THROW(tape.gather_rows(v, {2}), Contract_violation);
+}
+
+TEST(AutogradEdge, SegmentSumRejectsBadSegmentId)
+{
+    Tape tape;
+    const Var v = tape.constant(Tensor(Shape{2, 3}));
+    EXPECT_THROW(tape.segment_sum(v, {0, 5}, 2), Contract_violation);
+}
+
+TEST(AutogradEdge, EmptyRowConcatWorks)
+{
+    Tape tape;
+    const Var empty = tape.gather_rows(tape.constant(Tensor(Shape{3, 4})), {});
+    const Var row = tape.constant(Tensor::full({1, 4}, 2.0F));
+    const Var joined = tape.concat_rows(empty, row);
+    EXPECT_EQ(tape.value(joined).shape(), (Shape{1, 4}));
+    EXPECT_EQ(tape.value(joined).at(0), 2.0F);
+}
+
+TEST(AutogradEdge, ManyOpsOnOneTapeStaysConsistent)
+{
+    // Regression guard for the reallocation bug: sizes captured from
+    // dangling references after push(). Chain enough ops to force several
+    // vector growths.
+    Rng rng(99);
+    Parameter p(Tensor::random_uniform({4, 4}, rng));
+    Tape tape;
+    Var v = tape.param(p);
+    for (int i = 0; i < 200; ++i) {
+        v = tape.concat_cols(v, v);
+        v = tape.gather_rows(v, {0, 1, 2, 3});
+        // Keep width bounded: take a matmul back down to 4 columns.
+        Tensor reduce(Shape{tape.value(v).dim(1), 4});
+        for (std::int64_t r = 0; r < reduce.dim(0); ++r) reduce.at(r * 4 + r % 4) = 0.5F;
+        v = tape.matmul(v, tape.constant(reduce));
+    }
+    const Var loss = tape.sum_all(v);
+    EXPECT_NO_THROW(tape.backward(loss));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint failure injection
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointEdge, RejectsWrongParameterCount)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "xrl_ckpt_count.bin").string();
+    Parameter a(Tensor(Shape{2, 2}));
+    Parameter b(Tensor(Shape{2, 2}));
+    save_parameters(path, {&a});
+    EXPECT_THROW(load_parameters(path, {&a, &b}), Contract_violation);
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointEdge, RejectsShapeMismatch)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "xrl_ckpt_shape.bin").string();
+    Parameter a(Tensor(Shape{2, 2}));
+    save_parameters(path, {&a});
+    Parameter wrong(Tensor(Shape{4, 1}));
+    EXPECT_THROW(load_parameters(path, {&wrong}), Contract_violation);
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointEdge, RejectsCorruptMagic)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "xrl_ckpt_magic.bin").string();
+    {
+        std::ofstream os(path, std::ios::binary);
+        const std::uint64_t garbage = 0xdeadbeefULL;
+        os.write(reinterpret_cast<const char*>(&garbage), sizeof(garbage));
+        os.write(reinterpret_cast<const char*>(&garbage), sizeof(garbage));
+    }
+    Parameter a(Tensor(Shape{1, 1}));
+    EXPECT_THROW(load_parameters(path, {&a}), Contract_violation);
+    std::filesystem::remove(path);
+}
+
+TEST(CheckpointEdge, MissingFileThrows)
+{
+    Parameter a(Tensor(Shape{1, 1}));
+    EXPECT_THROW(load_parameters("/nonexistent/xrl.bin", {&a}), Contract_violation);
+}
+
+// ---------------------------------------------------------------------------
+// E-graph extraction details
+// ---------------------------------------------------------------------------
+
+TEST(EgraphEdge, ExtractionPrefersCheaperEquivalent)
+{
+    // Build relu(relu(x)) and union its class with relu(x); extraction must
+    // pick the single-relu derivation.
+    E_graph eg;
+    E_node x;
+    x.kind = Op_kind::input;
+    x.leaf_id = 0;
+    x.leaf_shape = {4, 4};
+    const Eclass_id cx = eg.add(x);
+    E_node r1;
+    r1.kind = Op_kind::relu;
+    r1.children = {cx};
+    const Eclass_id cr1 = eg.add(r1);
+    E_node r2;
+    r2.kind = Op_kind::relu;
+    r2.children = {cr1};
+    const Eclass_id cr2 = eg.add(r2);
+    eg.merge(cr1, cr2);
+    eg.rebuild();
+
+    const Cost_model cost(gtx1080_profile());
+    const auto extracted = extract_best(eg, {eg.find(cr2)}, cost);
+    ASSERT_TRUE(extracted.has_value());
+    int relus = 0;
+    for (const Node_id id : extracted->node_ids())
+        if (extracted->node(id).kind == Op_kind::relu) ++relus;
+    EXPECT_EQ(relus, 1);
+}
+
+TEST(EgraphEdge, SharedSubgraphExtractsOnce)
+{
+    // Diamond: two consumers of the same class materialise one node.
+    Graph_builder b;
+    const Edge x = b.input({4, 4});
+    const Edge r = b.relu(x);
+    const Graph g = b.finish({b.add(r, r)});
+    const Egraph_encoding enc = encode_graph(g);
+    const Cost_model cost(gtx1080_profile());
+    const auto extracted = extract_best(enc.egraph, enc.roots, cost);
+    ASSERT_TRUE(extracted.has_value());
+    EXPECT_EQ(extracted->size(), g.size());
+}
+
+// ---------------------------------------------------------------------------
+// Environment edges
+// ---------------------------------------------------------------------------
+
+TEST(EnvironmentEdge, GraphWithNoRewritesStartsDone)
+{
+    Graph_builder b;
+    const Edge x = b.input({4, 4});
+    const Graph g = b.finish({b.softmax(x)}); // nothing in the corpus matches
+    const Rule_set rules = standard_rule_corpus();
+    E2e_simulator sim(gtx1080_profile(), 3);
+    Environment env(g, rules, sim);
+    EXPECT_TRUE(env.done());
+    EXPECT_TRUE(env.candidates().empty());
+}
+
+TEST(EnvironmentEdge, StepAfterDoneThrows)
+{
+    Graph_builder b;
+    const Edge x = b.input({4, 4});
+    const Graph g = b.finish({b.softmax(x)});
+    const Rule_set rules = standard_rule_corpus();
+    E2e_simulator sim(gtx1080_profile(), 3);
+    Environment env(g, rules, sim);
+    EXPECT_THROW(env.step(0), Contract_violation);
+}
+
+TEST(EnvironmentEdge, TruncationCountsOverflowCandidates)
+{
+    Env_config config;
+    config.max_candidates = 2; // force truncation on a rich graph
+    const Rule_set rules = standard_rule_corpus();
+    E2e_simulator sim(gtx1080_profile(), 3);
+    Environment env(make_bert(Scale::smoke, 16), rules, sim, config);
+    EXPECT_EQ(env.candidates().size(), 2u);
+    EXPECT_GT(env.truncated_candidates(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Executor / model edges
+// ---------------------------------------------------------------------------
+
+TEST(ExecutorEdge, BatchedMatmulThroughGraph)
+{
+    Graph_builder b;
+    const Edge a = b.input({2, 3, 4}, "a");
+    const Edge c = b.input({2, 4, 5}, "c");
+    const Graph g = b.finish({b.matmul(a, c)});
+    Rng rng(7);
+    const auto outs = execute(g, random_bindings(g, rng));
+    EXPECT_EQ(outs[0].shape(), (Shape{2, 3, 5}));
+}
+
+TEST(ExecutorEdge, EnlargeThenConvExecutes)
+{
+    Graph_builder b;
+    const Edge x = b.input({1, 2, 5, 5}, "x");
+    const Edge w = b.weight({3, 2, 1, 1});
+    const Edge big = b.enlarge(w, 3, 3);
+    const Graph g = b.finish({b.conv2d(x, big, 1, 1)});
+    Rng rng(8);
+    const auto outs = execute(g, random_bindings(g, rng));
+    EXPECT_EQ(outs[0].shape(), (Shape{1, 3, 5, 5}));
+}
+
+TEST(ModelsEdge, VitRequiresPatchAlignedImages)
+{
+    EXPECT_THROW(make_vit(Scale::smoke, 50), Contract_violation); // 50 % 16 != 0
+}
+
+TEST(AdamEdge, StepWithZeroGradIsNoOpAfterWarmup)
+{
+    Parameter p(Tensor::full({1, 1}, 1.0F));
+    Adam_config config;
+    config.learning_rate = 0.1;
+    Adam adam({&p}, config);
+    // No gradient accumulated: moments stay zero, value unchanged.
+    adam.step();
+    EXPECT_FLOAT_EQ(p.value.at(0), 1.0F);
+}
+
+TEST(AgentEdge, ZeroCandidateStateStillScoresNoop)
+{
+    Agent_config config;
+    config.gnn.hidden_dim = 8;
+    config.gnn.global_dim = 8;
+    config.gnn.num_gat_layers = 1;
+    config.head_hidden = {8};
+    config.max_candidates = 7;
+    Agent agent(config, 1);
+    const Graph g = make_dense_layer_example();
+    const Encoded_graph state = encode_meta_graph(g, {}); // no candidates
+    std::vector<std::uint8_t> mask(8, 0);
+    mask[7] = 1; // only No-Op valid
+    Rng rng(2);
+    const auto decision = agent.act(state, mask, rng);
+    EXPECT_EQ(decision.action, 7);
+}
+
+} // namespace
+} // namespace xrl

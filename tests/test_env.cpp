@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "env/environment.h"
+#include "ir/builder.h"
+#include "models/models.h"
+#include "rules/corpus.h"
+#include "support/check.h"
+
+namespace xrl {
+namespace {
+
+Graph fusable_chain()
+{
+    // Three fusable relu(matmul) pairs => a short but non-trivial episode.
+    Graph_builder b;
+    Edge x = b.input({8, 16}, "x");
+    for (int i = 0; i < 3; ++i) {
+        const Edge w = b.weight({16, 16});
+        x = b.relu(b.matmul(x, w));
+    }
+    return b.finish({x});
+}
+
+struct Env_fixture {
+    Rule_set rules = standard_rule_corpus();
+    E2e_simulator sim{gtx1080_profile(), 99};
+};
+
+TEST(Environment, ResetProducesCandidates)
+{
+    Env_fixture f;
+    Environment env(fusable_chain(), f.rules, f.sim);
+    EXPECT_FALSE(env.done());
+    EXPECT_FALSE(env.candidates().empty());
+    EXPECT_GT(env.initial_latency_ms(), 0.0);
+}
+
+TEST(Environment, MaskMarksCandidatesAndNoop)
+{
+    Env_fixture f;
+    Environment env(fusable_chain(), f.rules, f.sim);
+    const auto mask = env.action_mask();
+    EXPECT_EQ(mask.size(), static_cast<std::size_t>(env.action_space()));
+    for (std::size_t i = 0; i < env.candidates().size(); ++i) EXPECT_EQ(mask[i], 1);
+    for (std::size_t i = env.candidates().size(); i + 1 < mask.size(); ++i) EXPECT_EQ(mask[i], 0);
+    EXPECT_EQ(mask.back(), 1); // No-Op always legal
+}
+
+TEST(Environment, NoopTerminatesEpisode)
+{
+    Env_fixture f;
+    Environment env(fusable_chain(), f.rules, f.sim);
+    const Env_step result = env.step(env.noop_action());
+    EXPECT_TRUE(result.done);
+    EXPECT_TRUE(env.done());
+    EXPECT_TRUE(result.measured); // terminal steps measure
+}
+
+TEST(Environment, StepAppliesCandidate)
+{
+    Env_fixture f;
+    Environment env(fusable_chain(), f.rules, f.sim);
+    const std::uint64_t before = env.current_graph().canonical_hash();
+    env.step(0);
+    EXPECT_NE(env.current_graph().canonical_hash(), before);
+    EXPECT_EQ(env.steps_taken(), 1);
+}
+
+TEST(Environment, ExplorationRewardBetweenMeasurements)
+{
+    Env_fixture f;
+    Env_config config;
+    config.feedback_frequency = 5;
+    Environment env(fusable_chain(), f.rules, f.sim, config);
+    const Env_step r1 = env.step(0);
+    if (!r1.done) {
+        EXPECT_FALSE(r1.measured);
+        EXPECT_DOUBLE_EQ(r1.reward, config.exploration_reward);
+    }
+}
+
+TEST(Environment, MeasuresEveryNSteps)
+{
+    Env_fixture f;
+    Env_config config;
+    config.feedback_frequency = 2;
+    Environment env(fusable_chain(), f.rules, f.sim, config);
+    const Env_step r1 = env.step(0); // step 1: not measured (unless done)
+    const Env_step r2 = env.done() ? r1 : env.step(0); // step 2: measured
+    if (!r1.done) {
+        EXPECT_FALSE(r1.measured);
+        EXPECT_TRUE(r2.measured);
+    }
+}
+
+TEST(Environment, Eq2RewardSignTracksImprovement)
+{
+    // Merging two shared-input matmuls removes a kernel launch, so under a
+    // noise-free device the Eq. 2 reward must be strictly positive.
+    Graph_builder b;
+    const Edge x = b.input({8, 64}, "x");
+    const Edge w1 = b.weight({64, 32});
+    const Edge w2 = b.weight({64, 32});
+    const Graph g = b.finish({b.matmul(x, w1), b.matmul(x, w2)});
+
+    Device_profile quiet = gtx1080_profile();
+    quiet.measurement_noise = 0.0;
+    E2e_simulator sim(quiet, 5);
+    const Rule_set rules = standard_rule_corpus();
+    Env_config config;
+    config.feedback_frequency = 1; // measure every step
+    Environment env(g, rules, sim, config);
+
+    const auto& candidates = env.candidates();
+    int merge_index = -1;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const auto& name = env.rules()[static_cast<std::size_t>(candidates[i].rule_index)]->name();
+        if (name == "merge-matmul-shared-lhs") {
+            merge_index = static_cast<int>(i);
+            break;
+        }
+    }
+    ASSERT_GE(merge_index, 0);
+    const Env_step result = env.step(merge_index);
+    EXPECT_TRUE(result.measured);
+    EXPECT_GT(result.reward, 0.0);
+}
+
+TEST(Environment, RuleCountsTrackApplications)
+{
+    Env_fixture f;
+    Environment env(fusable_chain(), f.rules, f.sim);
+    const int rule = env.candidates()[0].rule_index;
+    env.step(0);
+    EXPECT_EQ(env.rule_application_counts()[static_cast<std::size_t>(rule)], 1);
+}
+
+TEST(Environment, MaxStepsTerminates)
+{
+    Env_fixture f;
+    Env_config config;
+    config.max_steps = 2;
+    Environment env(fusable_chain(), f.rules, f.sim, config);
+    env.step(0);
+    if (!env.done()) {
+        const Env_step r = env.step(0);
+        EXPECT_TRUE(r.done);
+    }
+    EXPECT_TRUE(env.done());
+}
+
+TEST(Environment, InvalidActionForbiddenByDefault)
+{
+    Env_fixture f;
+    Environment env(fusable_chain(), f.rules, f.sim);
+    const int invalid = static_cast<int>(env.candidates().size()); // first padded slot
+    if (invalid < env.noop_action()) EXPECT_THROW(env.step(invalid), Contract_violation);
+}
+
+TEST(Environment, PenaltyPolicyPunishesAndTerminates)
+{
+    Env_fixture f;
+    Env_config config;
+    config.invalid_policy = Invalid_action_policy::penalise;
+    Environment env(fusable_chain(), f.rules, f.sim, config);
+    const int invalid = static_cast<int>(env.candidates().size());
+    ASSERT_LT(invalid, env.noop_action());
+    const Env_step r = env.step(invalid);
+    EXPECT_TRUE(r.done);
+    EXPECT_DOUBLE_EQ(r.reward, -1.0);
+}
+
+TEST(Environment, RewardCallbackOverridesDefault)
+{
+    Env_fixture f;
+    Environment env(fusable_chain(), f.rules, f.sim);
+    env.register_reward_callback([](const Reward_context& ctx) {
+        return ctx.measured ? 42.0 : -0.5;
+    });
+    const Env_step r = env.step(0);
+    EXPECT_TRUE(r.reward == 42.0 || r.reward == -0.5);
+}
+
+TEST(Environment, ResetRestoresInitialGraph)
+{
+    Env_fixture f;
+    Environment env(fusable_chain(), f.rules, f.sim);
+    const std::uint64_t initial = env.current_graph().canonical_hash();
+    env.step(0);
+    env.reset();
+    EXPECT_EQ(env.current_graph().canonical_hash(), initial);
+    EXPECT_EQ(env.steps_taken(), 0);
+    EXPECT_FALSE(env.done());
+}
+
+TEST(Environment, CandidateDedupKeepsSetSmall)
+{
+    Env_fixture f;
+    Environment env(fusable_chain(), f.rules, f.sim);
+    std::set<std::uint64_t> hashes;
+    for (const Candidate& c : env.candidates()) hashes.insert(c.graph.canonical_hash());
+    EXPECT_EQ(hashes.size(), env.candidates().size());
+}
+
+TEST(Environment, ComplexityStatisticIsPlausible)
+{
+    Env_fixture f;
+    Environment env(fusable_chain(), f.rules, f.sim);
+    env.step(0);
+    EXPECT_GT(env.mean_candidates_per_step(), 0.0);
+}
+
+TEST(Environment, RunsOnRealModel)
+{
+    Env_fixture f;
+    Env_config config;
+    config.max_steps = 3;
+    Environment env(make_bert(Scale::smoke, 16), f.rules, f.sim, config);
+    EXPECT_FALSE(env.candidates().empty());
+    int guard = 0;
+    while (!env.done() && guard++ < 5) env.step(0);
+    EXPECT_TRUE(env.done() || guard >= 5);
+}
+
+} // namespace
+} // namespace xrl

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "gnn/encoding.h"
+#include "gnn/gnn.h"
+#include "ir/builder.h"
+#include "models/models.h"
+
+namespace xrl {
+namespace {
+
+Graph small_graph()
+{
+    Graph_builder b;
+    const Edge x = b.input({4, 8});
+    const Edge w = b.weight({8, 8});
+    return b.finish({b.relu(b.matmul(x, w))});
+}
+
+TEST(Encoding, CountsNodesAndEdges)
+{
+    const Graph g = small_graph();
+    const Encoded_graph enc = encode_graph_for_gnn(g);
+    EXPECT_EQ(enc.num_nodes, 4);
+    EXPECT_EQ(enc.num_graphs, 1);
+    EXPECT_EQ(enc.edge_src.size(), 3u);                     // matmul(2) + relu(1)
+    EXPECT_EQ(enc.attn_src.size(), enc.edge_src.size() + 4); // + self loops
+    EXPECT_EQ(enc.edge_features.shape(), (Shape{3, edge_feature_dim}));
+}
+
+TEST(Encoding, EdgeFeaturesAreNormalisedShapes)
+{
+    const Graph g = small_graph();
+    const Encoded_graph enc = encode_graph_for_gnn(g);
+    // Every edge of this graph carries a rank-2 shape -> leading two
+    // feature slots zero, trailing two are dims / 4096.
+    for (std::int64_t e = 0; e < enc.edge_features.dim(0); ++e) {
+        EXPECT_EQ(enc.edge_features.at(e * edge_feature_dim + 0), 0.0F);
+        EXPECT_EQ(enc.edge_features.at(e * edge_feature_dim + 1), 0.0F);
+        EXPECT_GT(enc.edge_features.at(e * edge_feature_dim + 3), 0.0F);
+        EXPECT_LT(enc.edge_features.at(e * edge_feature_dim + 3), 1.0F);
+    }
+}
+
+TEST(Encoding, MetaGraphOffsetsMembers)
+{
+    const Graph g = small_graph();
+    const Graph h = small_graph();
+    const Encoded_graph enc = encode_meta_graph(g, {&h, &h});
+    EXPECT_EQ(enc.num_graphs, 3);
+    EXPECT_EQ(enc.num_nodes, 12);
+    // Node-graph assignment is contiguous per member.
+    EXPECT_EQ(enc.node_graph[0], 0);
+    EXPECT_EQ(enc.node_graph[4], 1);
+    EXPECT_EQ(enc.node_graph[8], 2);
+    // Edges stay within their member's node range.
+    for (std::size_t e = 0; e < enc.edge_src.size(); ++e)
+        EXPECT_EQ(enc.node_graph[static_cast<std::size_t>(enc.edge_src[e])],
+                  enc.node_graph[static_cast<std::size_t>(enc.edge_dst[e])]);
+}
+
+TEST(Encoding, OneHotFeatures)
+{
+    const Graph g = small_graph();
+    const Encoded_graph enc = encode_graph_for_gnn(g);
+    const Tensor features = one_hot_node_features(enc);
+    EXPECT_EQ(features.shape(), (Shape{4, op_kind_count()}));
+    for (std::int64_t row = 0; row < 4; ++row) {
+        float total = 0.0F;
+        for (std::int64_t c = 0; c < op_kind_count(); ++c) total += features.at(row * op_kind_count() + c);
+        EXPECT_EQ(total, 1.0F);
+    }
+}
+
+TEST(Encoding, MemoryAccountingIsPositive)
+{
+    const Graph g = small_graph();
+    const Encoded_graph enc = encode_graph_for_gnn(g);
+    EXPECT_GT(enc.memory_bytes(), 0u);
+}
+
+TEST(GnnLayers, NodeUpdateShapes)
+{
+    Rng rng(20);
+    const Graph g = small_graph();
+    const Encoded_graph enc = encode_graph_for_gnn(g);
+    Node_update_layer layer(op_kind_count(), 16, rng);
+    Tape tape;
+    const Var h = layer(tape, tape.constant(one_hot_node_features(enc)), enc);
+    EXPECT_EQ(tape.value(h).shape(), (Shape{4, 16}));
+}
+
+TEST(GnnLayers, GatPreservesWidth)
+{
+    Rng rng(21);
+    const Graph g = small_graph();
+    const Encoded_graph enc = encode_graph_for_gnn(g);
+    Node_update_layer nu(op_kind_count(), 16, rng);
+    Gat_layer gat(16, 0.2F, rng);
+    Tape tape;
+    Var h = nu(tape, tape.constant(one_hot_node_features(enc)), enc);
+    h = gat(tape, h, enc);
+    EXPECT_EQ(tape.value(h).shape(), (Shape{4, 16}));
+}
+
+TEST(GnnLayers, GlobalUpdateProducesPerGraphRows)
+{
+    Rng rng(22);
+    const Graph g = small_graph();
+    const Encoded_graph enc = encode_meta_graph(g, {&g, &g, &g});
+    Node_update_layer nu(op_kind_count(), 16, rng);
+    Global_update_layer gu(16, 8, rng);
+    Tape tape;
+    Var h = nu(tape, tape.constant(one_hot_node_features(enc)), enc);
+    const Var graphs = gu(tape, h, enc);
+    EXPECT_EQ(tape.value(graphs).shape(), (Shape{4, 8}));
+}
+
+TEST(GnnEncoder, EndToEndShapesAndDeterminism)
+{
+    Gnn_config config;
+    config.hidden_dim = 16;
+    config.global_dim = 12;
+    config.num_gat_layers = 2;
+    Rng rng(23);
+    Gnn_encoder encoder(config, rng);
+
+    const Graph g = small_graph();
+    const Encoded_graph enc = encode_meta_graph(g, {&g});
+
+    Tape t1;
+    const auto out1 = encoder(t1, enc);
+    EXPECT_EQ(t1.value(out1.node_embeddings).shape(), (Shape{8, 16}));
+    EXPECT_EQ(t1.value(out1.graph_embeddings).shape(), (Shape{2, 12}));
+
+    Tape t2;
+    const auto out2 = encoder(t2, enc);
+    EXPECT_TRUE(Tensor::all_close(t1.value(out2.graph_embeddings),
+                                  t2.value(out2.graph_embeddings), 0.0F));
+}
+
+TEST(GnnEncoder, DistinguishesDifferentGraphs)
+{
+    Gnn_config config;
+    config.hidden_dim = 16;
+    config.global_dim = 12;
+    config.num_gat_layers = 2;
+    Rng rng(24);
+    Gnn_encoder encoder(config, rng);
+
+    Graph_builder b1;
+    const Edge x1 = b1.input({4, 8});
+    const Edge w1 = b1.weight({8, 8});
+    const Graph with_relu = b1.finish({b1.relu(b1.matmul(x1, w1))});
+
+    Graph_builder b2;
+    const Edge x2 = b2.input({4, 8});
+    const Edge w2 = b2.weight({8, 8});
+    const Graph fused = b2.finish({b2.matmul(x2, w2, Activation::relu)});
+
+    const Encoded_graph enc = encode_meta_graph(with_relu, {&fused});
+    Tape tape;
+    const auto out = encoder(tape, enc);
+    const Tensor& emb = tape.value(out.graph_embeddings);
+    float diff = 0.0F;
+    for (std::int64_t c = 0; c < emb.dim(1); ++c)
+        diff += std::abs(emb.at(c) - emb.at(emb.dim(1) + c));
+    EXPECT_GT(diff, 1e-6F);
+}
+
+TEST(GnnEncoder, GradientsReachAllParameters)
+{
+    Gnn_config config;
+    config.hidden_dim = 8;
+    config.global_dim = 8;
+    config.num_gat_layers = 2;
+    Rng rng(25);
+    Gnn_encoder encoder(config, rng);
+
+    const Graph g = small_graph();
+    const Encoded_graph enc = encode_meta_graph(g, {&g});
+
+    for (Parameter* p : encoder.parameters()) p->zero_grad();
+    Tape tape;
+    const auto out = encoder(tape, enc);
+    tape.backward(tape.sum_all(tape.square(out.graph_embeddings)));
+
+    int touched = 0;
+    for (Parameter* p : encoder.parameters()) {
+        float norm = 0.0F;
+        for (std::int64_t i = 0; i < p->grad.volume(); ++i) norm += std::abs(p->grad.at(i));
+        if (norm > 0.0F) ++touched;
+    }
+    // All parameter blocks participate (bias of the last GAT may be dead if
+    // relu saturates; allow one laggard).
+    EXPECT_GE(touched, static_cast<int>(encoder.parameters().size()) - 1);
+}
+
+TEST(GnnEncoder, HandlesRealModelGraph)
+{
+    const Graph model = make_squeezenet(Scale::smoke, 64);
+    const Encoded_graph enc = encode_graph_for_gnn(model);
+    EXPECT_GT(enc.num_nodes, 30);
+
+    Gnn_config config;
+    config.hidden_dim = 16;
+    config.global_dim = 16;
+    config.num_gat_layers = 2;
+    Rng rng(26);
+    Gnn_encoder encoder(config, rng);
+    Tape tape;
+    const auto out = encoder(tape, enc);
+    EXPECT_EQ(tape.value(out.graph_embeddings).dim(0), 1);
+}
+
+} // namespace
+} // namespace xrl

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rl/categorical.h"
+#include "rl/gae.h"
+#include "support/check.h"
+
+namespace xrl {
+namespace {
+
+TEST(Gae, SingleStepEpisode)
+{
+    // One terminal step: delta = r - v, advantage = delta.
+    const Gae_config config{0.99, 0.95};
+    const auto result = compute_gae({2.0}, {0.5}, {1}, config);
+    ASSERT_EQ(result.advantages.size(), 1u);
+    EXPECT_NEAR(result.advantages[0], 1.5, 1e-9);
+    EXPECT_NEAR(result.returns[0], 2.0, 1e-9);
+}
+
+TEST(Gae, TwoStepEpisodeMatchesHandComputation)
+{
+    const Gae_config config{0.9, 0.8};
+    // Step 0: r=1, v=0.5; step 1 (terminal): r=2, v=0.25.
+    const auto result = compute_gae({1.0, 2.0}, {0.5, 0.25}, {0, 1}, config);
+    const double delta1 = 2.0 - 0.25;
+    const double delta0 = 1.0 + 0.9 * 0.25 - 0.5;
+    EXPECT_NEAR(result.advantages[1], delta1, 1e-9);
+    EXPECT_NEAR(result.advantages[0], delta0 + 0.9 * 0.8 * delta1, 1e-9);
+}
+
+TEST(Gae, EpisodeBoundaryResetsAccumulator)
+{
+    const Gae_config config{0.99, 0.95};
+    // Two one-step episodes back to back.
+    const auto result = compute_gae({1.0, 3.0}, {0.0, 0.0}, {1, 1}, config);
+    EXPECT_NEAR(result.advantages[0], 1.0, 1e-9);
+    EXPECT_NEAR(result.advantages[1], 3.0, 1e-9);
+}
+
+TEST(Gae, LambdaZeroIsOneStepTd)
+{
+    const Gae_config config{0.9, 0.0};
+    const auto result = compute_gae({1.0, 1.0, 1.0}, {0.2, 0.3, 0.4}, {0, 0, 1}, config);
+    EXPECT_NEAR(result.advantages[0], 1.0 + 0.9 * 0.3 - 0.2, 1e-9);
+    EXPECT_NEAR(result.advantages[1], 1.0 + 0.9 * 0.4 - 0.3, 1e-9);
+}
+
+TEST(Gae, NormaliseAdvantagesZeroMeanUnitVar)
+{
+    std::vector<double> adv = {1.0, 2.0, 3.0, 4.0};
+    normalise_advantages(adv);
+    double mean = 0.0;
+    for (const double a : adv) mean += a;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    double var = 0.0;
+    for (const double a : adv) var += a * a;
+    EXPECT_NEAR(var / 4.0, 1.0, 1e-6);
+}
+
+TEST(Gae, MismatchedSizesThrow)
+{
+    EXPECT_THROW(compute_gae({1.0}, {0.0, 0.0}, {1}, {}), Contract_violation);
+}
+
+TEST(MaskedCategorical, ProbabilitiesRespectMask)
+{
+    const Tensor logits(Shape{4, 1}, {1.0F, 2.0F, 3.0F, 0.5F});
+    const std::vector<std::uint8_t> mask = {1, 0, 1, 1};
+    const auto probs = masked_probabilities(logits, mask);
+    EXPECT_EQ(probs[1], 0.0);
+    double total = 0.0;
+    for (const double p : probs) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+    EXPECT_GT(probs[2], probs[0]); // larger logit wins
+}
+
+TEST(MaskedCategorical, SamplingNeverPicksInvalid)
+{
+    const Tensor logits(Shape{3, 1}, {5.0F, 5.0F, 5.0F});
+    const std::vector<std::uint8_t> mask = {0, 1, 0};
+    Rng rng(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_masked(logits, mask, rng), 1);
+}
+
+TEST(MaskedCategorical, ArgmaxHonoursMask)
+{
+    const Tensor logits(Shape{3, 1}, {9.0F, 1.0F, 2.0F});
+    EXPECT_EQ(argmax_masked(logits, {0, 1, 1}), 2);
+    EXPECT_EQ(argmax_masked(logits, {1, 1, 1}), 0);
+}
+
+TEST(MaskedCategorical, EntropyOfUniformIsLogN)
+{
+    Tape tape;
+    const Var logits = tape.constant(Tensor(Shape{4, 1}, {0.7F, 0.7F, 0.7F, 0.7F}));
+    const auto dist = masked_categorical(tape, logits, {1, 1, 1, 1});
+    EXPECT_NEAR(tape.value(dist.entropy).at(0), std::log(4.0F), 1e-4F);
+}
+
+TEST(MaskedCategorical, LogProbsAreConsistent)
+{
+    Tape tape;
+    const Var logits = tape.constant(Tensor(Shape{3, 1}, {1.0F, 2.0F, 3.0F}));
+    const std::vector<std::uint8_t> mask = {1, 1, 1};
+    const auto dist = masked_categorical(tape, logits, mask);
+    const auto probs = masked_probabilities(tape.value(logits), mask);
+    for (std::int64_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(std::exp(tape.value(dist.log_probs).at(i)), probs[static_cast<std::size_t>(i)],
+                    1e-5F);
+}
+
+TEST(MaskedCategorical, InvalidEntriesGetNoGradient)
+{
+    // The paper's §3.3.2 claim: masking "effectively turns the gradients to
+    // zero if they correspond to an invalid action".
+    Rng rng(7);
+    Parameter logits_param(Tensor::random_uniform({4, 1}, rng));
+    const std::vector<std::uint8_t> mask = {1, 1, 0, 1};
+    Tape tape;
+    const auto dist = masked_categorical(tape, tape.param(logits_param), mask);
+    tape.backward(tape.pick(dist.log_probs, 0));
+    EXPECT_NEAR(logits_param.grad.at(2), 0.0F, 1e-12F);
+    EXPECT_GT(std::abs(logits_param.grad.at(0)), 1e-6F);
+}
+
+TEST(MaskedCategorical, AllMaskedThrows)
+{
+    Tape tape;
+    const Var logits = tape.constant(Tensor(Shape{2, 1}, {1.0F, 2.0F}));
+    EXPECT_THROW(masked_categorical(tape, logits, {0, 0}), Contract_violation);
+}
+
+TEST(MaskedCategorical, GradientMatchesFiniteDifference)
+{
+    Rng rng(8);
+    Parameter p(Tensor::random_uniform({3, 1}, rng));
+    const std::vector<std::uint8_t> mask = {1, 1, 1};
+
+    p.zero_grad();
+    {
+        Tape tape;
+        const auto dist = masked_categorical(tape, tape.param(p), mask);
+        tape.backward(tape.add(tape.pick(dist.log_probs, 1), dist.entropy));
+    }
+    const Tensor analytic = p.grad;
+
+    const float eps = 1e-3F;
+    for (std::int64_t i = 0; i < 3; ++i) {
+        const float saved = p.value.at(i);
+        auto eval = [&](float v) {
+            p.value.at(i) = v;
+            Tape tape;
+            const auto dist = masked_categorical(tape, tape.param(p), mask);
+            const double out = tape.value(dist.log_probs).at(1) + tape.value(dist.entropy).at(0);
+            p.value.at(i) = saved;
+            return out;
+        };
+        const double numeric = (eval(saved + eps) - eval(saved - eps)) / (2.0 * eps);
+        EXPECT_NEAR(analytic.at(i), numeric, 2e-2);
+    }
+}
+
+} // namespace
+} // namespace xrl

@@ -1,0 +1,655 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ir/builder.h"
+#include "ir/executor.h"
+#include "rules/bespoke_rules.h"
+#include "rules/corpus.h"
+#include "rules/generator.h"
+#include "rules/pattern.h"
+#include "rules/rule.h"
+#include "rules/serialization.h"
+
+namespace xrl {
+namespace {
+
+/// Execute `before` and `after` with the same random input bindings and
+/// require equal outputs. Input node ids must be preserved by the
+/// transformation (they are: substitution never touches source nodes).
+void expect_equivalent(const Graph& before, const Graph& after, std::uint64_t seed,
+                       float tolerance = 1e-4F)
+{
+    Rng rng(seed);
+    const Binding_map bindings = random_bindings(before, rng);
+    const auto out_before = execute(before, bindings);
+    const auto out_after = execute(after, bindings);
+    ASSERT_EQ(out_before.size(), out_after.size());
+    for (std::size_t i = 0; i < out_before.size(); ++i) {
+        EXPECT_EQ(out_before[i].shape(), out_after[i].shape());
+        EXPECT_LE(Tensor::max_abs_difference(out_before[i], out_after[i]), tolerance);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property test: every curated pattern rule is semantics-preserving when
+// applied to its own source graph (which doubles as a minimal host).
+// ---------------------------------------------------------------------------
+
+class Curated_rule_property : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Curated_rule_property, PreservesSemanticsOnSampleHost)
+{
+    auto patterns = curated_patterns();
+    Pattern& pattern = patterns[GetParam()];
+    const Graph& host = pattern.source;
+
+    const auto matches = find_matches(host, pattern);
+    ASSERT_FALSE(matches.empty()) << pattern.name << " does not match its own source";
+
+    int applied = 0;
+    for (const auto& match : matches) {
+        const auto transformed = apply_match(host, pattern, match);
+        if (!transformed.has_value()) continue;
+        ++applied;
+        expect_equivalent(host, *transformed, 1234 + GetParam());
+    }
+    EXPECT_GE(applied, 1) << pattern.name << " produced no valid transformation";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCuratedRules, Curated_rule_property,
+                         ::testing::Range<std::size_t>(0, curated_patterns().size()),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                             std::string name = curated_patterns()[info.param].name;
+                             for (char& c : name)
+                                 if (c == '-') c = '_';
+                             return name;
+                         });
+
+// ---------------------------------------------------------------------------
+// Matcher behaviour
+// ---------------------------------------------------------------------------
+
+Pattern relu_matmul_pattern()
+{
+    Pattern p;
+    p.name = "test-fuse";
+    Graph_builder src;
+    const Edge x = src.input({4, 4});
+    const Edge w = src.input({4, 4});
+    const Edge m = src.matmul(x, w);
+    p.source = src.finish({src.relu(m)});
+    p.param_modes[m.node] = Param_match::ignore;
+    p.required_activation[m.node] = Activation::none;
+    Graph_builder tgt;
+    const Edge tx = tgt.input({4, 4});
+    const Edge tw = tgt.input({4, 4});
+    const Edge tm = tgt.matmul(tx, tw);
+    p.target = tgt.finish({tm});
+    p.param_transfers[tm.node] = Param_transfer{m.node, Activation::relu};
+    p.finalise();
+    return p;
+}
+
+TEST(Matcher, FindsSingleSite)
+{
+    Graph_builder b;
+    const Edge x = b.input({2, 4});
+    const Edge w = b.weight({4, 4});
+    const Graph host = b.finish({b.relu(b.matmul(x, w))});
+    const Pattern p = relu_matmul_pattern();
+    EXPECT_EQ(find_matches(host, p).size(), 1u);
+}
+
+TEST(Matcher, FindsMultipleSites)
+{
+    Graph_builder b;
+    const Edge x = b.input({2, 4});
+    const Edge w1 = b.weight({4, 4});
+    const Edge w2 = b.weight({4, 4});
+    const Edge y1 = b.relu(b.matmul(x, w1));
+    const Edge y2 = b.relu(b.matmul(y1, w2));
+    const Graph host = b.finish({y2});
+    EXPECT_EQ(find_matches(host, relu_matmul_pattern()).size(), 2u);
+}
+
+TEST(Matcher, RespectsMatchLimit)
+{
+    Graph_builder b;
+    const Edge x = b.input({2, 4});
+    const Edge w1 = b.weight({4, 4});
+    const Edge w2 = b.weight({4, 4});
+    const Edge y1 = b.relu(b.matmul(x, w1));
+    const Edge y2 = b.relu(b.matmul(y1, w2));
+    const Graph host = b.finish({y2});
+    EXPECT_EQ(find_matches(host, relu_matmul_pattern(), 1).size(), 1u);
+}
+
+TEST(Matcher, RejectsWhenInternalNodeUsedOutside)
+{
+    // The matmul output feeds both the relu and a second consumer; fusing
+    // would duplicate work, so the match must be rejected.
+    Graph_builder b;
+    const Edge x = b.input({2, 4});
+    const Edge w = b.weight({4, 4});
+    const Edge m = b.matmul(x, w);
+    const Edge r = b.relu(m);
+    const Edge other = b.tanh(m);
+    const Graph host = b.finish({r, other});
+    EXPECT_TRUE(find_matches(host, relu_matmul_pattern()).empty());
+}
+
+TEST(Matcher, RejectsWhenInternalNodeIsGraphOutput)
+{
+    Graph_builder b;
+    const Edge x = b.input({2, 4});
+    const Edge w = b.weight({4, 4});
+    const Edge m = b.matmul(x, w);
+    const Edge r = b.relu(m);
+    const Graph host = b.finish({r, m}); // matmul itself is a graph output
+    EXPECT_TRUE(find_matches(host, relu_matmul_pattern()).empty());
+}
+
+TEST(Matcher, RejectsAlreadyFusedActivation)
+{
+    Graph_builder b;
+    const Edge x = b.input({2, 4});
+    const Edge w = b.weight({4, 4});
+    const Edge m = b.matmul(x, w, Activation::relu); // already fused
+    const Graph host = b.finish({b.relu(m)});
+    EXPECT_TRUE(find_matches(host, relu_matmul_pattern()).empty());
+}
+
+TEST(Matcher, CommutativeOpsMatchBothOrders)
+{
+    // Pattern: add(relu(x), y). Host has the relu as the *second* operand.
+    Pattern p;
+    p.name = "test-commute";
+    Graph_builder src;
+    const Edge x = src.input({4, 4});
+    const Edge y = src.input({4, 4});
+    p.source = src.finish({src.add(src.relu(x), y)});
+    Graph_builder tgt;
+    const Edge tx = tgt.input({4, 4});
+    const Edge ty = tgt.input({4, 4});
+    p.target = tgt.finish({tgt.add(tgt.relu(tx), ty)});
+    p.finalise();
+
+    Graph_builder b;
+    const Edge hx = b.input({4, 4});
+    const Edge hy = b.input({4, 4});
+    const Graph host = b.finish({b.add(hy, b.relu(hx))});
+    EXPECT_FALSE(find_matches(host, p).empty());
+}
+
+TEST(Matcher, InjectiveOnInternalNodes)
+{
+    // Pattern wants two *distinct* relu nodes; a host with a single relu
+    // used twice must not match.
+    Pattern p;
+    p.name = "test-two-relus";
+    Graph_builder src;
+    const Edge x = src.input({4, 4});
+    const Edge y = src.input({4, 4});
+    p.source = src.finish({src.add(src.relu(x), src.relu(y))});
+    Graph_builder tgt;
+    const Edge tx = tgt.input({4, 4});
+    const Edge ty = tgt.input({4, 4});
+    p.target = tgt.finish({tgt.relu(tgt.add(tx, ty))});
+    p.finalise();
+
+    Graph_builder b;
+    const Edge hx = b.input({4, 4});
+    const Edge r = b.relu(hx);
+    const Graph host = b.finish({b.add(r, r)});
+    EXPECT_TRUE(find_matches(host, p).empty());
+}
+
+TEST(Matcher, SharedVariableMustBindConsistently)
+{
+    // Pattern add(matmul(A,B), matmul(A,C)): both matmuls share A.
+    auto patterns = curated_patterns();
+    const auto it = std::find_if(patterns.begin(), patterns.end(),
+                                 [](const Pattern& p) { return p.name == "matmul-factor-rhs"; });
+    ASSERT_NE(it, patterns.end());
+
+    // Host where the two matmuls have *different* left operands: no match.
+    Graph_builder b;
+    const Edge a1 = b.input({4, 4});
+    const Edge a2 = b.input({4, 4});
+    const Edge w1 = b.weight({4, 4});
+    const Edge w2 = b.weight({4, 4});
+    const Graph host = b.finish({b.add(b.matmul(a1, w1), b.matmul(a2, w2))});
+    EXPECT_TRUE(find_matches(host, *it).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Application behaviour
+// ---------------------------------------------------------------------------
+
+TEST(ApplyMatch, FusesActivationIntoMatmul)
+{
+    Graph_builder b;
+    const Edge x = b.input({2, 4});
+    const Edge w = b.weight({4, 4});
+    const Graph host = b.finish({b.relu(b.matmul(x, w))});
+
+    const Pattern p = relu_matmul_pattern();
+    const auto matches = find_matches(host, p);
+    ASSERT_EQ(matches.size(), 1u);
+    const auto transformed = apply_match(host, p, matches.front());
+    ASSERT_TRUE(transformed.has_value());
+
+    // One matmul with fused relu; no standalone relu nodes; one node fewer.
+    int matmuls = 0;
+    int relus = 0;
+    for (const Node_id id : transformed->node_ids()) {
+        if (transformed->node(id).kind == Op_kind::matmul) {
+            ++matmuls;
+            EXPECT_EQ(transformed->node(id).params.activation, Activation::relu);
+        }
+        if (transformed->node(id).kind == Op_kind::relu) ++relus;
+    }
+    EXPECT_EQ(matmuls, 1);
+    EXPECT_EQ(relus, 0);
+    EXPECT_EQ(transformed->size(), host.size() - 1);
+    expect_equivalent(host, *transformed, 7);
+}
+
+TEST(ApplyMatch, VariableOutputEliminatesNode)
+{
+    Graph_builder b;
+    const Edge x = b.input({3, 3});
+    const Graph host = b.finish({b.identity(x)});
+    auto patterns = curated_patterns();
+    const auto it = std::find_if(patterns.begin(), patterns.end(),
+                                 [](const Pattern& p) { return p.name == "identity-elim"; });
+    ASSERT_NE(it, patterns.end());
+    const auto matches = find_matches(host, *it);
+    ASSERT_EQ(matches.size(), 1u);
+    const auto transformed = apply_match(host, *it, matches.front());
+    ASSERT_TRUE(transformed.has_value());
+    EXPECT_EQ(transformed->size(), 1u); // only the input remains
+    expect_equivalent(host, *transformed, 8);
+}
+
+TEST(PatternRule, ApplyAllEnumeratesAllSites)
+{
+    Graph_builder b;
+    const Edge x = b.input({2, 4});
+    const Edge w1 = b.weight({4, 4});
+    const Edge w2 = b.weight({4, 4});
+    const Edge y1 = b.relu(b.matmul(x, w1));
+    const Edge y2 = b.relu(b.matmul(y1, w2));
+    const Graph host = b.finish({y2});
+
+    const Pattern_rule rule(relu_matmul_pattern());
+    const auto candidates = rule.apply_all(host);
+    EXPECT_EQ(candidates.size(), 2u);
+    for (const Graph& g : candidates) {
+        EXPECT_EQ(g.size(), host.size() - 1);
+        expect_equivalent(host, g, 9);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bespoke rules
+// ---------------------------------------------------------------------------
+
+TEST(MergeMatmul, MergesSharedLhsAndPreservesSemantics)
+{
+    Graph_builder b;
+    const Edge x = b.input({2, 8});
+    const Edge w1 = b.weight({8, 3});
+    const Edge w2 = b.weight({8, 5});
+    const Edge q = b.matmul(x, w1);
+    const Edge k = b.matmul(x, w2);
+    const Graph host = b.finish({q, k});
+
+    const auto rule = make_merge_matmul_shared_lhs_rule();
+    const auto candidates = rule->apply_all(host);
+    ASSERT_EQ(candidates.size(), 1u);
+    const Graph& merged = candidates.front();
+
+    int matmuls = 0;
+    int splits = 0;
+    for (const Node_id id : merged.node_ids()) {
+        if (merged.node(id).kind == Op_kind::matmul) ++matmuls;
+        if (merged.node(id).kind == Op_kind::split) ++splits;
+    }
+    EXPECT_EQ(matmuls, 1);
+    EXPECT_EQ(splits, 1);
+    expect_equivalent(host, merged, 10);
+}
+
+TEST(MergeMatmul, RepeatedApplicationFusesQkv)
+{
+    // Three projections from the same input (Q, K, V) merge into one matmul
+    // after two rule applications.
+    Graph_builder b;
+    const Edge x = b.input({2, 8});
+    const Edge wq = b.weight({8, 4});
+    const Edge wk = b.weight({8, 4});
+    const Edge wv = b.weight({8, 4});
+    const Graph host = b.finish({b.matmul(x, wq), b.matmul(x, wk), b.matmul(x, wv)});
+
+    const auto rule = make_merge_matmul_shared_lhs_rule();
+    auto first = rule->apply_all(host);
+    ASSERT_FALSE(first.empty());
+    auto second = rule->apply_all(first.front());
+    ASSERT_FALSE(second.empty());
+
+    int matmuls = 0;
+    for (const Node_id id : second.front().node_ids())
+        if (second.front().node(id).kind == Op_kind::matmul) ++matmuls;
+    EXPECT_EQ(matmuls, 1);
+    expect_equivalent(host, second.front(), 11);
+}
+
+TEST(MergeMatmul, SkipsWhenMergeWouldCreateCycle)
+{
+    // m2 consumes a function of m1, so merging them is cyclic.
+    Graph_builder b;
+    const Edge x = b.input({4, 4});
+    const Edge w = b.weight({4, 4});
+    const Edge m1 = b.matmul(x, w);
+    const Edge m2 = b.matmul(x, b.relu(m1));
+    const Graph host = b.finish({m2});
+    const auto rule = make_merge_matmul_shared_lhs_rule();
+    EXPECT_TRUE(rule->apply_all(host).empty());
+}
+
+TEST(MergeConv, MergesSharedInputFilters)
+{
+    Graph_builder b;
+    const Edge x = b.input({1, 3, 8, 8});
+    const Edge w1 = b.weight({4, 3, 3, 3});
+    const Edge w2 = b.weight({2, 3, 3, 3});
+    const Edge c1 = b.conv2d(x, w1, 1, 1);
+    const Edge c2 = b.conv2d(x, w2, 1, 1);
+    const Graph host = b.finish({c1, c2});
+
+    const auto rule = make_merge_conv_shared_input_rule();
+    const auto candidates = rule->apply_all(host);
+    ASSERT_EQ(candidates.size(), 1u);
+    int convs = 0;
+    for (const Node_id id : candidates.front().node_ids())
+        if (candidates.front().node(id).kind == Op_kind::conv2d) ++convs;
+    EXPECT_EQ(convs, 1);
+    expect_equivalent(host, candidates.front(), 12, 1e-3F);
+}
+
+TEST(MergeConv, RequiresIdenticalGeometry)
+{
+    Graph_builder b;
+    const Edge x = b.input({1, 3, 8, 8});
+    const Edge w1 = b.weight({4, 3, 3, 3});
+    const Edge w2 = b.weight({2, 3, 3, 3});
+    const Edge c1 = b.conv2d(x, w1, 1, 1);
+    const Edge c2 = b.conv2d(x, w2, 2, 1); // different stride
+    const Graph host = b.finish({c1, c2});
+    EXPECT_TRUE(make_merge_conv_shared_input_rule()->apply_all(host).empty());
+}
+
+TEST(EliminateSplitConcat, RemovesRoundTrip)
+{
+    Graph_builder b;
+    const Edge x = b.input({2, 6});
+    const auto parts = b.split(x, 1, {2, 4});
+    const Edge joined = b.concat(1, {parts[0], parts[1]});
+    const Graph host = b.finish({b.relu(joined)});
+
+    const auto rule = make_eliminate_split_concat_rule();
+    const auto candidates = rule->apply_all(host);
+    ASSERT_EQ(candidates.size(), 1u);
+    EXPECT_EQ(candidates.front().size(), 2u); // input + relu
+    expect_equivalent(host, candidates.front(), 13);
+}
+
+TEST(EliminateSplitConcat, RequiresSameAxisAndFullOrder)
+{
+    Graph_builder b;
+    const Edge x = b.input({2, 6});
+    const auto parts = b.split(x, 1, {2, 4});
+    const Edge swapped = b.concat(1, {parts[1], parts[0]}); // reordered
+    const Graph host = b.finish({swapped});
+    EXPECT_TRUE(make_eliminate_split_concat_rule()->apply_all(host).empty());
+}
+
+TEST(EliminateConcatSplit, RewiresPieces)
+{
+    Graph_builder b;
+    const Edge p = b.input({2, 3});
+    const Edge q = b.input({2, 4});
+    const Edge joined = b.concat(1, {p, q});
+    const auto parts = b.split(joined, 1, {3, 4});
+    const Graph host = b.finish({b.relu(parts[0]), b.tanh(parts[1])});
+
+    const auto rule = make_eliminate_concat_split_rule();
+    const auto candidates = rule->apply_all(host);
+    ASSERT_EQ(candidates.size(), 1u);
+    expect_equivalent(host, candidates.front(), 14);
+    // concat and split both gone.
+    for (const Node_id id : candidates.front().node_ids()) {
+        EXPECT_NE(candidates.front().node(id).kind, Op_kind::concat);
+        EXPECT_NE(candidates.front().node(id).kind, Op_kind::split);
+    }
+}
+
+TEST(FoldBatchNorm, FoldsIntoConvWeights)
+{
+    Graph_builder b;
+    const Edge x = b.input({1, 3, 6, 6});
+    const Edge w = b.weight({5, 3, 3, 3});
+    const Edge conv = b.conv2d(x, w, 1, 1);
+    const Edge bn = b.batch_norm(conv, 5);
+    const Graph host = b.finish({bn});
+
+    const auto rule = make_fold_batch_norm_rule();
+    const auto candidates = rule->apply_all(host);
+    ASSERT_EQ(candidates.size(), 1u);
+    int bns = 0;
+    for (const Node_id id : candidates.front().node_ids())
+        if (candidates.front().node(id).kind == Op_kind::batch_norm) ++bns;
+    EXPECT_EQ(bns, 0);
+    expect_equivalent(host, candidates.front(), 15, 1e-3F);
+}
+
+TEST(FoldBatchNorm, SkipsFusedConvAndSharedConvOutput)
+{
+    Graph_builder b;
+    const Edge x = b.input({1, 3, 6, 6});
+    const Edge w = b.weight({5, 3, 3, 3});
+    const Edge conv = b.conv2d(x, w, 1, 1, Activation::relu); // fused act
+    const Edge bn = b.batch_norm(conv, 5);
+    const Graph host = b.finish({bn});
+    EXPECT_TRUE(make_fold_batch_norm_rule()->apply_all(host).empty());
+
+    Graph_builder b2;
+    const Edge x2 = b2.input({1, 3, 6, 6});
+    const Edge w2 = b2.weight({5, 3, 3, 3});
+    const Edge conv2 = b2.conv2d(x2, w2, 1, 1);
+    const Edge bn2 = b2.batch_norm(conv2, 5);
+    const Graph host2 = b2.finish({bn2, b2.relu(conv2)}); // conv shared
+    EXPECT_TRUE(make_fold_batch_norm_rule()->apply_all(host2).empty());
+}
+
+TEST(MergeConvAddEnlarge, MergesMixedKernelSizes)
+{
+    Graph_builder b;
+    const Edge x = b.input({1, 3, 8, 8});
+    const Edge w3 = b.weight({4, 3, 3, 3});
+    const Edge w1 = b.weight({4, 3, 1, 1});
+    const Edge c3 = b.conv2d(x, w3, 1, 1);
+    const Edge c1 = b.conv2d(x, w1, 1, 0);
+    const Graph host = b.finish({b.add(c3, c1)});
+
+    const auto rule = make_merge_conv_add_enlarge_rule();
+    const auto candidates = rule->apply_all(host);
+    ASSERT_EQ(candidates.size(), 1u);
+    int convs = 0;
+    int enlarges = 0;
+    for (const Node_id id : candidates.front().node_ids()) {
+        if (candidates.front().node(id).kind == Op_kind::conv2d) ++convs;
+        if (candidates.front().node(id).kind == Op_kind::enlarge) ++enlarges;
+    }
+    EXPECT_EQ(convs, 1);
+    EXPECT_EQ(enlarges, 1);
+    expect_equivalent(host, candidates.front(), 16, 1e-3F);
+}
+
+TEST(MergeConvAddEnlarge, RejectsMisalignedPadding)
+{
+    Graph_builder b;
+    const Edge x = b.input({1, 3, 8, 8});
+    const Edge w3 = b.weight({4, 3, 3, 3});
+    const Edge w1 = b.weight({4, 3, 1, 1});
+    const Edge c3 = b.conv2d(x, w3, 1, 1);
+    const Edge c1 = b.conv2d(x, w1, 1, 1); // pad mismatch (same output shape
+                                           // only when spatial dims align)
+    // 8x8 with pad 1 and 1x1 kernel -> 10x10; add() shape inference fails in
+    // the builder, so construct the mismatch at the rule level instead:
+    // use stride-2 convs with inconsistent pads that still collide in shape.
+    (void)c3;
+    (void)c1;
+    Graph_builder b2;
+    const Edge x2 = b2.input({1, 3, 9, 9});
+    const Edge wa = b2.weight({4, 3, 3, 3});
+    const Edge wb = b2.weight({4, 3, 1, 1});
+    const Edge ca = b2.conv2d(x2, wa, 2, 1); // out 5x5
+    const Edge cb = b2.conv2d(x2, wb, 2, 0); // out 5x5, pad delta != 1
+    const Graph host = b2.finish({b2.add(ca, cb)});
+    // pad_a - pad_b == 1 == (3-1)/2, so this one IS mergeable; check the
+    // stride guard instead with differing strides.
+    EXPECT_EQ(make_merge_conv_add_enlarge_rule()->apply_all(host).size(), 1u);
+
+    Graph_builder b3;
+    const Edge x3 = b3.input({1, 3, 8, 8});
+    const Edge wc = b3.weight({4, 3, 3, 3});
+    const Edge wd = b3.weight({4, 3, 3, 3});
+    const Edge cc = b3.conv2d(x3, wc, 1, 1);
+    const Edge cd = b3.conv2d(x3, wd, 1, 1, Activation::relu); // fused act
+    const Graph host3 = b3.finish({b3.add(cc, cd)});
+    EXPECT_TRUE(make_merge_conv_add_enlarge_rule()->apply_all(host3).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Corpus / serialisation / generator
+// ---------------------------------------------------------------------------
+
+TEST(Corpus, HasUniqueNamesAndExpectedSize)
+{
+    const auto names = standard_rule_names();
+    EXPECT_GE(names.size(), 30u);
+    std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(Serialisation, RoundTripsCuratedPatterns)
+{
+    const auto patterns = curated_patterns();
+    std::ostringstream os;
+    serialise_patterns(os, patterns);
+    std::istringstream is(os.str());
+    const auto loaded = deserialise_patterns(is);
+    ASSERT_EQ(loaded.size(), patterns.size());
+    for (std::size_t i = 0; i < patterns.size(); ++i) {
+        EXPECT_EQ(loaded[i].name, patterns[i].name);
+        EXPECT_EQ(loaded[i].source.canonical_hash(), patterns[i].source.canonical_hash());
+        EXPECT_EQ(loaded[i].target.canonical_hash(), patterns[i].target.canonical_hash());
+        EXPECT_EQ(loaded[i].param_modes.size(), patterns[i].param_modes.size());
+        EXPECT_EQ(loaded[i].param_transfers.size(), patterns[i].param_transfers.size());
+    }
+}
+
+TEST(Serialisation, LoadedRulesBehaveIdentically)
+{
+    const auto patterns = curated_patterns();
+    std::ostringstream os;
+    serialise_patterns(os, patterns);
+    std::istringstream is(os.str());
+    auto loaded = deserialise_patterns(is);
+
+    Graph_builder b;
+    const Edge x = b.input({2, 4});
+    const Edge w = b.weight({4, 4});
+    const Graph host = b.finish({b.relu(b.matmul(x, w))});
+
+    const auto find = [](const std::vector<Pattern>& ps, const std::string& name) {
+        return std::find_if(ps.begin(), ps.end(),
+                            [&name](const Pattern& p) { return p.name == name; });
+    };
+    const auto orig = find(patterns, "fuse-matmul-relu");
+    const auto copy = find(loaded, "fuse-matmul-relu");
+    ASSERT_NE(orig, patterns.end());
+    ASSERT_NE(copy, loaded.end());
+
+    const auto c1 = Pattern_rule(*orig).apply_all(host);
+    const auto c2 = Pattern_rule(*copy).apply_all(host);
+    ASSERT_EQ(c1.size(), 1u);
+    ASSERT_EQ(c2.size(), 1u);
+    EXPECT_EQ(c1.front().canonical_hash(), c2.front().canonical_hash());
+}
+
+TEST(Generator, ProducesVerifiedRules)
+{
+    Generator_config cfg;
+    cfg.max_ops = 2;
+    cfg.extra_sampled_programs = 100;
+    cfg.max_rules = 24;
+    const Generation_report report = generate_algebraic_rules(cfg);
+    EXPECT_GT(report.programs_enumerated, 500);
+    EXPECT_GT(report.fingerprint_groups, 0);
+    EXPECT_FALSE(report.patterns.empty());
+    EXPECT_EQ(report.pairs_verified, static_cast<int>(report.patterns.size()));
+}
+
+TEST(Generator, EmittedRulesPreserveSemantics)
+{
+    Generator_config cfg;
+    cfg.max_ops = 2;
+    cfg.extra_sampled_programs = 50;
+    cfg.max_rules = 12;
+    const Generation_report report = generate_algebraic_rules(cfg);
+    for (const Pattern& p : report.patterns) {
+        Pattern pattern = p; // non-const for finalise state reuse
+        const Graph& host = pattern.source;
+        const auto matches = find_matches(host, pattern);
+        ASSERT_FALSE(matches.empty()) << p.name;
+        const auto transformed = apply_match(host, pattern, matches.front());
+        ASSERT_TRUE(transformed.has_value()) << p.name;
+        expect_equivalent(host, *transformed, 4242, 1e-3F);
+    }
+}
+
+TEST(Generator, IsDeterministicForFixedSeed)
+{
+    Generator_config cfg;
+    cfg.max_ops = 2;
+    cfg.extra_sampled_programs = 50;
+    cfg.max_rules = 8;
+    const auto a = generate_algebraic_rules(cfg);
+    const auto b = generate_algebraic_rules(cfg);
+    ASSERT_EQ(a.patterns.size(), b.patterns.size());
+    for (std::size_t i = 0; i < a.patterns.size(); ++i) {
+        EXPECT_EQ(a.patterns[i].source.canonical_hash(), b.patterns[i].source.canonical_hash());
+        EXPECT_EQ(a.patterns[i].target.canonical_hash(), b.patterns[i].target.canonical_hash());
+    }
+}
+
+TEST(Generator, GeneratedRulesSerialise)
+{
+    Generator_config cfg;
+    cfg.max_ops = 2;
+    cfg.extra_sampled_programs = 0;
+    cfg.max_rules = 8;
+    const auto report = generate_algebraic_rules(cfg);
+    std::ostringstream os;
+    serialise_patterns(os, report.patterns);
+    std::istringstream is(os.str());
+    const auto loaded = deserialise_patterns(is);
+    EXPECT_EQ(loaded.size(), report.patterns.size());
+}
+
+} // namespace
+} // namespace xrl
