@@ -54,6 +54,18 @@ Taso_config default_taso_config(const Bench_setup& setup)
     return config;
 }
 
+Service_config default_service_config(const Bench_setup& setup)
+{
+    Service_config config;
+    config.simulator_seed = setup.seed;
+    const Taso_config taso = default_taso_config(setup);
+    config.backend_options["taso.budget"] = taso.budget;
+    config.backend_options["pet.budget"] = taso.budget;
+    config.backend_options["tensat.max_iterations"] = setup.scale == Scale::paper ? 6 : 3;
+    config.backend_options["xrlflow.episodes"] = setup.episodes;
+    return config;
+}
+
 std::string policy_cache_path(const std::string& model_name, const Bench_setup& setup)
 {
     std::string clean = model_name;

@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 
+#include "core/optimization_service.h"
 #include "core/xrlflow.h"
 #include "models/models.h"
 #include "optimizers/taso/taso_optimizer.h"
@@ -38,6 +39,10 @@ Xrlflow_config default_xrlflow_config(const Bench_setup& setup);
 
 /// TASO search budget per scale.
 Taso_config default_taso_config(const Bench_setup& setup);
+
+/// Optimization_service configuration carrying the same per-scale search
+/// budgets, for benches that drive backends through the unified API.
+Service_config default_service_config(const Bench_setup& setup);
 
 /// Train an agent for `spec`'s model — or load it from the policy cache if
 /// a previous bench already trained it. Returns a ready system.

@@ -42,8 +42,7 @@ int main()
     print_hyperparameters(default_xrlflow_config(setup));
 
     const Rule_set rules = standard_rule_corpus();
-    const Cost_model cost(gtx1080_profile());
-    const Taso_config taso_config = default_taso_config(setup);
+    Optimization_service service(default_service_config(setup));
 
     std::printf("%-14s %14s %14s %16s %16s\n", "DNN", "initial (ms)", "TASO (ms)",
                 "TASO speedup", "X-RLflow speedup");
@@ -54,7 +53,7 @@ int main()
         E2e_simulator sim(gtx1080_profile(), setup.seed ^ 0x44ULL);
         const Latency_stats initial = sim.measure_repeated(model, 5);
 
-        const Taso_result taso = optimise_taso(model, rules, cost, taso_config);
+        const Optimize_result taso = service.optimize("taso", model);
         const Latency_stats taso_ms = sim.measure_repeated(taso.best_graph, 5);
 
         const auto system = trained_system(rules, spec, setup);

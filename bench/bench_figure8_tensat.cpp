@@ -7,8 +7,6 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "optimizers/tensat/tensat_optimizer.h"
-#include "rules/bespoke_rules.h"
 #include "rules/corpus.h"
 
 using namespace xrlbench;
@@ -19,19 +17,11 @@ int main()
     print_header("Figure 8: end-to-end speedup — Tensat vs X-RLflow");
 
     const Rule_set rules = standard_rule_corpus();
-    const Cost_model cost(gtx1080_profile());
 
-    Tensat_config tensat_config;
-    tensat_config.max_iterations = setup.scale == Scale::paper ? 6 : 3;
-    tensat_config.node_limit = 10000;        // Tensat's default (§2.2.2)
-    tensat_config.multi_pattern_limit_k = 1; // Tensat's default k (§4.6)
-
-    // Tensat consumes the declarative patterns as e-graph rewrites and the
-    // multi-output merges as k-limited multi-pattern rules.
-    const std::vector<Pattern> patterns = curated_patterns();
-    Rule_set multi_pattern_rules;
-    multi_pattern_rules.push_back(make_merge_matmul_shared_lhs_rule());
-    multi_pattern_rules.push_back(make_merge_conv_shared_input_rule());
+    // The "tensat" backend consumes the curated patterns as e-graph
+    // rewrites and the multi-output merges as k-limited multi-pattern
+    // rules; node_limit 10000 and k=1 are Tensat's defaults (§2.2.2, §4.6).
+    Optimization_service service(default_service_config(setup));
 
     const char* names[] = {"BERT", "SqueezeNet", "ResNext-50", "InceptionV3"};
     std::printf("%-14s %16s %18s %10s %8s\n", "DNN", "Tensat speedup", "X-RLflow speedup",
@@ -46,18 +36,18 @@ int main()
         E2e_simulator sim(gtx1080_profile(), setup.seed ^ 0x88ULL);
         const Latency_stats initial = sim.measure_repeated(model, 5);
 
-        const Tensat_result tensat =
-            optimise_tensat(model, patterns, multi_pattern_rules, cost, tensat_config);
+        const Optimize_result tensat = service.optimize("tensat", model);
         const Latency_stats tensat_ms = sim.measure_repeated(tensat.best_graph, 5);
 
         const auto system = trained_system(rules, spec, setup);
         const Optimisation_outcome outcome = system->optimise(model);
         const Latency_stats xrl_ms = sim.measure_repeated(outcome.best_graph, 5);
 
-        std::printf("%-14s %15.1f%% %17.1f%% %10zu %8s\n", spec.name.c_str(),
+        std::printf("%-14s %15.1f%% %17.1f%% %10.0f %8s\n", spec.name.c_str(),
                     (initial.mean_ms / tensat_ms.mean_ms - 1.0) * 100.0,
-                    (initial.mean_ms / xrl_ms.mean_ms - 1.0) * 100.0, tensat.egraph_nodes,
-                    tensat.saturated ? "yes" : "no");
+                    (initial.mean_ms / xrl_ms.mean_ms - 1.0) * 100.0,
+                    tensat.metadata.at("egraph_nodes"),
+                    tensat.metadata.at("saturated") > 0.0 ? "yes" : "no");
         std::fflush(stdout);
     }
     std::printf("\nPaper Figure 8: Tensat ahead on SqueezeNet and ResNext-50; X-RLflow\n"

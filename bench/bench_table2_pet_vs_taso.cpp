@@ -1,5 +1,5 @@
 // Table 2: PET vs TASO optimised inference latency on ResNet-18 and
-// ResNext-50.
+// ResNext-50, both driven through the unified Optimization_service.
 //
 // Paper values: ResNet-18 — PET 1.9619 ms, TASO 2.5534 ms;
 // ResNext-50 — PET 10.6694 ms, TASO 6.6453 ms. The shape to reproduce:
@@ -10,8 +10,6 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "optimizers/pet/pet_optimizer.h"
-#include "rules/corpus.h"
 
 using namespace xrlbench;
 
@@ -20,10 +18,7 @@ int main()
     const Bench_setup setup = setup_from_env();
     print_header("Table 2: PET vs TASO optimised end-to-end latency (ms)");
 
-    const Rule_set rules = standard_rule_corpus();
-    const Cost_model cost(gtx1080_profile());
-    E2e_simulator sim(gtx1080_profile(), setup.seed);
-    const Taso_config taso_config = default_taso_config(setup);
+    Optimization_service service(default_service_config(setup));
 
     struct Row {
         const char* name;
@@ -37,11 +32,11 @@ int main()
     std::printf("%-12s %12s %12s %12s\n", "", "initial", "PET", "TASO");
     std::printf("--------------------------------------------------\n");
     for (const Row& row : rows) {
-        const Latency_stats initial = sim.measure_repeated(row.graph, 5);
-        const Pet_result pet = optimise_pet(row.graph, cost, taso_config);
-        const Taso_result taso = optimise_taso(row.graph, rules, cost, taso_config);
-        const Latency_stats pet_ms = sim.measure_repeated(pet.best_graph, 5);
-        const Latency_stats taso_ms = sim.measure_repeated(taso.best_graph, 5);
+        const Latency_stats initial = service.simulator().measure_repeated(row.graph, 5);
+        const Optimize_result pet = service.optimize("pet", row.graph);
+        const Optimize_result taso = service.optimize("taso", row.graph);
+        const Latency_stats pet_ms = service.simulator().measure_repeated(pet.best_graph, 5);
+        const Latency_stats taso_ms = service.simulator().measure_repeated(taso.best_graph, 5);
         std::printf("%-12s %12.4f %12.4f %12.4f\n", row.name, initial.mean_ms, pet_ms.mean_ms,
                     taso_ms.mean_ms);
     }

@@ -1,16 +1,12 @@
 // Run all four optimisers — TASO, Tensat, PET and X-RLflow — on the same
-// model and print a side-by-side comparison.
+// model through the unified Optimization_service and print a side-by-side
+// comparison. No per-backend glue: one facade call drives the whole table.
 //
 //   ./examples/compare_optimizers
 #include <cstdio>
 
-#include "core/xrlflow.h"
+#include "core/optimization_service.h"
 #include "models/models.h"
-#include "optimizers/pet/pet_optimizer.h"
-#include "optimizers/taso/taso_optimizer.h"
-#include "optimizers/tensat/tensat_optimizer.h"
-#include "rules/bespoke_rules.h"
-#include "rules/corpus.h"
 #include "support/config.h"
 
 using namespace xrl;
@@ -19,52 +15,36 @@ int main()
 {
     const int episodes = episodes_from_env() > 0 ? episodes_from_env() : 8;
     const Graph model = make_bert(Scale::smoke, 32);
-    const Rule_set rules = standard_rule_corpus();
-    const Cost_model cost(gtx1080_profile());
-    E2e_simulator simulator(gtx1080_profile(), 9);
-    const Latency_stats initial = simulator.measure_repeated(model, 5);
 
+    Service_config config;
+    config.backend_options["xrlflow.episodes"] = episodes;
+    config.backend_options["xrlflow.rollouts"] = 4;
+    Optimization_service service(config);
+
+    Optimize_request request;
+    request.deterministic = false; // sampled X-RLflow roll-outs
+
+    const std::vector<Backend_run> runs = service.optimize_all(model, request);
+    // Every run shares the same baseline measurement; reuse it for the header.
+    const Latency_stats initial = runs.front().e2e_before;
     std::printf("model: BERT (%zu nodes), initial %.4f ms\n\n", model.size(), initial.mean_ms);
-    std::printf("%-10s %12s %10s %12s\n", "optimiser", "latency", "speedup", "time (s)");
-    std::printf("------------------------------------------------\n");
+    std::printf("%-10s %12s %10s %12s   %s\n", "optimiser", "latency", "speedup", "time (s)",
+                "notes");
+    std::printf("----------------------------------------------------------------\n");
 
-    {
-        const Taso_result r = optimise_taso(model, rules, cost);
-        const Latency_stats ms = simulator.measure_repeated(r.best_graph, 5);
-        std::printf("%-10s %12.4f %9.1f%% %12.2f\n", "TASO", ms.mean_ms,
-                    (initial.mean_ms / ms.mean_ms - 1.0) * 100.0, r.optimisation_seconds);
-    }
-    {
-        Rule_set multi;
-        multi.push_back(make_merge_matmul_shared_lhs_rule());
-        const Tensat_result r = optimise_tensat(model, curated_patterns(), multi, cost);
-        const Latency_stats ms = simulator.measure_repeated(r.best_graph, 5);
-        std::printf("%-10s %12.4f %9.1f%% %12.2f   (e-nodes %zu%s)\n", "Tensat", ms.mean_ms,
-                    (initial.mean_ms / ms.mean_ms - 1.0) * 100.0, r.optimisation_seconds,
-                    r.egraph_nodes, r.saturated ? ", saturated" : "");
-    }
-    {
-        const Pet_result r = optimise_pet(model, cost);
-        const Latency_stats ms = simulator.measure_repeated(r.best_graph, 5);
-        std::printf("%-10s %12.4f %9.1f%% %12.2f\n", "PET", ms.mean_ms,
-                    (initial.mean_ms / ms.mean_ms - 1.0) * 100.0, r.optimisation_seconds);
-    }
-    {
-        Xrlflow_config config;
-        config.agent.gnn.hidden_dim = 16;
-        config.agent.gnn.global_dim = 16;
-        config.agent.head_hidden = {64, 32};
-        config.agent.max_candidates = 31;
-        config.trainer.update_every_episodes = 4;
-        config.trainer.ppo.minibatch_size = 8;
-        config.inference_rollouts = 4;
-        Xrlflow system(rules, config);
-        system.train(model, episodes);
-        const Optimisation_outcome outcome = system.optimise(model);
-        const Latency_stats ms = simulator.measure_repeated(outcome.best_graph, 5);
-        std::printf("%-10s %12.4f %9.1f%% %12.2f   (+%d training episodes)\n", "X-RLflow",
-                    ms.mean_ms, (initial.mean_ms / ms.mean_ms - 1.0) * 100.0,
-                    outcome.optimisation_seconds, episodes);
+    for (const Backend_run& run : runs) {
+        std::string notes;
+        if (const auto it = run.result.metadata.find("egraph_nodes");
+            it != run.result.metadata.end())
+            notes += "e-nodes " + std::to_string(static_cast<long long>(it->second));
+        if (const auto it = run.result.metadata.find("training_episodes");
+            it != run.result.metadata.end())
+            notes += "+" + std::to_string(static_cast<long long>(it->second)) +
+                     " training episodes";
+        std::printf("%-10s %12.4f %9.1f%% %12.2f   %s\n", run.backend.c_str(),
+                    run.e2e_after.mean_ms,
+                    (initial.mean_ms / run.e2e_after.mean_ms - 1.0) * 100.0,
+                    run.result.wall_seconds, notes.c_str());
     }
     return 0;
 }

@@ -1,16 +1,13 @@
 // Quickstart: build the paper's Figure-1 graph (y = ReLU(w.x + b)), inspect
-// it, optimise it with the TASO baseline, and verify that the optimised
-// graph computes the same function.
+// it, optimise it through the unified Optimization_service (TASO backend),
+// and verify that the optimised graph computes the same function.
 //
 //   ./examples/quickstart
 #include <cstdio>
 
-#include "cost/cost_model.h"
-#include "cost/e2e_simulator.h"
+#include "core/optimization_service.h"
 #include "ir/builder.h"
 #include "ir/executor.h"
-#include "optimizers/taso/taso_optimizer.h"
-#include "rules/corpus.h"
 
 using namespace xrl;
 
@@ -26,20 +23,18 @@ int main()
 
     std::printf("Unoptimised graph (%zu nodes):\n%s\n", graph.size(), graph.to_dot().c_str());
 
-    // 2. Estimate latency with the sum-of-kernels cost model and the
-    //    end-to-end simulator — note they disagree (paper Table 1).
-    const Cost_model cost(gtx1080_profile());
-    E2e_simulator simulator(gtx1080_profile(), /*seed=*/1);
-    std::printf("cost model estimate : %.6f ms\n", cost.graph_cost_ms(graph));
-    std::printf("end-to-end simulated: %.6f ms\n\n", simulator.noiseless_ms(graph));
+    // 2. The service owns the rule corpus, cost model and end-to-end
+    //    simulator. Note how the two latency signals disagree (paper
+    //    Table 1).
+    Optimization_service service;
+    std::printf("cost model estimate : %.6f ms\n", service.cost().graph_cost_ms(graph));
+    std::printf("end-to-end simulated: %.6f ms\n\n", service.simulator().noiseless_ms(graph));
 
-    // 3. Optimise with the TASO backtracking search over the standard
-    //    rewrite-rule corpus.
-    const Rule_set rules = standard_rule_corpus();
-    const Taso_result result = optimise_taso(graph, rules, cost);
-    std::printf("TASO: %.6f ms -> %.6f ms (%d search iterations, %d candidates)\n",
-                result.initial_cost_ms, result.best_cost_ms, result.iterations,
-                result.candidates_generated);
+    // 3. Optimise with the TASO backtracking search via the unified API.
+    const Optimize_result result = service.optimize("taso", graph);
+    std::printf("TASO: %.6f ms -> %.6f ms (%.2fx, %d search iterations, %.0f candidates)\n",
+                result.initial_ms, result.final_ms, result.speedup(), result.steps,
+                result.metadata.at("candidates_generated"));
     std::printf("Optimised graph (%zu nodes):\n%s\n", result.best_graph.size(),
                 result.best_graph.to_dot().c_str());
 

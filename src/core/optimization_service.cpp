@@ -1,0 +1,140 @@
+#include "core/optimization_service.h"
+
+#include <sstream>
+
+#include "rules/corpus.h"
+#include "support/check.h"
+
+namespace xrl {
+
+Optimization_service::Optimization_service(Service_config config)
+    : config_(std::move(config)),
+      rules_(standard_rule_corpus()),
+      cost_(config_.device),
+      simulator_(config_.device, config_.simulator_seed)
+{
+    context_.rules = &rules_;
+    context_.cost = &cost_;
+    context_.device = config_.device;
+    context_.options = config_.backend_options;
+}
+
+std::vector<std::string> Optimization_service::backends() const
+{
+    return Optimizer_registry::built_in().names();
+}
+
+Optimization_service::Backend_slot& Optimization_service::slot_for(const std::string& backend)
+{
+    // Caller holds mutex_. Creation throws for unknown names before any
+    // state is touched, so a bad backend string leaves the service intact.
+    const auto it = slots_.find(backend);
+    if (it != slots_.end()) return *it->second;
+    auto slot = std::make_unique<Backend_slot>();
+    slot->optimizer = make_optimizer(backend, context_);
+    return *slots_.emplace(backend, std::move(slot)).first->second;
+}
+
+std::string Optimization_service::cache_key(std::uint64_t graph_hash, const std::string& backend,
+                                            const Optimize_request& request)
+{
+    std::ostringstream os;
+    os << graph_hash << '|' << backend << '|' << request.time_budget_seconds << '|'
+       << request.iteration_budget << '|' << request.seed << '|' << request.deterministic;
+    return os.str();
+}
+
+Optimize_result Optimization_service::optimize(const std::string& backend, const Graph& graph,
+                                               const Optimize_request& request)
+{
+    const std::string key = cache_key(graph.canonical_hash(), backend, request);
+
+    Backend_slot* slot = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (config_.cache_capacity > 0) {
+            const auto hit = cache_.find(key);
+            if (hit != cache_.end()) {
+                ++hits_;
+                Optimize_result cached = hit->second;
+                cached.from_cache = true;
+                return cached;
+            }
+        }
+        slot = &slot_for(backend); // throws for unknown names...
+        if (config_.cache_capacity > 0) ++misses_; // ...so only real runs count as misses
+    }
+
+    Optimize_result result;
+    {
+        std::lock_guard<std::mutex> run_lock(slot->run_mutex);
+        result = slot->optimizer->optimize(graph, request);
+    }
+
+    if (config_.cache_capacity > 0 && !result.cancelled) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (cache_.emplace(key, result).second) {
+            cache_order_.push_back(key);
+            while (cache_order_.size() > config_.cache_capacity) {
+                cache_.erase(cache_order_.front());
+                cache_order_.pop_front();
+            }
+        }
+    }
+    return result;
+}
+
+std::vector<Backend_run> Optimization_service::optimize_all(const Graph& graph,
+                                                            const Optimize_request& request,
+                                                            int measure_repeats)
+{
+    XRL_EXPECTS(measure_repeats > 0);
+    // One shared baseline measurement: every backend is compared against
+    // the same "before" numbers (the simulator is stateful, so measuring
+    // per backend would sample each pair at a different noise state).
+    Latency_stats before;
+    {
+        std::lock_guard<std::mutex> sim_lock(simulator_mutex_);
+        before = simulator_.measure_repeated(graph, measure_repeats);
+    }
+    std::vector<Backend_run> runs;
+    for (const std::string& backend : backends()) {
+        Backend_run run;
+        run.backend = backend;
+        run.result = optimize(backend, graph, request);
+        run.e2e_before = before;
+        {
+            std::lock_guard<std::mutex> sim_lock(simulator_mutex_);
+            run.e2e_after = simulator_.measure_repeated(run.result.best_graph, measure_repeats);
+        }
+        runs.push_back(std::move(run));
+    }
+    return runs;
+}
+
+std::size_t Optimization_service::cache_hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::size_t Optimization_service::cache_misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::size_t Optimization_service::cache_size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+void Optimization_service::clear_cache()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+    cache_order_.clear();
+}
+
+} // namespace xrl

@@ -1,0 +1,106 @@
+// Serving-oriented facade over the unified optimiser API.
+//
+// Owns everything a caller would otherwise have to assemble by hand — the
+// rule corpus, the device profile / cost model, the end-to-end simulator,
+// and one lazily-created instance of each registered backend — and memoises
+// results by (graph hash, backend, request fingerprint) so repeated
+// optimisation of the same model is served from cache. This is the single
+// entry point the ROADMAP's production-serving direction builds on: a
+// request router in front of interchangeable search backends.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/optimizer_api.h"
+#include "cost/e2e_simulator.h"
+#include "rules/rule.h"
+
+namespace xrl {
+
+struct Service_config {
+    Device_profile device = gtx1080_profile();
+    std::uint64_t simulator_seed = 9;
+
+    /// Forwarded to every backend ("taso.budget", "xrlflow.episodes", ...).
+    std::map<std::string, double> backend_options;
+
+    /// Memoised results kept before FIFO eviction; 0 disables caching.
+    std::size_t cache_capacity = 256;
+};
+
+/// One backend's entry in an optimize_all comparison: the unified result
+/// plus end-to-end latencies measured on the service's shared simulator so
+/// the numbers are comparable across backends.
+struct Backend_run {
+    std::string backend;
+    Optimize_result result;
+    Latency_stats e2e_before;
+    Latency_stats e2e_after;
+};
+
+class Optimization_service {
+public:
+    explicit Optimization_service(Service_config config = {});
+
+    /// Registered backend names, sorted ("pet", "taso", "tensat", "xrlflow").
+    std::vector<std::string> backends() const;
+
+    /// Optimise `graph` with `backend`. Results are memoised by (graph
+    /// canonical hash, backend, request budgets/seed/mode); the progress
+    /// callback is deliberately not part of the memo key, and cancelled
+    /// runs are never cached. A memo hit returns with `from_cache` set.
+    Optimize_result optimize(const std::string& backend, const Graph& graph,
+                             const Optimize_request& request = {});
+
+    /// One-call cross-backend comparison: run every registered backend on
+    /// `graph` and measure each winner on the shared end-to-end simulator.
+    std::vector<Backend_run> optimize_all(const Graph& graph, const Optimize_request& request = {},
+                                          int measure_repeats = 5);
+
+    const Rule_set& rules() const { return rules_; }
+    const Cost_model& cost() const { return cost_; }
+
+    /// The shared stateful simulator. optimize_all serialises its own
+    /// measurements internally; direct use from concurrent threads needs
+    /// external synchronisation.
+    E2e_simulator& simulator() { return simulator_; }
+    const Device_profile& device() const { return cost_.device(); }
+
+    std::size_t cache_hits() const;
+    std::size_t cache_misses() const;
+    std::size_t cache_size() const;
+    void clear_cache();
+
+private:
+    struct Backend_slot {
+        std::unique_ptr<Optimizer> optimizer;
+        std::mutex run_mutex; ///< Backends may be stateful (policy caches).
+    };
+
+    Backend_slot& slot_for(const std::string& backend);
+    static std::string cache_key(std::uint64_t graph_hash, const std::string& backend,
+                                 const Optimize_request& request);
+
+    Service_config config_;
+    Rule_set rules_;
+    Cost_model cost_;
+    E2e_simulator simulator_;
+    Optimizer_context context_;
+
+    mutable std::mutex mutex_;     ///< Guards slots_, cache_, stats.
+    std::mutex simulator_mutex_;   ///< Serialises optimize_all's measurements.
+    std::unordered_map<std::string, std::unique_ptr<Backend_slot>> slots_;
+    std::unordered_map<std::string, Optimize_result> cache_;
+    std::deque<std::string> cache_order_; ///< FIFO eviction.
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+} // namespace xrl

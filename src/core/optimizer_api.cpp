@@ -1,0 +1,127 @@
+#include "core/optimizer_api.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "core/xrlflow.h"
+#include "optimizers/pet/pet_optimizer.h"
+#include "optimizers/taso/taso_optimizer.h"
+#include "optimizers/tensat/tensat_optimizer.h"
+#include "support/check.h"
+
+namespace xrl {
+
+// ---------------------------------------------------------------------------
+// Progress_driver
+// ---------------------------------------------------------------------------
+
+struct Progress_driver::State {
+    std::string backend;
+    double time_budget_seconds = 0.0;
+    Progress_callback on_progress;
+    std::chrono::steady_clock::time_point start;
+    bool cancelled = false;
+
+    double elapsed() const
+    {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    }
+};
+
+Progress_driver::Progress_driver(std::string backend, const Optimize_request& request)
+    : state_(std::make_shared<State>())
+{
+    state_->backend = std::move(backend);
+    state_->time_budget_seconds = request.time_budget_seconds;
+    state_->on_progress = request.on_progress;
+    state_->start = std::chrono::steady_clock::now();
+}
+
+Search_heartbeat Progress_driver::heartbeat() const
+{
+    std::shared_ptr<State> state = state_;
+    return [state](int step, double best_cost_ms) {
+        if (state->cancelled) return false;
+        const double elapsed = state->elapsed();
+        if (state->time_budget_seconds > 0.0 && elapsed >= state->time_budget_seconds) {
+            state->cancelled = true;
+            return false;
+        }
+        if (state->on_progress) {
+            Optimize_progress progress;
+            progress.backend = state->backend;
+            progress.step = step;
+            progress.best_ms = best_cost_ms;
+            progress.elapsed_seconds = elapsed;
+            if (!state->on_progress(progress)) {
+                state->cancelled = true;
+                return false;
+            }
+        }
+        return true;
+    };
+}
+
+bool Progress_driver::cancelled() const { return state_->cancelled; }
+
+double Progress_driver::elapsed_seconds() const { return state_->elapsed(); }
+
+// ---------------------------------------------------------------------------
+// Optimizer_registry
+// ---------------------------------------------------------------------------
+
+void Optimizer_registry::add(std::string name, Factory factory)
+{
+    XRL_EXPECTS(!name.empty());
+    XRL_EXPECTS(factory != nullptr);
+    XRL_EXPECTS(!factories_.contains(name));
+    factories_.emplace(std::move(name), std::move(factory));
+}
+
+bool Optimizer_registry::contains(const std::string& name) const
+{
+    return factories_.contains(name);
+}
+
+std::vector<std::string> Optimizer_registry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [name, factory] : factories_) out.push_back(name);
+    return out;
+}
+
+std::unique_ptr<Optimizer> Optimizer_registry::create(const std::string& name,
+                                                      const Optimizer_context& context) const
+{
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+        std::ostringstream os;
+        os << "unknown optimizer backend '" << name << "'; registered backends:";
+        for (const auto& [known, factory] : factories_) os << ' ' << known;
+        throw std::invalid_argument(os.str());
+    }
+    XRL_EXPECTS(context.rules != nullptr);
+    XRL_EXPECTS(context.cost != nullptr);
+    return it->second(context);
+}
+
+const Optimizer_registry& Optimizer_registry::built_in()
+{
+    static const Optimizer_registry registry = [] {
+        Optimizer_registry r;
+        register_taso_backend(r);
+        register_pet_backend(r);
+        register_tensat_backend(r);
+        register_xrlflow_backend(r);
+        return r;
+    }();
+    return registry;
+}
+
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name, const Optimizer_context& context)
+{
+    return Optimizer_registry::built_in().create(name, context);
+}
+
+} // namespace xrl

@@ -1,0 +1,184 @@
+// Unified optimiser API.
+//
+// The paper's evaluation is a head-to-head of four search strategies —
+// TASO's backtracking search, PET's partially-equivalent search, Tensat's
+// equality saturation, and X-RLflow's learned policy — and every bench,
+// example, and test used to re-implement the comparison glue against four
+// incompatible entry points. This header defines the one interface they all
+// stand behind:
+//
+//   * `Optimize_request`  — budget (wall-clock / iterations), seed,
+//     deterministic-vs-sampled mode, and an optional progress callback that
+//     supports early cancellation.
+//   * `Optimize_result`   — best graph, initial/final latency, speedup,
+//     steps, wall time, per-rule application counts, and backend-specific
+//     metadata as key/value doubles.
+//   * `Optimizer`         — the abstract backend: name() + optimize().
+//   * `Optimizer_registry`— string-keyed factories ("taso", "pet",
+//     "tensat", "xrlflow") so backends slot in interchangeably.
+//
+// The serving-oriented facade that owns the rule corpus, device profile and
+// simulator — and memoises results — lives in core/optimization_service.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cost/device.h"
+#include "ir/graph.h"
+#include "rules/rule.h"
+
+namespace xrl {
+
+// ---------------------------------------------------------------------------
+// Request / result
+// ---------------------------------------------------------------------------
+
+/// Snapshot handed to a progress callback while a backend searches.
+struct Optimize_progress {
+    std::string backend;
+    int step = 0;                ///< Backend-native step count so far.
+    double best_ms = 0.0;        ///< Best cost seen so far (backend-native signal).
+    double elapsed_seconds = 0.0;
+};
+
+/// Return false to cancel the search; the backend stops at the next
+/// heartbeat and returns its best-so-far result with `cancelled` set.
+using Progress_callback = std::function<bool(const Optimize_progress&)>;
+
+struct Optimize_request {
+    double time_budget_seconds = 0.0; ///< Wall-clock cap; 0 = unlimited.
+    int iteration_budget = 0;         ///< Backend-native iteration cap; 0 = backend default.
+    std::uint64_t seed = 7;           ///< Seed for any stochastic behaviour.
+    bool deterministic = true;        ///< Greedy/deterministic vs sampled search.
+    Progress_callback on_progress;    ///< Optional; also the cancellation hook.
+};
+
+/// The unified outcome every backend reports.
+struct Optimize_result {
+    Graph best_graph;
+    std::string backend;
+    double initial_ms = 0.0;  ///< Latency of the input under the backend's signal.
+    double final_ms = 0.0;    ///< Latency of `best_graph` under the same signal.
+    int steps = 0;            ///< Backend-native iterations performed.
+    double wall_seconds = 0.0;
+    bool cancelled = false;   ///< Stopped early by callback or time budget.
+    bool from_cache = false;  ///< Set by Optimization_service on a memo hit.
+
+    /// Applications (or admitted candidates) per rule, keyed by rule name.
+    std::map<std::string, int> rule_counts;
+
+    /// Backend-specific numbers (e-graph size, candidates generated, ...).
+    std::map<std::string, double> metadata;
+
+    double speedup() const { return final_ms > 0.0 ? initial_ms / final_ms : 1.0; }
+};
+
+// ---------------------------------------------------------------------------
+// The backend interface
+// ---------------------------------------------------------------------------
+
+/// Shared state a backend adapter runs against. The pointed-to rule corpus
+/// and cost model must outlive any optimizer created from the context
+/// (Optimization_service owns both and guarantees this).
+struct Optimizer_context {
+    const Rule_set* rules = nullptr;
+    const Cost_model* cost = nullptr;
+    Device_profile device = gtx1080_profile();
+
+    /// Backend-specific knobs, namespaced by backend ("taso.alpha",
+    /// "tensat.max_iterations", "xrlflow.episodes", ...). Unknown keys are
+    /// ignored; missing keys fall back to the backend's defaults.
+    std::map<std::string, double> options;
+
+    double option_or(const std::string& key, double fallback) const
+    {
+        const auto it = options.find(key);
+        return it == options.end() ? fallback : it->second;
+    }
+};
+
+class Optimizer {
+public:
+    virtual ~Optimizer() = default;
+
+    Optimizer(const Optimizer&) = delete;
+    Optimizer& operator=(const Optimizer&) = delete;
+
+    virtual std::string name() const = 0;
+
+    /// Run the search on `graph` under `request`. Implementations honour the
+    /// request's budgets and cancellation hook on a best-effort heartbeat
+    /// (checked at least once per native iteration).
+    virtual Optimize_result optimize(const Graph& graph, const Optimize_request& request) = 0;
+
+protected:
+    Optimizer() = default;
+};
+
+// ---------------------------------------------------------------------------
+// Progress / cancellation plumbing
+// ---------------------------------------------------------------------------
+
+/// In-loop hook the backend search configs carry: called with (step,
+/// best_cost_ms); returning false stops the search at that point.
+using Search_heartbeat = std::function<bool(int step, double best_cost_ms)>;
+
+/// Translates an Optimize_request into a Search_heartbeat: tracks wall time,
+/// enforces the time budget, forwards snapshots to the user callback, and
+/// records whether the search was cut short. Copyable (shared state) so the
+/// heartbeat closure can outlive the driver's stack frame.
+class Progress_driver {
+public:
+    Progress_driver(std::string backend, const Optimize_request& request);
+
+    /// Heartbeat for a backend config; returns false once cancelled.
+    Search_heartbeat heartbeat() const;
+
+    bool cancelled() const;
+    double elapsed_seconds() const;
+
+private:
+    struct State;
+    std::shared_ptr<State> state_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// String-keyed optimizer factories. `built_in()` serves the four paper
+/// backends; custom backends can be added to a mutable registry instance.
+class Optimizer_registry {
+public:
+    using Factory = std::function<std::unique_ptr<Optimizer>(const Optimizer_context&)>;
+
+    /// Register a backend; throws Contract_violation on duplicate names.
+    void add(std::string name, Factory factory);
+
+    bool contains(const std::string& name) const;
+
+    /// Registered backend names, sorted.
+    std::vector<std::string> names() const;
+
+    /// Construct a backend; throws std::invalid_argument for unknown names
+    /// (the message lists what is registered) and Contract_violation when
+    /// the context is missing its rule corpus or cost model.
+    std::unique_ptr<Optimizer> create(const std::string& name, const Optimizer_context& context) const;
+
+    /// The registry holding "taso", "pet", "tensat" and "xrlflow".
+    static const Optimizer_registry& built_in();
+
+private:
+    std::map<std::string, Factory> factories_;
+};
+
+/// Shorthand for Optimizer_registry::built_in().create(name, context).
+std::unique_ptr<Optimizer> make_optimizer(const std::string& name, const Optimizer_context& context);
+
+} // namespace xrl

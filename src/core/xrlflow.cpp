@@ -1,6 +1,8 @@
 #include "core/xrlflow.h"
 
+#include <algorithm>
 #include <chrono>
+#include <unordered_map>
 
 #include "support/check.h"
 
@@ -27,11 +29,12 @@ void Xrlflow::train(const Graph& model, int episodes)
     episode_seed_ = episode_seed_ * 6364136223846793005ULL + 1442695040888963407ULL;
 }
 
-Optimisation_outcome Xrlflow::optimise(const Graph& model)
+Optimisation_outcome Xrlflow::optimise(const Graph& model, const Inference_options& options)
 {
     const auto start = std::chrono::steady_clock::now();
 
-    E2e_simulator simulator(config_.device, config_.seed ^ 0x7777ULL);
+    const std::uint64_t seed = options.seed != 0 ? options.seed : config_.seed;
+    E2e_simulator simulator(config_.device, seed ^ 0x7777ULL);
 
     Optimisation_outcome outcome;
     outcome.initial_ms = simulator.noiseless_ms(model);
@@ -39,20 +42,28 @@ Optimisation_outcome Xrlflow::optimise(const Graph& model)
     outcome.final_ms = outcome.initial_ms;
     outcome.rule_counts.assign(rules_->size(), 0);
 
-    Rng rng(config_.seed ^ 0x9999ULL);
-    const int rollouts = std::max(config_.inference_rollouts, 1);
-    for (int rollout = 0; rollout < rollouts; ++rollout) {
+    Rng rng(seed ^ 0x9999ULL);
+    int rollouts = options.rollouts > 0 ? options.rollouts : config_.inference_rollouts;
+    rollouts = std::max(rollouts, 1);
+    if (options.deterministic_only) rollouts = 1;
+    int total_steps = 0;
+    for (int rollout = 0; rollout < rollouts && !outcome.stopped_early; ++rollout) {
         Environment env(model, *rules_, simulator, config_.env);
         const bool greedy = rollout == 0;
         int steps = 0;
         bool improved = false;
         while (!env.done()) {
+            if (options.heartbeat && !options.heartbeat(total_steps, outcome.final_ms)) {
+                outcome.stopped_early = true;
+                break;
+            }
             std::vector<const Graph*> candidate_ptrs;
             for (const Candidate& c : env.candidates()) candidate_ptrs.push_back(&c.graph);
             const Encoded_graph state = encode_meta_graph(env.current_graph(), candidate_ptrs);
             const Agent::Decision decision = agent_->act(state, env.action_mask(), rng, greedy);
             env.step(decision.action);
             ++steps;
+            ++total_steps;
 
             const double latency = simulator.noiseless_ms(env.current_graph());
             if (latency < outcome.final_ms) {
@@ -70,6 +81,109 @@ Optimisation_outcome Xrlflow::optimise(const Graph& model)
     outcome.optimisation_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     return outcome;
+}
+
+namespace {
+
+class Xrlflow_backend final : public Optimizer {
+public:
+    explicit Xrlflow_backend(const Optimizer_context& context) : context_(context) {}
+
+    std::string name() const override { return "xrlflow"; }
+
+    Optimize_result optimize(const Graph& graph, const Optimize_request& request) override
+    {
+        const Progress_driver driver(name(), request);
+        const int episodes = static_cast<int>(context_.option_or("xrlflow.episodes", 8));
+
+        // Training runs as one uninterruptible phase (PPO needs whole
+        // update windows), but it is inside the request's clock: the
+        // callback can cancel before it starts, wall_seconds below
+        // includes it, and a time budget it exhausts stops inference at
+        // the first step. The budget cannot pre-empt training itself.
+        if (!driver.heartbeat()(0, 0.0)) {
+            Optimize_result cancelled;
+            cancelled.backend = name();
+            cancelled.best_graph = graph;
+            cancelled.cancelled = true;
+            cancelled.wall_seconds = driver.elapsed_seconds();
+            return cancelled;
+        }
+        Xrlflow& system = trained_system(graph, request.seed, episodes);
+        const double training_seconds = driver.elapsed_seconds();
+
+        Inference_options options;
+        options.deterministic_only = request.deterministic;
+        options.rollouts = request.iteration_budget > 0
+                               ? request.iteration_budget
+                               : static_cast<int>(context_.option_or("xrlflow.rollouts", 0));
+        options.seed = request.seed;
+        options.heartbeat = driver.heartbeat();
+
+        const Optimisation_outcome outcome = system.optimise(graph, options);
+
+        Optimize_result result;
+        result.backend = name();
+        result.best_graph = outcome.best_graph;
+        result.initial_ms = outcome.initial_ms;
+        result.final_ms = outcome.final_ms;
+        result.steps = outcome.steps;
+        result.wall_seconds = driver.elapsed_seconds(); // training + inference
+        result.cancelled = outcome.stopped_early;
+        for (std::size_t i = 0; i < outcome.rule_counts.size(); ++i)
+            if (outcome.rule_counts[i] > 0)
+                result.rule_counts[(*context_.rules)[i]->name()] = outcome.rule_counts[i];
+        result.metadata["training_episodes"] = episodes;
+        result.metadata["training_seconds"] = training_seconds;
+        result.metadata["rollouts"] = options.deterministic_only ? 1.0 : std::max(options.rollouts, 1);
+        return result;
+    }
+
+private:
+    Xrlflow_config adapter_config(std::uint64_t seed) const
+    {
+        // Smoke-scale defaults (the compare_optimizers configuration);
+        // paper-scale runs override via context options.
+        Xrlflow_config config;
+        config.seed = seed;
+        const int hidden = static_cast<int>(context_.option_or("xrlflow.hidden_dim", 16));
+        config.agent.gnn.hidden_dim = hidden;
+        config.agent.gnn.global_dim = hidden;
+        config.agent.head_hidden = {64, 32};
+        config.agent.max_candidates =
+            static_cast<int>(context_.option_or("xrlflow.max_candidates", 31));
+        config.env.max_steps = static_cast<int>(context_.option_or("xrlflow.max_steps", 40));
+        config.trainer.update_every_episodes = 4;
+        config.trainer.ppo.minibatch_size = 8;
+        config.trainer.seed = seed;
+        config.device = context_.device;
+        return config;
+    }
+
+    /// Train-once cache: a policy per (graph, seed, episodes). Keeps repeat
+    /// optimisation of the same model from paying the RL training cost.
+    Xrlflow& trained_system(const Graph& graph, std::uint64_t seed, int episodes)
+    {
+        const std::uint64_t key =
+            graph.canonical_hash() ^ (seed * 0x9e3779b97f4a7c15ULL) ^ static_cast<std::uint64_t>(episodes);
+        const auto it = trained_.find(key);
+        if (it != trained_.end()) return *it->second;
+        auto system = std::make_unique<Xrlflow>(*context_.rules, adapter_config(seed));
+        if (episodes > 0) system->train(graph, episodes);
+        return *trained_.emplace(key, std::move(system)).first->second;
+    }
+
+    Optimizer_context context_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Xrlflow>> trained_;
+};
+
+} // namespace
+
+void register_xrlflow_backend(Optimizer_registry& registry)
+{
+    registry.add("xrlflow", [](const Optimizer_context& context) -> std::unique_ptr<Optimizer> {
+        return std::make_unique<Xrlflow_backend>(context);
+    });
 }
 
 } // namespace xrl

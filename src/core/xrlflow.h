@@ -10,6 +10,7 @@
 #include <string>
 
 #include "core/agent.h"
+#include "core/optimizer_api.h"
 #include "core/trainer.h"
 #include "cost/device.h"
 #include "env/environment.h"
@@ -38,9 +39,19 @@ struct Optimisation_outcome {
     double final_ms = 0.0;
     int steps = 0;
     double optimisation_seconds = 0.0;
+    bool stopped_early = false;   ///< Heartbeat cut inference short.
     std::vector<int> rule_counts; ///< Applications per rule during inference.
 
     double speedup() const { return initial_ms / final_ms; }
+};
+
+/// Per-call overrides for Xrlflow::optimise (the unified-API adapter maps an
+/// Optimize_request onto these; config defaults apply where fields are 0).
+struct Inference_options {
+    int rollouts = 0;                 ///< 0 = config.inference_rollouts.
+    bool deterministic_only = false;  ///< Force a single greedy episode.
+    std::uint64_t seed = 0;           ///< 0 = config.seed.
+    Search_heartbeat heartbeat;       ///< Checked every environment step.
 };
 
 class Xrlflow {
@@ -54,7 +65,9 @@ public:
 
     /// Greedy inference: run one deterministic transformation episode and
     /// return the best graph seen (by deterministic latency).
-    Optimisation_outcome optimise(const Graph& model);
+    Optimisation_outcome optimise(const Graph& model) { return optimise(model, {}); }
+
+    Optimisation_outcome optimise(const Graph& model, const Inference_options& options);
 
     Agent& agent() { return *agent_; }
     const std::vector<Episode_stats>& training_history() const { return history_; }
@@ -69,5 +82,15 @@ private:
     std::vector<Episode_stats> history_;
     std::uint64_t episode_seed_ = 0;
 };
+
+/// Register the "xrlflow" backend. The adapter trains a policy per distinct
+/// (graph, seed, episodes) on first use and reuses it afterwards. Training
+/// counts against the request's wall clock but runs as one uninterruptible
+/// phase (PPO needs whole update windows); cancellation is checked before
+/// training starts and at every inference step. Options:
+/// "xrlflow.episodes" (training episodes, default 8), "xrlflow.rollouts"
+/// (sampled inference episodes when the request is non-deterministic),
+/// "xrlflow.hidden_dim", "xrlflow.max_candidates", "xrlflow.max_steps".
+void register_xrlflow_backend(Optimizer_registry& registry);
 
 } // namespace xrl

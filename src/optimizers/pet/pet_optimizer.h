@@ -12,6 +12,7 @@
 //      shape sensitivity.
 #pragma once
 
+#include <map>
 #include <memory>
 
 #include "cost/cost_model.h"
@@ -36,11 +37,20 @@ struct Pet_result {
     double honest_cost_ms = 0.0;   ///< Full cost model of the same graph.
     int iterations = 0;
     double optimisation_seconds = 0.0;
+    bool stopped_early = false;    ///< Heartbeat asked the search to stop.
+
+    /// Novel candidates admitted per rule name (corpus + spatial split).
+    std::map<std::string, int> rule_candidates;
 };
 
 /// TASO-style backtracking search driven by PET's blind cost model over the
-/// standard corpus plus the spatial-split transform.
+/// standard corpus plus the spatial-split transform. The heartbeat in
+/// `config` is honoured exactly as in optimise_taso.
 Pet_result optimise_pet(const Graph& input, const Cost_model& cost,
                         const Taso_config& config = {});
+
+/// Register the "pet" backend. Shares TASO's search knobs under the "pet."
+/// prefix: "pet.alpha", "pet.budget".
+void register_pet_backend(Optimizer_registry& registry);
 
 } // namespace xrl

@@ -41,17 +41,24 @@ Taso_result optimise_taso_with_cost(const Graph& input, const Rule_set& rules,
     std::size_t order = 0;
     queue.push({result.initial_cost_ms, order++, input});
     seen.insert(input.canonical_hash());
+    result.rule_candidates.assign(rules.size(), 0);
 
     while (!queue.empty() && result.iterations < config.budget) {
+        if (config.heartbeat && !config.heartbeat(result.iterations, result.best_cost_ms)) {
+            result.stopped_early = true;
+            break;
+        }
         Queued_graph current = queue.top();
         queue.pop();
         ++result.iterations;
 
-        for (const auto& rule : rules) {
+        for (std::size_t rule_index = 0; rule_index < rules.size(); ++rule_index) {
+            const auto& rule = rules[rule_index];
             for (Graph& candidate : rule->apply_all(current.graph, config.max_candidates_per_step)) {
                 ++result.candidates_generated;
                 const std::uint64_t hash = candidate.canonical_hash();
                 if (!seen.insert(hash).second) continue;
+                ++result.rule_candidates[rule_index];
                 const double candidate_cost = cost(candidate);
                 if (candidate_cost < result.best_cost_ms) {
                     result.best_cost_ms = candidate_cost;
@@ -74,6 +81,62 @@ Taso_result optimise_taso(const Graph& input, const Rule_set& rules, const Cost_
 {
     return optimise_taso_with_cost(
         input, rules, [&cost](const Graph& g) { return cost.graph_cost_ms(g); }, config);
+}
+
+namespace {
+
+class Taso_backend final : public Optimizer {
+public:
+    explicit Taso_backend(const Optimizer_context& context) : context_(context)
+    {
+        base_.alpha = context.option_or("taso.alpha", base_.alpha);
+        base_.budget = static_cast<int>(context.option_or("taso.budget", base_.budget));
+        base_.max_candidates_per_step = static_cast<std::size_t>(
+            context.option_or("taso.max_candidates_per_step",
+                              static_cast<double>(base_.max_candidates_per_step)));
+        base_.max_queue = static_cast<std::size_t>(
+            context.option_or("taso.max_queue", static_cast<double>(base_.max_queue)));
+    }
+
+    std::string name() const override { return "taso"; }
+
+    Optimize_result optimize(const Graph& graph, const Optimize_request& request) override
+    {
+        Taso_config config = base_;
+        if (request.iteration_budget > 0) config.budget = request.iteration_budget;
+        const Progress_driver driver(name(), request);
+        config.heartbeat = driver.heartbeat();
+
+        const Taso_result inner = optimise_taso(graph, *context_.rules, *context_.cost, config);
+
+        Optimize_result result;
+        result.backend = name();
+        result.best_graph = inner.best_graph;
+        result.initial_ms = inner.initial_cost_ms;
+        result.final_ms = inner.best_cost_ms;
+        result.steps = inner.iterations;
+        result.wall_seconds = inner.optimisation_seconds;
+        result.cancelled = inner.stopped_early;
+        for (std::size_t i = 0; i < inner.rule_candidates.size(); ++i)
+            if (inner.rule_candidates[i] > 0)
+                result.rule_counts[(*context_.rules)[i]->name()] = inner.rule_candidates[i];
+        result.metadata["candidates_generated"] = inner.candidates_generated;
+        result.metadata["alpha"] = config.alpha;
+        return result;
+    }
+
+private:
+    Optimizer_context context_;
+    Taso_config base_;
+};
+
+} // namespace
+
+void register_taso_backend(Optimizer_registry& registry)
+{
+    registry.add("taso", [](const Optimizer_context& context) -> std::unique_ptr<Optimizer> {
+        return std::make_unique<Taso_backend>(context);
+    });
 }
 
 } // namespace xrl

@@ -11,7 +11,9 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "core/optimizer_api.h"
 #include "cost/cost_model.h"
 #include "ir/graph.h"
 #include "rules/rule.h"
@@ -23,6 +25,7 @@ struct Taso_config {
     int budget = 100;             ///< Queue pops before giving up.
     std::size_t max_candidates_per_step = 1000;
     std::size_t max_queue = 10000;
+    Search_heartbeat heartbeat;   ///< Checked once per queue pop; false stops the search.
 };
 
 struct Taso_result {
@@ -32,6 +35,8 @@ struct Taso_result {
     int iterations = 0;
     int candidates_generated = 0;
     double optimisation_seconds = 0.0;
+    bool stopped_early = false;       ///< Heartbeat asked the search to stop.
+    std::vector<int> rule_candidates; ///< Novel candidates admitted per rule index.
 };
 
 /// Run the search; `cost` supplies the ranking signal (the TASO cost model
@@ -43,5 +48,9 @@ Taso_result optimise_taso(const Graph& input, const Rule_set& rules, const Cost_
 using Graph_cost_fn = std::function<double(const Graph&)>;
 Taso_result optimise_taso_with_cost(const Graph& input, const Rule_set& rules,
                                     const Graph_cost_fn& cost, const Taso_config& config);
+
+/// Register the "taso" backend. Options: "taso.alpha", "taso.budget",
+/// "taso.max_candidates_per_step", "taso.max_queue".
+void register_taso_backend(Optimizer_registry& registry);
 
 } // namespace xrl

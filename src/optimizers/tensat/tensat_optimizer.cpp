@@ -4,6 +4,8 @@
 #include <functional>
 #include <unordered_map>
 
+#include "rules/bespoke_rules.h"
+#include "rules/corpus.h"
 #include "support/check.h"
 
 namespace xrl {
@@ -233,11 +235,17 @@ Tensat_result optimise_tensat(const Graph& input, const std::vector<Pattern>& pa
 
     result.saturated = false;
     for (int iter = 0; iter < config.max_iterations; ++iter) {
+        if (config.heartbeat && !config.heartbeat(result.iterations, result.initial_cost_ms)) {
+            result.stopped_early = true;
+            break;
+        }
         ++result.iterations;
         const std::size_t nodes_before = enc.egraph.num_nodes();
         int unions = 0;
         for (const Pattern& p : usable) {
-            unions += apply_pattern_to_egraph(enc.egraph, p, config.match_limit_per_rule);
+            const int made = apply_pattern_to_egraph(enc.egraph, p, config.match_limit_per_rule);
+            if (made > 0) result.unions_per_pattern[p.name] += made;
+            unions += made;
             if (enc.egraph.num_nodes() > config.node_limit) break;
         }
         enc.egraph.rebuild();
@@ -263,6 +271,71 @@ Tensat_result optimise_tensat(const Graph& input, const std::vector<Pattern>& pa
     result.optimisation_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
     return result;
+}
+
+namespace {
+
+class Tensat_backend final : public Optimizer {
+public:
+    explicit Tensat_backend(const Optimizer_context& context)
+        : context_(context), patterns_(curated_patterns())
+    {
+        base_.max_iterations =
+            static_cast<int>(context.option_or("tensat.max_iterations", base_.max_iterations));
+        base_.node_limit = static_cast<std::size_t>(
+            context.option_or("tensat.node_limit", static_cast<double>(base_.node_limit)));
+        base_.multi_pattern_limit_k =
+            static_cast<int>(context.option_or("tensat.k", base_.multi_pattern_limit_k));
+        base_.match_limit_per_rule = static_cast<std::size_t>(context.option_or(
+            "tensat.match_limit_per_rule", static_cast<double>(base_.match_limit_per_rule)));
+        // Tensat's multi-pattern rewrites: the multi-output merges the
+        // single-output e-graph cannot express (§4.6).
+        multi_pattern_rules_.push_back(make_merge_matmul_shared_lhs_rule());
+        multi_pattern_rules_.push_back(make_merge_conv_shared_input_rule());
+    }
+
+    std::string name() const override { return "tensat"; }
+
+    Optimize_result optimize(const Graph& graph, const Optimize_request& request) override
+    {
+        Tensat_config config = base_;
+        if (request.iteration_budget > 0) config.max_iterations = request.iteration_budget;
+        const Progress_driver driver(name(), request);
+        config.heartbeat = driver.heartbeat();
+
+        const Tensat_result inner =
+            optimise_tensat(graph, patterns_, multi_pattern_rules_, *context_.cost, config);
+
+        Optimize_result result;
+        result.backend = name();
+        result.best_graph = inner.best_graph;
+        result.initial_ms = inner.initial_cost_ms;
+        result.final_ms = inner.best_cost_ms;
+        result.steps = inner.iterations;
+        result.wall_seconds = inner.optimisation_seconds;
+        result.cancelled = inner.stopped_early;
+        result.rule_counts = inner.unions_per_pattern;
+        result.metadata["egraph_nodes"] = static_cast<double>(inner.egraph_nodes);
+        result.metadata["egraph_classes"] = static_cast<double>(inner.egraph_classes);
+        result.metadata["saturated"] = inner.saturated ? 1.0 : 0.0;
+        result.metadata["multi_pattern_k"] = config.multi_pattern_limit_k;
+        return result;
+    }
+
+private:
+    Optimizer_context context_;
+    Tensat_config base_;
+    std::vector<Pattern> patterns_;
+    Rule_set multi_pattern_rules_;
+};
+
+} // namespace
+
+void register_tensat_backend(Optimizer_registry& registry)
+{
+    registry.add("tensat", [](const Optimizer_context& context) -> std::unique_ptr<Optimizer> {
+        return std::make_unique<Tensat_backend>(context);
+    });
 }
 
 } // namespace xrl

@@ -10,8 +10,11 @@
 // BERT-style attention stacks).
 #pragma once
 
+#include <map>
+#include <string>
 #include <vector>
 
+#include "core/optimizer_api.h"
 #include "cost/cost_model.h"
 #include "optimizers/tensat/egraph.h"
 #include "rules/rule.h"
@@ -23,6 +26,10 @@ struct Tensat_config {
     std::size_t node_limit = 10000;
     int multi_pattern_limit_k = 1;        ///< Tensat's k (§4.6).
     std::size_t match_limit_per_rule = 2000;
+    /// Checked per saturation iteration. Equality saturation has no running
+    /// best (extraction happens once at the end), so the cost argument
+    /// reports the initial cost on every call.
+    Search_heartbeat heartbeat;
 };
 
 struct Tensat_result {
@@ -34,6 +41,8 @@ struct Tensat_result {
     std::size_t egraph_nodes = 0;
     std::size_t egraph_classes = 0;
     double optimisation_seconds = 0.0;
+    bool stopped_early = false;                      ///< Heartbeat stopped saturation.
+    std::map<std::string, int> unions_per_pattern;   ///< E-graph unions per pattern name.
 };
 
 /// Find all matches of a single-output pattern in the e-graph and splice in
@@ -48,5 +57,11 @@ bool is_egraph_compatible(const Pattern& pattern);
 Tensat_result optimise_tensat(const Graph& input, const std::vector<Pattern>& patterns,
                               const Rule_set& multi_pattern_rules, const Cost_model& cost,
                               const Tensat_config& config = {});
+
+/// Register the "tensat" backend (curated patterns + the bespoke
+/// multi-output merge rules as k-limited multi-pattern rewrites). Options:
+/// "tensat.max_iterations", "tensat.node_limit", "tensat.k",
+/// "tensat.match_limit_per_rule".
+void register_tensat_backend(Optimizer_registry& registry);
 
 } // namespace xrl

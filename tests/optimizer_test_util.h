@@ -1,0 +1,24 @@
+// Shared helpers for tests that drive backends through the unified API.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+
+#include "core/optimizer_api.h"
+
+namespace xrl::test {
+
+/// Context over a caller-owned corpus + cost model for driving backends
+/// through the unified API. `rules` and `cost` must outlive the context.
+inline Optimizer_context api_context(const Rule_set& rules, const Cost_model& cost,
+                                     std::map<std::string, double> options = {})
+{
+    Optimizer_context context;
+    context.rules = &rules;
+    context.cost = &cost;
+    context.options = std::move(options);
+    return context;
+}
+
+} // namespace xrl::test

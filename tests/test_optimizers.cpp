@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/optimizer_api.h"
 #include "cost/cost_model.h"
 #include "ir/builder.h"
 #include "ir/executor.h"
@@ -10,9 +11,12 @@
 #include "rules/bespoke_rules.h"
 #include "rules/corpus.h"
 #include "support/check.h"
+#include "optimizer_test_util.h"
 
 namespace xrl {
 namespace {
+
+using test::api_context;
 
 /// A small network with known optimisation opportunities: two fusable
 /// activations, a Q/K/V-style triple projection, and an identity.
@@ -40,12 +44,13 @@ TEST(Taso, ImprovesCostOnOptimisableGraph)
     const Graph g = optimisable_graph();
     const Cost_model cost(gtx1080_profile());
     const Rule_set rules = standard_rule_corpus();
-    Taso_config config;
-    config.budget = 30;
-    const Taso_result result = optimise_taso(g, rules, cost, config);
-    EXPECT_LT(result.best_cost_ms, result.initial_cost_ms);
+    const auto taso = make_optimizer("taso", api_context(rules, cost, {{"taso.budget", 30}}));
+    const Optimize_result result = taso->optimize(g, {});
+    EXPECT_LT(result.final_ms, result.initial_ms);
+    EXPECT_GT(result.speedup(), 1.0);
     EXPECT_NO_THROW(result.best_graph.validate());
-    EXPECT_GT(result.candidates_generated, 0);
+    EXPECT_GT(result.metadata.at("candidates_generated"), 0.0);
+    EXPECT_FALSE(result.rule_counts.empty());
 }
 
 TEST(Taso, OptimisedGraphPreservesSemantics)
@@ -53,9 +58,8 @@ TEST(Taso, OptimisedGraphPreservesSemantics)
     const Graph g = optimisable_graph();
     const Cost_model cost(gtx1080_profile());
     const Rule_set rules = standard_rule_corpus();
-    Taso_config config;
-    config.budget = 30;
-    const Taso_result result = optimise_taso(g, rules, cost, config);
+    const auto taso = make_optimizer("taso", api_context(rules, cost, {{"taso.budget", 30}}));
+    const Optimize_result result = taso->optimize(g, {});
 
     Rng rng(321);
     const Binding_map bindings = random_bindings(g, rng);
@@ -71,10 +75,11 @@ TEST(Taso, RespectsBudget)
     const Graph g = optimisable_graph();
     const Cost_model cost(gtx1080_profile());
     const Rule_set rules = standard_rule_corpus();
-    Taso_config config;
-    config.budget = 1;
-    const Taso_result result = optimise_taso(g, rules, cost, config);
-    EXPECT_EQ(result.iterations, 1);
+    const auto taso = make_optimizer("taso", api_context(rules, cost));
+    Optimize_request request;
+    request.iteration_budget = 1;
+    const Optimize_result result = taso->optimize(g, request);
+    EXPECT_EQ(result.steps, 1);
 }
 
 TEST(Taso, NoRulesMeansNoChange)
@@ -82,9 +87,11 @@ TEST(Taso, NoRulesMeansNoChange)
     const Graph g = optimisable_graph();
     const Cost_model cost(gtx1080_profile());
     const Rule_set empty;
-    const Taso_result result = optimise_taso(g, empty, cost, {});
-    EXPECT_EQ(result.best_cost_ms, result.initial_cost_ms);
+    const auto taso = make_optimizer("taso", api_context(empty, cost));
+    const Optimize_result result = taso->optimize(g, {});
+    EXPECT_EQ(result.final_ms, result.initial_ms);
     EXPECT_EQ(result.best_graph.canonical_hash(), g.canonical_hash());
+    EXPECT_TRUE(result.rule_counts.empty());
 }
 
 TEST(Taso, GreedyGetsStuckWhereUphillMoveWins)
@@ -258,13 +265,13 @@ TEST(Tensat, OptimisesAndValidates)
 {
     const Graph g = optimisable_graph();
     const Cost_model cost(gtx1080_profile());
-    Tensat_config config;
-    config.max_iterations = 4;
-    const Tensat_result result =
-        optimise_tensat(g, curated_patterns(), Rule_set{}, cost, config);
-    EXPECT_LE(result.best_cost_ms, result.initial_cost_ms);
+    const Rule_set rules = standard_rule_corpus();
+    const auto tensat =
+        make_optimizer("tensat", api_context(rules, cost, {{"tensat.max_iterations", 4}}));
+    const Optimize_result result = tensat->optimize(g, {});
+    EXPECT_LE(result.final_ms, result.initial_ms);
     EXPECT_NO_THROW(result.best_graph.validate());
-    EXPECT_GT(result.egraph_nodes, 0u);
+    EXPECT_GT(result.metadata.at("egraph_nodes"), 0.0);
 }
 
 TEST(Tensat, MultiPatternLimitGovernsQkvMerging)
@@ -387,13 +394,15 @@ TEST(Pet, OptimiserRunsAndReportsBothCosts)
 {
     const Graph g = optimisable_graph();
     const Cost_model cost(gtx1080_profile());
-    Taso_config config;
-    config.budget = 15;
-    const Pet_result result = optimise_pet(g, cost, config);
+    const Rule_set rules = standard_rule_corpus();
+    const auto pet = make_optimizer("pet", api_context(rules, cost, {{"pet.budget", 15}}));
+    const Optimize_result result = pet->optimize(g, {});
     EXPECT_NO_THROW(result.best_graph.validate());
-    EXPECT_GT(result.honest_cost_ms, 0.0);
-    // PET's own estimate never exceeds the honest cost (it ignores ops).
-    EXPECT_LE(result.pet_cost_ms, result.honest_cost_ms + 1e-12);
+    // The unified latency fields report the honest cost model; PET's own
+    // blind estimate rides along as metadata and never exceeds it.
+    EXPECT_GT(result.final_ms, 0.0);
+    EXPECT_EQ(result.final_ms, result.metadata.at("honest_ms"));
+    EXPECT_LE(result.metadata.at("pet_believed_ms"), result.final_ms + 1e-12);
 }
 
 } // namespace
