@@ -1,0 +1,136 @@
+// Candidate-generation engine benchmark: legacy per-rule apply_all scan vs
+// Candidate_engine, plus environment steps-per-second with both backends.
+//
+// Emits BENCH_candidates.json (path overridable via argv[1]) recording the
+// before/after numbers behind the README's "Candidate generation" section.
+// The env rollout always takes action 0, so both backends walk the same
+// graph trajectory and the comparison isolates candidate generation.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_common.h"
+#include "cost/e2e_simulator.h"
+#include "env/environment.h"
+#include "models/models.h"
+#include "rules/candidate_engine.h"
+#include "rules/corpus.h"
+
+namespace {
+
+using namespace xrl;
+using xrlbench::print_header;
+
+double seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Time `f` adaptively: enough iterations for ~0.3 s of work.
+template <typename F>
+double time_us(F&& f)
+{
+    int iters = 1;
+    for (;;) {
+        const auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < iters; ++i) f();
+        const double elapsed = seconds_since(start);
+        if (elapsed > 0.3 || iters > (1 << 20)) return elapsed * 1e6 / iters;
+        iters *= 4;
+    }
+}
+
+/// The pre-engine candidate pass: per-rule apply_all + canonical dedup
+/// (what Environment::regenerate_candidates ran before the engine).
+std::size_t legacy_pass(const Graph& host, const Rule_set& rules, std::size_t per_rule_limit)
+{
+    std::unordered_set<std::uint64_t> seen;
+    seen.insert(host.canonical_hash());
+    std::size_t kept = 0;
+    for (const auto& rule : rules)
+        for (const Graph& candidate : rule->apply_all(host, per_rule_limit))
+            if (seen.insert(candidate.canonical_hash()).second) ++kept;
+    return kept;
+}
+
+struct Env_throughput {
+    double steps_per_second = 0.0;
+    int steps = 0;
+};
+
+Env_throughput env_rollout(const Graph& model, const Rule_set& rules, bool use_engine,
+                           int max_steps)
+{
+    E2e_simulator simulator(gtx1080_profile(), 7);
+    Env_config config;
+    config.max_steps = max_steps;
+    config.use_candidate_engine = use_engine;
+    Environment env(model, rules, simulator, config);
+
+    Env_throughput out;
+    const auto start = std::chrono::steady_clock::now();
+    while (!env.done()) {
+        env.step(0); // deterministic walk: both backends see the same graphs
+        ++out.steps;
+    }
+    out.steps_per_second = out.steps / seconds_since(start);
+    return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const std::string json_path = argc > 1 ? argv[1] : "BENCH_candidates.json";
+    const Rule_set rules = standard_rule_corpus();
+    const Graph bert = make_bert(Scale::smoke, 32);
+    const Graph inception = make_inception_v3(Scale::smoke);
+    constexpr std::size_t per_rule_limit = 4;
+
+    print_header("Candidate generation: legacy apply_all scan vs Candidate_engine");
+
+    const Candidate_engine engine(rules, Candidate_engine_config{per_rule_limit, 0});
+
+    const double legacy_bert_us = time_us([&] { legacy_pass(bert, rules, per_rule_limit); });
+    const double engine_bert_us = time_us([&] { engine.generate(bert); });
+    const double legacy_incep_us = time_us([&] { legacy_pass(inception, rules, per_rule_limit); });
+    const double engine_incep_us = time_us([&] { engine.generate(inception); });
+
+    std::printf("%-28s %14s %14s %9s\n", "candidate pass", "legacy (us)", "engine (us)", "speedup");
+    std::printf("%-28s %14.1f %14.1f %8.2fx\n", "bert (smoke)", legacy_bert_us, engine_bert_us,
+                legacy_bert_us / engine_bert_us);
+    std::printf("%-28s %14.1f %14.1f %8.2fx\n", "inception-v3 (smoke)", legacy_incep_us,
+                engine_incep_us, legacy_incep_us / engine_incep_us);
+
+    const Env_throughput legacy_env = env_rollout(bert, rules, /*use_engine=*/false, 12);
+    const Env_throughput engine_env = env_rollout(bert, rules, /*use_engine=*/true, 12);
+
+    std::printf("\n%-28s %14s %14s %9s\n", "env rollout (bert)", "legacy", "engine", "speedup");
+    std::printf("%-28s %12.1f/s %12.1f/s %8.2fx\n", "steps per second",
+                legacy_env.steps_per_second, engine_env.steps_per_second,
+                engine_env.steps_per_second / legacy_env.steps_per_second);
+
+    std::ofstream json(json_path);
+    json << "{\n"
+         << "  \"per_rule_limit\": " << per_rule_limit << ",\n"
+         << "  \"candidate_pass_us\": {\n"
+         << "    \"bert\": {\"legacy\": " << legacy_bert_us << ", \"engine\": " << engine_bert_us
+         << ", \"speedup\": " << legacy_bert_us / engine_bert_us << "},\n"
+         << "    \"inception\": {\"legacy\": " << legacy_incep_us
+         << ", \"engine\": " << engine_incep_us
+         << ", \"speedup\": " << legacy_incep_us / engine_incep_us << "}\n"
+         << "  },\n"
+         << "  \"env_steps_per_second\": {\n"
+         << "    \"bert\": {\"legacy\": " << legacy_env.steps_per_second
+         << ", \"engine\": " << engine_env.steps_per_second
+         << ", \"speedup\": " << engine_env.steps_per_second / legacy_env.steps_per_second
+         << ", \"steps\": " << engine_env.steps << "}\n"
+         << "  }\n"
+         << "}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+    return 0;
+}

@@ -11,6 +11,7 @@
 #include "ir/executor.h"
 #include "models/models.h"
 #include "optimizers/tensat/egraph.h"
+#include "rules/candidate_engine.h"
 #include "rules/corpus.h"
 
 namespace {
@@ -51,6 +52,54 @@ void BM_rule_apply_all_bert(benchmark::State& state)
     }
 }
 BENCHMARK(BM_rule_apply_all_bert);
+
+// The engine does strictly more than the loop above — on top of matching
+// and materialising it canonically dedups the whole set — via one shared
+// host index, the undo-log matcher, and fingerprint-gated materialisation.
+void BM_candidate_engine_bert(benchmark::State& state)
+{
+    static const Rule_set rules = standard_rule_corpus();
+    static const Candidate_engine engine(rules, Candidate_engine_config{4, 0});
+    for (auto _ : state) {
+        auto generated = engine.generate(bert());
+        benchmark::DoNotOptimize(generated);
+    }
+}
+BENCHMARK(BM_candidate_engine_bert);
+
+void BM_rule_apply_all_inception(benchmark::State& state)
+{
+    static const Rule_set rules = standard_rule_corpus();
+    for (auto _ : state) {
+        for (const auto& rule : rules) {
+            auto candidates = rule->apply_all(inception(), 4);
+            benchmark::DoNotOptimize(candidates);
+        }
+    }
+}
+BENCHMARK(BM_rule_apply_all_inception);
+
+void BM_candidate_engine_inception(benchmark::State& state)
+{
+    static const Rule_set rules = standard_rule_corpus();
+    static const Candidate_engine engine(rules, Candidate_engine_config{4, 0});
+    for (auto _ : state) {
+        auto generated = engine.generate(inception());
+        benchmark::DoNotOptimize(generated);
+    }
+}
+BENCHMARK(BM_candidate_engine_inception);
+
+void BM_candidate_engine_enumerate_bert(benchmark::State& state)
+{
+    static const Rule_set rules = standard_rule_corpus();
+    static const Candidate_engine engine(rules, Candidate_engine_config{4, 0});
+    for (auto _ : state) {
+        auto records = engine.enumerate(bert());
+        benchmark::DoNotOptimize(records);
+    }
+}
+BENCHMARK(BM_candidate_engine_enumerate_bert);
 
 void BM_canonical_hash(benchmark::State& state)
 {

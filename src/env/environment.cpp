@@ -17,6 +17,9 @@ Environment::Environment(Graph initial, const Rule_set& rules, E2e_simulator& si
 {
     XRL_EXPECTS(config_.max_candidates > 0);
     XRL_EXPECTS(config_.feedback_frequency >= 1);
+    if (config_.use_candidate_engine)
+        engine_ = std::make_unique<Candidate_engine>(
+            rules, Candidate_engine_config{config_.per_rule_limit, config_.engine_threads});
     reset();
 }
 
@@ -34,16 +37,28 @@ void Environment::reset()
 void Environment::regenerate_candidates()
 {
     candidates_.clear();
-    std::unordered_set<std::uint64_t> seen;
-    seen.insert(current_.canonical_hash());
-    for (std::size_t rule_index = 0; rule_index < rules_->size(); ++rule_index) {
-        for (Graph& candidate : (*rules_)[rule_index]->apply_all(current_, config_.per_rule_limit)) {
-            if (!seen.insert(candidate.canonical_hash()).second) continue;
-            if (candidates_.size() >= static_cast<std::size_t>(config_.max_candidates)) {
-                ++truncated_;
-                continue;
+    if (engine_ != nullptr) {
+        // Engine path: candidates beyond the action-space cap are counted
+        // but never materialised (the GNN only observes the capped set).
+        Candidate_engine::Generated generated =
+            engine_->generate(current_, static_cast<std::size_t>(config_.max_candidates));
+        truncated_ += generated.truncated;
+        candidates_.reserve(generated.candidates.size());
+        for (Engine_candidate& candidate : generated.candidates)
+            candidates_.push_back({std::move(candidate.graph), candidate.rule_index});
+    } else {
+        std::unordered_set<std::uint64_t> seen;
+        seen.insert(current_.canonical_hash());
+        for (std::size_t rule_index = 0; rule_index < rules_->size(); ++rule_index) {
+            for (Graph& candidate :
+                 (*rules_)[rule_index]->apply_all(current_, config_.per_rule_limit)) {
+                if (!seen.insert(candidate.canonical_hash()).second) continue;
+                if (candidates_.size() >= static_cast<std::size_t>(config_.max_candidates)) {
+                    ++truncated_;
+                    continue;
+                }
+                candidates_.push_back({std::move(candidate), static_cast<int>(rule_index)});
             }
-            candidates_.push_back({std::move(candidate), static_cast<int>(rule_index)});
         }
     }
     candidate_observations_ += static_cast<std::int64_t>(candidates_.size());

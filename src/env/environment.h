@@ -11,11 +11,13 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "cost/e2e_simulator.h"
 #include "ir/graph.h"
+#include "rules/candidate_engine.h"
 #include "rules/rule.h"
 
 namespace xrl {
@@ -34,6 +36,13 @@ struct Env_config {
     int max_steps = 64;
     std::size_t per_rule_limit = 16;
     Invalid_action_policy invalid_policy = Invalid_action_policy::forbid;
+
+    /// Candidate generation backend. The engine (default) shares one
+    /// op-kind index across the rule corpus, dedups by fingerprint before
+    /// materialising, and stops materialising at max_candidates; the
+    /// legacy per-rule apply_all scan is kept for A/B benchmarking.
+    bool use_candidate_engine = true;
+    std::size_t engine_threads = 0; ///< Candidate_engine_config::threads.
 };
 
 struct Candidate {
@@ -96,7 +105,8 @@ public:
     /// Average candidates per step since construction (Table 3 "complexity").
     double mean_candidates_per_step() const;
 
-    /// Candidates dropped because the set exceeded max_candidates.
+    /// Candidates dropped because the set exceeded max_candidates (with
+    /// the engine: candidate records left unmaterialised at the cap).
     std::size_t truncated_candidates() const { return truncated_; }
 
     const Rule_set& rules() const { return *rules_; }
@@ -113,6 +123,7 @@ private:
     const Rule_set* rules_;
     E2e_simulator* simulator_;
     Env_config config_;
+    std::unique_ptr<Candidate_engine> engine_; ///< Null when legacy scan requested.
 
     std::vector<Candidate> candidates_;
     std::vector<int> rule_counts_;

@@ -37,6 +37,12 @@ std::int32_t num_outputs(const Node& node)
     return 1;
 }
 
+void Graph::reserve(std::size_t capacity)
+{
+    nodes_.reserve(capacity);
+    alive_.reserve(capacity);
+}
+
 Node_id Graph::add_node(Op_kind kind, std::vector<Edge> inputs, Op_params params, std::string name)
 {
     for (const Edge& e : inputs) {
@@ -142,41 +148,81 @@ std::vector<Node_id> Graph::topo_order() const
 
 bool Graph::is_acyclic() const
 {
-    std::vector<std::int32_t> pending(nodes_.size(), 0);
-    std::vector<Node_id> ready;
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        if (alive_[i] == 0) continue;
-        pending[i] = static_cast<std::int32_t>(nodes_[i].inputs.size());
-        if (pending[i] == 0) ready.push_back(static_cast<Node_id>(i));
+    // Iterative three-colour DFS along input edges. Unlike Kahn's
+    // algorithm this needs no use lists, which matters because the rewrite
+    // epilogue runs this check once per candidate on the hot path.
+    std::vector<std::uint8_t> colour(nodes_.size(), 0); // 0 white, 1 grey, 2 black
+    std::vector<std::pair<Node_id, std::uint32_t>> stack; // node, next input slot
+    for (std::size_t seed = 0; seed < nodes_.size(); ++seed) {
+        if (alive_[seed] == 0 || colour[seed] != 0) continue;
+        colour[seed] = 1;
+        stack.emplace_back(static_cast<Node_id>(seed), 0);
+        while (!stack.empty()) {
+            const Node_id id = stack.back().first;
+            const Node& n = nodes_[static_cast<std::size_t>(id)];
+            std::uint32_t& slot = stack.back().second;
+            if (slot == n.inputs.size()) {
+                colour[static_cast<std::size_t>(id)] = 2;
+                stack.pop_back();
+                continue;
+            }
+            const auto child = static_cast<std::size_t>(n.inputs[slot].node);
+            ++slot;
+            if (colour[child] == 0) {
+                colour[child] = 1;
+                stack.emplace_back(static_cast<Node_id>(child), 0);
+            } else if (colour[child] == 1) {
+                return false; // back edge
+            }
+        }
     }
-    const auto users = build_users();
-    std::size_t seen = 0;
-    for (std::size_t head = 0; head < ready.size(); ++head) {
-        ++seen;
-        for (const Edge_use& use : users[static_cast<std::size_t>(ready[head])])
-            if (--pending[static_cast<std::size_t>(use.user)] == 0) ready.push_back(use.user);
-    }
-    return seen == alive_count_;
+    return true;
 }
 
 std::uint64_t Graph::canonical_hash() const
 {
+    // Memoised post-order DFS from the outputs: visits only the sub-DAG
+    // the hash is defined over, with no topological sort or use lists.
+    // Throws (like the topological sort it replaced) when that sub-DAG
+    // contains a cycle.
     std::vector<std::uint64_t> node_hash(nodes_.size(), 0);
-    for (const Node_id id : topo_order()) {
-        const Node& n = nodes_[static_cast<std::size_t>(id)];
-        std::uint64_t h = hash_combine(0x51edULL, static_cast<std::uint64_t>(n.kind));
-        h = hash_combine(h, hash_params(n.params));
-        for (const Edge& e : n.inputs) {
-            h = hash_combine(h, node_hash[static_cast<std::size_t>(e.node)]);
-            h = hash_combine(h, static_cast<std::uint64_t>(e.port));
+    std::vector<std::uint8_t> state(nodes_.size(), 0); // 0 new, 1 in progress, 2 done
+    std::vector<std::pair<Node_id, std::uint32_t>> stack; // node, next input slot
+    for (const Edge& out : outputs_) {
+        if (state[static_cast<std::size_t>(out.node)] == 2) continue;
+        state[static_cast<std::size_t>(out.node)] = 1;
+        stack.emplace_back(out.node, 0);
+        while (!stack.empty()) {
+            const Node_id id = stack.back().first;
+            const Node& n = nodes_[static_cast<std::size_t>(id)];
+            std::uint32_t& slot = stack.back().second;
+            if (slot < n.inputs.size()) {
+                const auto child = static_cast<std::size_t>(n.inputs[slot].node);
+                ++slot;
+                if (state[child] == 0) {
+                    state[child] = 1;
+                    stack.emplace_back(static_cast<Node_id>(child), 0);
+                } else {
+                    XRL_ENSURES(state[child] == 2); // in-progress child: cycle
+                }
+                continue;
+            }
+            std::uint64_t h = hash_combine(0x51edULL, static_cast<std::uint64_t>(n.kind));
+            h = hash_combine(h, hash_params(n.params));
+            for (const Edge& e : n.inputs) {
+                h = hash_combine(h, node_hash[static_cast<std::size_t>(e.node)]);
+                h = hash_combine(h, static_cast<std::uint64_t>(e.port));
+            }
+            if (n.kind == Op_kind::constant && n.payload != nullptr)
+                h = hash_combine(h, hash_payload(*n.payload));
+            if (n.kind == Op_kind::input || n.kind == Op_kind::weight) {
+                // Source identity matters: two distinct inputs must not collide.
+                h = hash_combine(h, static_cast<std::uint64_t>(id));
+            }
+            node_hash[static_cast<std::size_t>(id)] = h;
+            state[static_cast<std::size_t>(id)] = 2;
+            stack.pop_back();
         }
-        if (n.kind == Op_kind::constant && n.payload != nullptr)
-            h = hash_combine(h, hash_payload(*n.payload));
-        if (n.kind == Op_kind::input || n.kind == Op_kind::weight) {
-            // Source identity matters: two distinct inputs must not collide.
-            h = hash_combine(h, static_cast<std::uint64_t>(id));
-        }
-        node_hash[static_cast<std::size_t>(id)] = h;
     }
     std::uint64_t h = 0xabcdULL;
     for (const Edge& e : outputs_) {
@@ -229,14 +275,16 @@ int Graph::eliminate_dead_nodes()
             }
         }
     }
+    // Tombstone unreachable nodes directly: every user of a dead node is
+    // itself dead, so erase_node's per-node "no users" scan is redundant
+    // here (it made DCE quadratic on the candidate-generation hot path).
     int removed = 0;
-    // Erase in reverse topological order so "no users" holds at each step.
-    const auto order = topo_order();
-    for (auto it = order.rbegin(); it != order.rend(); ++it) {
-        const Node_id id = *it;
-        if (reachable[static_cast<std::size_t>(id)] != 0) continue;
-        if (nodes_[static_cast<std::size_t>(id)].kind == Op_kind::input) continue;
-        erase_node(id);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (alive_[i] == 0 || reachable[i] != 0) continue;
+        if (nodes_[i].kind == Op_kind::input) continue;
+        alive_[i] = 0;
+        nodes_[i] = Node{};
+        --alive_count_;
         ++removed;
     }
     return removed;
@@ -250,7 +298,21 @@ void Graph::infer_shapes()
     }
 }
 
-void Graph::validate() const
+bool Graph::infer_shapes_appended(Node_id first_new)
+{
+    const std::size_t first = first_new > 0 ? static_cast<std::size_t>(first_new) : 0;
+    for (std::size_t i = first; i < nodes_.size(); ++i) {
+        if (alive_[i] == 0) continue;
+        for (const Edge& e : nodes_[i].inputs) {
+            const Node& producer = nodes_[static_cast<std::size_t>(e.node)];
+            if (static_cast<std::size_t>(e.port) >= producer.output_shapes.size()) return false;
+        }
+        nodes_[i].output_shapes = infer_output_shapes(*this, static_cast<Node_id>(i));
+    }
+    return true;
+}
+
+void Graph::validate(bool check_acyclic) const
 {
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         if (alive_[i] == 0) continue;
@@ -266,7 +328,7 @@ void Graph::validate() const
         XRL_ENSURES(is_alive(e.node));
         XRL_ENSURES(e.port >= 0 && e.port < num_outputs(node(e.node)));
     }
-    XRL_ENSURES(is_acyclic());
+    if (check_acyclic) XRL_ENSURES(is_acyclic());
 }
 
 std::string Graph::to_dot() const

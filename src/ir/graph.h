@@ -33,12 +33,49 @@ struct Edge_use {
     std::int32_t input_index = 0;
 };
 
+/// Immutable, structurally-shared list of a node's output shapes. Shape
+/// inference replaces a node's shapes wholesale and never mutates them in
+/// place, so graph copies share one allocation per node — which makes the
+/// full-graph copy behind every candidate materialisation cheap (the hot
+/// path of candidate generation).
+class Shape_list {
+public:
+    Shape_list() = default;
+    Shape_list(std::vector<Shape> shapes)
+        : shapes_(shapes.empty()
+                      ? nullptr
+                      : std::make_shared<const std::vector<Shape>>(std::move(shapes)))
+    {
+    }
+    Shape_list(std::initializer_list<Shape> shapes)
+        : Shape_list(std::vector<Shape>(shapes))
+    {
+    }
+
+    bool empty() const { return shapes_ == nullptr || shapes_->empty(); }
+    std::size_t size() const { return shapes_ == nullptr ? 0 : shapes_->size(); }
+    const Shape& front() const { return items().front(); }
+    const Shape& operator[](std::size_t i) const { return items()[i]; }
+    auto begin() const { return items().begin(); }
+    auto end() const { return items().end(); }
+    std::vector<Shape> to_vector() const { return items(); }
+
+private:
+    const std::vector<Shape>& items() const
+    {
+        static const std::vector<Shape> none;
+        return shapes_ == nullptr ? none : *shapes_;
+    }
+
+    std::shared_ptr<const std::vector<Shape>> shapes_;
+};
+
 /// An operator instance.
 struct Node {
     Op_kind kind = Op_kind::input;
     Op_params params;
     std::vector<Edge> inputs;
-    std::vector<Shape> output_shapes;       ///< Filled by Graph::infer_shapes().
+    Shape_list output_shapes;               ///< Filled by Graph::infer_shapes().
     std::shared_ptr<const Tensor> payload;  ///< Literal value for `constant` nodes.
     std::string name;                       ///< Optional debug label.
 };
@@ -54,6 +91,9 @@ std::int32_t num_outputs(const Node& node);
 class Graph {
 public:
     // -- construction -------------------------------------------------------
+
+    /// Pre-allocate node storage (rewrites know how many nodes they add).
+    void reserve(std::size_t capacity);
 
     /// Append a node; inputs must reference alive nodes. Returns its id.
     Node_id add_node(Op_kind kind, std::vector<Edge> inputs, Op_params params = {},
@@ -115,9 +155,18 @@ public:
     /// Run shape inference over the whole graph in topological order.
     void infer_shapes();
 
+    /// Incremental shape inference over the alive nodes with id >=
+    /// `first_new`, in ascending id order. Correct for nodes appended after
+    /// a copy (append order is topological among the new nodes). Returns
+    /// false — leaving the graph unchanged for ids it did not reach — when
+    /// some input's shape is missing, in which case the caller must fall
+    /// back to the full pass.
+    bool infer_shapes_appended(Node_id first_new);
+
     /// Check all invariants (edge validity, acyclicity, shapes if inferred);
-    /// throws Contract_violation on failure.
-    void validate() const;
+    /// throws Contract_violation on failure. The rewrite epilogue passes
+    /// `check_acyclic = false` because its own cycle check already ran.
+    void validate(bool check_acyclic = true) const;
 
     /// Graphviz DOT rendering for debugging / documentation.
     std::string to_dot() const;

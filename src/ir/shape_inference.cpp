@@ -73,7 +73,7 @@ std::vector<Shape> infer_output_shapes(const Graph& g, Node_id id)
     case Op_kind::weight:
         // Source shapes are assigned at construction time.
         XRL_EXPECTS(!n.output_shapes.empty());
-        return n.output_shapes;
+        return n.output_shapes.to_vector();
 
     case Op_kind::constant:
         XRL_EXPECTS(n.payload != nullptr);

@@ -90,14 +90,9 @@ private:
             g.add_node(Op_kind::concat, {{conv_top, 0}, {conv_bottom, 0}}, cat_params);
 
         g.replace_all_uses({conv_id, 0}, {cat, 0});
-        try {
-            if (!g.is_acyclic()) return std::nullopt;
-            g.eliminate_dead_nodes();
-            g.infer_shapes();
-            g.validate();
-        } catch (const Contract_violation&) {
+        if (!finalise_rewrite(g, host, static_cast<Node_id>(host.capacity()),
+                              {{{conv_id, 0}, {cat, 0}}}))
             return std::nullopt;
-        }
         return g;
     }
 };

@@ -4,6 +4,7 @@
 #include <queue>
 #include <unordered_set>
 
+#include "rules/candidate_engine.h"
 #include "support/check.h"
 
 namespace xrl {
@@ -43,6 +44,13 @@ Taso_result optimise_taso_with_cost(const Graph& input, const Rule_set& rules,
     seen.insert(input.canonical_hash());
     result.rule_candidates.assign(rules.size(), 0);
 
+    // One engine for the whole search: matching fans out across the rule
+    // corpus with a shared per-step op-kind index, and a candidate is only
+    // materialised after its match-site fingerprint survived dedup. The
+    // cross-iteration `seen` cache stays here — it spans queue pops.
+    const Candidate_engine engine(rules,
+                                  Candidate_engine_config{config.max_candidates_per_step, 0});
+
     while (!queue.empty() && result.iterations < config.budget) {
         if (config.heartbeat && !config.heartbeat(result.iterations, result.best_cost_ms)) {
             result.stopped_early = true;
@@ -52,22 +60,21 @@ Taso_result optimise_taso_with_cost(const Graph& input, const Rule_set& rules,
         queue.pop();
         ++result.iterations;
 
-        for (std::size_t rule_index = 0; rule_index < rules.size(); ++rule_index) {
-            const auto& rule = rules[rule_index];
-            for (Graph& candidate : rule->apply_all(current.graph, config.max_candidates_per_step)) {
-                ++result.candidates_generated;
-                const std::uint64_t hash = candidate.canonical_hash();
-                if (!seen.insert(hash).second) continue;
-                ++result.rule_candidates[rule_index];
-                const double candidate_cost = cost(candidate);
-                if (candidate_cost < result.best_cost_ms) {
-                    result.best_cost_ms = candidate_cost;
-                    result.best_graph = candidate;
-                }
-                if (candidate_cost < config.alpha * result.best_cost_ms &&
-                    queue.size() < config.max_queue)
-                    queue.push({candidate_cost, order++, std::move(candidate)});
+        for (Rewrite_candidate& record : engine.enumerate(current.graph)) {
+            std::uint64_t hash = 0;
+            std::optional<Graph> candidate = engine.materialize(current.graph, record, &hash);
+            if (!candidate.has_value()) continue;
+            ++result.candidates_generated;
+            if (!seen.insert(hash).second) continue;
+            ++result.rule_candidates[record.rule_index];
+            const double candidate_cost = cost(*candidate);
+            if (candidate_cost < result.best_cost_ms) {
+                result.best_cost_ms = candidate_cost;
+                result.best_graph = *candidate;
             }
+            if (candidate_cost < config.alpha * result.best_cost_ms &&
+                queue.size() < config.max_queue)
+                queue.push({candidate_cost, order++, std::move(*candidate)});
         }
     }
 

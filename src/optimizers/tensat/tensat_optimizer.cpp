@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "rules/bespoke_rules.h"
+#include "rules/candidate_engine.h"
 #include "rules/corpus.h"
 #include "support/check.h"
 
@@ -208,19 +209,21 @@ Tensat_result optimise_tensat(const Graph& input, const std::vector<Pattern>& pa
     // Multi-pattern rules: Tensat bounds their application to k rounds
     // (k = 1 by default); we apply them greedily up to k times before
     // encoding, which reproduces the BERT-vs-convnet behaviour of §4.6.
+    // Candidates come from the shared engine (deduped, deterministic
+    // order), which cannot change the greedy winner: duplicates tie on
+    // cost and the strict comparison keeps the first occurrence.
+    const Candidate_engine seed_engine(multi_pattern_rules, Candidate_engine_config{64, 0});
     Graph seeded = input;
     for (int round = 0; round < config.multi_pattern_limit_k; ++round) {
         Graph best = seeded;
         double best_cost = cost.graph_cost_ms(seeded);
         bool improved = false;
-        for (const auto& rule : multi_pattern_rules) {
-            for (Graph& candidate : rule->apply_all(seeded, 64)) {
-                const double c = cost.graph_cost_ms(candidate);
-                if (c < best_cost) {
-                    best_cost = c;
-                    best = std::move(candidate);
-                    improved = true;
-                }
+        for (Engine_candidate& candidate : seed_engine.generate(seeded).candidates) {
+            const double c = cost.graph_cost_ms(candidate.graph);
+            if (c < best_cost) {
+                best_cost = c;
+                best = std::move(candidate.graph);
+                improved = true;
             }
         }
         if (!improved) break;

@@ -9,18 +9,13 @@ namespace xrl {
 namespace {
 
 /// Clean up a hand-built transformation; returns false when the result is
-/// structurally invalid (cycle or failed shape inference).
-bool finalise_transformed(Graph& graph)
+/// structurally invalid (cycle or failed shape inference). `graph` must be
+/// a copy of `host` mutated only by appending nodes and redirecting the
+/// `rewired` edges — the shared epilogue then infers shapes incrementally.
+bool finalise_transformed(Graph& graph, const Graph& host,
+                          const std::vector<Rewired_edge>& rewired)
 {
-    try {
-        if (!graph.is_acyclic()) return false;
-        graph.eliminate_dead_nodes();
-        graph.infer_shapes();
-        graph.validate();
-        return true;
-    } catch (const Contract_violation&) {
-        return false;
-    }
+    return finalise_rewrite(graph, host, static_cast<Node_id>(host.capacity()), rewired);
 }
 
 bool is_graph_output(const Graph& g, Node_id id)
@@ -83,7 +78,8 @@ private:
 
         g.replace_all_uses({id1, 0}, {sp, 0});
         g.replace_all_uses({id2, 0}, {sp, 1});
-        if (!finalise_transformed(g)) return std::nullopt;
+        if (!finalise_transformed(g, host, {{{id1, 0}, {sp, 0}}, {{id2, 0}, {sp, 1}}}))
+            return std::nullopt;
         return g;
     }
 };
@@ -139,7 +135,8 @@ private:
 
         g.replace_all_uses({id1, 0}, {sp, 0});
         g.replace_all_uses({id2, 0}, {sp, 1});
-        if (!finalise_transformed(g)) return std::nullopt;
+        if (!finalise_transformed(g, host, {{{id1, 0}, {sp, 0}}, {{id2, 0}, {sp, 1}}}))
+            return std::nullopt;
         return g;
     }
 };
@@ -172,8 +169,10 @@ public:
             if (!in_order) continue;
 
             Graph g = host;
-            g.replace_all_uses({id, 0}, g.node(split_id).inputs[0]);
-            if (finalise_transformed(g)) out.push_back(std::move(g));
+            const Edge replacement = g.node(split_id).inputs[0];
+            g.replace_all_uses({id, 0}, replacement);
+            if (finalise_transformed(g, host, {{{id, 0}, replacement}}))
+                out.push_back(std::move(g));
         }
         return out;
     }
@@ -206,10 +205,15 @@ public:
             if (!sizes_match) continue;
 
             Graph g = host;
-            for (std::size_t piece = 0; piece < cat.inputs.size(); ++piece)
-                g.replace_all_uses({id, static_cast<std::int32_t>(piece)},
-                                   g.node(cat_id).inputs[piece]);
-            if (finalise_transformed(g)) out.push_back(std::move(g));
+            std::vector<Rewired_edge> rewired;
+            rewired.reserve(cat.inputs.size());
+            for (std::size_t piece = 0; piece < cat.inputs.size(); ++piece) {
+                const Edge before{id, static_cast<std::int32_t>(piece)};
+                const Edge after = g.node(cat_id).inputs[piece];
+                g.replace_all_uses(before, after);
+                rewired.push_back({before, after});
+            }
+            if (finalise_transformed(g, host, rewired)) out.push_back(std::move(g));
         }
         return out;
     }
@@ -277,7 +281,7 @@ private:
         const Node_id y = g.add_node(Op_kind::add, {{folded_conv, 0}, {bias_col, 0}});
 
         g.replace_all_uses({bn_id, 0}, {y, 0});
-        if (!finalise_transformed(g)) return std::nullopt;
+        if (!finalise_transformed(g, host, {{{bn_id, 0}, {y, 0}}})) return std::nullopt;
         return g;
     }
 };
@@ -357,7 +361,7 @@ private:
         const Node_id merged = g.add_node(Op_kind::conv2d, {x, {w_sum, 0}}, conv_params);
 
         g.replace_all_uses({add_id, 0}, {merged, 0});
-        if (!finalise_transformed(g)) return std::nullopt;
+        if (!finalise_transformed(g, host, {{{add_id, 0}, {merged, 0}}})) return std::nullopt;
         return g;
     }
 };
@@ -390,7 +394,8 @@ public:
             const Node_id folded_table = g.add_node(Op_kind::matmul, {table, projection});
             const Node_id folded = g.add_node(Op_kind::embedding, {ids, {folded_table, 0}});
             g.replace_all_uses({id, 0}, {folded, 0});
-            if (finalise_transformed(g)) out.push_back(std::move(g));
+            if (finalise_transformed(g, host, {{{id, 0}, {folded, 0}}}))
+                out.push_back(std::move(g));
         }
         return out;
     }

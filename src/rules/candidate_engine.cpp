@@ -1,0 +1,144 @@
+#include "rules/candidate_engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+/// Fingerprint of a match site: the binding key the matcher already
+/// computed, mixed with the rule index. Records live only within one
+/// enumerate() call (one host), so the host needs no representation here.
+std::uint64_t match_fingerprint(std::size_t rule_index, const Pattern_match& match)
+{
+    return (match.binding_key ^ (static_cast<std::uint64_t>(rule_index) + 1)) *
+           0x100000001b3ULL;
+}
+
+} // namespace
+
+Candidate_engine::Candidate_engine(const Rule_set& rules, Candidate_engine_config config)
+    : rules_(&rules), config_(config)
+{
+    pattern_rules_.reserve(rules.size());
+    for (const auto& rule : rules)
+        pattern_rules_.push_back(dynamic_cast<const Pattern_rule*>(rule.get()));
+
+    if (config_.threads == 0) {
+        pool_ = &Thread_pool::shared();
+    } else if (config_.threads > 1) {
+        owned_pool_ = std::make_shared<Thread_pool>(config_.threads - 1);
+        pool_ = owned_pool_.get();
+    }
+}
+
+std::vector<Rewrite_candidate> Candidate_engine::enumerate(const Graph& host) const
+{
+    const Host_index index(host);
+    std::vector<std::vector<Rewrite_candidate>> per_rule(rules_->size());
+
+    const auto run_rule = [&](std::size_t rule_index) {
+        std::vector<Rewrite_candidate>& bucket = per_rule[rule_index];
+        if (const Pattern_rule* pattern_rule = pattern_rules_[rule_index]) {
+            auto matches = find_matches(host, index, pattern_rule->pattern(),
+                                        config_.per_rule_limit);
+            bucket.reserve(matches.size());
+            for (Pattern_match& match : matches) {
+                Rewrite_candidate record;
+                record.rule_index = rule_index;
+                record.fingerprint = match_fingerprint(rule_index, match);
+                record.match = std::move(match);
+                bucket.push_back(std::move(record));
+            }
+        } else {
+            auto graphs = (*rules_)[rule_index]->apply_all(host, config_.per_rule_limit);
+            bucket.reserve(graphs.size());
+            for (Graph& graph : graphs) {
+                Rewrite_candidate record;
+                record.rule_index = rule_index;
+                record.fingerprint = graph.canonical_hash();
+                record.pre_built = std::make_shared<Graph>(std::move(graph));
+                bucket.push_back(std::move(record));
+            }
+        }
+    };
+
+    if (pool_ != nullptr) {
+        pool_->run(per_rule.size(), run_rule);
+    } else {
+        for (std::size_t i = 0; i < per_rule.size(); ++i) run_rule(i);
+    }
+
+    // Deterministic order — rule index, then discovery order — and
+    // fingerprint dedup before anything is materialised.
+    std::size_t total = 0;
+    for (const auto& bucket : per_rule) total += bucket.size();
+    std::vector<Rewrite_candidate> records;
+    records.reserve(total);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(total);
+    for (auto& bucket : per_rule)
+        for (Rewrite_candidate& record : bucket)
+            if (seen.insert(record.fingerprint).second) records.push_back(std::move(record));
+    return records;
+}
+
+std::optional<Graph> Candidate_engine::materialize(const Graph& host, Rewrite_candidate& candidate,
+                                                   std::uint64_t* hash_out) const
+{
+    if (candidate.pre_built != nullptr) {
+        if (hash_out != nullptr) *hash_out = candidate.fingerprint;
+        Graph graph = std::move(*candidate.pre_built);
+        candidate.pre_built.reset();
+        return graph;
+    }
+    const Pattern_rule* pattern_rule = pattern_rules_[candidate.rule_index];
+    XRL_EXPECTS(pattern_rule != nullptr);
+    return apply_match(host, pattern_rule->pattern(), candidate.match, hash_out);
+}
+
+Candidate_engine::Generated Candidate_engine::generate(const Graph& host,
+                                                       std::size_t max_total) const
+{
+    std::vector<Rewrite_candidate> records = enumerate(host);
+
+    Generated out;
+    out.enumerated = records.size();
+    std::unordered_set<std::uint64_t> seen;
+    seen.insert(host.canonical_hash());
+
+    if (max_total == SIZE_MAX && pool_ != nullptr && records.size() > 1) {
+        // No cap: materialise everything concurrently, then dedup in order.
+        std::vector<std::optional<Graph>> graphs(records.size());
+        std::vector<std::uint64_t> hashes(records.size(), 0);
+        pool_->run(records.size(), [&](std::size_t i) {
+            graphs[i] = materialize(host, records[i], &hashes[i]);
+        });
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            if (!graphs[i].has_value()) continue;
+            if (!seen.insert(hashes[i]).second) continue;
+            out.candidates.push_back(
+                {std::move(*graphs[i]), static_cast<int>(records[i].rule_index), hashes[i]});
+        }
+        return out;
+    }
+
+    for (Rewrite_candidate& record : records) {
+        if (out.candidates.size() >= max_total) {
+            ++out.truncated;
+            continue;
+        }
+        std::uint64_t hash = 0;
+        std::optional<Graph> graph = materialize(host, record, &hash);
+        if (!graph.has_value()) continue;
+        if (!seen.insert(hash).second) continue;
+        out.candidates.push_back({std::move(*graph), static_cast<int>(record.rule_index), hash});
+    }
+    return out;
+}
+
+} // namespace xrl

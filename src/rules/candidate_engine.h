@@ -1,0 +1,112 @@
+// Shared candidate-generation engine.
+//
+// Every optimisation step in X-RLflow (§3.2) regenerates the candidate set
+// by pattern-matching the whole rule corpus against the current graph, and
+// all four search backends (the RL environment, TASO beam search, the PET
+// wrapper, Tensat's multi-pattern seeding) used to run their own copy of
+// the naive per-rule `apply_all` scan. The engine replaces those loops
+// with one measurably faster pipeline:
+//
+//   1. a per-step op-kind index of the host graph (Host_index), built once
+//      and shared by every rule, so root enumeration visits only
+//      kind-compatible nodes;
+//   2. the undo-log matcher behind find_matches (no per-root state copies);
+//   3. lazy candidates: enumerate() yields lightweight Rewrite_candidate
+//      records with a cheap fingerprint (the matcher's match-site binding
+//      key mixed with the rule id) gating materialisation — the full graph
+//      copy + DCE + shape inference + canonical hash of materialize() run
+//      only for fingerprint-unique records, and never for records beyond a
+//      caller's candidate cap (for pattern rules the matcher already
+//      dedups sites within a rule, so the gate mainly covers the eagerly
+//      built rules below and any future record producers);
+//   4. thread-pool fan-out across rules with deterministic result ordering
+//      (results are collected into per-rule slots, so the output never
+//      depends on thread scheduling).
+//
+// Rules that are not Pattern_rules (the bespoke shape-dependent rules)
+// cannot defer materialisation — their apply_all *is* the site enumeration
+// — so the engine runs them eagerly inside the fan-out and fingerprints
+// them by result hash; everything downstream treats both kinds uniformly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ir/graph.h"
+#include "rules/pattern.h"
+#include "rules/rule.h"
+#include "support/thread_pool.h"
+
+namespace xrl {
+
+struct Candidate_engine_config {
+    /// Candidates enumerated per rule per step (the environment's
+    /// per_rule_limit; TASO's max_candidates_per_step).
+    std::size_t per_rule_limit = SIZE_MAX;
+
+    /// Fan-out width: 0 = the process-wide shared pool (sized to the
+    /// hardware), 1 = strictly serial, N > 1 = a private pool of N lanes.
+    /// The result order is identical for every setting.
+    std::size_t threads = 0;
+};
+
+/// A candidate discovered but not yet materialised: which rule, where, and
+/// a fingerprint that dedups repeat discoveries before the expensive
+/// apply_match. Non-pattern rules arrive pre-built (see file comment).
+struct Rewrite_candidate {
+    std::size_t rule_index = 0;
+    Pattern_match match;              ///< Pattern rules: the match site.
+    std::uint64_t fingerprint = 0;    ///< Cheap pre-materialisation dedup key.
+    std::shared_ptr<Graph> pre_built; ///< Non-pattern rules: the eager result.
+};
+
+/// A materialised, canonically-deduplicated candidate.
+struct Engine_candidate {
+    Graph graph;
+    int rule_index = -1;
+    std::uint64_t hash = 0; ///< canonical_hash of `graph`.
+};
+
+class Candidate_engine {
+public:
+    /// `rules` must outlive the engine.
+    explicit Candidate_engine(const Rule_set& rules, Candidate_engine_config config = {});
+
+    const Rule_set& rules() const { return *rules_; }
+
+    /// Enumerate candidate records for `host`: fingerprint-deduped, ordered
+    /// by (rule index, discovery order within the rule) regardless of the
+    /// thread count. No pattern candidate is materialised here.
+    std::vector<Rewrite_candidate> enumerate(const Graph& host) const;
+
+    /// Materialise one record (apply_match for pattern rules). One-shot for
+    /// pre-built records: the stored graph is moved out. Optionally reports
+    /// the result's canonical hash (for pre-built records this reuses the
+    /// fingerprint instead of rehashing).
+    std::optional<Graph> materialize(const Graph& host, Rewrite_candidate& candidate,
+                                     std::uint64_t* hash_out = nullptr) const;
+
+    struct Generated {
+        std::vector<Engine_candidate> candidates;
+        std::size_t enumerated = 0; ///< Records produced by enumerate().
+        std::size_t truncated = 0;  ///< Records never materialised: cap reached.
+    };
+
+    /// enumerate() + materialize() + canonical-hash dedup (against the host
+    /// and against each other) — the exact semantics of the legacy per-rule
+    /// apply_all loop. With `max_total` set, materialisation stops at the
+    /// cap and the remaining records are only counted; without a cap,
+    /// materialisation fans out across the pool.
+    Generated generate(const Graph& host, std::size_t max_total = SIZE_MAX) const;
+
+private:
+    const Rule_set* rules_;
+    Candidate_engine_config config_;
+    std::vector<const Pattern_rule*> pattern_rules_; ///< Per rule; null = generic.
+    std::shared_ptr<Thread_pool> owned_pool_;
+    Thread_pool* pool_ = nullptr; ///< Null = serial.
+};
+
+} // namespace xrl

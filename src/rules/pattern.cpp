@@ -48,25 +48,70 @@ void Pattern::finalise()
         XRL_EXPECTS(reachable.contains(id) || is_variable(source, id));
 }
 
+Host_index::Host_index(const Graph& host) : users_(host.build_users())
+{
+    for (const Node_id id : host.node_ids())
+        by_kind_[static_cast<std::size_t>(host.node(id).kind)].push_back(id);
+}
+
 namespace {
 
+/// Backtracking state with an undo log: bindings are recorded in trail
+/// vectors so a failed branch rolls back in O(branch size) instead of the
+/// O(state size) full copies the matcher used to make per root candidate
+/// and per commutative branch.
 struct Match_state {
     std::unordered_map<Node_id, Edge> vars;      // source variable -> host edge
     std::unordered_map<Node_id, Node_id> nodes;  // source internal -> host node
     std::unordered_set<Node_id> used_host;
+    std::vector<Node_id> var_trail;              // vars keys, insertion order
+    std::vector<Node_id> node_trail;             // nodes keys, insertion order
+
+    struct Mark {
+        std::size_t vars = 0;
+        std::size_t nodes = 0;
+    };
+
+    Mark mark() const { return {var_trail.size(), node_trail.size()}; }
+
+    void bind_var(Node_id pattern_var, const Edge& host_edge)
+    {
+        vars.emplace(pattern_var, host_edge);
+        var_trail.push_back(pattern_var);
+    }
+
+    void bind_node(Node_id pattern_id, Node_id host_id)
+    {
+        nodes.emplace(pattern_id, host_id);
+        used_host.insert(host_id);
+        node_trail.push_back(pattern_id);
+    }
+
+    void rollback(const Mark& m)
+    {
+        while (var_trail.size() > m.vars) {
+            vars.erase(var_trail.back());
+            var_trail.pop_back();
+        }
+        while (node_trail.size() > m.nodes) {
+            const auto it = nodes.find(node_trail.back());
+            used_host.erase(it->second);
+            nodes.erase(it);
+            node_trail.pop_back();
+        }
+    }
 };
 
 class Matcher {
 public:
-    Matcher(const Graph& host, const Pattern& pattern, std::size_t limit)
-        : host_(host), pattern_(pattern), limit_(limit), host_users_(host.build_users())
+    Matcher(const Graph& host, const Host_index& index, const Pattern& pattern, std::size_t limit)
+        : host_(host), index_(index), pattern_(pattern), limit_(limit)
     {
         for (const Edge& e : pattern_.source.outputs()) {
             if (std::find(roots_.begin(), roots_.end(), e.node) == roots_.end() &&
                 !is_variable(pattern_.source, e.node))
                 roots_.push_back(e.node);
         }
-        host_nodes_ = host_.node_ids();
     }
 
     std::vector<Pattern_match> run()
@@ -88,11 +133,16 @@ private:
         return true;
     }
 
+    // Each match_* call either succeeds with its bindings recorded on the
+    // trail, or fails leaving `state` exactly as it found it.
+
     bool match_edge(Match_state& state, const Edge& pattern_edge, const Edge& host_edge)
     {
         if (is_variable(pattern_.source, pattern_edge.node)) {
-            const auto [it, inserted] = state.vars.emplace(pattern_edge.node, host_edge);
-            return inserted || it->second == host_edge;
+            const auto it = state.vars.find(pattern_edge.node);
+            if (it != state.vars.end()) return it->second == host_edge;
+            state.bind_var(pattern_edge.node, host_edge);
+            return true;
         }
         if (pattern_edge.port != host_edge.port) return false;
         return match_node(state, pattern_edge.node, host_edge.node);
@@ -110,30 +160,33 @@ private:
         if (pn.inputs.size() != hn.inputs.size()) return false;
         if (!params_match(pn, hn, pattern_id)) return false;
 
-        state.nodes.emplace(pattern_id, host_id);
-        state.used_host.insert(host_id);
+        const Match_state::Mark before_bind = state.mark();
+        state.bind_node(pattern_id, host_id);
 
         if (is_commutative(pn.kind) && pn.inputs.size() == 2) {
-            // Try both operand orders; backtrack via state snapshots.
-            Match_state saved = state;
+            // Try both operand orders; backtrack via the undo log.
+            const Match_state::Mark after_bind = state.mark();
             if (match_edge(state, pn.inputs[0], hn.inputs[0]) &&
                 match_edge(state, pn.inputs[1], hn.inputs[1]))
                 return true;
-            state = std::move(saved);
-            state.nodes.emplace(pattern_id, host_id);
-            state.used_host.insert(host_id);
+            state.rollback(after_bind);
             if (match_edge(state, pn.inputs[0], hn.inputs[1]) &&
                 match_edge(state, pn.inputs[1], hn.inputs[0]))
                 return true;
+            state.rollback(before_bind);
             return false;
         }
 
-        for (std::size_t slot = 0; slot < pn.inputs.size(); ++slot)
-            if (!match_edge(state, pn.inputs[slot], hn.inputs[slot])) return false;
+        for (std::size_t slot = 0; slot < pn.inputs.size(); ++slot) {
+            if (!match_edge(state, pn.inputs[slot], hn.inputs[slot])) {
+                state.rollback(before_bind);
+                return false;
+            }
+        }
         return true;
     }
 
-    void enumerate_roots(std::size_t root_index, const Match_state& state)
+    void enumerate_roots(std::size_t root_index, Match_state& state)
     {
         if (results_.size() >= limit_) return;
         if (root_index == roots_.size()) {
@@ -142,11 +195,13 @@ private:
         }
         const Node_id root = roots_[root_index];
         const Op_kind kind = pattern_.source.node(root).kind;
-        for (const Node_id host_id : host_nodes_) {
+        for (const Node_id host_id : index_.of_kind(kind)) {
             if (results_.size() >= limit_) return;
-            if (host_.node(host_id).kind != kind) continue;
-            Match_state next = state;
-            if (match_node(next, root, host_id)) enumerate_roots(root_index + 1, next);
+            const Match_state::Mark mark = state.mark();
+            if (match_node(state, root, host_id)) {
+                enumerate_roots(root_index + 1, state);
+                state.rollback(mark);
+            }
         }
     }
 
@@ -171,58 +226,121 @@ private:
         }
         for (const Node_id hn : matched) {
             if (output_producers.contains(hn)) continue;
-            for (const Edge_use& use : host_users_[static_cast<std::size_t>(hn)])
+            for (const Edge_use& use : index_.users()[static_cast<std::size_t>(hn)])
                 if (!matched.contains(use.user)) return;
             for (const Edge& out : host_.outputs())
                 if (out.node == hn) return;
         }
 
         // Dedup identical matches reached via different search orders.
-        std::uint64_t key = 0x811c9dc5ULL;
-        auto mix = [&key](std::uint64_t v) { key = (key ^ v) * 0x100000001b3ULL; };
-        std::vector<std::pair<Node_id, Node_id>> sorted_nodes(state.nodes.begin(), state.nodes.end());
-        std::sort(sorted_nodes.begin(), sorted_nodes.end());
-        for (const auto& [pn, hn] : sorted_nodes) {
-            mix(static_cast<std::uint64_t>(pn));
-            mix(static_cast<std::uint64_t>(hn));
-        }
-        std::vector<std::pair<Node_id, Edge>> sorted_vars(state.vars.begin(), state.vars.end());
-        std::sort(sorted_vars.begin(), sorted_vars.end(),
-                  [](const auto& a, const auto& b) { return a.first < b.first; });
-        for (const auto& [pv, e] : sorted_vars) {
-            mix(static_cast<std::uint64_t>(pv));
-            mix(static_cast<std::uint64_t>(e.node));
-            mix(static_cast<std::uint64_t>(e.port));
-        }
+        const std::uint64_t key = match_binding_key(state.vars, state.nodes);
         if (!seen_.insert(key).second) return;
 
-        results_.push_back(Pattern_match{state.vars, state.nodes});
+        results_.push_back(Pattern_match{state.vars, state.nodes, key});
     }
 
     const Graph& host_;
+    const Host_index& index_;
     const Pattern& pattern_;
     std::size_t limit_;
-    std::vector<std::vector<Edge_use>> host_users_;
     std::vector<Node_id> roots_;
-    std::vector<Node_id> host_nodes_;
     std::unordered_set<std::uint64_t> seen_;
     std::vector<Pattern_match> results_;
 };
 
+bool edge_shape_known(const Graph& g, const Edge& e)
+{
+    return static_cast<std::size_t>(e.port) < g.node(e.node).output_shapes.size();
+}
+
 } // namespace
+
+std::uint64_t match_binding_key(const std::unordered_map<Node_id, Edge>& var_bindings,
+                                const std::unordered_map<Node_id, Node_id>& node_map)
+{
+    std::uint64_t key = 0x811c9dc5ULL;
+    auto mix = [&key](std::uint64_t v) { key = (key ^ v) * 0x100000001b3ULL; };
+    std::vector<std::pair<Node_id, Node_id>> sorted_nodes(node_map.begin(), node_map.end());
+    std::sort(sorted_nodes.begin(), sorted_nodes.end());
+    for (const auto& [pattern_node, host_node] : sorted_nodes) {
+        mix(static_cast<std::uint64_t>(pattern_node));
+        mix(static_cast<std::uint64_t>(host_node));
+    }
+    std::vector<std::pair<Node_id, Edge>> sorted_vars(var_bindings.begin(), var_bindings.end());
+    std::sort(sorted_vars.begin(), sorted_vars.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [pattern_var, edge] : sorted_vars) {
+        mix(static_cast<std::uint64_t>(pattern_var));
+        mix(static_cast<std::uint64_t>(edge.node));
+        mix(static_cast<std::uint64_t>(edge.port));
+    }
+    return key;
+}
 
 std::vector<Pattern_match> find_matches(const Graph& host, const Pattern& pattern, std::size_t limit)
 {
-    return Matcher(host, pattern, limit).run();
+    const Host_index index(host);
+    return Matcher(host, index, pattern, limit).run();
+}
+
+std::vector<Pattern_match> find_matches(const Graph& host, const Host_index& index,
+                                        const Pattern& pattern, std::size_t limit)
+{
+    return Matcher(host, index, pattern, limit).run();
+}
+
+bool finalise_rewrite(Graph& g, const Graph& host, Node_id first_new_node,
+                      const std::vector<Rewired_edge>& rewired, std::uint64_t* canonical_hash_out)
+{
+    try {
+        if (!g.is_acyclic()) return false; // the rewrite closed a cycle
+        g.eliminate_dead_nodes();
+
+        // The appended nodes always need shapes; the rest of the graph is
+        // untouched as long as every splice carries the same shape as the
+        // edge it replaced, so the full re-inference pass is skipped.
+        bool incremental = g.infer_shapes_appended(first_new_node);
+        if (incremental) {
+            for (const Rewired_edge& rw : rewired) {
+                if (!g.is_alive(rw.after.node)) continue; // splice ended up unused
+                if (!edge_shape_known(host, rw.before) || !edge_shape_known(g, rw.after) ||
+                    !(host.shape_of(rw.before) == g.shape_of(rw.after))) {
+                    incremental = false;
+                    break;
+                }
+            }
+        }
+        if (!incremental) g.infer_shapes();
+
+        // The epilogue's own cycle check already ran, and dead-node
+        // elimination cannot introduce a cycle — skip the re-check.
+        g.validate(/*check_acyclic=*/false);
+        if (canonical_hash_out != nullptr) *canonical_hash_out = g.canonical_hash();
+        return true;
+    } catch (const Contract_violation&) {
+        // Shape inference rejected this instantiation (the rule does not
+        // apply at this site for these operand shapes).
+        return false;
+    }
 }
 
 std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern, const Pattern_match& match)
 {
+    return apply_match(host, pattern, match, nullptr);
+}
+
+std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern,
+                                 const Pattern_match& match, std::uint64_t* canonical_hash_out)
+{
     Graph out = host;
+    out.reserve(host.capacity() + pattern.target.size());
+    const Node_id first_new = static_cast<Node_id>(host.capacity());
 
     // Map source variable index -> bound host edge, then target variable
-    // node -> that edge.
-    std::unordered_map<Node_id, Edge> target_var_edges;
+    // node -> that edge. Target node ids are dense and tiny, so flat
+    // vectors beat hash maps here.
+    const std::size_t target_slots = pattern.target.capacity();
+    std::vector<Edge> target_var_edges(target_slots, Edge{invalid_node, 0});
     for (std::size_t i = 0; i < pattern.target_variables.size(); ++i) {
         const Node_id source_var = pattern.source_variables[i];
         const auto it = match.var_bindings.find(source_var);
@@ -231,18 +349,20 @@ std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern, cons
             // source output *is* the variable); nothing to bind.
             continue;
         }
-        target_var_edges.emplace(pattern.target_variables[i], it->second);
+        target_var_edges[static_cast<std::size_t>(pattern.target_variables[i])] = it->second;
     }
 
     // Instantiate target nodes in topological order.
-    std::unordered_map<Node_id, Node_id> instantiated; // target node -> new host node
+    std::vector<Node_id> instantiated(target_slots, invalid_node); // target node -> new host node
     auto resolve = [&](const Edge& target_edge) -> Edge {
         if (is_variable(pattern.target, target_edge.node)) {
-            const auto it = target_var_edges.find(target_edge.node);
-            XRL_EXPECTS(it != target_var_edges.end());
-            return it->second;
+            const Edge bound = target_var_edges[static_cast<std::size_t>(target_edge.node)];
+            XRL_EXPECTS(bound.node != invalid_node);
+            return bound;
         }
-        return Edge{instantiated.at(target_edge.node), target_edge.port};
+        const Node_id mapped = instantiated[static_cast<std::size_t>(target_edge.node)];
+        XRL_EXPECTS(mapped != invalid_node);
+        return Edge{mapped, target_edge.port};
     };
 
     try {
@@ -252,7 +372,7 @@ std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern, cons
             if (tn.kind == Op_kind::constant) {
                 XRL_EXPECTS(tn.payload != nullptr);
                 const Node_id nid = out.add_constant(*tn.payload, tn.name);
-                instantiated.emplace(tid, nid);
+                instantiated[static_cast<std::size_t>(tid)] = nid;
                 continue;
             }
             std::vector<Edge> inputs;
@@ -268,10 +388,12 @@ std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern, cons
                     params.activation = *transfer->second.set_activation;
             }
             const Node_id nid = out.add_node(tn.kind, std::move(inputs), std::move(params), tn.name);
-            instantiated.emplace(tid, nid);
+            instantiated[static_cast<std::size_t>(tid)] = nid;
         }
 
         // Rewire each source output to the corresponding target output.
+        std::vector<Rewired_edge> rewired;
+        rewired.reserve(pattern.source.outputs().size());
         for (std::size_t k = 0; k < pattern.source.outputs().size(); ++k) {
             const Edge src_out = pattern.source.outputs()[k];
             Edge old_edge;
@@ -283,15 +405,14 @@ std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern, cons
             const Edge new_edge = resolve(pattern.target.outputs()[k]);
             if (old_edge == new_edge) continue;
             out.replace_all_uses(old_edge, new_edge);
+            rewired.push_back({old_edge, new_edge});
         }
 
-        if (!out.is_acyclic()) return std::nullopt;
-        out.eliminate_dead_nodes();
-        out.infer_shapes();
-        out.validate();
+        if (!finalise_rewrite(out, host, first_new, rewired, canonical_hash_out))
+            return std::nullopt;
     } catch (const Contract_violation&) {
-        // Shape inference rejected this instantiation (the rule does not
-        // apply at this site for these operand shapes).
+        // Instantiation itself rejected the site (unbound variable or a
+        // malformed constant payload).
         return std::nullopt;
     }
     return out;

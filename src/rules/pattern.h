@@ -8,6 +8,7 @@
 // source.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "ir/graph.h"
+#include "ir/op.h"
 
 namespace xrl {
 
@@ -68,6 +70,38 @@ struct Pattern_match {
     std::unordered_map<Node_id, Edge> var_bindings;
     /// Source internal node -> host node.
     std::unordered_map<Node_id, Node_id> node_map;
+    /// match_binding_key of the two maps, filled by the matcher (which
+    /// already computes it for its own dedup); the candidate engine reuses
+    /// it for fingerprints instead of rehashing.
+    std::uint64_t binding_key = 0;
+};
+
+/// Order-independent 64-bit key over a match's bindings. One definition
+/// serves both the matcher's own dedup of matches reached via different
+/// search orders and the candidate engine's pre-materialisation
+/// fingerprints — the two must never diverge.
+std::uint64_t match_binding_key(const std::unordered_map<Node_id, Edge>& var_bindings,
+                                const std::unordered_map<Node_id, Node_id>& node_map);
+
+/// Per-host acceleration structure, shareable across every rule matched
+/// against the same graph within one candidate-generation step: alive node
+/// ids bucketed by operator kind (so root enumeration visits only
+/// kind-compatible nodes) plus the host's use lists (the matcher's
+/// outside-use check). Invalidated by any mutation of the host.
+class Host_index {
+public:
+    explicit Host_index(const Graph& host);
+
+    const std::vector<Node_id>& of_kind(Op_kind kind) const
+    {
+        return by_kind_[static_cast<std::size_t>(kind)];
+    }
+
+    const std::vector<std::vector<Edge_use>>& users() const { return users_; }
+
+private:
+    std::array<std::vector<Node_id>, static_cast<std::size_t>(Op_kind::count_)> by_kind_;
+    std::vector<std::vector<Edge_use>> users_;
 };
 
 /// Find (up to `limit`) matches of `pattern.source` in `host`.
@@ -79,6 +113,12 @@ struct Pattern_match {
 std::vector<Pattern_match> find_matches(const Graph& host, const Pattern& pattern,
                                         std::size_t limit = SIZE_MAX);
 
+/// Index-reusing variant: `index` must have been built from `host`. The
+/// candidate engine builds the index once per step and matches the whole
+/// rule corpus against it.
+std::vector<Pattern_match> find_matches(const Graph& host, const Host_index& index,
+                                        const Pattern& pattern, std::size_t limit = SIZE_MAX);
+
 /// Splice `pattern.target` into a copy of `host` at `match`.
 ///
 /// Returns the transformed graph (shapes inferred, dead nodes removed,
@@ -86,5 +126,29 @@ std::vector<Pattern_match> find_matches(const Graph& host, const Pattern& patter
 /// invalid at this site (shape inference failure or a cycle).
 std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern,
                                  const Pattern_match& match);
+
+/// Engine variant: additionally reports the canonical hash of the result
+/// (a convenience for callers that dedup immediately after applying).
+std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern,
+                                 const Pattern_match& match, std::uint64_t* canonical_hash_out);
+
+/// A splice point recorded by a rewrite: every use of `before` (an edge of
+/// the pre-rewrite graph) was redirected to `after`.
+struct Rewired_edge {
+    Edge before;
+    Edge after;
+};
+
+/// Shared epilogue for substitution-style rewrites (pattern substitution
+/// and the bespoke shape-dependent rules). `g` is a copy of `host` that was
+/// mutated by appending nodes (ids >= `first_new_node`) and redirecting the
+/// `rewired` edges. Performs the cycle check, dead-node elimination, shape
+/// inference — incrementally over the appended nodes when every splice
+/// keeps the shape it replaced, the full pass otherwise — and validation.
+/// Returns false (graph state unspecified) when the rewrite is structurally
+/// invalid at this site; optionally reports the result's canonical hash.
+bool finalise_rewrite(Graph& g, const Graph& host, Node_id first_new_node,
+                      const std::vector<Rewired_edge>& rewired,
+                      std::uint64_t* canonical_hash_out = nullptr);
 
 } // namespace xrl

@@ -1,0 +1,53 @@
+// A small blocking thread pool for deterministic fan-out.
+//
+// The candidate engine fans pattern matching out across rules; results are
+// written into per-rule slots so the output order never depends on thread
+// scheduling. The pool is intentionally minimal: submit a batch of indexed
+// tasks and block until all of them ran. The calling thread participates in
+// draining the queue, so a pool with zero workers degrades to a plain
+// serial loop (and `run` never deadlocks when workers are scarce).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xrl {
+
+class Thread_pool {
+public:
+    /// Spawn `workers` threads (0 = serial; `run` executes on the caller).
+    explicit Thread_pool(std::size_t workers);
+    ~Thread_pool();
+
+    Thread_pool(const Thread_pool&) = delete;
+    Thread_pool& operator=(const Thread_pool&) = delete;
+
+    std::size_t workers() const { return threads_.size(); }
+
+    /// Run `task(0) .. task(count-1)`, blocking until every index finished.
+    /// Tasks may run on any worker or on the calling thread; the first
+    /// exception (if any) is rethrown on the caller after the batch drains.
+    void run(std::size_t count, const std::function<void(std::size_t)>& task);
+
+    /// Process-wide pool sized to the hardware (capped), shared by every
+    /// candidate engine that does not request a private width.
+    static Thread_pool& shared();
+
+private:
+    struct Batch;
+
+    void worker_loop();
+
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::vector<std::shared_ptr<Batch>> pending_;
+    std::vector<std::thread> threads_;
+    bool shutting_down_ = false;
+};
+
+} // namespace xrl

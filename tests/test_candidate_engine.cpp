@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "cost/e2e_simulator.h"
+#include "env/environment.h"
+#include "ir/builder.h"
+#include "models/models.h"
+#include "rules/candidate_engine.h"
+#include "rules/corpus.h"
+
+namespace xrl {
+namespace {
+
+/// The legacy candidate set: every rule's apply_all, canonically deduped
+/// against the host and against earlier candidates, in rule order — the
+/// exact loop the environment ran before the engine existed.
+std::vector<std::pair<std::uint64_t, int>> legacy_candidates(const Graph& host,
+                                                             const Rule_set& rules,
+                                                             std::size_t per_rule_limit)
+{
+    std::vector<std::pair<std::uint64_t, int>> out;
+    std::unordered_set<std::uint64_t> seen;
+    seen.insert(host.canonical_hash());
+    for (std::size_t rule_index = 0; rule_index < rules.size(); ++rule_index) {
+        for (const Graph& candidate : rules[rule_index]->apply_all(host, per_rule_limit)) {
+            const std::uint64_t hash = candidate.canonical_hash();
+            if (!seen.insert(hash).second) continue;
+            out.emplace_back(hash, static_cast<int>(rule_index));
+        }
+    }
+    return out;
+}
+
+std::vector<std::pair<std::uint64_t, int>> engine_candidates(const Graph& host,
+                                                             const Rule_set& rules,
+                                                             std::size_t per_rule_limit,
+                                                             std::size_t threads)
+{
+    const Candidate_engine engine(rules, Candidate_engine_config{per_rule_limit, threads});
+    std::vector<std::pair<std::uint64_t, int>> out;
+    for (const Engine_candidate& c : engine.generate(host).candidates)
+        out.emplace_back(c.hash, c.rule_index);
+    return out;
+}
+
+void expect_parity(const Graph& host, std::size_t per_rule_limit)
+{
+    const Rule_set rules = standard_rule_corpus();
+    const auto legacy = legacy_candidates(host, rules, per_rule_limit);
+    const auto engine = engine_candidates(host, rules, per_rule_limit, 1);
+    ASSERT_FALSE(legacy.empty());
+    EXPECT_EQ(legacy, engine);
+}
+
+TEST(Candidate_engine, ParityWithLegacyLoopOnBert)
+{
+    expect_parity(make_bert(Scale::smoke, 32), 4);
+}
+
+TEST(Candidate_engine, ParityWithLegacyLoopOnInception)
+{
+    expect_parity(make_inception_v3(Scale::smoke), 4);
+}
+
+TEST(Candidate_engine, DeterministicAcrossThreadCounts)
+{
+    const Graph bert = make_bert(Scale::smoke, 32);
+    const Rule_set rules = standard_rule_corpus();
+    const auto serial = engine_candidates(bert, rules, 8, 1);
+    const auto pooled = engine_candidates(bert, rules, 8, 4);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, pooled);
+}
+
+TEST(Candidate_engine, EnumerateIsLazyForPatternRules)
+{
+    const Graph bert = make_bert(Scale::smoke, 32);
+    const Rule_set rules = standard_rule_corpus();
+    const Candidate_engine engine(rules, Candidate_engine_config{4, 1});
+    int pattern_records = 0;
+    for (const Rewrite_candidate& record : engine.enumerate(bert)) {
+        if (record.pre_built != nullptr) continue; // bespoke rules build eagerly
+        ++pattern_records;
+        EXPECT_FALSE(record.match.node_map.empty());
+    }
+    EXPECT_GT(pattern_records, 0);
+}
+
+TEST(Candidate_engine, MaterializeReportsCanonicalHash)
+{
+    const Graph bert = make_bert(Scale::smoke, 32);
+    const Rule_set rules = standard_rule_corpus();
+    const Candidate_engine engine(rules, Candidate_engine_config{4, 1});
+    auto records = engine.enumerate(bert);
+    ASSERT_FALSE(records.empty());
+    int checked = 0;
+    for (Rewrite_candidate& record : records) {
+        std::uint64_t hash = 0;
+        auto graph = engine.materialize(bert, record, &hash);
+        if (!graph.has_value()) continue;
+        EXPECT_EQ(hash, graph->canonical_hash());
+        ++checked;
+    }
+    EXPECT_GT(checked, 0);
+}
+
+TEST(Candidate_engine, TruncatesAtTheCapWithoutMaterialising)
+{
+    const Graph bert = make_bert(Scale::smoke, 32);
+    const Rule_set rules = standard_rule_corpus();
+    const Candidate_engine engine(rules, Candidate_engine_config{8, 1});
+    const auto full = engine.generate(bert);
+    ASSERT_GT(full.candidates.size(), 2u);
+    const std::size_t cap = full.candidates.size() / 2;
+    const auto capped = engine.generate(bert, cap);
+    EXPECT_EQ(capped.candidates.size(), cap);
+    EXPECT_GT(capped.truncated, 0u);
+    // The capped prefix is exactly the uncapped set's prefix.
+    for (std::size_t i = 0; i < cap; ++i) {
+        EXPECT_EQ(capped.candidates[i].hash, full.candidates[i].hash);
+        EXPECT_EQ(capped.candidates[i].rule_index, full.candidates[i].rule_index);
+    }
+}
+
+TEST(Candidate_engine, EnvironmentCandidatesMatchLegacyPath)
+{
+    const Graph model = make_bert(Scale::smoke, 16);
+    const Rule_set rules = standard_rule_corpus();
+    E2e_simulator sim_a(gtx1080_profile(), 99);
+    E2e_simulator sim_b(gtx1080_profile(), 99);
+
+    Env_config engine_config;
+    engine_config.per_rule_limit = 4;
+    Env_config legacy_config = engine_config;
+    legacy_config.use_candidate_engine = false;
+
+    Environment engine_env(model, rules, sim_a, engine_config);
+    Environment legacy_env(model, rules, sim_b, legacy_config);
+
+    for (int step = 0; step < 3; ++step) {
+        ASSERT_EQ(engine_env.candidates().size(), legacy_env.candidates().size());
+        for (std::size_t i = 0; i < engine_env.candidates().size(); ++i) {
+            EXPECT_EQ(engine_env.candidates()[i].graph.canonical_hash(),
+                      legacy_env.candidates()[i].graph.canonical_hash());
+            EXPECT_EQ(engine_env.candidates()[i].rule_index,
+                      legacy_env.candidates()[i].rule_index);
+        }
+        if (engine_env.done() || legacy_env.done()) break;
+        engine_env.step(0);
+        legacy_env.step(0);
+    }
+}
+
+TEST(Candidate_engine, HandlesRulelessCorpus)
+{
+    const Rule_set empty;
+    const Candidate_engine engine(empty, Candidate_engine_config{4, 1});
+    Graph_builder b;
+    const Edge x = b.input({4, 4});
+    const Graph host = b.finish({b.relu(x)});
+    EXPECT_TRUE(engine.enumerate(host).empty());
+    EXPECT_TRUE(engine.generate(host).candidates.empty());
+}
+
+} // namespace
+} // namespace xrl
