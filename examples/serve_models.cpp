@@ -1,0 +1,87 @@
+// Serving: drive a mixed BERT / Inception-v3 / ViT workload through the
+// async Optimization_server — tiered priorities, a deadline, duplicate
+// submissions that coalesce, a cancellation, and a final telemetry
+// snapshot.
+//
+//   ./examples/serve_models
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "models/models.h"
+#include "serve/server.h"
+#include "support/config.h"
+
+using namespace xrl;
+
+int main()
+{
+    // A priority-ordered server: interactive compilation requests outrank
+    // batch ones. Backend budgets are smoke-scale so the example runs in
+    // seconds on a laptop CPU.
+    Server_config config;
+    config.queue.policy = Queue_policy::priority;
+    config.service.backend_options = {{"taso.budget", 30},
+                                      {"pet.budget", 15},
+                                      {"tensat.max_iterations", 3},
+                                      {"xrlflow.episodes", 0},
+                                      {"xrlflow.max_steps", 10}};
+    Optimization_server server(config);
+
+    const Graph bert = make_bert(Scale::smoke, 32);
+    const Graph inception = make_inception_v3(Scale::smoke);
+    const Graph vit = make_vit(Scale::smoke, 64);
+
+    // 1. An interactive request (high priority, 10 s deadline) next to
+    //    batch work, all submitted up front.
+    std::printf("submitting a mixed workload...\n");
+    std::vector<std::pair<std::string, Job_handle>> jobs;
+    jobs.emplace_back("bert/taso (interactive)",
+                      server.submit("taso", bert, {},
+                                    {.priority = 10, .deadline_seconds = 10.0}));
+    jobs.emplace_back("inception/taso (batch)", server.submit("taso", inception, {}, {.priority = 1}));
+    jobs.emplace_back("vit/pet (batch)", server.submit("pet", vit, {}, {.priority = 1}));
+    jobs.emplace_back("bert/tensat (batch)", server.submit("tensat", bert, {}, {.priority = 1}));
+
+    // 2. Duplicate submissions: identical (graph, backend, request) attach
+    //    to the in-flight job instead of searching again.
+    const Job_handle duplicate = server.submit("taso", bert, {}, {.priority = 2});
+    std::printf("duplicate bert/taso coalesced: %s\n", duplicate.coalesced() ? "yes" : "no");
+
+    // 3. A submission we change our mind about.
+    Job_handle regretted = server.submit("xrlflow", inception, {}, {.priority = 0});
+    regretted.cancel();
+    std::printf("cancelled xrlflow job state : %s\n", to_string(regretted.poll()));
+
+    // 4. Collect results as they finish.
+    for (const auto& [label, handle] : jobs) {
+        const Optimize_result result = handle.wait();
+        std::printf("%-26s %8.4f ms -> %8.4f ms (%.2fx)%s\n", label.c_str(), result.initial_ms,
+                    result.final_ms, result.speedup(), result.from_cache ? " [cache]" : "");
+    }
+    server.drain();
+
+    // 5. A repeat of an already-served request is answered by the memo
+    //    cache — no queueing, no search.
+    const Optimize_result replay = server.submit("taso", bert).wait();
+    std::printf("replayed bert/taso from cache: %s\n\n", replay.from_cache ? "yes" : "no");
+
+    // 6. What the fleet did, in one snapshot.
+    const Server_stats stats = server.stats();
+    std::printf("submitted %llu | coalesced %llu | cache hits %llu | completed %llu | "
+                "cancelled %llu | rejected %llu\n",
+                static_cast<unsigned long long>(stats.submitted),
+                static_cast<unsigned long long>(stats.coalesced),
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.completed),
+                static_cast<unsigned long long>(stats.cancelled),
+                static_cast<unsigned long long>(stats.rejected));
+    std::printf("dedup rate %.0f%% | p50 %.1f ms | p95 %.1f ms\n", 100.0 * stats.dedup_rate(),
+                stats.p50_latency_ms, stats.p95_latency_ms);
+    for (const auto& [backend, per_backend] : stats.backends)
+        std::printf("  %-8s submitted %llu, completed %llu, busy %.2fs\n", backend.c_str(),
+                    static_cast<unsigned long long>(per_backend.submitted),
+                    static_cast<unsigned long long>(per_backend.completed),
+                    per_backend.busy_seconds);
+    return 0;
+}

@@ -1,6 +1,9 @@
 #include "core/optimization_service.h"
 
+#include <bit>
 #include <sstream>
+#include <stdexcept>
+#include <utility>
 
 #include "rules/corpus.h"
 #include "support/check.h"
@@ -24,22 +27,42 @@ std::vector<std::string> Optimization_service::backends() const
     return Optimizer_registry::built_in().names();
 }
 
-Optimization_service::Backend_slot& Optimization_service::slot_for(const std::string& backend)
+std::unique_ptr<Optimizer> Optimization_service::acquire_instance(const std::string& backend)
 {
-    // Caller holds mutex_. Creation throws for unknown names before any
-    // state is touched, so a bad backend string leaves the service intact.
-    const auto it = slots_.find(backend);
-    if (it != slots_.end()) return *it->second;
-    auto slot = std::make_unique<Backend_slot>();
-    slot->optimizer = make_optimizer(backend, context_);
-    return *slots_.emplace(backend, std::move(slot)).first->second;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Backend_pool& pool = pools_[backend];
+    if (!pool.idle.empty()) {
+        std::unique_ptr<Optimizer> instance = std::move(pool.idle.back());
+        pool.idle.pop_back();
+        return instance;
+    }
+    // Creation throws for unknown names before any stats are touched, so a
+    // bad backend string leaves the service intact (an empty pool entry is
+    // the only trace).
+    std::unique_ptr<Optimizer> instance = make_optimizer(backend, context_);
+    ++pool.created;
+    return instance;
 }
 
-std::string Optimization_service::cache_key(std::uint64_t graph_hash, const std::string& backend,
-                                            const Optimize_request& request)
+void Optimization_service::release_instance(const std::string& backend,
+                                            std::unique_ptr<Optimizer> instance)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Backend_pool& pool = pools_[backend];
+    if (pool.idle.size() < config_.max_idle_per_backend)
+        pool.idle.push_back(std::move(instance));
+    // else: drop it — warm state worth keeping fits in the retained set.
+}
+
+std::string Optimization_service::memo_key(std::uint64_t graph_hash, const std::string& backend,
+                                           const Optimize_request& request)
 {
     std::ostringstream os;
-    os << graph_hash << '|' << backend << '|' << request.time_budget_seconds << '|'
+    // The time budget is keyed by its exact bit pattern: default ostream
+    // precision (6 significant digits) would collide distinct budgets.
+    // (+ 0.0 folds -0.0 into +0.0 so equal-comparing budgets share a key.)
+    os << graph_hash << '|' << backend << '|'
+       << std::bit_cast<std::uint64_t>(request.time_budget_seconds + 0.0) << '|'
        << request.iteration_budget << '|' << request.seed << '|' << request.deterministic;
     return os.str();
 }
@@ -47,29 +70,41 @@ std::string Optimization_service::cache_key(std::uint64_t graph_hash, const std:
 Optimize_result Optimization_service::optimize(const std::string& backend, const Graph& graph,
                                                const Optimize_request& request)
 {
-    const std::string key = cache_key(graph.canonical_hash(), backend, request);
+    return optimize_keyed(memo_key(graph.model_hash(), backend, request), backend, graph, request);
+}
 
-    Backend_slot* slot = nullptr;
-    {
+Optimize_result Optimization_service::optimize_keyed(const std::string& key,
+                                                     const std::string& backend,
+                                                     const Graph& graph,
+                                                     const Optimize_request& request)
+{
+    validate_request(request);
+
+    if (config_.cache_capacity > 0) {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (config_.cache_capacity > 0) {
-            const auto hit = cache_.find(key);
-            if (hit != cache_.end()) {
-                ++hits_;
-                Optimize_result cached = hit->second;
-                cached.from_cache = true;
-                return cached;
-            }
+        const auto hit = cache_.find(key);
+        if (hit != cache_.end()) {
+            ++hits_;
+            Optimize_result cached = hit->second;
+            cached.from_cache = true;
+            return cached;
         }
-        slot = &slot_for(backend); // throws for unknown names...
-        if (config_.cache_capacity > 0) ++misses_; // ...so only real runs count as misses
+    }
+
+    std::unique_ptr<Optimizer> instance = acquire_instance(backend); // throws for unknown names
+    if (config_.cache_capacity > 0) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++misses_; // only real runs count as misses
     }
 
     Optimize_result result;
-    {
-        std::lock_guard<std::mutex> run_lock(slot->run_mutex);
-        result = slot->optimizer->optimize(graph, request);
+    try {
+        result = instance->optimize(graph, request);
+    } catch (...) {
+        release_instance(backend, std::move(instance));
+        throw;
     }
+    release_instance(backend, std::move(instance));
 
     if (config_.cache_capacity > 0 && !result.cancelled) {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -88,25 +123,22 @@ std::vector<Backend_run> Optimization_service::optimize_all(const Graph& graph,
                                                             const Optimize_request& request,
                                                             int measure_repeats)
 {
-    XRL_EXPECTS(measure_repeats > 0);
+    if (measure_repeats < 1)
+        throw std::invalid_argument("optimize_all: measure_repeats must be >= 1, got " +
+                                    std::to_string(measure_repeats));
     // One shared baseline measurement: every backend is compared against
     // the same "before" numbers (the simulator is stateful, so measuring
-    // per backend would sample each pair at a different noise state).
-    Latency_stats before;
-    {
-        std::lock_guard<std::mutex> sim_lock(simulator_mutex_);
-        before = simulator_.measure_repeated(graph, measure_repeats);
-    }
+    // per backend would sample each pair at a different noise state). The
+    // simulator locks its noise stream internally, so each measure_repeated
+    // call is one atomic block.
+    const Latency_stats before = simulator_.measure_repeated(graph, measure_repeats);
     std::vector<Backend_run> runs;
     for (const std::string& backend : backends()) {
         Backend_run run;
         run.backend = backend;
         run.result = optimize(backend, graph, request);
         run.e2e_before = before;
-        {
-            std::lock_guard<std::mutex> sim_lock(simulator_mutex_);
-            run.e2e_after = simulator_.measure_repeated(run.result.best_graph, measure_repeats);
-        }
+        run.e2e_after = simulator_.measure_repeated(run.result.best_graph, measure_repeats);
         runs.push_back(std::move(run));
     }
     return runs;
@@ -135,6 +167,13 @@ void Optimization_service::clear_cache()
     std::lock_guard<std::mutex> lock(mutex_);
     cache_.clear();
     cache_order_.clear();
+}
+
+std::size_t Optimization_service::backend_instances(const std::string& backend) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = pools_.find(backend);
+    return it == pools_.end() ? 0 : it->second.created;
 }
 
 } // namespace xrl

@@ -33,6 +33,12 @@ struct Service_config {
 
     /// Memoised results kept before FIFO eviction; 0 disables caching.
     std::size_t cache_capacity = 256;
+
+    /// Idle optimizer instances retained per backend after concurrent
+    /// bursts (instances beyond this are destroyed on release, so a
+    /// one-off burst does not pin peak-concurrency memory — xrlflow
+    /// instances in particular carry trained-policy caches).
+    std::size_t max_idle_per_backend = 4;
 };
 
 /// One backend's entry in an optimize_all comparison: the unified result
@@ -56,37 +62,66 @@ public:
     /// canonical hash, backend, request budgets/seed/mode); the progress
     /// callback is deliberately not part of the memo key, and cancelled
     /// runs are never cached. A memo hit returns with `from_cache` set.
+    ///
+    /// Safe to call from concurrent threads, including for the same
+    /// backend: each backend keeps a pool of optimizer instances, a caller
+    /// reuses an idle instance or creates a fresh one, and every backend's
+    /// optimize() is a deterministic function of (graph, request), so the
+    /// result is bit-identical regardless of which instance served it.
     Optimize_result optimize(const std::string& backend, const Graph& graph,
                              const Optimize_request& request = {});
 
+    /// As optimize(), with the memo key precomputed by the caller. The
+    /// serving layer already derived it for coalescing — `key` must equal
+    /// memo_key(graph.model_hash(), backend, request) — and the model hash
+    /// is a full-graph traversal not worth paying twice per job.
+    Optimize_result optimize_keyed(const std::string& key, const std::string& backend,
+                                   const Graph& graph, const Optimize_request& request);
+
     /// One-call cross-backend comparison: run every registered backend on
     /// `graph` and measure each winner on the shared end-to-end simulator.
+    /// Throws std::invalid_argument when `measure_repeats` < 1.
     std::vector<Backend_run> optimize_all(const Graph& graph, const Optimize_request& request = {},
                                           int measure_repeats = 5);
 
     const Rule_set& rules() const { return rules_; }
     const Cost_model& cost() const { return cost_; }
 
-    /// The shared stateful simulator. optimize_all serialises its own
-    /// measurements internally; direct use from concurrent threads needs
-    /// external synchronisation.
+    /// The shared simulator. Its measurement paths are internally locked,
+    /// so concurrent use (the server's workers, optimize_all) is safe.
     E2e_simulator& simulator() { return simulator_; }
     const Device_profile& device() const { return cost_.device(); }
+
+    /// The memo key: (Graph::model_hash — structure plus source shapes,
+    /// backend, request budgets / seed / mode — not the progress callback).
+    /// Public so the serving layer can coalesce in-flight duplicates with
+    /// exactly the cache's notion of "identical request".
+    static std::string memo_key(std::uint64_t graph_hash, const std::string& backend,
+                                const Optimize_request& request);
 
     std::size_t cache_hits() const;
     std::size_t cache_misses() const;
     std::size_t cache_size() const;
     void clear_cache();
 
+    /// Optimizer instances created so far for `backend` (tests observe that
+    /// concurrency widens the pool and serial reuse does not).
+    std::size_t backend_instances(const std::string& backend) const;
+
 private:
-    struct Backend_slot {
-        std::unique_ptr<Optimizer> optimizer;
-        std::mutex run_mutex; ///< Backends may be stateful (policy caches).
+    /// Per-backend pool of interchangeable optimizer instances. An instance
+    /// runs at most one optimize() at a time; concurrent requests for the
+    /// same backend each check one out (creating on demand) and return it
+    /// when done, so serial callers keep reusing one instance (preserving
+    /// warm state like xrlflow's trained-policy cache) while concurrent
+    /// callers never contend.
+    struct Backend_pool {
+        std::vector<std::unique_ptr<Optimizer>> idle;
+        std::size_t created = 0;
     };
 
-    Backend_slot& slot_for(const std::string& backend);
-    static std::string cache_key(std::uint64_t graph_hash, const std::string& backend,
-                                 const Optimize_request& request);
+    std::unique_ptr<Optimizer> acquire_instance(const std::string& backend);
+    void release_instance(const std::string& backend, std::unique_ptr<Optimizer> instance);
 
     Service_config config_;
     Rule_set rules_;
@@ -94,9 +129,8 @@ private:
     E2e_simulator simulator_;
     Optimizer_context context_;
 
-    mutable std::mutex mutex_;     ///< Guards slots_, cache_, stats.
-    std::mutex simulator_mutex_;   ///< Serialises optimize_all's measurements.
-    std::unordered_map<std::string, std::unique_ptr<Backend_slot>> slots_;
+    mutable std::mutex mutex_; ///< Guards pools_, cache_, stats.
+    std::unordered_map<std::string, Backend_pool> pools_;
     std::unordered_map<std::string, Optimize_result> cache_;
     std::deque<std::string> cache_order_; ///< FIFO eviction.
     std::size_t hits_ = 0;

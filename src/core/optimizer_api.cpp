@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <sstream>
+#include <stdexcept>
 
 #include "core/xrlflow.h"
 #include "optimizers/pet/pet_optimizer.h"
@@ -10,6 +11,26 @@
 #include "support/check.h"
 
 namespace xrl {
+
+// ---------------------------------------------------------------------------
+// Request validation
+// ---------------------------------------------------------------------------
+
+void validate_request(const Optimize_request& request)
+{
+    const auto reject = [](const char* field, double value) {
+        std::ostringstream os;
+        os << "invalid Optimize_request: " << field << " = " << value
+           << " (budgets must be finite and non-negative; 0 means unlimited / backend default)";
+        throw std::invalid_argument(os.str());
+    };
+    if (!(request.time_budget_seconds >= 0.0)) // NaN fails this comparison too
+        reject("time_budget_seconds", request.time_budget_seconds);
+    if (request.time_budget_seconds > 1e18)
+        reject("time_budget_seconds", request.time_budget_seconds);
+    if (request.iteration_budget < 0)
+        reject("iteration_budget", request.iteration_budget);
+}
 
 // ---------------------------------------------------------------------------
 // Progress_driver

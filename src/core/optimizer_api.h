@@ -59,6 +59,12 @@ struct Optimize_request {
     Progress_callback on_progress;    ///< Optional; also the cancellation hook.
 };
 
+/// Reject malformed requests — negative or non-finite budgets — with a
+/// std::invalid_argument naming the offending field and value, before any
+/// backend state is touched. Optimization_service::optimize and
+/// Optimization_server::submit both run every request through this.
+void validate_request(const Optimize_request& request);
+
 /// The unified outcome every backend reports.
 struct Optimize_result {
     Graph best_graph;

@@ -160,12 +160,14 @@ private:
         return config;
     }
 
-    /// Train-once cache: a policy per (graph, seed, episodes). Keeps repeat
-    /// optimisation of the same model from paying the RL training cost.
+    /// Train-once cache: a policy per (graph, seed, episodes). Keys on
+    /// model_hash so shape variants of one architecture train separately.
+    /// Keeps repeat optimisation of the same model from paying the RL
+    /// training cost.
     Xrlflow& trained_system(const Graph& graph, std::uint64_t seed, int episodes)
     {
         const std::uint64_t key =
-            graph.canonical_hash() ^ (seed * 0x9e3779b97f4a7c15ULL) ^ static_cast<std::uint64_t>(episodes);
+            graph.model_hash() ^ (seed * 0x9e3779b97f4a7c15ULL) ^ static_cast<std::uint64_t>(episodes);
         const auto it = trained_.find(key);
         if (it != trained_.end()) return *it->second;
         auto system = std::make_unique<Xrlflow>(*context_.rules, adapter_config(seed));

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 
 #include "cost/cost_model.h"
 #include "cost/device.h"
@@ -52,14 +53,19 @@ public:
     double noiseless_ms(const Graph& graph) const { return analyse(graph).total_ms; }
 
     /// One noisy end-to-end measurement (advances the noise stream).
+    /// Thread-safe: the noise stream is internally locked, so concurrent
+    /// callers interleave draws but each draw is well-defined.
     double measure_ms(const Graph& graph);
 
-    /// Mean and standard deviation over `repeats` noisy measurements.
+    /// Mean and standard deviation over `repeats` noisy measurements. The
+    /// whole run holds the noise-stream lock, so the `repeats` draws are one
+    /// atomic block — concurrent measurements cannot interleave inside it.
     Latency_stats measure_repeated(const Graph& graph, int repeats);
 
 private:
     Cost_model cost_model_;
-    Rng rng_;
+    Rng rng_;              ///< Guarded by rng_mutex_.
+    std::mutex rng_mutex_; ///< Makes the simulator safe under server concurrency.
 };
 
 } // namespace xrl

@@ -232,6 +232,34 @@ std::uint64_t Graph::canonical_hash() const
     return h;
 }
 
+std::uint64_t Graph::model_hash() const
+{
+    // Source shapes pin down every downstream shape (inference is a pure
+    // function of them and the structure), so mixing them into the
+    // structural hash is enough to separate width/sequence variants.
+    //
+    // The sub-DAG mirrors canonical_hash exactly: only sources the outputs
+    // reach (an alive-but-unreachable node — pre-DCE clutter — must not
+    // split the keys of canonically identical graphs), and only inputs and
+    // weights, which canonical_hash identifies by node id; constants are
+    // value-identified there and their payload hash already covers shape.
+    const std::vector<std::uint8_t> reachable = reachable_mask();
+
+    std::uint64_t h = hash_combine(canonical_hash(), 0x5a4e5ULL);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (reachable[i] == 0) continue;
+        const Node& n = nodes_[i];
+        if (n.kind != Op_kind::input && n.kind != Op_kind::weight) continue;
+        h = hash_combine(h, static_cast<std::uint64_t>(i));
+        for (const Shape& shape : n.output_shapes) {
+            h = hash_combine(h, 0x51a7eULL);
+            for (const std::int64_t dim : shape)
+                h = hash_combine(h, static_cast<std::uint64_t>(dim));
+        }
+    }
+    return h;
+}
+
 void Graph::replace_all_uses(Edge from, Edge to)
 {
     XRL_EXPECTS(is_alive(from.node) && is_alive(to.node));
@@ -255,7 +283,7 @@ void Graph::erase_node(Node_id id)
     --alive_count_;
 }
 
-int Graph::eliminate_dead_nodes()
+std::vector<std::uint8_t> Graph::reachable_mask() const
 {
     std::vector<std::uint8_t> reachable(nodes_.size(), 0);
     std::vector<Node_id> stack;
@@ -275,6 +303,12 @@ int Graph::eliminate_dead_nodes()
             }
         }
     }
+    return reachable;
+}
+
+int Graph::eliminate_dead_nodes()
+{
+    const std::vector<std::uint8_t> reachable = reachable_mask();
     // Tombstone unreachable nodes directly: every user of a dead node is
     // itself dead, so erase_node's per-node "no users" scan is redundant
     // here (it made DCE quadratic on the candidate-generation hot path).

@@ -139,6 +139,20 @@ public:
     /// environment's dedup cache.
     std::uint64_t canonical_hash() const;
 
+    /// canonical_hash extended with the tensor shapes of every input and
+    /// weight the outputs reach. canonical_hash is deliberately shape-blind
+    /// — rewrite dedup happens within one host graph, where the sources are
+    /// invariant — but caches keyed across *different* models (the
+    /// optimization service's memo cache, the server's coalesce keys) must
+    /// not collide a network with a structurally identical one at different
+    /// widths. Equal canonical hashes plus equal source shapes imply equal
+    /// model hashes, so canonically identical graphs never split keys.
+    std::uint64_t model_hash() const;
+
+    /// Per-id flags: reachable from the outputs through input edges (the
+    /// sub-DAG canonical_hash / model_hash / DCE are defined over).
+    std::vector<std::uint8_t> reachable_mask() const;
+
     // -- mutation ------------------------------------------------------------
 
     /// Redirect every use of `from` (including graph outputs) to `to`.

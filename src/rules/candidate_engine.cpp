@@ -28,12 +28,10 @@ Candidate_engine::Candidate_engine(const Rule_set& rules, Candidate_engine_confi
     for (const auto& rule : rules)
         pattern_rules_.push_back(dynamic_cast<const Pattern_rule*>(rule.get()));
 
-    if (config_.threads == 0) {
-        pool_ = &Thread_pool::shared();
-    } else if (config_.threads > 1) {
-        owned_pool_ = std::make_shared<Thread_pool>(config_.threads - 1);
-        pool_ = owned_pool_.get();
-    }
+    // One process-wide pool for every parallel path (candidate fan-out and
+    // the optimization server's jobs); threads == 1 opts out into a strict
+    // serial loop. No pool is ever constructed per call site.
+    if (config_.threads != 1) pool_ = &Thread_pool::shared();
 }
 
 std::vector<Rewrite_candidate> Candidate_engine::enumerate(const Graph& host) const

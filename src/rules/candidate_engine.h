@@ -46,9 +46,12 @@ struct Candidate_engine_config {
     /// per_rule_limit; TASO's max_candidates_per_step).
     std::size_t per_rule_limit = SIZE_MAX;
 
-    /// Fan-out width: 0 = the process-wide shared pool (sized to the
-    /// hardware), 1 = strictly serial, N > 1 = a private pool of N lanes.
-    /// The result order is identical for every setting.
+    /// Fan-out mode: 0 = the process-wide shared pool (sized to the
+    /// hardware), 1 = strictly serial, N > 1 = also the shared pool (the
+    /// per-rule slot collection makes results order-independent, so a
+    /// private width bought nothing but thread churn — engines are
+    /// constructed per optimize call, and the serving layer shares the
+    /// same pool). The result order is identical for every setting.
     std::size_t threads = 0;
 };
 
@@ -105,8 +108,7 @@ private:
     const Rule_set* rules_;
     Candidate_engine_config config_;
     std::vector<const Pattern_rule*> pattern_rules_; ///< Per rule; null = generic.
-    std::shared_ptr<Thread_pool> owned_pool_;
-    Thread_pool* pool_ = nullptr; ///< Null = serial.
+    Thread_pool* pool_ = nullptr; ///< The shared pool; null = serial.
 };
 
 } // namespace xrl

@@ -1,0 +1,110 @@
+#include "serve/job.h"
+
+#include <stdexcept>
+
+#include "support/check.h"
+
+namespace xrl {
+
+const char* to_string(Job_state state)
+{
+    switch (state) {
+    case Job_state::queued: return "queued";
+    case Job_state::running: return "running";
+    case Job_state::done: return "done";
+    case Job_state::cancelled: return "cancelled";
+    case Job_state::rejected: return "rejected";
+    case Job_state::failed: return "failed";
+    }
+    return "unknown";
+}
+
+bool is_terminal(Job_state state)
+{
+    return state == Job_state::done || state == Job_state::cancelled ||
+           state == Job_state::rejected || state == Job_state::failed;
+}
+
+Job_state Job::snapshot_state() const
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    return state;
+}
+
+void Job::withdraw_interest()
+{
+    const std::lock_guard<std::mutex> lock(mutex);
+    XRL_EXPECTS(interest > 0);
+    if (--interest > 0) return; // someone still wants the result
+    cancel_requested.store(true, std::memory_order_relaxed);
+    // Never started: resolve immediately — the worker that eventually pops
+    // this job sees the terminal state and only does bookkeeping. Running
+    // jobs stop at the next heartbeat (the server's progress wrapper reads
+    // cancel_requested) and resolve through the worker.
+    if (state == Job_state::queued) resolve_cancelled_locked();
+}
+
+void Job::resolve_cancelled_locked()
+{
+    state = Job_state::cancelled;
+    cancel_requested.store(true, std::memory_order_relaxed);
+    result.backend = backend;
+    result.best_graph = graph;
+    result.cancelled = true;
+    finished = Clock::now();
+    changed.notify_all();
+}
+
+Job_handle::Job_handle(std::shared_ptr<Job> job, bool coalesced)
+    : job_(std::move(job)),
+      cancel_ticket_(std::make_shared<std::atomic<bool>>(false)),
+      coalesced_(coalesced)
+{
+}
+
+std::uint64_t Job_handle::id() const
+{
+    XRL_EXPECTS(job_ != nullptr);
+    return job_->id;
+}
+
+const std::string& Job_handle::backend() const
+{
+    XRL_EXPECTS(job_ != nullptr);
+    return job_->backend;
+}
+
+Job_state Job_handle::poll() const
+{
+    XRL_EXPECTS(job_ != nullptr);
+    return job_->snapshot_state();
+}
+
+Optimize_result Job_handle::wait() const
+{
+    XRL_EXPECTS(job_ != nullptr);
+    std::unique_lock<std::mutex> lock(job_->mutex);
+    job_->changed.wait(lock, [this] { return is_terminal(job_->state); });
+    if (job_->state == Job_state::rejected)
+        throw std::runtime_error("optimization job " + std::to_string(job_->id) +
+                                 " rejected: " + job_->reject_reason);
+    if (job_->state == Job_state::failed) std::rethrow_exception(job_->error);
+    return job_->result;
+}
+
+bool Job_handle::wait_for(double seconds) const
+{
+    XRL_EXPECTS(job_ != nullptr);
+    std::unique_lock<std::mutex> lock(job_->mutex);
+    return job_->changed.wait_for(lock, std::chrono::duration<double>(seconds),
+                                  [this] { return is_terminal(job_->state); });
+}
+
+void Job_handle::cancel()
+{
+    XRL_EXPECTS(job_ != nullptr);
+    if (cancel_ticket_->exchange(true)) return; // this submission already cancelled
+    job_->withdraw_interest();
+}
+
+} // namespace xrl

@@ -1,0 +1,146 @@
+// Serving jobs: the unit of work Optimization_server schedules.
+//
+// A submit() call produces a Job — one (graph, backend, request) with a
+// priority, an optional deadline, and a coalesce key — and hands back a
+// Job_handle, the caller's view of it: poll / wait / cancel. Several
+// handles can share one job: when an identical request arrives while the
+// original is still queued or running, the server attaches the newcomer to
+// the in-flight job instead of searching twice, and every attached handle
+// receives the same result. *Handle* cancellation is interest-counted for
+// exactly this reason — cancel() only stops the job (riding the unified
+// API's heartbeat cancellation) once every handle attached to it has
+// cancelled. The request's own cancellation channels are different: the
+// progress callback is deliberately outside the request's identity (like
+// the memo key), so if the primary submission's callback — or the time
+// budget every coalesced duplicate shares, since budgets *are* part of the
+// identity — stops the search, the job resolves cancelled for all waiters,
+// each receiving the best-so-far result.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/optimizer_api.h"
+#include "ir/graph.h"
+
+namespace xrl {
+
+enum class Job_state {
+    queued,    ///< Admitted, waiting for a worker.
+    running,   ///< A worker is executing the search.
+    done,      ///< Finished; result available.
+    cancelled, ///< Cancelled (queued: immediately; running: best-so-far result).
+    rejected,  ///< Refused admission (queue full) or shed to make room.
+    failed,    ///< The backend threw; wait() rethrows.
+};
+
+const char* to_string(Job_state state);
+
+/// done / cancelled / rejected / failed — the states a job never leaves.
+bool is_terminal(Job_state state);
+
+/// Scheduling knobs for one submission. Meaningful under the matching
+/// queue policy and ignored otherwise (priority under Queue_policy::
+/// priority, deadline under Queue_policy::earliest_deadline; both break
+/// ties for the other).
+struct Submit_options {
+    int priority = 0;              ///< Higher runs sooner.
+    double deadline_seconds = 0.0; ///< Relative to submit time; 0 = no deadline.
+};
+
+/// The shared state behind one scheduled search. Public because the queue,
+/// the server, and the handle all operate on it, but user code only ever
+/// sees Job_handle.
+struct Job {
+    using Clock = std::chrono::steady_clock;
+
+    // -- immutable after submit -------------------------------------------
+    std::uint64_t id = 0;       ///< Server-unique, 1-based.
+    std::uint64_t sequence = 0; ///< Arrival order; the FIFO tie-break.
+    std::string backend;
+    Graph graph;
+    Optimize_request request;
+    std::string coalesce_key; ///< Optimization_service::memo_key of the job.
+    Clock::time_point submitted{};
+
+    /// Read lock-free by the server's heartbeat wrapper on every search
+    /// step; set once all interest is withdrawn.
+    std::atomic<bool> cancel_requested{false};
+
+    // -- guarded by mutex -------------------------------------------------
+    mutable std::mutex mutex;
+    std::condition_variable changed;
+    Job_state state = Job_state::queued;
+    int priority = 0;                ///< Coalesced arrivals may raise this.
+    Clock::time_point deadline{};    ///< Coalesced arrivals may tighten this.
+    bool has_deadline = false;
+    int interest = 1;                ///< Handles that still want the result.
+    Optimize_result result;          ///< Valid in done / cancelled.
+    std::exception_ptr error;        ///< Valid in failed.
+    std::string reject_reason;       ///< Valid in rejected.
+    Clock::time_point started{};
+    Clock::time_point finished{};
+
+    Job_state snapshot_state() const;
+
+    /// Withdraw one handle's interest. When the last interested handle
+    /// cancels: a queued job transitions to `cancelled` on the spot (its
+    /// input graph becomes the result, waiters wake immediately); a running
+    /// job gets `cancel_requested` set, which the server's heartbeat turns
+    /// into a backend stop at the next search step.
+    void withdraw_interest();
+
+    /// Resolve a never-started job as cancelled: the input graph becomes
+    /// the result and waiters wake. Caller holds `mutex` and has checked
+    /// the state is not already terminal (handle cancellation and server
+    /// shutdown share this path).
+    void resolve_cancelled_locked();
+};
+
+/// The caller's view of a submitted job. Copyable; copies share the same
+/// underlying job *and* the same cancellation ticket, so cancel() through
+/// any copy withdraws that submission's interest exactly once.
+class Job_handle {
+public:
+    Job_handle() = default;
+    Job_handle(std::shared_ptr<Job> job, bool coalesced);
+
+    bool valid() const { return job_ != nullptr; }
+    std::uint64_t id() const;
+    const std::string& backend() const;
+
+    /// True when this submission attached to an earlier identical in-flight
+    /// job instead of scheduling its own search.
+    bool coalesced() const { return coalesced_; }
+
+    Job_state poll() const;
+    bool finished() const { return is_terminal(poll()); }
+
+    /// Block until the job reaches a terminal state. Returns the result for
+    /// `done` and `cancelled` (a cancelled search carries its best-so-far
+    /// graph, exactly like direct Optimizer::optimize cancellation); throws
+    /// std::runtime_error for `rejected` and rethrows the backend's
+    /// exception for `failed`.
+    Optimize_result wait() const;
+
+    /// wait(), but give up after `seconds`; false = still not terminal.
+    bool wait_for(double seconds) const;
+
+    /// Withdraw this submission's interest in the result (idempotent across
+    /// copies of the handle). The underlying search stops only when every
+    /// coalesced submission has cancelled — see Job::withdraw_interest.
+    void cancel();
+
+private:
+    std::shared_ptr<Job> job_;
+    std::shared_ptr<std::atomic<bool>> cancel_ticket_;
+    bool coalesced_ = false;
+};
+
+} // namespace xrl

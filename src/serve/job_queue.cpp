@@ -1,0 +1,94 @@
+#include "serve/job_queue.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace xrl {
+
+const char* to_string(Queue_policy policy)
+{
+    switch (policy) {
+    case Queue_policy::fifo: return "fifo";
+    case Queue_policy::priority: return "priority";
+    case Queue_policy::earliest_deadline: return "earliest_deadline";
+    }
+    return "unknown";
+}
+
+Job_queue::Job_queue(Job_queue_config config) : config_(config)
+{
+    XRL_EXPECTS(config_.capacity >= 1);
+    jobs_.reserve(std::min<std::size_t>(config_.capacity, 1024));
+}
+
+bool Job_queue::ranks_before(const Job& a, const Job& b) const
+{
+    switch (config_.policy) {
+    case Queue_policy::fifo:
+        break;
+    case Queue_policy::priority:
+        if (a.priority != b.priority) return a.priority > b.priority;
+        break;
+    case Queue_policy::earliest_deadline:
+        if (a.has_deadline != b.has_deadline) return a.has_deadline; // a deadline outranks none
+        if (a.has_deadline && a.deadline != b.deadline) return a.deadline < b.deadline;
+        if (a.priority != b.priority) return a.priority > b.priority;
+        break;
+    }
+    return a.sequence < b.sequence; // FIFO tie-break everywhere
+}
+
+Job_queue::Admission Job_queue::push(std::shared_ptr<Job> job)
+{
+    XRL_EXPECTS(job != nullptr);
+    Admission admission;
+    if (jobs_.size() >= config_.capacity) {
+        if (config_.overflow == Overflow_policy::reject) return admission;
+        // shed_lowest: find the worst-ranked queued job; evict it only if
+        // the newcomer genuinely outranks it.
+        auto worst = jobs_.begin();
+        for (auto it = jobs_.begin() + 1; it != jobs_.end(); ++it)
+            if (ranks_before(**worst, **it)) worst = it;
+        if (!ranks_before(*job, **worst)) return admission; // newcomer is the worst
+        admission.shed = std::move(*worst);
+        jobs_.erase(worst);
+    }
+    jobs_.push_back(std::move(job));
+    admission.admitted = true;
+    return admission;
+}
+
+std::shared_ptr<Job> Job_queue::pop_best()
+{
+    if (jobs_.empty()) return nullptr;
+    auto best = jobs_.begin();
+    for (auto it = jobs_.begin() + 1; it != jobs_.end(); ++it)
+        if (ranks_before(**it, **best)) best = it;
+    std::shared_ptr<Job> job = std::move(*best);
+    jobs_.erase(best);
+    return job;
+}
+
+std::vector<std::shared_ptr<Job>> Job_queue::purge_terminal()
+{
+    std::vector<std::shared_ptr<Job>> purged;
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+        if (is_terminal((*it)->snapshot_state())) {
+            purged.push_back(std::move(*it));
+            it = jobs_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return purged;
+}
+
+std::vector<std::shared_ptr<Job>> Job_queue::drain()
+{
+    std::vector<std::shared_ptr<Job>> all = std::move(jobs_);
+    jobs_.clear();
+    return all;
+}
+
+} // namespace xrl

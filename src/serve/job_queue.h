@@ -1,0 +1,82 @@
+// Bounded, policy-ordered admission queue for Optimization_server.
+//
+// Three orderings cover the serving scenarios the ROADMAP cares about:
+// FIFO for fairness, priority for tiered traffic (interactive vs batch
+// compilation requests), earliest-deadline-first for SLA-driven fleets.
+// The queue is bounded; overflow either rejects the newcomer outright or
+// sheds the worst-ranked queued job to make room for a better-ranked one
+// (load shedding under pressure keeps urgent work schedulable).
+//
+// Deliberately not internally locked: the server's mutex already guards
+// every access, and ordering decisions need to see priority/deadline
+// fields that coalesced arrivals can raise while a job waits.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "serve/job.h"
+
+namespace xrl {
+
+enum class Queue_policy {
+    fifo,              ///< Arrival order.
+    priority,          ///< Higher Submit_options::priority first; FIFO ties.
+    earliest_deadline, ///< Earliest deadline first; no deadline ranks last.
+};
+
+enum class Overflow_policy {
+    reject,      ///< A full queue refuses newcomers.
+    shed_lowest, ///< Evict the worst-ranked job when the newcomer ranks better.
+};
+
+const char* to_string(Queue_policy policy);
+
+struct Job_queue_config {
+    Queue_policy policy = Queue_policy::fifo;
+    Overflow_policy overflow = Overflow_policy::reject;
+    std::size_t capacity = 256; ///< Queued (not running) jobs; must be >= 1.
+};
+
+class Job_queue {
+public:
+    explicit Job_queue(Job_queue_config config);
+
+    const Job_queue_config& config() const { return config_; }
+    std::size_t size() const { return jobs_.size(); }
+    bool empty() const { return jobs_.empty(); }
+
+    struct Admission {
+        bool admitted = false;
+        std::shared_ptr<Job> shed; ///< Job evicted to admit the newcomer.
+    };
+
+    /// Admit `job` under the capacity bound. On overflow: `reject` refuses
+    /// it; `shed_lowest` evicts the worst-ranked queued job if the newcomer
+    /// outranks it (the evictee is returned so the server can resolve it),
+    /// and refuses the newcomer otherwise.
+    Admission push(std::shared_ptr<Job> job);
+
+    /// Remove and return the best-ranked job (policy order, FIFO tie-break).
+    /// Ranks are re-evaluated at pop time, so priority/deadline raises from
+    /// coalesced arrivals take effect. Null when empty.
+    std::shared_ptr<Job> pop_best();
+
+    /// Remove jobs that resolved while queued (handle-cancelled corpses),
+    /// so they stop consuming capacity and cannot be shed as if they were
+    /// live. Returns them for the server's outcome bookkeeping.
+    std::vector<std::shared_ptr<Job>> purge_terminal();
+
+    /// Remove everything (server shutdown).
+    std::vector<std::shared_ptr<Job>> drain();
+
+private:
+    /// Strict weak order: does `a` run before `b`?
+    bool ranks_before(const Job& a, const Job& b) const;
+
+    Job_queue_config config_;
+    std::vector<std::shared_ptr<Job>> jobs_;
+};
+
+} // namespace xrl

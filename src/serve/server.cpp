@@ -1,0 +1,358 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+double seconds_between(Job::Clock::time_point from, Job::Clock::time_point to)
+{
+    return std::chrono::duration<double>(to - from).count();
+}
+
+} // namespace
+
+Optimization_server::Optimization_server(Server_config config)
+    : config_(std::move(config)),
+      service_(config_.service),
+      pool_(&Thread_pool::shared()),
+      workers_(config_.workers > 0 ? config_.workers : std::max<std::size_t>(pool_->workers(), 1)),
+      queue_(config_.queue),
+      paused_(config_.start_paused)
+{
+}
+
+Optimization_server::~Optimization_server()
+{
+    std::vector<std::shared_ptr<Job>> orphans;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        shutting_down_ = true;
+        orphans = queue_.drain();
+    }
+    for (const std::shared_ptr<Job>& job : orphans) {
+        {
+            const std::lock_guard<std::mutex> job_lock(job->mutex);
+            if (!is_terminal(job->state)) job->resolve_cancelled_locked();
+        }
+        // Orphans never reached a worker, so this is their only recording.
+        record_queued_resolution(job);
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return running_ == 0; });
+}
+
+bool Optimization_server::finalise_rejected(const std::shared_ptr<Job>& job, std::string reason)
+{
+    const std::lock_guard<std::mutex> job_lock(job->mutex);
+    // A queued job can already be terminal (handle-cancelled) by the time
+    // it is shed; its waiters saw that outcome — never rewrite it.
+    if (is_terminal(job->state)) return false;
+    job->state = Job_state::rejected;
+    job->reject_reason = std::move(reason);
+    job->finished = Job::Clock::now();
+    job->changed.notify_all();
+    return true;
+}
+
+std::shared_ptr<Job> Optimization_server::try_attach_locked(const std::string& key, int priority,
+                                                            bool has_deadline,
+                                                            Job::Clock::time_point deadline)
+{
+    if (!config_.coalesce) return nullptr;
+    const auto it = inflight_.find(key);
+    if (it == inflight_.end()) return nullptr;
+    const std::shared_ptr<Job>& primary = it->second;
+    const std::lock_guard<std::mutex> job_lock(primary->mutex);
+    const bool attachable =
+        (primary->state == Job_state::queued || primary->state == Job_state::running) &&
+        !primary->cancel_requested.load(std::memory_order_relaxed);
+    if (!attachable) return nullptr;
+    ++primary->interest;
+    // A duplicate arrival can only raise urgency.
+    primary->priority = std::max(primary->priority, priority);
+    if (has_deadline && (!primary->has_deadline || deadline < primary->deadline)) {
+        primary->has_deadline = true;
+        primary->deadline = deadline;
+    }
+    return primary;
+}
+
+void Optimization_server::record_queued_resolution(const std::shared_ptr<Job>& job)
+{
+    double latency_seconds = 0.0;
+    Job_state terminal;
+    {
+        const std::lock_guard<std::mutex> job_lock(job->mutex);
+        terminal = job->state;
+        latency_seconds = seconds_between(job->submitted, job->finished);
+    }
+    telemetry_.on_finish(job->backend, terminal, latency_seconds, /*busy_seconds=*/0.0,
+                         /*from_cache=*/false);
+}
+
+Job_handle Optimization_server::submit(const std::string& backend, const Graph& graph,
+                                       const Optimize_request& request,
+                                       const Submit_options& options)
+{
+    validate_request(request);
+    if (!Optimizer_registry::built_in().contains(backend)) {
+        std::ostringstream os;
+        os << "unknown optimizer backend '" << backend << "'; registered backends:";
+        for (const std::string& name : Optimizer_registry::built_in().names()) os << ' ' << name;
+        throw std::invalid_argument(os.str());
+    }
+    // NaN fails the first comparison; the cap keeps the duration_cast to
+    // steady_clock ticks below int64 overflow (1e9 s is ~31 years).
+    if (!(options.deadline_seconds >= 0.0) || options.deadline_seconds > 1e9)
+        throw std::invalid_argument("invalid Submit_options: deadline_seconds = " +
+                                    std::to_string(options.deadline_seconds) +
+                                    " (must be in [0, 1e9]; 0 means no deadline)");
+
+    const auto now = Job::Clock::now();
+    const std::string key = Optimization_service::memo_key(graph.model_hash(), backend, request);
+    bool has_deadline = false;
+    Job::Clock::time_point deadline{};
+    if (options.deadline_seconds > 0.0) {
+        has_deadline = true;
+        deadline = now + std::chrono::duration_cast<Job::Clock::duration>(
+                             std::chrono::duration<double>(options.deadline_seconds));
+    }
+
+    // Fast path: attach to an in-flight duplicate before building
+    // anything — a coalesced submit costs a hash probe, not a graph copy.
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (shutting_down_)
+            throw std::runtime_error("Optimization_server::submit during shutdown");
+        telemetry_.on_submit(backend);
+        if (std::shared_ptr<Job> primary =
+                try_attach_locked(key, options.priority, has_deadline, deadline)) {
+            telemetry_.on_coalesce();
+            return Job_handle(std::move(primary), /*coalesced=*/true);
+        }
+    }
+
+    // Build the job — including the full-graph copy — outside the server
+    // mutex, so admission's critical section is map/queue work only and
+    // submits never serialize on graph copies.
+    std::shared_ptr<Job> job = std::make_shared<Job>();
+    job->backend = backend;
+    job->graph = graph;
+    job->request = request;
+    job->coalesce_key = key;
+    job->submitted = now;
+    job->priority = options.priority;
+    job->has_deadline = has_deadline;
+    job->deadline = deadline;
+
+    std::shared_ptr<Job> shed;
+    std::vector<std::shared_ptr<Job>> purged;
+    bool coalesced = false;
+    bool admitted = false;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (shutting_down_)
+            throw std::runtime_error("Optimization_server::submit during shutdown");
+
+        // An identical submit may have been admitted while the copy ran;
+        // attach to it rather than racing it into the queue.
+        if (std::shared_ptr<Job> primary =
+                try_attach_locked(key, options.priority, has_deadline, deadline)) {
+            job = std::move(primary); // the speculative job is discarded
+            coalesced = true;
+            telemetry_.on_coalesce();
+        }
+
+        if (!coalesced) {
+            // Jobs that resolved while queued (handle-cancelled) must not
+            // consume capacity or be shed as if they were live work.
+            purged = queue_.purge_terminal();
+            for (const std::shared_ptr<Job>& corpse : purged) {
+                const auto it = inflight_.find(corpse->coalesce_key);
+                if (it != inflight_.end() && it->second == corpse) inflight_.erase(it);
+            }
+
+            job->id = next_id_++;
+            job->sequence = next_sequence_++;
+
+            Job_queue::Admission admission = queue_.push(job);
+            admitted = admission.admitted;
+            shed = std::move(admission.shed);
+            if (admitted) {
+                inflight_[key] = job;
+                if (shed != nullptr) {
+                    const auto it = inflight_.find(shed->coalesce_key);
+                    if (it != inflight_.end() && it->second == shed) inflight_.erase(it);
+                }
+            } else {
+                telemetry_.on_reject(/*shed=*/false);
+            }
+        }
+    }
+
+    // Purged corpses never reach a worker; record their outcomes here.
+    for (const std::shared_ptr<Job>& corpse : purged) record_queued_resolution(corpse);
+    if (shed != nullptr) {
+        // The evictee may have resolved (handle cancellation) between the
+        // purge above and the eviction; record what actually happened.
+        if (finalise_rejected(shed, "shed from a full queue (capacity " +
+                                        std::to_string(config_.queue.capacity) +
+                                        ") by a better-ranked arrival"))
+            telemetry_.on_reject(/*shed=*/true);
+        else
+            record_queued_resolution(shed);
+    }
+    if (!coalesced && !admitted)
+        finalise_rejected(job, "queue full (capacity " + std::to_string(config_.queue.capacity) +
+                                   ", policy " + to_string(config_.queue.policy) + ")");
+    if (!coalesced && admitted) dispatch();
+    return Job_handle(std::move(job), coalesced);
+}
+
+std::vector<std::shared_ptr<Job>> Optimization_server::claim_replacements_locked(std::size_t freeing)
+{
+    std::vector<std::shared_ptr<Job>> claimed;
+    while (!paused_ && !shutting_down_ && (running_ - freeing) + claimed.size() < workers_ &&
+           !queue_.empty())
+        claimed.push_back(queue_.pop_best());
+    running_ = running_ - freeing + claimed.size();
+    if (running_ == 0 && queue_.empty()) idle_.notify_all();
+    return claimed;
+}
+
+void Optimization_server::dispatch()
+{
+    std::vector<std::shared_ptr<Job>> claimed;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        claimed = claim_replacements_locked(0);
+    }
+    // Posted outside the lock: with a zero-worker pool, post() degrades to
+    // inline execution, and execute() re-enters mutex_.
+    for (std::shared_ptr<Job>& job : claimed)
+        pool_->post([this, job = std::move(job)] { execute(job); });
+}
+
+void Optimization_server::execute(const std::shared_ptr<Job>& job)
+{
+    bool run_search = false;
+    {
+        const std::lock_guard<std::mutex> job_lock(job->mutex);
+        if (job->state == Job_state::queued) {
+            job->state = Job_state::running;
+            job->started = Job::Clock::now();
+            run_search = true;
+        }
+        // Otherwise the job resolved while queued (handle cancellation);
+        // this worker only does the bookkeeping below.
+    }
+
+    bool from_cache = false;
+    if (run_search) {
+        // Chain cancellation in front of the submitter's own callback: the
+        // heartbeat the backends already poll stops the search as soon as
+        // every attached handle has withdrawn interest.
+        Optimize_request request = job->request;
+        const Progress_callback user_callback = job->request.on_progress;
+        const std::shared_ptr<Job> tracked = job;
+        request.on_progress = [tracked, user_callback](const Optimize_progress& progress) {
+            if (tracked->cancel_requested.load(std::memory_order_relaxed)) return false;
+            return user_callback ? user_callback(progress) : true;
+        };
+
+        Optimize_result result;
+        std::exception_ptr error;
+        try {
+            result = service_.optimize_keyed(job->coalesce_key, job->backend, job->graph, request);
+        } catch (...) {
+            error = std::current_exception();
+        }
+
+        const std::lock_guard<std::mutex> job_lock(job->mutex);
+        job->finished = Job::Clock::now();
+        if (error != nullptr) {
+            job->error = error;
+            job->state = Job_state::failed;
+        } else {
+            from_cache = result.from_cache;
+            job->result = std::move(result);
+            job->state = job->result.cancelled ? Job_state::cancelled : Job_state::done;
+        }
+        // Record telemetry before waking waiters: a caller reading stats()
+        // right after wait() returns must see this job counted.
+        telemetry_.on_finish(job->backend, job->state,
+                             seconds_between(job->submitted, job->finished),
+                             seconds_between(job->started, job->finished), from_cache);
+        job->changed.notify_all();
+    } else {
+        // Resolved while queued (handle cancellation); waiters woke back
+        // then — this worker only records the outcome.
+        record_queued_resolution(job);
+    }
+
+    std::vector<std::shared_ptr<Job>> claimed;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = inflight_.find(job->coalesce_key);
+        if (it != inflight_.end() && it->second == job) inflight_.erase(it);
+        XRL_ASSERT(running_ > 0);
+        claimed = claim_replacements_locked(1);
+    }
+    for (std::shared_ptr<Job>& next : claimed)
+        pool_->post([this, next = std::move(next)] { execute(next); });
+}
+
+void Optimization_server::pause()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+}
+
+void Optimization_server::resume()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        paused_ = false;
+    }
+    dispatch();
+}
+
+void Optimization_server::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return running_ == 0 && queue_.empty(); });
+}
+
+Server_stats Optimization_server::stats() const
+{
+    std::size_t depth = 0;
+    std::size_t active = 0;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        depth = queue_.size();
+        active = running_;
+    }
+    return telemetry_.snapshot(depth, active);
+}
+
+std::size_t Optimization_server::queue_depth() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+std::size_t Optimization_server::running() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return running_;
+}
+
+} // namespace xrl

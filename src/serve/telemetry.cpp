@@ -1,0 +1,92 @@
+#include "serve/telemetry.h"
+
+#include <algorithm>
+
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+/// Nearest-rank percentile of an unsorted sample (copied, partially sorted).
+double percentile(std::vector<double> sample, double p)
+{
+    if (sample.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(p * static_cast<double>(sample.size() - 1));
+    std::nth_element(sample.begin(), sample.begin() + static_cast<std::ptrdiff_t>(rank),
+                     sample.end());
+    return sample[rank];
+}
+
+} // namespace
+
+Telemetry::Telemetry(std::size_t latency_reservoir) : reservoir_capacity_(latency_reservoir)
+{
+    XRL_EXPECTS(reservoir_capacity_ >= 1);
+}
+
+void Telemetry::on_submit(const std::string& backend)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.submitted;
+    ++totals_.backends[backend].submitted;
+}
+
+void Telemetry::on_coalesce()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.coalesced;
+}
+
+void Telemetry::on_reject(bool shed)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++totals_.rejected;
+    if (shed) ++totals_.shed;
+}
+
+void Telemetry::on_finish(const std::string& backend, Job_state terminal, double latency_seconds,
+                          double busy_seconds, bool from_cache)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Backend_stats& per_backend = totals_.backends[backend];
+    switch (terminal) {
+    case Job_state::done:
+        ++totals_.completed;
+        ++per_backend.completed;
+        break;
+    case Job_state::cancelled:
+        ++totals_.cancelled;
+        ++per_backend.cancelled;
+        break;
+    case Job_state::failed:
+        ++totals_.failed;
+        ++per_backend.failed;
+        break;
+    default:
+        XRL_ASSERT(false && "on_finish expects a terminal worker outcome");
+    }
+    if (from_cache) ++totals_.cache_hits;
+    per_backend.busy_seconds += busy_seconds;
+
+    const double latency_ms = latency_seconds * 1e3;
+    if (latencies_ms_.size() < reservoir_capacity_) {
+        latencies_ms_.push_back(latency_ms);
+    } else {
+        latencies_ms_[next_slot_] = latency_ms;
+        next_slot_ = (next_slot_ + 1) % reservoir_capacity_;
+    }
+}
+
+Server_stats Telemetry::snapshot(std::size_t queue_depth, std::size_t running) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Server_stats stats = totals_;
+    stats.queue_depth = queue_depth;
+    stats.running = running;
+    stats.p50_latency_ms = percentile(latencies_ms_, 0.50);
+    stats.p95_latency_ms = percentile(latencies_ms_, 0.95);
+    return stats;
+}
+
+} // namespace xrl

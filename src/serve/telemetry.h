@@ -1,0 +1,101 @@
+// Server telemetry: what the serving fleet is doing, snapshottable.
+//
+// Every submit, coalesce, rejection, and completion is recorded here;
+// stats() on the server folds in live queue depth and worker occupancy.
+// Latency percentiles (p50/p95 of submit-to-terminal time) come from a
+// bounded reservoir of recent completions, so a long-running server's
+// snapshot reflects recent behaviour rather than its whole history, and
+// memory stays O(1). The benches and tests drive their acceptance numbers
+// (coalesce + cache-hit rate, makespan) off these counters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/job.h"
+
+namespace xrl {
+
+struct Backend_stats {
+    /// submit() calls naming this backend — including coalesced duplicates
+    /// and rejected submissions, so this can exceed completed + cancelled
+    /// + failed (the primary-job outcomes below).
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t failed = 0;
+    double busy_seconds = 0.0; ///< Worker time spent in this backend's searches.
+};
+
+/// One consistent snapshot of the server's counters.
+struct Server_stats {
+    // Admission.
+    std::uint64_t submitted = 0; ///< Every submit() call.
+    std::uint64_t coalesced = 0; ///< Submits attached to an in-flight duplicate.
+    std::uint64_t rejected = 0;  ///< Refused at admission (includes shed).
+    std::uint64_t shed = 0;      ///< Evicted from the queue by a better-ranked arrival.
+
+    // Outcomes (primary jobs reaching a terminal state).
+    std::uint64_t completed = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t cache_hits = 0; ///< Jobs answered by the service memo cache.
+
+    // Live occupancy at snapshot time.
+    std::size_t queue_depth = 0;
+    std::size_t running = 0;
+
+    // Submit-to-terminal latency over the recent-completion reservoir.
+    double p50_latency_ms = 0.0;
+    double p95_latency_ms = 0.0;
+
+    std::map<std::string, Backend_stats> backends;
+
+    /// Fraction of submits that attached to an in-flight duplicate.
+    double coalesce_rate() const
+    {
+        return submitted > 0 ? static_cast<double>(coalesced) / static_cast<double>(submitted) : 0.0;
+    }
+
+    /// Fraction of submits answered by the post-hoc memo cache.
+    double cache_hit_rate() const
+    {
+        return submitted > 0 ? static_cast<double>(cache_hits) / static_cast<double>(submitted) : 0.0;
+    }
+
+    /// Fraction of submits that never paid for a search: coalesced onto an
+    /// in-flight job or served from the memo cache.
+    double dedup_rate() const
+    {
+        return submitted > 0
+                   ? static_cast<double>(coalesced + cache_hits) / static_cast<double>(submitted)
+                   : 0.0;
+    }
+};
+
+/// Internally-locked recorder; the server calls it from submit and from
+/// worker threads without extra synchronisation.
+class Telemetry {
+public:
+    explicit Telemetry(std::size_t latency_reservoir = 8192);
+
+    void on_submit(const std::string& backend);
+    void on_coalesce();
+    void on_reject(bool shed);
+    void on_finish(const std::string& backend, Job_state terminal, double latency_seconds,
+                   double busy_seconds, bool from_cache);
+
+    Server_stats snapshot(std::size_t queue_depth, std::size_t running) const;
+
+private:
+    mutable std::mutex mutex_;
+    Server_stats totals_;
+    std::size_t reservoir_capacity_;
+    std::vector<double> latencies_ms_; ///< Ring buffer of recent completions.
+    std::size_t next_slot_ = 0;
+};
+
+} // namespace xrl

@@ -60,8 +60,18 @@ void Thread_pool::worker_loop()
         std::shared_ptr<Batch> batch;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            work_ready_.wait(lock, [this] { return shutting_down_ || !pending_.empty(); });
+            work_ready_.wait(lock, [this] {
+                return shutting_down_ || !pending_.empty() || !detached_.empty();
+            });
             if (shutting_down_) return;
+            if (pending_.empty()) {
+                // No batch blocking a caller — run one detached task.
+                std::function<void()> task = std::move(detached_.front());
+                detached_.pop_front();
+                lock.unlock();
+                task();
+                continue;
+            }
             batch = pending_.back();
             if (batch->next.load(std::memory_order_relaxed) >= batch->count) {
                 // Fully claimed already; forget it and look again.
@@ -105,12 +115,29 @@ void Thread_pool::run(std::size_t count, const std::function<void(std::size_t)>&
     }
 }
 
+void Thread_pool::post(std::function<void()> task)
+{
+    if (threads_.empty()) {
+        task(); // serial degradation, mirroring run()
+        return;
+    }
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        detached_.push_back(std::move(task));
+    }
+    work_ready_.notify_one();
+}
+
 Thread_pool& Thread_pool::shared()
 {
     static Thread_pool pool([] {
+        // At least two workers even on a single-core host: the serving
+        // layer's posted jobs must run off the submitter's thread (a job
+        // blocked on its progress gate would otherwise deadlock submit),
+        // and batch fan-out still degrades gracefully — the caller drains
+        // alongside however many workers the hardware can actually run.
         const unsigned hw = std::thread::hardware_concurrency();
-        const std::size_t workers = hw > 1 ? std::min<std::size_t>(hw, 8) : 0;
-        return workers;
+        return std::max<std::size_t>(2, std::min<std::size_t>(hw, 8));
     }());
     return pool;
 }

@@ -1,4 +1,5 @@
-// A small blocking thread pool for deterministic fan-out.
+// A small blocking thread pool for deterministic fan-out — plus detached
+// tasks for the serving layer.
 //
 // The candidate engine fans pattern matching out across rules; results are
 // written into per-rule slots so the output order never depends on thread
@@ -6,10 +7,18 @@
 // tasks and block until all of them ran. The calling thread participates in
 // draining the queue, so a pool with zero workers degrades to a plain
 // serial loop (and `run` never deadlocks when workers are scarce).
+//
+// `post` adds the second mode the Optimization_server needs: fire-and-forget
+// tasks executed on pool workers. Both modes share the same threads — one
+// process-wide pool serves candidate fan-out *and* serving jobs — and they
+// compose: a posted serving job that calls `run` on the same pool drains the
+// batch on its own thread, so nesting cannot deadlock even when every worker
+// is busy with posted work.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -34,8 +43,17 @@ public:
     /// exception (if any) is rethrown on the caller after the batch drains.
     void run(std::size_t count, const std::function<void(std::size_t)>& task);
 
-    /// Process-wide pool sized to the hardware (capped), shared by every
-    /// candidate engine that does not request a private width.
+    /// Detached execution: enqueue `task` to run on some pool worker and
+    /// return immediately. Tasks must not throw (a throwing task
+    /// terminates). With zero workers the task runs inline on the caller —
+    /// the serial degradation mirrors `run`'s, so callers never deadlock
+    /// waiting for a thread that does not exist. Tasks still queued when
+    /// the pool destructs are dropped, so owners of posted work must drain
+    /// their own completion state before releasing the pool.
+    void post(std::function<void()> task);
+
+    /// Process-wide pool sized to the hardware (capped), shared by the
+    /// candidate engines and the optimization server.
     static Thread_pool& shared();
 
 private:
@@ -46,6 +64,7 @@ private:
     std::mutex mutex_;
     std::condition_variable work_ready_;
     std::vector<std::shared_ptr<Batch>> pending_;
+    std::deque<std::function<void()>> detached_;
     std::vector<std::thread> threads_;
     bool shutting_down_ = false;
 };

@@ -1,0 +1,534 @@
+// Optimization_server: coalescing correctness, queue-policy ordering,
+// cancellation (queued and mid-search), bounded-queue admission control,
+// telemetry counters, request validation, and bit-identical parity with
+// direct Optimization_service::optimize calls.
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/optimization_service.h"
+#include "ir/builder.h"
+#include "serve/server.h"
+
+namespace xrl {
+namespace {
+
+/// The quickstart graph (paper Figure 1): y = relu(x.w + b).
+Graph quickstart_graph()
+{
+    Graph_builder b;
+    const Edge x = b.input({4, 32}, "x");
+    const Edge w = b.weight({32, 16}, "w");
+    const Edge bias = b.weight({16}, "b");
+    return b.finish({b.relu(b.add(b.matmul(x, w), bias))});
+}
+
+/// A richer graph so searches take more than one step (and heartbeats fire).
+Graph projection_graph()
+{
+    Graph_builder b;
+    const Edge x = b.input({8, 32}, "x");
+    const Edge wq = b.weight({32, 16});
+    const Edge wk = b.weight({32, 16});
+    const Edge y = b.add(b.relu(b.matmul(x, wq)), b.relu(b.matmul(x, wk)));
+    return b.finish({y});
+}
+
+/// Structurally distinct variants (different widths => different hashes).
+Graph variant_graph(int n)
+{
+    Graph_builder b;
+    const Edge x = b.input({4, 24 + n}, "x");
+    const Edge w = b.weight({24 + n, 12});
+    return b.finish({b.relu(b.matmul(x, w))});
+}
+
+/// Smoke-scale backend budgets shared by every test (plumbing, not quality).
+Service_config smoke_service()
+{
+    Service_config config;
+    config.backend_options["taso.budget"] = 15;
+    config.backend_options["pet.budget"] = 8;
+    config.backend_options["tensat.max_iterations"] = 2;
+    config.backend_options["xrlflow.episodes"] = 0;
+    config.backend_options["xrlflow.max_steps"] = 6;
+    return config;
+}
+
+Server_config smoke_server()
+{
+    Server_config config;
+    config.service = smoke_service();
+    return config;
+}
+
+/// A progress-callback gate: the search blocks at its first heartbeat until
+/// release(), so tests can hold a job in the `running` state.
+struct Gate {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool entered = false;
+    bool released = false;
+
+    Progress_callback callback()
+    {
+        return [this](const Optimize_progress&) {
+            std::unique_lock<std::mutex> lock(mutex);
+            if (!entered) {
+                entered = true;
+                cv.notify_all();
+            }
+            cv.wait(lock, [this] { return released; });
+            return true;
+        };
+    }
+
+    void await_entered()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [this] { return entered; });
+    }
+
+    void release()
+    {
+        {
+            const std::lock_guard<std::mutex> lock(mutex);
+            released = true;
+        }
+        cv.notify_all();
+    }
+};
+
+/// Records the order in which searches *start* (first heartbeat per job).
+struct Start_order {
+    std::mutex mutex;
+    std::vector<std::string> tags;
+
+    Progress_callback tagged(std::string tag)
+    {
+        auto first = std::make_shared<bool>(true);
+        return [this, tag = std::move(tag), first](const Optimize_progress&) {
+            const std::lock_guard<std::mutex> lock(mutex);
+            if (*first) {
+                tags.push_back(tag);
+                *first = false;
+            }
+            return true;
+        };
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Parity with direct Optimization_service calls
+// ---------------------------------------------------------------------------
+
+TEST(OptimizationServer, ResultsBitIdenticalToDirectServiceCalls)
+{
+    Optimization_service direct(smoke_service());
+    Optimization_server server(smoke_server());
+    const Graph g = quickstart_graph();
+
+    for (const std::string& backend : direct.backends()) {
+        const Optimize_result reference = direct.optimize(backend, g);
+        const Optimize_result served = server.submit(backend, g).wait();
+        EXPECT_EQ(served.best_graph.canonical_hash(), reference.best_graph.canonical_hash())
+            << backend;
+        EXPECT_EQ(served.final_ms, reference.final_ms) << backend;
+        EXPECT_EQ(served.initial_ms, reference.initial_ms) << backend;
+        EXPECT_EQ(served.steps, reference.steps) << backend;
+        EXPECT_EQ(served.backend, backend);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing
+// ---------------------------------------------------------------------------
+
+TEST(OptimizationServer, IdenticalInFlightSubmitsCoalesceIntoOneSearch)
+{
+    Optimization_server server(smoke_server());
+    const Graph g = projection_graph();
+
+    Gate gate;
+    Optimize_request gated;
+    gated.on_progress = gate.callback();
+    const Job_handle primary = server.submit("taso", g, gated);
+    gate.await_entered(); // the search is now running
+
+    // Same memo key (the callback is deliberately not part of it).
+    std::vector<Job_handle> duplicates;
+    for (int i = 0; i < 3; ++i) duplicates.push_back(server.submit("taso", g));
+    EXPECT_FALSE(primary.coalesced());
+    for (const Job_handle& handle : duplicates) EXPECT_TRUE(handle.coalesced());
+
+    gate.release();
+    const Optimize_result first = primary.wait();
+    for (const Job_handle& handle : duplicates) {
+        const Optimize_result result = handle.wait();
+        EXPECT_EQ(result.best_graph.canonical_hash(), first.best_graph.canonical_hash());
+        EXPECT_EQ(result.final_ms, first.final_ms);
+    }
+
+    // One search ran for four submissions.
+    EXPECT_EQ(server.service().cache_misses(), 1u);
+    const Server_stats stats = server.stats();
+    EXPECT_EQ(stats.submitted, 4u);
+    EXPECT_EQ(stats.coalesced, 3u);
+    EXPECT_EQ(stats.completed, 1u);
+    EXPECT_DOUBLE_EQ(stats.coalesce_rate(), 0.75);
+}
+
+TEST(OptimizationServer, PostHocDuplicateHitsMemoCacheNotCoalescing)
+{
+    Optimization_server server(smoke_server());
+    const Graph g = quickstart_graph();
+
+    const Optimize_result first = server.submit("taso", g).wait();
+    EXPECT_FALSE(first.from_cache);
+    server.drain();
+
+    const Job_handle later = server.submit("taso", g);
+    const Optimize_result replay = later.wait();
+    EXPECT_FALSE(later.coalesced()); // the original already resolved
+    EXPECT_TRUE(replay.from_cache);
+    EXPECT_EQ(replay.best_graph.canonical_hash(), first.best_graph.canonical_hash());
+
+    const Server_stats stats = server.stats();
+    EXPECT_EQ(stats.coalesced, 0u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_DOUBLE_EQ(stats.dedup_rate(), 0.5);
+}
+
+TEST(OptimizationServer, CoalescedJobStopsOnlyWhenEveryHandleCancels)
+{
+    Server_config config = smoke_server();
+    config.workers = 1;
+    Optimization_server server(config);
+    const Graph g = projection_graph();
+
+    Gate gate;
+    Optimize_request gated;
+    gated.on_progress = gate.callback();
+    Job_handle primary = server.submit("taso", g, gated);
+    gate.await_entered();
+    const Job_handle attached = server.submit("taso", g);
+    ASSERT_TRUE(attached.coalesced());
+
+    primary.cancel(); // one of two interested parties — must NOT stop the job
+    gate.release();
+    const Optimize_result result = attached.wait();
+    EXPECT_FALSE(result.cancelled);
+    EXPECT_EQ(server.stats().completed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Queue policies
+// ---------------------------------------------------------------------------
+
+TEST(OptimizationServer, FifoPolicyRunsInArrivalOrder)
+{
+    Server_config config = smoke_server();
+    config.workers = 1;
+    Optimization_server server(config);
+
+    Gate gate;
+    Optimize_request blocker;
+    blocker.on_progress = gate.callback();
+    server.submit("taso", projection_graph(), blocker);
+    gate.await_entered(); // the single worker is now occupied
+
+    Start_order order;
+    Optimize_request first_request;
+    first_request.on_progress = order.tagged("first");
+    Optimize_request second_request;
+    second_request.on_progress = order.tagged("second");
+    server.submit("taso", variant_graph(1), first_request);
+    server.submit("taso", variant_graph(2), second_request);
+
+    gate.release();
+    server.drain();
+    EXPECT_EQ(order.tags, (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(OptimizationServer, PriorityPolicyRunsHigherPriorityFirst)
+{
+    Server_config config = smoke_server();
+    config.workers = 1;
+    config.queue.policy = Queue_policy::priority;
+    Optimization_server server(config);
+
+    Gate gate;
+    Optimize_request blocker;
+    blocker.on_progress = gate.callback();
+    server.submit("taso", projection_graph(), blocker);
+    gate.await_entered();
+
+    Start_order order;
+    Optimize_request low_request;
+    low_request.on_progress = order.tagged("low");
+    Optimize_request high_request;
+    high_request.on_progress = order.tagged("high");
+    server.submit("taso", variant_graph(1), low_request, {.priority = 0});
+    server.submit("taso", variant_graph(2), high_request, {.priority = 10});
+
+    gate.release();
+    server.drain();
+    EXPECT_EQ(order.tags, (std::vector<std::string>{"high", "low"}));
+}
+
+TEST(OptimizationServer, EarliestDeadlinePolicyRunsTightestDeadlineFirst)
+{
+    Server_config config = smoke_server();
+    config.workers = 1;
+    config.queue.policy = Queue_policy::earliest_deadline;
+    Optimization_server server(config);
+
+    Gate gate;
+    Optimize_request blocker;
+    blocker.on_progress = gate.callback();
+    server.submit("taso", projection_graph(), blocker);
+    gate.await_entered();
+
+    Start_order order;
+    Optimize_request relaxed_request;
+    relaxed_request.on_progress = order.tagged("relaxed");
+    Optimize_request urgent_request;
+    urgent_request.on_progress = order.tagged("urgent");
+    server.submit("taso", variant_graph(1), relaxed_request, {.deadline_seconds = 60.0});
+    server.submit("taso", variant_graph(2), urgent_request, {.deadline_seconds = 1.0});
+
+    gate.release();
+    server.drain();
+    EXPECT_EQ(order.tags, (std::vector<std::string>{"urgent", "relaxed"}));
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation
+// ---------------------------------------------------------------------------
+
+TEST(OptimizationServer, CancellingQueuedJobResolvesImmediatelyWithoutSearching)
+{
+    Server_config config = smoke_server();
+    config.start_paused = true;
+    Optimization_server server(config);
+    const Graph g = quickstart_graph();
+
+    Job_handle handle = server.submit("taso", g);
+    EXPECT_EQ(handle.poll(), Job_state::queued);
+    handle.cancel();
+    EXPECT_EQ(handle.poll(), Job_state::cancelled);
+    const Optimize_result result = handle.wait(); // no blocking: already terminal
+    EXPECT_TRUE(result.cancelled);
+    EXPECT_EQ(result.best_graph.canonical_hash(), g.canonical_hash());
+
+    server.resume();
+    server.drain();
+    EXPECT_EQ(server.service().cache_misses(), 0u); // no search ever ran
+    EXPECT_EQ(server.stats().cancelled, 1u);
+}
+
+TEST(OptimizationServer, CancellingRunningJobStopsViaHeartbeat)
+{
+    Server_config config = smoke_server();
+    config.service.backend_options["taso.budget"] = 200;
+    Optimization_server server(config);
+    const Graph g = projection_graph();
+
+    Gate gate;
+    Optimize_request gated;
+    gated.on_progress = gate.callback();
+    Job_handle handle = server.submit("taso", g, gated);
+    gate.await_entered();
+    EXPECT_EQ(handle.poll(), Job_state::running);
+
+    handle.cancel();
+    gate.release();
+    const Optimize_result result = handle.wait();
+    EXPECT_TRUE(result.cancelled);
+    EXPECT_LT(result.steps, 200); // stopped well before the budget
+    EXPECT_NO_THROW(result.best_graph.validate());
+    EXPECT_EQ(handle.poll(), Job_state::cancelled);
+    // Cancelled searches are never cached (same contract as the service).
+    EXPECT_EQ(server.service().cache_size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------------
+
+TEST(OptimizationServer, BoundedQueueRejectsOverflow)
+{
+    Server_config config = smoke_server();
+    config.start_paused = true;
+    config.workers = 1;
+    config.queue.capacity = 2;
+    Optimization_server server(config);
+
+    const Job_handle a = server.submit("taso", variant_graph(1));
+    const Job_handle b = server.submit("taso", variant_graph(2));
+    const Job_handle c = server.submit("taso", variant_graph(3));
+    EXPECT_EQ(a.poll(), Job_state::queued);
+    EXPECT_EQ(b.poll(), Job_state::queued);
+    EXPECT_EQ(c.poll(), Job_state::rejected);
+    EXPECT_THROW(c.wait(), std::runtime_error);
+
+    server.resume();
+    server.drain();
+    const Server_stats stats = server.stats();
+    EXPECT_EQ(stats.rejected, 1u);
+    EXPECT_EQ(stats.shed, 0u);
+    EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(OptimizationServer, ShedLowestEvictsWorstRankedForBetterArrival)
+{
+    Server_config config = smoke_server();
+    config.start_paused = true;
+    config.queue.capacity = 1;
+    config.queue.policy = Queue_policy::priority;
+    config.queue.overflow = Overflow_policy::shed_lowest;
+    Optimization_server server(config);
+
+    const Job_handle low = server.submit("taso", variant_graph(1), {}, {.priority = 0});
+    const Job_handle high = server.submit("taso", variant_graph(2), {}, {.priority = 5});
+    EXPECT_EQ(low.poll(), Job_state::rejected); // shed to make room
+    EXPECT_EQ(high.poll(), Job_state::queued);
+    EXPECT_THROW(low.wait(), std::runtime_error);
+
+    // A *worse*-ranked newcomer is rejected instead of shedding the queue.
+    const Job_handle worse = server.submit("taso", variant_graph(3), {}, {.priority = 1});
+    EXPECT_EQ(worse.poll(), Job_state::rejected);
+    EXPECT_EQ(high.poll(), Job_state::queued);
+
+    server.resume();
+    server.drain();
+    const Server_stats stats = server.stats();
+    EXPECT_EQ(stats.rejected, 2u);
+    EXPECT_EQ(stats.shed, 1u);
+    EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(OptimizationServer, CancelledQueuedJobsDoNotConsumeQueueCapacity)
+{
+    Server_config config = smoke_server();
+    config.start_paused = true;
+    config.workers = 1;
+    config.queue.capacity = 2;
+    Optimization_server server(config);
+
+    Job_handle a = server.submit("taso", variant_graph(1));
+    Job_handle b = server.submit("taso", variant_graph(2));
+    a.cancel();
+    b.cancel();
+    // Both slots are corpses; a live submission must still be admitted.
+    const Job_handle c = server.submit("taso", variant_graph(3));
+    EXPECT_EQ(c.poll(), Job_state::queued);
+
+    server.resume();
+    server.drain();
+    const Server_stats stats = server.stats();
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.cancelled, 2u);
+    EXPECT_EQ(stats.completed, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+// ---------------------------------------------------------------------------
+
+TEST(OptimizationServer, TelemetryCountsAddUpAcrossMixedOutcomes)
+{
+    Server_config config = smoke_server();
+    Optimization_server server(config);
+    const Graph g = quickstart_graph();
+
+    server.submit("taso", g).wait();      // search
+    server.submit("taso", g).wait();      // memo hit
+    server.submit("pet", quickstart_graph()).wait();
+    Job_handle cancelled = server.submit("tensat", projection_graph());
+    cancelled.cancel();
+    server.drain();
+
+    const Server_stats stats = server.stats();
+    EXPECT_EQ(stats.submitted, 4u);
+    EXPECT_EQ(stats.completed + stats.cancelled + stats.coalesced, 4u);
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_EQ(stats.queue_depth, 0u);
+    EXPECT_EQ(stats.running, 0u);
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_LE(stats.p50_latency_ms, stats.p95_latency_ms);
+    EXPECT_GT(stats.p95_latency_ms, 0.0);
+    EXPECT_GE(stats.backends.at("taso").submitted, 2u);
+    EXPECT_GE(stats.backends.at("taso").busy_seconds, 0.0);
+    EXPECT_GT(stats.dedup_rate(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Validation (surfaced through both entry points)
+// ---------------------------------------------------------------------------
+
+TEST(RequestValidation, MalformedRequestsRejectedByServiceAndServer)
+{
+    Optimization_service service(smoke_service());
+    Optimization_server server(smoke_server());
+    const Graph g = quickstart_graph();
+
+    Optimize_request negative_time;
+    negative_time.time_budget_seconds = -1.0;
+    EXPECT_THROW(service.optimize("taso", g, negative_time), std::invalid_argument);
+    EXPECT_THROW(server.submit("taso", g, negative_time), std::invalid_argument);
+
+    Optimize_request negative_iterations;
+    negative_iterations.iteration_budget = -3;
+    EXPECT_THROW(service.optimize("taso", g, negative_iterations), std::invalid_argument);
+    EXPECT_THROW(server.submit("taso", g, negative_iterations), std::invalid_argument);
+
+    Optimize_request nan_budget;
+    nan_budget.time_budget_seconds = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(service.optimize("taso", g, nan_budget), std::invalid_argument);
+    EXPECT_THROW(server.submit("taso", g, nan_budget), std::invalid_argument);
+
+    EXPECT_THROW(server.submit("nope", g), std::invalid_argument);
+    EXPECT_THROW(server.submit("taso", g, {}, {.deadline_seconds = -2.0}), std::invalid_argument);
+    EXPECT_THROW(service.optimize_all(g, {}, 0), std::invalid_argument);
+
+    // Nothing above was enqueued or counted as a miss.
+    EXPECT_EQ(server.queue_depth(), 0u);
+    EXPECT_EQ(service.cache_misses(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Service concurrency hooks
+// ---------------------------------------------------------------------------
+
+TEST(OptimizationService, ConcurrentSameBackendCallsWidenInstancePool)
+{
+    Optimization_service service(smoke_service());
+
+    Gate gate;
+    Optimize_request gated;
+    gated.on_progress = gate.callback();
+    std::thread holder([&] { service.optimize("taso", projection_graph(), gated); });
+    gate.await_entered();
+    // A second concurrent call for the same backend must not block.
+    service.optimize("taso", quickstart_graph());
+    gate.release();
+    holder.join();
+    EXPECT_EQ(service.backend_instances("taso"), 2u);
+
+    // Serial calls keep reusing one instance.
+    service.optimize("taso", variant_graph(1));
+    service.optimize("taso", variant_graph(2));
+    EXPECT_EQ(service.backend_instances("taso"), 2u);
+}
+
+} // namespace
+} // namespace xrl
