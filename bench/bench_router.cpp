@@ -1,0 +1,186 @@
+// Optimization_router fleet benchmark: a mixed two-device request stream
+// (gtx1080 + a100 targets over BERT / ViT across the four backends)
+// served by (a) one single-worker Optimization_server and (b) an
+// Optimization_router fronting two device-affine shards.
+//
+// The router's win is horizontal scale: each shard is its own server —
+// queue, workers, memo cache — so a fleet of two serves the same stream in
+// roughly half the wall-clock, while device-affinity routing keeps every
+// (model, device) repeat hitting one shard's coalescing window and memo
+// cache. Routing is deterministic, so routed results are bit-identical to
+// direct per-device Optimization_service calls — the parity gate below.
+//
+// The makespan gate (>= 2x for 2 shards over 1 server) needs the cores to
+// scale into: it is enforced when the host has >= 4 hardware threads (the
+// CI runner class) and reported-but-skipped on smaller hosts, where the
+// shards' extra workers have no silicon to run on. Emits BENCH_router.json
+// (path overridable via argv[1]).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "models/models.h"
+#include "serve/router.h"
+
+namespace {
+
+using namespace xrl;
+using xrlbench::print_header;
+
+double seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::map<std::string, double> smoke_backend_options()
+{
+    return {{"taso.budget", 30},
+            {"pet.budget", 15},
+            {"tensat.max_iterations", 3},
+            {"xrlflow.episodes", 0},
+            {"xrlflow.max_steps", 10}};
+}
+
+Server_config shard_server(std::size_t workers)
+{
+    Server_config config;
+    config.service.backend_options = smoke_backend_options();
+    config.workers = workers;
+    return config;
+}
+
+struct Request_spec {
+    std::string model;
+    std::string backend;
+    std::string device;
+    const Graph* graph = nullptr;
+};
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const std::string json_path = argc > 1 ? argv[1] : "BENCH_router.json";
+    constexpr int kRepeatsPerUnique = 2;
+
+    print_header("Fleet: Optimization_router (2 device-affine shards) vs 1 server");
+
+    const Graph bert = make_bert(Scale::smoke, 32);
+    const Graph vit = make_vit(Scale::smoke, 64);
+    const std::vector<std::pair<std::string, const Graph*>> models = {{"bert", &bert},
+                                                                      {"vit", &vit}};
+    const std::vector<std::string> backends = {"pet", "taso", "tensat", "xrlflow"};
+    const std::vector<std::string> devices = {"gtx1080-sim", "a100-sim"};
+
+    // The mixed stream: every (model, backend, device) triple repeated —
+    // repeats land in-flight and coalesce within a shard — interleaved so
+    // both devices are live throughout.
+    std::vector<Request_spec> stream;
+    for (int repeat = 0; repeat < kRepeatsPerUnique; ++repeat)
+        for (const auto& [model_name, graph] : models)
+            for (const std::string& backend : backends)
+                for (const std::string& device : devices)
+                    stream.push_back({model_name, backend, device, graph});
+    const std::size_t unique_requests = models.size() * backends.size() * devices.size();
+
+    const auto request_for = [](const Request_spec& spec) {
+        Optimize_request request;
+        request.device = spec.device;
+        return request;
+    };
+
+    // -- baseline: one single-worker server takes the whole stream ---------
+    double single_seconds = 0.0;
+    {
+        Optimization_server single(shard_server(/*workers=*/1));
+        std::vector<Job_handle> handles;
+        handles.reserve(stream.size());
+        const auto start = std::chrono::steady_clock::now();
+        for (const Request_spec& spec : stream)
+            handles.push_back(single.submit(spec.backend, *spec.graph, request_for(spec)));
+        for (const Job_handle& handle : handles) handle.wait();
+        single_seconds = seconds_since(start);
+    }
+
+    // -- the fleet: two device-affine shards, two workers each -------------
+    Router_config fleet;
+    Shard_config gtx_shard;
+    gtx_shard.server = shard_server(/*workers=*/2);
+    gtx_shard.device_affinity = {"gtx1080-sim"};
+    Shard_config a100_shard;
+    a100_shard.server = shard_server(/*workers=*/2);
+    a100_shard.device_affinity = {"a100-sim"};
+    fleet.shards = {gtx_shard, a100_shard};
+    Optimization_router router(fleet);
+
+    std::vector<Job_handle> routed;
+    routed.reserve(stream.size());
+    const auto fleet_start = std::chrono::steady_clock::now();
+    for (const Request_spec& spec : stream)
+        routed.push_back(router.submit(spec.backend, *spec.graph, request_for(spec)));
+    for (const Job_handle& handle : routed) handle.wait();
+    const double fleet_seconds = seconds_since(fleet_start);
+
+    const Router_stats stats = router.stats();
+    const double speedup = single_seconds / fleet_seconds;
+
+    // -- parity: routed results == direct per-device service calls ---------
+    Optimization_service reference(shard_server(1).service);
+    bool parity_ok = true;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+        const Optimize_result served = routed[i].wait(); // terminal: returns instantly
+        const Optimize_result direct =
+            reference.optimize(stream[i].backend, *stream[i].graph, request_for(stream[i]));
+        parity_ok = parity_ok &&
+                    served.best_graph.canonical_hash() == direct.best_graph.canonical_hash() &&
+                    served.final_ms == direct.final_ms && served.device == direct.device;
+    }
+
+    const unsigned cores = std::thread::hardware_concurrency();
+    const bool enforce_scaling = cores >= 4;
+
+    std::printf("%-34s %10zu (%zu unique x%d; 2 devices)\n", "requests", stream.size(),
+                unique_requests, kRepeatsPerUnique);
+    std::printf("%-34s %10u\n", "hardware threads", cores);
+    std::printf("%-34s %9.2fs\n", "1 server (1 worker) makespan", single_seconds);
+    std::printf("%-34s %9.2fs\n", "router, 2 shards makespan", fleet_seconds);
+    std::printf("%-34s %9.2fx%s\n", "makespan speedup", speedup,
+                enforce_scaling ? "" : "  [gate skipped: < 4 cores]");
+    std::printf("%-34s %10llu / %llu\n", "affinity / hash routed",
+                static_cast<unsigned long long>(stats.affinity_routed),
+                static_cast<unsigned long long>(stats.hash_routed));
+    std::printf("%-34s %10s\n", "parity vs direct per-device", parity_ok ? "ok" : "MISMATCH");
+    for (std::size_t i = 0; i < stats.shards.size(); ++i)
+        std::printf("  shard %zu: routed %llu, completed %llu, coalesced %llu, p95 %.1f ms\n", i,
+                    static_cast<unsigned long long>(stats.routed_to[i]),
+                    static_cast<unsigned long long>(stats.shards[i].completed),
+                    static_cast<unsigned long long>(stats.shards[i].coalesced),
+                    stats.shards[i].p95_latency_ms);
+
+    std::ofstream json(json_path);
+    json << "{\n"
+         << "  \"requests\": " << stream.size() << ",\n"
+         << "  \"unique_requests\": " << unique_requests << ",\n"
+         << "  \"devices\": 2,\n"
+         << "  \"hardware_threads\": " << cores << ",\n"
+         << "  \"single_server_seconds\": " << single_seconds << ",\n"
+         << "  \"router_seconds\": " << fleet_seconds << ",\n"
+         << "  \"makespan_speedup\": " << speedup << ",\n"
+         << "  \"affinity_routed\": " << stats.affinity_routed << ",\n"
+         << "  \"hash_routed\": " << stats.hash_routed << ",\n"
+         << "  \"scaling_gate_enforced\": " << (enforce_scaling ? "true" : "false") << ",\n"
+         << "  \"parity_with_direct_service\": " << (parity_ok ? "true" : "false") << "\n"
+         << "}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+
+    // The acceptance gates: bit-identical routed results always; >= 2x
+    // makespan for the 2-shard fleet when the host has cores to scale into.
+    const bool pass = parity_ok && (!enforce_scaling || speedup >= 2.0);
+    if (!pass) std::cerr << "ACCEPTANCE FAILED\n";
+    return pass ? 0 : 1;
+}

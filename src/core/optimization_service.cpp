@@ -13,12 +13,16 @@ namespace xrl {
 Optimization_service::Optimization_service(Service_config config)
     : config_(std::move(config)),
       rules_(standard_rule_corpus()),
-      cost_(config_.device),
-      simulator_(config_.device, config_.simulator_seed)
+      devices_(config_.simulator_seed)
 {
+    if (config_.devices.empty()) {
+        register_standard_devices(devices_);
+    } else {
+        for (const Device_profile& profile : config_.devices) devices_.add(profile);
+    }
+    if (!config_.default_device.empty()) devices_.set_default_device(config_.default_device);
     context_.rules = &rules_;
-    context_.cost = &cost_;
-    context_.device = config_.device;
+    context_.devices = &devices_;
     context_.options = config_.backend_options;
 }
 
@@ -55,22 +59,31 @@ void Optimization_service::release_instance(const std::string& backend,
 }
 
 std::string Optimization_service::memo_key(std::uint64_t graph_hash, const std::string& backend,
+                                           std::uint64_t device_fingerprint,
                                            const Optimize_request& request)
 {
     std::ostringstream os;
     // The time budget is keyed by its exact bit pattern: default ostream
     // precision (6 significant digits) would collide distinct budgets.
     // (+ 0.0 folds -0.0 into +0.0 so equal-comparing budgets share a key.)
-    os << graph_hash << '|' << backend << '|'
+    os << graph_hash << '|' << backend << '|' << device_fingerprint << '|'
        << std::bit_cast<std::uint64_t>(request.time_budget_seconds + 0.0) << '|'
        << request.iteration_budget << '|' << request.seed << '|' << request.deterministic;
     return os.str();
 }
 
+std::string Optimization_service::request_key(std::uint64_t graph_hash, const std::string& backend,
+                                              const Optimize_request& request) const
+{
+    return memo_key(graph_hash, backend, devices_.fingerprint(request.device), request);
+}
+
 Optimize_result Optimization_service::optimize(const std::string& backend, const Graph& graph,
                                                const Optimize_request& request)
 {
-    return optimize_keyed(memo_key(graph.model_hash(), backend, request), backend, graph, request);
+    validate_request(request, devices_); // before any hash or registry-cache work
+    return optimize_keyed(request_key(graph.model_hash(), backend, request), backend, graph,
+                          request);
 }
 
 Optimize_result Optimization_service::optimize_keyed(const std::string& key,
@@ -78,7 +91,9 @@ Optimize_result Optimization_service::optimize_keyed(const std::string& key,
                                                      const Graph& graph,
                                                      const Optimize_request& request)
 {
-    validate_request(request);
+    // Both callers — optimize() and Optimization_server::submit — have
+    // already run validate_request(request, devices()); doing it here too
+    // would re-take the registry lock on every job.
 
     if (config_.cache_capacity > 0) {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -126,19 +141,26 @@ std::vector<Backend_run> Optimization_service::optimize_all(const Graph& graph,
     if (measure_repeats < 1)
         throw std::invalid_argument("optimize_all: measure_repeats must be >= 1, got " +
                                     std::to_string(measure_repeats));
-    // One shared baseline measurement: every backend is compared against
-    // the same "before" numbers (the simulator is stateful, so measuring
-    // per backend would sample each pair at a different noise state). The
-    // simulator locks its noise stream internally, so each measure_repeated
-    // call is one atomic block.
-    const Latency_stats before = simulator_.measure_repeated(graph, measure_repeats);
+    validate_request(request, devices_);
+    // One shared baseline measurement on the *target device's* simulator:
+    // every backend is compared against the same "before" numbers (the
+    // simulator is stateful, so measuring per backend would sample each
+    // pair at a different noise state). The simulator locks its noise
+    // stream internally, so each measure_repeated call is one atomic block.
+    E2e_simulator& sim = devices_.simulator(request.device);
+    const Latency_stats before = sim.measure_repeated(graph, measure_repeats);
+    // Hash and device fingerprint resolved once for the whole comparison;
+    // optimize_keyed skips re-validation (validated above).
+    const std::uint64_t model_hash = graph.model_hash();
+    const std::uint64_t device_fp = devices_.fingerprint(request.device);
     std::vector<Backend_run> runs;
     for (const std::string& backend : backends()) {
         Backend_run run;
         run.backend = backend;
-        run.result = optimize(backend, graph, request);
+        run.result = optimize_keyed(memo_key(model_hash, backend, device_fp, request), backend,
+                                    graph, request);
         run.e2e_before = before;
-        run.e2e_after = simulator_.measure_repeated(run.result.best_graph, measure_repeats);
+        run.e2e_after = sim.measure_repeated(run.result.best_graph, measure_repeats);
         runs.push_back(std::move(run));
     }
     return runs;

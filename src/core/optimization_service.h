@@ -1,12 +1,14 @@
 // Serving-oriented facade over the unified optimiser API.
 //
 // Owns everything a caller would otherwise have to assemble by hand — the
-// rule corpus, the device profile / cost model, the end-to-end simulator,
-// and one lazily-created instance of each registered backend — and memoises
-// results by (graph hash, backend, request fingerprint) so repeated
-// optimisation of the same model is served from cache. This is the single
-// entry point the ROADMAP's production-serving direction builds on: a
-// request router in front of interchangeable search backends.
+// rule corpus, the device registry (named profiles with per-device cost
+// models and simulators), and per-backend pools of optimizer instances —
+// and memoises results by (graph hash, backend, device, request
+// fingerprint) so repeated optimisation of the same model *for the same
+// accelerator* is served from cache. One service serves a heterogeneous
+// fleet: the request's Target_device picks the cost model, and requests
+// for different devices never share memo entries. This is the entry point
+// the serving layer (Optimization_server, Optimization_router) builds on.
 #pragma once
 
 #include <cstdint>
@@ -19,13 +21,21 @@
 #include <vector>
 
 #include "core/optimizer_api.h"
+#include "cost/device_registry.h"
 #include "cost/e2e_simulator.h"
 #include "rules/rule.h"
 
 namespace xrl {
 
 struct Service_config {
-    Device_profile device = gtx1080_profile();
+    /// The fleet's accelerators, registered by profile name. Empty = the
+    /// standard pair (gtx1080_profile(), a100_profile()).
+    std::vector<Device_profile> devices;
+
+    /// Device unqualified requests resolve to; "" = the first registered
+    /// profile (gtx1080 for the standard pair).
+    std::string default_device;
+
     std::uint64_t simulator_seed = 9;
 
     /// Forwarded to every backend ("taso.budget", "xrlflow.episodes", ...).
@@ -58,10 +68,13 @@ public:
     /// Registered backend names, sorted ("pet", "taso", "tensat", "xrlflow").
     std::vector<std::string> backends() const;
 
-    /// Optimise `graph` with `backend`. Results are memoised by (graph
-    /// canonical hash, backend, request budgets/seed/mode); the progress
-    /// callback is deliberately not part of the memo key, and cancelled
-    /// runs are never cached. A memo hit returns with `from_cache` set.
+    /// Optimise `graph` with `backend` for the request's target device.
+    /// Results are memoised by (graph canonical hash, backend, device
+    /// fingerprint, request budgets/seed/mode); the progress callback is
+    /// deliberately not part of the memo key, and cancelled runs are never
+    /// cached. A memo hit returns with `from_cache` set. Throws
+    /// std::invalid_argument for an unknown device name (the message lists
+    /// the registered devices).
     ///
     /// Safe to call from concurrent threads, including for the same
     /// backend: each backend keeps a pool of optimizer instances, a caller
@@ -73,31 +86,45 @@ public:
 
     /// As optimize(), with the memo key precomputed by the caller. The
     /// serving layer already derived it for coalescing — `key` must equal
-    /// memo_key(graph.model_hash(), backend, request) — and the model hash
-    /// is a full-graph traversal not worth paying twice per job.
+    /// request_key(graph.model_hash(), backend, request) — and the model
+    /// hash is a full-graph traversal not worth paying twice per job. The
+    /// caller has run validate_request(request, devices()) (deriving a
+    /// valid key requires it); this entry point does not re-validate.
     Optimize_result optimize_keyed(const std::string& key, const std::string& backend,
                                    const Graph& graph, const Optimize_request& request);
 
     /// One-call cross-backend comparison: run every registered backend on
-    /// `graph` and measure each winner on the shared end-to-end simulator.
-    /// Throws std::invalid_argument when `measure_repeats` < 1.
+    /// `graph` and measure each winner on the target device's end-to-end
+    /// simulator. Throws std::invalid_argument when `measure_repeats` < 1.
     std::vector<Backend_run> optimize_all(const Graph& graph, const Optimize_request& request = {},
                                           int measure_repeats = 5);
 
     const Rule_set& rules() const { return rules_; }
-    const Cost_model& cost() const { return cost_; }
 
-    /// The shared simulator. Its measurement paths are internally locked,
-    /// so concurrent use (the server's workers, optimize_all) is safe.
-    E2e_simulator& simulator() { return simulator_; }
-    const Device_profile& device() const { return cost_.device(); }
+    /// The fleet: named profiles plus lazily-built per-device cost models
+    /// and simulators. Internally locked; shared with direct callers.
+    const Device_registry& devices() const { return devices_; }
+
+    /// The default device's cost model / simulator / profile (shorthands
+    /// for devices().cost_model({}) etc.). The simulator's measurement
+    /// paths are internally locked, so concurrent use is safe.
+    const Cost_model& cost() const { return devices_.cost_model({}); }
+    E2e_simulator& simulator() { return devices_.simulator({}); }
+    E2e_simulator& simulator(const Target_device& device) { return devices_.simulator(device); }
+    const Device_profile& device() const { return devices_.resolve({}); }
 
     /// The memo key: (Graph::model_hash — structure plus source shapes,
-    /// backend, request budgets / seed / mode — not the progress callback).
-    /// Public so the serving layer can coalesce in-flight duplicates with
-    /// exactly the cache's notion of "identical request".
+    /// backend, device fingerprint, request budgets / seed / mode — not the
+    /// progress callback). Public so the serving layer can coalesce
+    /// in-flight duplicates with exactly the cache's notion of "identical
+    /// request".
     static std::string memo_key(std::uint64_t graph_hash, const std::string& backend,
-                                const Optimize_request& request);
+                                std::uint64_t device_fingerprint, const Optimize_request& request);
+
+    /// memo_key with the device fingerprint resolved against this service's
+    /// registry (throws std::invalid_argument for unknown device names).
+    std::string request_key(std::uint64_t graph_hash, const std::string& backend,
+                            const Optimize_request& request) const;
 
     std::size_t cache_hits() const;
     std::size_t cache_misses() const;
@@ -125,8 +152,7 @@ private:
 
     Service_config config_;
     Rule_set rules_;
-    Cost_model cost_;
-    E2e_simulator simulator_;
+    Device_registry devices_;
     Optimizer_context context_;
 
     mutable std::mutex mutex_; ///< Guards pools_, cache_, stats.

@@ -30,6 +30,52 @@ void validate_request(const Optimize_request& request)
         reject("time_budget_seconds", request.time_budget_seconds);
     if (request.iteration_budget < 0)
         reject("iteration_budget", request.iteration_budget);
+    if (request.device.profile.has_value()) {
+        const Device_profile& p = *request.device.profile;
+        // Anonymous inline profiles would route, memoise, and report as
+        // the default device's name while computing something else.
+        if (p.name.empty())
+            throw std::invalid_argument(
+                "invalid Optimize_request: inline device profile has an empty name");
+        validate_device_profile(p, "invalid Optimize_request: inline");
+    }
+}
+
+void validate_request(const Optimize_request& request, const Device_registry& devices)
+{
+    validate_request(request);
+    // An inline profile needs no registration; only a *named* target must
+    // resolve against the fleet.
+    if (!request.device.profile.has_value() && !request.device.name.empty() &&
+        !devices.contains(request.device.name)) {
+        std::ostringstream os;
+        os << "invalid Optimize_request: unknown device '" << request.device.name
+           << "'; registered devices:";
+        for (const std::string& name : devices.names()) os << ' ' << name;
+        throw std::invalid_argument(os.str());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Optimizer_context
+// ---------------------------------------------------------------------------
+
+const Device_profile& Optimizer_context::device_for(const Optimize_request& request) const
+{
+    XRL_EXPECTS(devices != nullptr);
+    return devices->resolve(request.device);
+}
+
+const Cost_model& Optimizer_context::cost_for(const Optimize_request& request) const
+{
+    XRL_EXPECTS(devices != nullptr);
+    return devices->cost_model(request.device);
+}
+
+std::uint64_t Optimizer_context::device_fingerprint(const Optimize_request& request) const
+{
+    XRL_EXPECTS(devices != nullptr);
+    return devices->fingerprint(request.device);
 }
 
 // ---------------------------------------------------------------------------
@@ -123,7 +169,7 @@ std::unique_ptr<Optimizer> Optimizer_registry::create(const std::string& name,
         throw std::invalid_argument(os.str());
     }
     XRL_EXPECTS(context.rules != nullptr);
-    XRL_EXPECTS(context.cost != nullptr);
+    XRL_EXPECTS(context.devices != nullptr);
     return it->second(context);
 }
 

@@ -8,8 +8,9 @@
 // stand behind:
 //
 //   * `Optimize_request`  — budget (wall-clock / iterations), seed,
-//     deterministic-vs-sampled mode, and an optional progress callback that
-//     supports early cancellation.
+//     deterministic-vs-sampled mode, the target device the search optimises
+//     for, and an optional progress callback that supports early
+//     cancellation.
 //   * `Optimize_result`   — best graph, initial/final latency, speedup,
 //     steps, wall time, per-rule application counts, and backend-specific
 //     metadata as key/value doubles.
@@ -17,8 +18,14 @@
 //   * `Optimizer_registry`— string-keyed factories ("taso", "pet",
 //     "tensat", "xrlflow") so backends slot in interchangeably.
 //
-// The serving-oriented facade that owns the rule corpus, device profile and
-// simulator — and memoises results — lives in core/optimization_service.h.
+// The device is first-class: a backend runs against a Device_registry (the
+// fleet's accelerators) and resolves its cost model *per request* from the
+// request's Target_device, so one backend instance serves a heterogeneous
+// fleet and every cache key downstream carries the device.
+//
+// The serving-oriented facade that owns the rule corpus, device registry
+// and simulators — and memoises results — lives in
+// core/optimization_service.h.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +37,7 @@
 
 #include "cost/cost_model.h"
 #include "cost/device.h"
+#include "cost/device_registry.h"
 #include "ir/graph.h"
 #include "rules/rule.h"
 
@@ -56,19 +64,27 @@ struct Optimize_request {
     int iteration_budget = 0;         ///< Backend-native iteration cap; 0 = backend default.
     std::uint64_t seed = 7;           ///< Seed for any stochastic behaviour.
     bool deterministic = true;        ///< Greedy/deterministic vs sampled search.
+    Target_device device;             ///< What to optimise for; default = service default.
     Progress_callback on_progress;    ///< Optional; also the cancellation hook.
 };
 
-/// Reject malformed requests — negative or non-finite budgets — with a
+/// Reject malformed requests — negative or non-finite budgets, or an inline
+/// device profile with non-positive throughputs — with a
 /// std::invalid_argument naming the offending field and value, before any
 /// backend state is touched. Optimization_service::optimize and
 /// Optimization_server::submit both run every request through this.
 void validate_request(const Optimize_request& request);
 
+/// As above, and additionally reject a request whose named target device is
+/// not registered (the message lists the registered devices). The device-
+/// aware entry points (service, server, router) use this overload.
+void validate_request(const Optimize_request& request, const Device_registry& devices);
+
 /// The unified outcome every backend reports.
 struct Optimize_result {
     Graph best_graph;
     std::string backend;
+    std::string device;       ///< Resolved device name the search optimised for.
     double initial_ms = 0.0;  ///< Latency of the input under the backend's signal.
     double final_ms = 0.0;    ///< Latency of `best_graph` under the same signal.
     int steps = 0;            ///< Backend-native iterations performed.
@@ -90,12 +106,13 @@ struct Optimize_result {
 // ---------------------------------------------------------------------------
 
 /// Shared state a backend adapter runs against. The pointed-to rule corpus
-/// and cost model must outlive any optimizer created from the context
-/// (Optimization_service owns both and guarantees this).
+/// and device registry must outlive any optimizer created from the context
+/// (Optimization_service owns both and guarantees this). There is no
+/// per-context cost model any more: a backend resolves its cost model from
+/// the registry per request, keyed by the request's Target_device.
 struct Optimizer_context {
     const Rule_set* rules = nullptr;
-    const Cost_model* cost = nullptr;
-    Device_profile device = gtx1080_profile();
+    const Device_registry* devices = nullptr;
 
     /// Backend-specific knobs, namespaced by backend ("taso.alpha",
     /// "tensat.max_iterations", "xrlflow.episodes", ...). Unknown keys are
@@ -107,6 +124,13 @@ struct Optimizer_context {
         const auto it = options.find(key);
         return it == options.end() ? fallback : it->second;
     }
+
+    /// Per-request device resolution (the registry's default device when
+    /// the request names none). Throws std::invalid_argument for unknown
+    /// device names — same contract as Device_registry.
+    const Device_profile& device_for(const Optimize_request& request) const;
+    const Cost_model& cost_for(const Optimize_request& request) const;
+    std::uint64_t device_fingerprint(const Optimize_request& request) const;
 };
 
 class Optimizer {

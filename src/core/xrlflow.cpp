@@ -101,15 +101,17 @@ public:
         // callback can cancel before it starts, wall_seconds below
         // includes it, and a time budget it exhausts stops inference at
         // the first step. The budget cannot pre-empt training itself.
+        const Device_profile& device = context_.device_for(request);
         if (!driver.heartbeat()(0, 0.0)) {
             Optimize_result cancelled;
             cancelled.backend = name();
+            cancelled.device = device.name;
             cancelled.best_graph = graph;
             cancelled.cancelled = true;
             cancelled.wall_seconds = driver.elapsed_seconds();
             return cancelled;
         }
-        Xrlflow& system = trained_system(graph, request.seed, episodes);
+        Xrlflow& system = trained_system(graph, request, episodes, device);
         const double training_seconds = driver.elapsed_seconds();
 
         Inference_options options;
@@ -124,6 +126,7 @@ public:
 
         Optimize_result result;
         result.backend = name();
+        result.device = device.name;
         result.best_graph = outcome.best_graph;
         result.initial_ms = outcome.initial_ms;
         result.final_ms = outcome.final_ms;
@@ -140,12 +143,13 @@ public:
     }
 
 private:
-    Xrlflow_config adapter_config(std::uint64_t seed) const
+    Xrlflow_config adapter_config(std::uint64_t seed, const Device_profile& device) const
     {
         // Smoke-scale defaults (the compare_optimizers configuration);
         // paper-scale runs override via context options.
         Xrlflow_config config;
         config.seed = seed;
+        config.device = device;
         const int hidden = static_cast<int>(context_.option_or("xrlflow.hidden_dim", 16));
         config.agent.gnn.hidden_dim = hidden;
         config.agent.gnn.global_dim = hidden;
@@ -156,21 +160,26 @@ private:
         config.trainer.update_every_episodes = 4;
         config.trainer.ppo.minibatch_size = 8;
         config.trainer.seed = seed;
-        config.device = context_.device;
         return config;
     }
 
-    /// Train-once cache: a policy per (graph, seed, episodes). Keys on
-    /// model_hash so shape variants of one architecture train separately.
-    /// Keeps repeat optimisation of the same model from paying the RL
+    /// Train-once cache: a policy per (graph, seed, episodes, device).
+    /// Keys on model_hash so shape variants of one architecture train
+    /// separately, and on the device fingerprint because the reward signal
+    /// — the simulator — is device-specific: a policy trained against the
+    /// gtx1080 simulator must never answer a100 requests. Keeps repeat
+    /// optimisation of the same (model, device) from paying the RL
     /// training cost.
-    Xrlflow& trained_system(const Graph& graph, std::uint64_t seed, int episodes)
+    Xrlflow& trained_system(const Graph& graph, const Optimize_request& request, int episodes,
+                            const Device_profile& device)
     {
-        const std::uint64_t key =
-            graph.model_hash() ^ (seed * 0x9e3779b97f4a7c15ULL) ^ static_cast<std::uint64_t>(episodes);
+        const std::uint64_t key = graph.model_hash() ^ (request.seed * 0x9e3779b97f4a7c15ULL) ^
+                                  static_cast<std::uint64_t>(episodes) ^
+                                  (device.fingerprint() * 0xff51afd7ed558ccdULL);
         const auto it = trained_.find(key);
         if (it != trained_.end()) return *it->second;
-        auto system = std::make_unique<Xrlflow>(*context_.rules, adapter_config(seed));
+        auto system =
+            std::make_unique<Xrlflow>(*context_.rules, adapter_config(request.seed, device));
         if (episodes > 0) system->train(graph, episodes);
         return *trained_.emplace(key, std::move(system)).first->second;
     }

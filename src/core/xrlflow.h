@@ -84,7 +84,9 @@ private:
 };
 
 /// Register the "xrlflow" backend. The adapter trains a policy per distinct
-/// (graph, seed, episodes) on first use and reuses it afterwards. Training
+/// (graph, seed, episodes, target device) on first use and reuses it
+/// afterwards — the device is part of the key because the simulator that
+/// produces the reward is device-specific. Training
 /// counts against the request's wall clock but runs as one uninterruptible
 /// phase (PPO needs whole update windows); cancellation is checked before
 /// training starts and at every inference step. Options:

@@ -1,6 +1,39 @@
 #include "cost/device.h"
 
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/fnv.h"
+
 namespace xrl {
+
+void validate_device_profile(const Device_profile& profile, const std::string& context)
+{
+    const auto reject = [&](const char* field, double value, const char* range) {
+        std::ostringstream os;
+        os << context << " device profile '" << profile.name << "' has " << field << " = " << value
+           << " (must be " << range << ")";
+        throw std::invalid_argument(os.str());
+    };
+    // Throughputs feed divisions; the rest feed sums and the occupancy
+    // ratio — NaN or negatives anywhere would poison every latency (and,
+    // downstream, memoised results).
+    if (!(profile.flops_per_ms > 0.0) || profile.flops_per_ms > 1e30)
+        reject("flops_per_ms", profile.flops_per_ms, "positive and at most 1e30");
+    if (!(profile.bytes_per_ms > 0.0) || profile.bytes_per_ms > 1e30)
+        reject("bytes_per_ms", profile.bytes_per_ms, "positive and at most 1e30");
+    if (!(profile.kernel_launch_ms >= 0.0) || profile.kernel_launch_ms > 1e30)
+        reject("kernel_launch_ms", profile.kernel_launch_ms, "non-negative and at most 1e30");
+    if (!(profile.scheduler_overhead_ms >= 0.0) || profile.scheduler_overhead_ms > 1e30)
+        reject("scheduler_overhead_ms", profile.scheduler_overhead_ms,
+               "non-negative and at most 1e30");
+    if (!(profile.measurement_noise >= 0.0) || profile.measurement_noise > 1.0)
+        reject("measurement_noise", profile.measurement_noise, "in [0, 1]");
+    if (!(profile.utilisation_knee_flops >= 0.0) || profile.utilisation_knee_flops > 1e30)
+        reject("utilisation_knee_flops", profile.utilisation_knee_flops,
+               "non-negative and at most 1e30");
+}
 
 double Device_profile::efficiency(Op_kind kind) const
 {
@@ -22,6 +55,20 @@ double Device_profile::utilisation(Op_kind kind, std::int64_t flops) const
     if (kind != Op_kind::matmul && kind != Op_kind::conv2d) return 1.0;
     const double f = static_cast<double>(flops);
     return f / (f + utilisation_knee_flops);
+}
+
+std::uint64_t Device_profile::fingerprint() const
+{
+    // FNV-1a over the name bytes, then the bit patterns of every numeric
+    // field (+ 0.0 folds -0.0 into +0.0 so equal-comparing profiles match).
+    std::uint64_t h = fnv1a_bytes(fnv1a_offset, name);
+    h = fnv1a_mix(h, std::bit_cast<std::uint64_t>(flops_per_ms + 0.0));
+    h = fnv1a_mix(h, std::bit_cast<std::uint64_t>(bytes_per_ms + 0.0));
+    h = fnv1a_mix(h, std::bit_cast<std::uint64_t>(kernel_launch_ms + 0.0));
+    h = fnv1a_mix(h, std::bit_cast<std::uint64_t>(scheduler_overhead_ms + 0.0));
+    h = fnv1a_mix(h, std::bit_cast<std::uint64_t>(measurement_noise + 0.0));
+    h = fnv1a_mix(h, std::bit_cast<std::uint64_t>(utilisation_knee_flops + 0.0));
+    return h;
 }
 
 Device_profile gtx1080_profile()

@@ -9,6 +9,8 @@
 // discrepancy between cost-model estimates and end-to-end latency.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 
 #include "ir/op.h"
@@ -35,7 +37,43 @@ struct Device_profile {
     /// Occupancy factor in (0, 1] for a dense kernel of `flops` work; 1 for
     /// non-dense kinds.
     double utilisation(Op_kind kind, std::int64_t flops) const;
+
+    /// Stable hash of the name and every numeric field. Two profiles with
+    /// the same fingerprint model the same hardware, so the fingerprint is
+    /// the device component of memo keys, coalescing keys, and trained
+    /// policy-cache keys — an inline profile that duplicates a registered
+    /// one deliberately shares its cache entries.
+    std::uint64_t fingerprint() const;
 };
+
+/// What a request wants to optimise *for*: a registered device by name, an
+/// inline one-off profile, or (default-constructed) the service's default
+/// device. Travels on Optimize_request so one server can serve a
+/// heterogeneous fleet.
+struct Target_device {
+    Target_device() = default;
+    Target_device(std::string device_name) : name(std::move(device_name)) {}
+    Target_device(const char* device_name) : name(device_name) {}
+    Target_device(Device_profile inline_profile) : profile(std::move(inline_profile)) {}
+
+    std::string name;                      ///< Registered name; "" = default device.
+    std::optional<Device_profile> profile; ///< Inline profile; overrides `name`.
+
+    bool is_default() const { return name.empty() && !profile.has_value(); }
+
+    /// The name this target goes by: the inline profile's name, the
+    /// registered name, or "" for the default device.
+    const std::string& display_name() const { return profile ? profile->name : name; }
+};
+
+/// Reject a profile whose numeric fields would poison every latency
+/// computed from it — non-positive/NaN throughputs (they feed divisions),
+/// negative or non-finite overheads, noise outside [0, 1] — with a
+/// std::invalid_argument whose message starts with `context` and names the
+/// field, value, and accepted range. Shared by the device registry
+/// (registration time) and validate_request (inline request profiles), so
+/// a profile that one accepts the other does too.
+void validate_device_profile(const Device_profile& profile, const std::string& context);
 
 /// GTX-1080-like profile (the paper's testbed). Default everywhere.
 Device_profile gtx1080_profile();

@@ -1,0 +1,154 @@
+#include "cost/device_registry.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace xrl {
+
+Device_registry::Device_registry(std::uint64_t simulator_seed) : simulator_seed_(simulator_seed) {}
+
+void Device_registry::add(Device_profile profile)
+{
+    if (profile.name.empty())
+        throw std::invalid_argument("Device_registry::add: profile has an empty name");
+    // Same field checks requests get for inline profiles: a fleet must not
+    // be configurable with a profile that poisons every latency.
+    validate_device_profile(profile, "Device_registry::add:");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (named_.contains(profile.name))
+        throw std::invalid_argument("Device_registry::add: device '" + profile.name +
+                                    "' is already registered");
+    if (default_name_.empty()) default_name_ = profile.name;
+    auto entry = std::make_unique<Entry>();
+    entry->profile = std::move(profile);
+    named_by_fingerprint_.emplace(entry->profile.fingerprint(), entry.get());
+    named_.emplace(entry->profile.name, std::move(entry));
+}
+
+bool Device_registry::contains(const std::string& name) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return named_.contains(name);
+}
+
+std::vector<std::string> Device_registry::names() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(named_.size());
+    for (const auto& [name, entry] : named_) out.push_back(name);
+    return out;
+}
+
+std::size_t Device_registry::size() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return named_.size();
+}
+
+void Device_registry::set_default_device(const std::string& name)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!named_.contains(name)) {
+        std::ostringstream os;
+        os << "Device_registry::set_default_device: unknown device '" << name
+           << "'; registered devices:";
+        for (const auto& [known, entry] : named_) os << ' ' << known;
+        throw std::invalid_argument(os.str());
+    }
+    default_name_ = name;
+}
+
+std::string Device_registry::default_device() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return default_name_;
+}
+
+Device_registry::Entry& Device_registry::named_entry_locked(const std::string& name) const
+{
+    const auto it = named_.find(name);
+    if (it == named_.end()) {
+        std::ostringstream os;
+        os << "unknown device '" << name << "'; registered devices:";
+        for (const auto& [known, entry] : named_) os << ' ' << known;
+        throw std::invalid_argument(os.str());
+    }
+    return *it->second;
+}
+
+Device_registry::Entry& Device_registry::entry_for_locked(const Target_device& device) const
+{
+    if (device.profile.has_value()) {
+        // An inline profile whose fingerprint matches a registered device
+        // *is* that device — same models, same noise stream, same caches.
+        const std::uint64_t fp = device.profile->fingerprint();
+        const auto named_it = named_by_fingerprint_.find(fp);
+        if (named_it != named_by_fingerprint_.end()) return *named_it->second;
+        const auto it = inline_.find(fp);
+        if (it != inline_.end()) return *it->second;
+        // Bounded: entries hand out stable references (a backend holds its
+        // cost model for a whole search), so they can never be evicted —
+        // refuse pathological streams of distinct inline profiles instead
+        // of growing without bound.
+        if (inline_.size() >= max_inline_entries)
+            throw std::invalid_argument(
+                "Device_registry: more than " + std::to_string(max_inline_entries) +
+                " distinct inline device profiles; register recurring devices by name instead");
+        // The single choke point for inline entries: direct registry calls
+        // (cost_model / simulator on an inline target) must meet the same
+        // bar as validated requests — a poisoned profile cached here could
+        // never be evicted.
+        if (device.profile->name.empty())
+            throw std::invalid_argument(
+                "Device_registry: inline device profile has an empty name");
+        validate_device_profile(*device.profile, "Device_registry: inline");
+        auto entry = std::make_unique<Entry>();
+        entry->profile = *device.profile;
+        return *inline_.emplace(fp, std::move(entry)).first->second;
+    }
+    if (!device.name.empty()) return named_entry_locked(device.name);
+    if (default_name_.empty())
+        throw std::invalid_argument("Device_registry: no devices registered");
+    return named_entry_locked(default_name_);
+}
+
+const Device_profile& Device_registry::resolve(const Target_device& device) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entry_for_locked(device).profile;
+}
+
+const Cost_model& Device_registry::cost_model(const Target_device& device) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Entry& entry = entry_for_locked(device);
+    if (!entry.cost) entry.cost = std::make_unique<Cost_model>(entry.profile);
+    return *entry.cost;
+}
+
+E2e_simulator& Device_registry::simulator(const Target_device& device) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Entry& entry = entry_for_locked(device);
+    if (!entry.simulator)
+        entry.simulator = std::make_unique<E2e_simulator>(
+            entry.profile, simulator_seed_ ^ (entry.profile.fingerprint() | 1ULL));
+    return *entry.simulator;
+}
+
+std::uint64_t Device_registry::fingerprint(const Target_device& device) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entry_for_locked(device).profile.fingerprint();
+}
+
+void register_standard_devices(Device_registry& registry)
+{
+    registry.add(gtx1080_profile());
+    registry.add(a100_profile());
+    registry.set_default_device(gtx1080_profile().name);
+}
+
+} // namespace xrl

@@ -1,0 +1,106 @@
+// Device registry: the fleet's accelerators, as named profiles with
+// lazily-built per-device cost models and end-to-end simulators.
+//
+// X-RLflow's reward is the cost-model/simulator delta *on a specific
+// device* (§4.2: "the cost modelling depends on the execution hardware"),
+// so one serving process must be able to answer "optimise this graph for
+// that accelerator" without being reconstructed. The registry owns one
+// entry per registered Device_profile; a Target_device on the request
+// resolves against it — by name, or as an inline profile cached by
+// fingerprint so repeated one-off targets do not rebuild their models.
+// Resolution returns stable references (entries are heap-allocated and
+// never move), and every path is internally locked for server concurrency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cost/device.h"
+#include "cost/e2e_simulator.h"
+
+namespace xrl {
+
+class Device_registry {
+public:
+    /// `simulator_seed` salts every per-device simulator (each device gets
+    /// its own noise stream, derived from the seed and the profile
+    /// fingerprint, so fleets with the same seed are reproducible).
+    explicit Device_registry(std::uint64_t simulator_seed = 9);
+
+    Device_registry(const Device_registry&) = delete;
+    Device_registry& operator=(const Device_registry&) = delete;
+
+    /// Register `profile` under `profile.name`. The first registration
+    /// becomes the default device. Throws std::invalid_argument for an
+    /// empty name or a duplicate registration.
+    void add(Device_profile profile);
+
+    bool contains(const std::string& name) const;
+
+    /// Registered device names, sorted.
+    std::vector<std::string> names() const;
+
+    std::size_t size() const;
+
+    /// The device unqualified requests resolve to. Throws
+    /// std::invalid_argument when `name` is not registered.
+    void set_default_device(const std::string& name);
+    std::string default_device() const;
+
+    /// Resolve a request's target: the default device, a registered name,
+    /// or an inline profile (cached by fingerprint on first use). Unknown
+    /// names throw std::invalid_argument listing the registered devices.
+    /// References stay valid for the registry's lifetime.
+    const Device_profile& resolve(const Target_device& device) const;
+
+    /// Per-device models, built on first use and then shared; internally
+    /// locked, and the simulator itself is safe under concurrent use.
+    const Cost_model& cost_model(const Target_device& device) const;
+    E2e_simulator& simulator(const Target_device& device) const;
+
+    /// Distinct inline profiles cached before further ones are refused
+    /// (std::invalid_argument). Entries hand out stable references, so
+    /// they are never evicted — recurring hardware belongs in add().
+    static constexpr std::size_t max_inline_entries = 64;
+
+    /// The resolved profile's fingerprint — the device component of memo /
+    /// coalescing / policy-cache keys.
+    std::uint64_t fingerprint(const Target_device& device) const;
+
+private:
+    /// One device's lazily-completed state. Heap-allocated so references
+    /// survive registrations.
+    struct Entry {
+        Device_profile profile;
+        std::unique_ptr<Cost_model> cost;      ///< Built on first cost_model().
+        std::unique_ptr<E2e_simulator> simulator; ///< Built on first simulator().
+    };
+
+    Entry& entry_for_locked(const Target_device& device) const;
+    Entry& named_entry_locked(const std::string& name) const;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Entry>> named_;
+    /// Registered entries by fingerprint (filled in add(); profiles are
+    /// immutable afterwards), so inline-profile resolution is one lookup
+    /// instead of re-hashing the whole fleet under the mutex.
+    std::map<std::uint64_t, Entry*> named_by_fingerprint_;
+    /// Inline profiles, cached by fingerprint so a repeated one-off target
+    /// reuses its models (and its simulator noise stream).
+    mutable std::map<std::uint64_t, std::unique_ptr<Entry>> inline_;
+    std::string default_name_;
+    std::uint64_t simulator_seed_;
+};
+
+/// Register the two built-in profiles — gtx1080_profile() (the default) and
+/// a100_profile() — into `registry`. The standard fleet every
+/// Optimization_service starts from unless configured otherwise.
+void register_standard_devices(Device_registry& registry);
+
+} // namespace xrl

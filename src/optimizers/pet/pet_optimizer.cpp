@@ -172,15 +172,17 @@ public:
         const Progress_driver driver(name(), request);
         config.heartbeat = driver.heartbeat();
 
-        const Pet_result inner = optimise_pet(graph, *context_.cost, config);
+        const Cost_model& cost = context_.cost_for(request);
+        const Pet_result inner = optimise_pet(graph, cost, config);
 
         // The unified latency fields report the *honest* cost model — PET's
         // own element-wise-blind estimate is only metadata, because trusting
         // it is exactly the failure mode the paper documents (§2.2.2).
         Optimize_result result;
         result.backend = name();
+        result.device = cost.device().name;
         result.best_graph = inner.best_graph;
-        result.initial_ms = context_.cost->graph_cost_ms(graph);
+        result.initial_ms = cost.graph_cost_ms(graph);
         result.final_ms = inner.honest_cost_ms;
         result.steps = inner.iterations;
         result.wall_seconds = inner.optimisation_seconds;

@@ -114,10 +114,14 @@ public:
         const Progress_driver driver(name(), request);
         config.heartbeat = driver.heartbeat();
 
-        const Taso_result inner = optimise_taso(graph, *context_.rules, *context_.cost, config);
+        // The cost model is per request, not per backend instance: the same
+        // instance serves every device in the fleet.
+        const Cost_model& cost = context_.cost_for(request);
+        const Taso_result inner = optimise_taso(graph, *context_.rules, cost, config);
 
         Optimize_result result;
         result.backend = name();
+        result.device = cost.device().name;
         result.best_graph = inner.best_graph;
         result.initial_ms = inner.initial_cost_ms;
         result.final_ms = inner.best_cost_ms;

@@ -306,11 +306,13 @@ public:
         const Progress_driver driver(name(), request);
         config.heartbeat = driver.heartbeat();
 
+        const Cost_model& cost = context_.cost_for(request);
         const Tensat_result inner =
-            optimise_tensat(graph, patterns_, multi_pattern_rules_, *context_.cost, config);
+            optimise_tensat(graph, patterns_, multi_pattern_rules_, cost, config);
 
         Optimize_result result;
         result.backend = name();
+        result.device = cost.device().name;
         result.best_graph = inner.best_graph;
         result.initial_ms = inner.initial_cost_ms;
         result.final_ms = inner.best_cost_ms;

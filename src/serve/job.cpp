@@ -52,6 +52,10 @@ void Job::resolve_cancelled_locked()
     result.best_graph = graph;
     result.cancelled = true;
     finished = Clock::now();
+    // Observers never fire again; release them now — an observer closure
+    // that captured its own Job_handle would otherwise keep this job alive
+    // in a shared_ptr cycle.
+    observers.clear();
     changed.notify_all();
 }
 
@@ -98,6 +102,22 @@ bool Job_handle::wait_for(double seconds) const
     std::unique_lock<std::mutex> lock(job_->mutex);
     return job_->changed.wait_for(lock, std::chrono::duration<double>(seconds),
                                   [this] { return is_terminal(job_->state); });
+}
+
+void Job_handle::on_progress(Progress_observer observer)
+{
+    XRL_EXPECTS(job_ != nullptr);
+    XRL_EXPECTS(observer != nullptr);
+    const std::lock_guard<std::mutex> lock(job_->mutex);
+    if (is_terminal(job_->state)) return; // no more heartbeats will come
+    job_->observers.push_back(std::move(observer));
+}
+
+std::optional<Optimize_progress> Job_handle::progress() const
+{
+    XRL_EXPECTS(job_ != nullptr);
+    const std::lock_guard<std::mutex> lock(job_->mutex);
+    return job_->last_progress;
 }
 
 void Job_handle::cancel()

@@ -22,9 +22,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/optimizer_api.h"
 #include "ir/graph.h"
@@ -45,10 +48,22 @@ const char* to_string(Job_state state);
 /// done / cancelled / rejected / failed — the states a job never leaves.
 bool is_terminal(Job_state state);
 
-/// Scheduling knobs for one submission. Meaningful under the matching
-/// queue policy and ignored otherwise (priority under Queue_policy::
-/// priority, deadline under Queue_policy::earliest_deadline; both break
-/// ties for the other).
+/// A waiter's view of search progress. Unlike the request's own
+/// Progress_callback (which only the primary submission carries, and which
+/// can cancel), observers are fan-out: every handle attached to a job —
+/// coalesced duplicates included — can register one, and they cannot
+/// cancel the search (cancellation stays interest-counted via
+/// Job_handle::cancel).
+using Progress_observer = std::function<void(const Optimize_progress&)>;
+
+/// Scheduling knobs for one submission. Priority orders the queue under
+/// Queue_policy::priority (and breaks ties elsewhere). The deadline orders
+/// the queue under Queue_policy::earliest_deadline — and, under *every*
+/// policy, clamps the job's wall-clock budget at dequeue to the time
+/// remaining: a deadline-carrying job dequeued too late resolves cancelled
+/// (best-so-far) instead of burning a worker. The clamp only engages when
+/// every coalesced submission carries a deadline; one no-deadline waiter
+/// disarms it (that waiter is owed the full search).
 struct Submit_options {
     int priority = 0;              ///< Higher runs sooner.
     double deadline_seconds = 0.0; ///< Relative to submit time; 0 = no deadline.
@@ -78,9 +93,19 @@ struct Job {
     std::condition_variable changed;
     Job_state state = Job_state::queued;
     int priority = 0;                ///< Coalesced arrivals may raise this.
-    Clock::time_point deadline{};    ///< Coalesced arrivals may tighten this.
+    Clock::time_point deadline{};    ///< Coalesced arrivals may tighten this (EDF ordering).
     bool has_deadline = false;
+    /// Budget-clamp bookkeeping, distinct from the *ordering* deadline
+    /// above: the dequeue-time clamp may only engage when every attached
+    /// submission opted into deadline semantics, and then only to the
+    /// loosest of their deadlines — a no-deadline waiter is owed the full
+    /// search, identical to a direct service call.
+    bool every_waiter_has_deadline = false;
+    Clock::time_point latest_deadline{};
+    bool budget_clamped = false; ///< Set at dequeue; clamped running jobs refuse attachments.
     int interest = 1;                ///< Handles that still want the result.
+    std::optional<Optimize_progress> last_progress; ///< Latest heartbeat snapshot.
+    std::vector<Progress_observer> observers; ///< Fan-out to every waiter.
     Optimize_result result;          ///< Valid in done / cancelled.
     std::exception_ptr error;        ///< Valid in failed.
     std::string reject_reason;       ///< Valid in rejected.
@@ -131,6 +156,19 @@ public:
 
     /// wait(), but give up after `seconds`; false = still not terminal.
     bool wait_for(double seconds) const;
+
+    /// Streaming progress for every waiter, coalesced duplicates included:
+    /// `observer` is invoked (off this caller's thread, on the search's
+    /// heartbeat) for each subsequent progress snapshot of the underlying
+    /// job. Unlike the request's on_progress — which only the primary
+    /// submission carries — observers attach per handle and cannot cancel
+    /// the search. Observers registered after the job resolved never fire;
+    /// read progress() for the last snapshot instead.
+    void on_progress(Progress_observer observer);
+
+    /// The most recent progress snapshot the underlying search reported,
+    /// or nullopt before its first heartbeat (or when it never ran).
+    std::optional<Optimize_progress> progress() const;
 
     /// Withdraw this submission's interest in the result (idempotent across
     /// copies of the handle). The underlying search stops only when every

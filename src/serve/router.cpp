@@ -1,0 +1,162 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "support/check.h"
+#include "support/fnv.h"
+
+namespace xrl {
+
+Optimization_router::Optimization_router(Router_config config) : config_(std::move(config))
+{
+    if (config_.shards.empty())
+        throw std::invalid_argument("Optimization_router: config.shards must be non-empty");
+    shards_.reserve(config_.shards.size());
+    for (const Shard_config& shard_config : config_.shards)
+        shards_.push_back(std::make_unique<Optimization_server>(shard_config.server));
+    for (std::size_t i = 0; i < config_.shards.size(); ++i)
+        for (const std::string& device : config_.shards[i].device_affinity)
+            if (!shards_[i]->service().devices().contains(device))
+                throw std::invalid_argument("Optimization_router: shard " + std::to_string(i) +
+                                            " declares affinity for device '" + device +
+                                            "' its registry does not hold");
+    routed_to_.assign(shards_.size(), 0);
+}
+
+Optimization_server& Optimization_router::shard(std::size_t index)
+{
+    XRL_EXPECTS(index < shards_.size());
+    return *shards_[index];
+}
+
+std::string Optimization_router::routing_device(const Optimize_request& request) const
+{
+    const std::string& name = request.device.display_name();
+    if (!name.empty()) return name;
+    return shards_.front()->service().devices().default_device();
+}
+
+std::size_t Optimization_router::route_hashed(const std::string& backend,
+                                              std::uint64_t model_hash, const std::string& device,
+                                              bool inline_profile, bool* used_affinity) const
+{
+    // Shards that claimed this device (the constructor guarantees a
+    // declared affinity is servable).
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < config_.shards.size(); ++i) {
+        const auto& affinity = config_.shards[i].device_affinity;
+        if (std::find(affinity.begin(), affinity.end(), device) != affinity.end())
+            candidates.push_back(i);
+    }
+    *used_affinity = !candidates.empty();
+    if (candidates.empty()) {
+        // Hash fallback — but only across shards that can actually serve
+        // the device: heterogeneous fleets may register different devices
+        // per shard. Inline profiles are servable anywhere (shards cache
+        // them on demand), as is a name no shard holds (every shard
+        // rejects identically; let the hashed one report it).
+        for (std::size_t i = 0; i < shards_.size(); ++i)
+            if (inline_profile || shards_[i]->service().devices().contains(device))
+                candidates.push_back(i);
+        if (candidates.empty())
+            for (std::size_t i = 0; i < shards_.size(); ++i) candidates.push_back(i);
+    }
+
+    // Deterministic spread: the same (model, backend, device) always lands
+    // on the same candidate, so its repeats keep hitting one shard's memo
+    // cache and coalescing window.
+    const std::uint64_t h =
+        fnv1a_bytes(fnv1a_bytes(fnv1a_mix(fnv1a_offset, model_hash), backend), device);
+    return candidates[h % candidates.size()];
+}
+
+std::size_t Optimization_router::route(const std::string& backend, const Graph& graph,
+                                       const Optimize_request& request) const
+{
+    bool used_affinity = false;
+    return route_hashed(backend, graph.model_hash(), routing_device(request),
+                        request.device.profile.has_value(), &used_affinity);
+}
+
+Job_handle Optimization_router::submit(const std::string& backend, const Graph& graph,
+                                       const Optimize_request& request,
+                                       const Submit_options& options)
+{
+    bool used_affinity = false;
+    const std::string device = routing_device(request);
+    const std::uint64_t model_hash = graph.model_hash(); // paid once: routing + coalesce key
+    const std::size_t target = route_hashed(backend, model_hash, device,
+                                            request.device.profile.has_value(), &used_affinity);
+    // Pin the resolved device onto the request: routing resolved "default"
+    // against shard 0's registry, and the executing shard must optimise for
+    // *that* device even if its own default differs (heterogeneous shard
+    // configs). A shard that cannot serve the pinned name rejects loudly
+    // (invalid_argument) instead of silently answering for another device.
+    Optimize_request routed = request;
+    if (routed.device.is_default()) routed.device = Target_device(device);
+    // The shard revalidates (budgets, backend name, device against its own
+    // registry) before anything is counted there; count the routing
+    // decision only after it accepted the submit.
+    Job_handle handle = shards_[target]->submit_hashed(model_hash, backend, graph, routed, options);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++submitted_;
+        ++routed_to_[target];
+        if (used_affinity)
+            ++affinity_routed_;
+        else
+            ++hash_routed_;
+    }
+    return handle;
+}
+
+void Optimization_router::drain()
+{
+    for (const std::unique_ptr<Optimization_server>& shard : shards_) shard->drain();
+}
+
+Router_stats Optimization_router::stats() const
+{
+    Router_stats out;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        out.submitted = submitted_;
+        out.affinity_routed = affinity_routed_;
+        out.hash_routed = hash_routed_;
+        out.routed_to = routed_to_;
+    }
+    out.shards.reserve(shards_.size());
+    for (const std::unique_ptr<Optimization_server>& shard : shards_)
+        out.shards.push_back(shard->stats());
+
+    Server_stats& total = out.total;
+    for (const Server_stats& s : out.shards) {
+        total.submitted += s.submitted;
+        total.coalesced += s.coalesced;
+        total.rejected += s.rejected;
+        total.shed += s.shed;
+        total.completed += s.completed;
+        total.cancelled += s.cancelled;
+        total.failed += s.failed;
+        total.cache_hits += s.cache_hits;
+        total.queue_depth += s.queue_depth;
+        total.running += s.running;
+        // A fleet is as late as its slowest member: report the worst
+        // shard's percentiles rather than inventing a merged reservoir.
+        total.p50_latency_ms = std::max(total.p50_latency_ms, s.p50_latency_ms);
+        total.p95_latency_ms = std::max(total.p95_latency_ms, s.p95_latency_ms);
+        for (const auto& [backend, b] : s.backends) {
+            Backend_stats& agg = total.backends[backend];
+            agg.submitted += b.submitted;
+            agg.completed += b.completed;
+            agg.cancelled += b.cancelled;
+            agg.failed += b.failed;
+            agg.busy_seconds += b.busy_seconds;
+        }
+    }
+    return out;
+}
+
+} // namespace xrl

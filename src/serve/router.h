@@ -1,0 +1,108 @@
+// Optimization_router: one front door for a fleet of Optimization_servers.
+//
+// The ROADMAP's two remaining serving items — sharding across servers and
+// multi-device fleets — meet here. The router owns N shards (each a full
+// Optimization_server with its own queue, workers, memo cache, and device
+// registry) and routes each submit by *device affinity*: a shard declares
+// which accelerators it prefers (in production: the machines physically
+// next to those accelerators), and a request's resolved Target_device
+// picks among the shards that declared it. Requests whose device no shard
+// claims — and ties between several claiming shards — fall back to a
+// deterministic hash of (model hash, backend, device), so one model's
+// traffic for one device always lands on the same shard and keeps hitting
+// that shard's memo cache and coalescing window.
+//
+// Routing is deterministic and stateless (route() is a pure function of
+// the request), so routed results are bit-identical to a direct
+// Optimization_service call with the same device: the shard runs the same
+// deterministic backend on the same cost model.
+//
+// stats() aggregates per-shard telemetry: counters sum across the fleet;
+// the aggregate latency percentiles are the worst shard's (a fleet is as
+// late as its slowest member), with per-shard snapshots alongside.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace xrl {
+
+struct Shard_config {
+    Server_config server;
+
+    /// Registered device names this shard serves preferentially. Empty =
+    /// no affinity (the shard only receives hash-fallback traffic).
+    std::vector<std::string> device_affinity;
+};
+
+struct Router_config {
+    /// One entry per shard; must be non-empty.
+    std::vector<Shard_config> shards;
+};
+
+struct Router_stats {
+    std::uint64_t submitted = 0;       ///< Every routed submit.
+    std::uint64_t affinity_routed = 0; ///< Sent to a shard that claimed the device.
+    std::uint64_t hash_routed = 0;     ///< No shard claimed it; hash fallback.
+
+    Server_stats total;                ///< Fleet-wide aggregation (see header note).
+    std::vector<Server_stats> shards;  ///< Per-shard snapshots, in shard order.
+    std::vector<std::uint64_t> routed_to; ///< Submits routed per shard.
+};
+
+class Optimization_router {
+public:
+    /// Builds one Optimization_server per shard. Throws
+    /// std::invalid_argument when `config.shards` is empty or a declared
+    /// affinity names a device its own shard's registry does not hold
+    /// (such a shard could never serve the traffic routed to it).
+    explicit Optimization_router(Router_config config);
+
+    Optimization_router(const Optimization_router&) = delete;
+    Optimization_router& operator=(const Optimization_router&) = delete;
+
+    std::size_t shard_count() const { return shards_.size(); }
+    Optimization_server& shard(std::size_t index);
+
+    /// The deterministic routing decision for this request: affinity first
+    /// (hash-spread across the shards claiming the device), hash across the
+    /// whole fleet otherwise. Pure — submit() routes with exactly this.
+    std::size_t route(const std::string& backend, const Graph& graph,
+                      const Optimize_request& request = {}) const;
+
+    /// Route and submit to the chosen shard. Same contract as
+    /// Optimization_server::submit (validation, coalescing within the
+    /// shard, handle semantics).
+    Job_handle submit(const std::string& backend, const Graph& graph,
+                      const Optimize_request& request = {}, const Submit_options& options = {});
+
+    /// Block until every shard is idle.
+    void drain();
+
+    Router_stats stats() const;
+
+private:
+    /// The name the request's device goes by for routing: the inline
+    /// profile's name, the named target, or shard 0's default device.
+    std::string routing_device(const Optimize_request& request) const;
+
+    std::size_t route_hashed(const std::string& backend, std::uint64_t model_hash,
+                             const std::string& device, bool inline_profile,
+                             bool* used_affinity) const;
+
+    Router_config config_;
+    std::vector<std::unique_ptr<Optimization_server>> shards_;
+
+    mutable std::mutex mutex_; ///< Guards the routing counters.
+    std::uint64_t submitted_ = 0;
+    std::uint64_t affinity_routed_ = 0;
+    std::uint64_t hash_routed_ = 0;
+    std::vector<std::uint64_t> routed_to_;
+};
+
+} // namespace xrl

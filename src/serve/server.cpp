@@ -58,6 +58,7 @@ bool Optimization_server::finalise_rejected(const std::shared_ptr<Job>& job, std
     job->state = Job_state::rejected;
     job->reject_reason = std::move(reason);
     job->finished = Job::Clock::now();
+    job->observers.clear(); // break potential handle-capture cycles
     job->changed.notify_all();
     return true;
 }
@@ -73,15 +74,26 @@ std::shared_ptr<Job> Optimization_server::try_attach_locked(const std::string& k
     const std::lock_guard<std::mutex> job_lock(primary->mutex);
     const bool attachable =
         (primary->state == Job_state::queued || primary->state == Job_state::running) &&
-        !primary->cancel_requested.load(std::memory_order_relaxed);
+        !primary->cancel_requested.load(std::memory_order_relaxed) &&
+        // A running search whose budget was actually tightened to a
+        // deadline may resolve truncated; a newcomer *without* a deadline
+        // is owed a direct-call-identical result, so it schedules its own
+        // search instead of attaching. A deadline-carrying newcomer opted
+        // into SLA semantics and may attach.
+        (!primary->budget_clamped || has_deadline);
     if (!attachable) return nullptr;
     ++primary->interest;
-    // A duplicate arrival can only raise urgency.
+    // A duplicate arrival can only raise urgency (EDF ordering)...
     primary->priority = std::max(primary->priority, priority);
     if (has_deadline && (!primary->has_deadline || deadline < primary->deadline)) {
         primary->has_deadline = true;
         primary->deadline = deadline;
     }
+    // ...but the *budget clamp* must honour the least demanding waiter: it
+    // stays armed only while every attached submission has a deadline, and
+    // tracks the loosest one.
+    primary->every_waiter_has_deadline = primary->every_waiter_has_deadline && has_deadline;
+    if (has_deadline && deadline > primary->latest_deadline) primary->latest_deadline = deadline;
     return primary;
 }
 
@@ -102,7 +114,14 @@ Job_handle Optimization_server::submit(const std::string& backend, const Graph& 
                                        const Optimize_request& request,
                                        const Submit_options& options)
 {
-    validate_request(request);
+    return submit_hashed(graph.model_hash(), backend, graph, request, options);
+}
+
+Job_handle Optimization_server::submit_hashed(std::uint64_t model_hash, const std::string& backend,
+                                              const Graph& graph, const Optimize_request& request,
+                                              const Submit_options& options)
+{
+    validate_request(request, service_.devices()); // budgets + target device
     if (!Optimizer_registry::built_in().contains(backend)) {
         std::ostringstream os;
         os << "unknown optimizer backend '" << backend << "'; registered backends:";
@@ -117,7 +136,10 @@ Job_handle Optimization_server::submit(const std::string& backend, const Graph& 
                                     " (must be in [0, 1e9]; 0 means no deadline)");
 
     const auto now = Job::Clock::now();
-    const std::string key = Optimization_service::memo_key(graph.model_hash(), backend, request);
+    // The coalesce key carries the resolved device fingerprint: identical
+    // graphs targeting different accelerators are different work and must
+    // neither coalesce nor share memo entries.
+    const std::string key = service_.request_key(model_hash, backend, request);
     bool has_deadline = false;
     Job::Clock::time_point deadline{};
     if (options.deadline_seconds > 0.0) {
@@ -152,6 +174,8 @@ Job_handle Optimization_server::submit(const std::string& backend, const Graph& 
     job->priority = options.priority;
     job->has_deadline = has_deadline;
     job->deadline = deadline;
+    job->every_waiter_has_deadline = has_deadline;
+    job->latest_deadline = deadline;
 
     std::shared_ptr<Job> shed;
     std::vector<std::shared_ptr<Job>> purged;
@@ -244,12 +268,30 @@ void Optimization_server::dispatch()
 void Optimization_server::execute(const std::shared_ptr<Job>& job)
 {
     bool run_search = false;
+    bool clamp_to_deadline = false;
+    double deadline_remaining_seconds = 0.0;
     {
         const std::lock_guard<std::mutex> job_lock(job->mutex);
         if (job->state == Job_state::queued) {
             job->state = Job_state::running;
             job->started = Job::Clock::now();
             run_search = true;
+            // The clamp engages only when *every* attached submission asked
+            // for deadline semantics, and honours the loosest of their
+            // deadlines — a no-deadline waiter is owed the full search.
+            // budget_clamped is recorded only when the clamp actually
+            // tightens the budget (unlimited, or longer than the time
+            // left): a generous deadline stays a no-op and keeps the job
+            // attachable to everyone.
+            if (job->every_waiter_has_deadline) {
+                deadline_remaining_seconds =
+                    std::chrono::duration<double>(job->latest_deadline - job->started).count();
+                const double budget = job->request.time_budget_seconds;
+                if (budget == 0.0 || deadline_remaining_seconds < budget) {
+                    clamp_to_deadline = true;
+                    job->budget_clamped = true; // deadline-free attachments now refused
+                }
+            }
         }
         // Otherwise the job resolved while queued (handle cancellation);
         // this worker only does the bookkeeping below.
@@ -259,14 +301,52 @@ void Optimization_server::execute(const std::shared_ptr<Job>& job)
     if (run_search) {
         // Chain cancellation in front of the submitter's own callback: the
         // heartbeat the backends already poll stops the search as soon as
-        // every attached handle has withdrawn interest.
+        // every attached handle has withdrawn interest. The same wrapper
+        // fans each snapshot out to every waiter: it is recorded on the job
+        // (Job_handle::progress) and forwarded to the observers coalesced
+        // duplicates registered (Job_handle::on_progress) — only the
+        // primary's own callback keeps its cancellation vote.
         Optimize_request request = job->request;
         const Progress_callback user_callback = job->request.on_progress;
         const std::shared_ptr<Job> tracked = job;
         request.on_progress = [tracked, user_callback](const Optimize_progress& progress) {
+            std::vector<Progress_observer> observers;
+            {
+                const std::lock_guard<std::mutex> job_lock(tracked->mutex);
+                tracked->last_progress = progress;
+                observers = tracked->observers;
+            }
+            // Invoked outside the job mutex: an observer may poll() or read
+            // progress() through its handle without deadlocking. Observers
+            // are fan-out only — one waiter's faulty observer must not
+            // fail (or cancel) the search every other waiter shares.
+            for (const Progress_observer& observer : observers) {
+                try {
+                    observer(progress);
+                } catch (...) {
+                    // Swallowed by contract; the job's outcome belongs to
+                    // the search, not to a spectator.
+                }
+            }
             if (tracked->cancel_requested.load(std::memory_order_relaxed)) return false;
             return user_callback ? user_callback(progress) : true;
         };
+
+        // Queue-aware budget: EDF ordering alone cannot keep a deadline —
+        // a job dequeued with little time left would still run its full
+        // budget. Clamp the wall-clock budget to the time remaining before
+        // the (possibly coalesce-tightened) deadline; a job dequeued past
+        // its deadline expires at its first heartbeat and resolves
+        // cancelled with its best-so-far (input) graph. Completed clamped
+        // runs are identical to unclamped ones (the budget never fired),
+        // and cut-short runs are cancelled — never cached — so the memo
+        // key's original budget stays honest.
+        if (clamp_to_deadline) {
+            const double remaining = std::max(deadline_remaining_seconds, 1e-9);
+            request.time_budget_seconds = request.time_budget_seconds > 0.0
+                                              ? std::min(request.time_budget_seconds, remaining)
+                                              : remaining;
+        }
 
         Optimize_result result;
         std::exception_ptr error;
@@ -286,6 +366,10 @@ void Optimization_server::execute(const std::shared_ptr<Job>& job)
             job->result = std::move(result);
             job->state = job->result.cancelled ? Job_state::cancelled : Job_state::done;
         }
+        // Observers never fire after the terminal transition; release them
+        // so an observer that captured its own Job_handle cannot keep the
+        // job alive in a shared_ptr cycle.
+        job->observers.clear();
         // Record telemetry before waking waiters: a caller reading stats()
         // right after wait() returns must see this job counted.
         telemetry_.on_finish(job->backend, job->state,

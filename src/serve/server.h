@@ -15,8 +15,8 @@
 // cancellation rides the unified API's heartbeat path (a running search
 // stops at its next step and resolves with its best-so-far graph).
 //
-// Request coalescing: a submit whose (model hash, backend, request
-// fingerprint) matches a job that is still queued or running
+// Request coalescing: a submit whose (model hash, backend, target-device
+// fingerprint, request fingerprint) matches a job that is still queued or running
 // attaches to that job instead of searching again — N identical concurrent
 // submits cost one search and produce N identical results. This is
 // distinct from (and composes with) the service's post-hoc memo cache,
@@ -46,8 +46,8 @@
 namespace xrl {
 
 struct Server_config {
-    /// Forwarded to the owned Optimization_service (device, backend
-    /// options, memo-cache capacity).
+    /// Forwarded to the owned Optimization_service (device registry,
+    /// backend options, memo-cache capacity).
     Service_config service;
 
     /// Queue policy, overflow policy, and capacity bound.
@@ -84,6 +84,14 @@ public:
     /// Job_state::rejected.
     Job_handle submit(const std::string& backend, const Graph& graph,
                       const Optimize_request& request = {}, const Submit_options& options = {});
+
+    /// As submit(), with `model_hash` — exactly graph.model_hash() —
+    /// precomputed by the caller. The router already paid that full-graph
+    /// traversal for its routing decision; this overload keeps it from
+    /// being paid twice per routed request.
+    Job_handle submit_hashed(std::uint64_t model_hash, const std::string& backend,
+                             const Graph& graph, const Optimize_request& request = {},
+                             const Submit_options& options = {});
 
     /// Suspend / resume dispatch. Running jobs are unaffected; queued jobs
     /// wait. resume() is idempotent and kicks the dispatcher.

@@ -1,0 +1,28 @@
+// FNV-1a hashing helpers, shared by the device-profile fingerprint and the
+// router's shard-spread hash so the magic constants live in one place.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace xrl {
+
+inline constexpr std::uint64_t fnv1a_offset = 1469598103934665603ULL;
+inline constexpr std::uint64_t fnv1a_prime = 1099511628211ULL;
+
+/// Fold one 64-bit value into the running hash.
+inline std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t value)
+{
+    h ^= value;
+    return h * fnv1a_prime;
+}
+
+/// Hash `bytes` byte-by-byte into `h` (pass fnv1a_offset, or a prior hash
+/// to chain).
+inline std::uint64_t fnv1a_bytes(std::uint64_t h, std::string_view bytes)
+{
+    for (const char c : bytes) h = fnv1a_mix(h, static_cast<unsigned char>(c));
+    return h;
+}
+
+} // namespace xrl

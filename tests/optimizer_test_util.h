@@ -6,17 +6,30 @@
 #include <utility>
 
 #include "core/optimizer_api.h"
+#include "cost/device_registry.h"
 
 namespace xrl::test {
 
-/// Context over a caller-owned corpus + cost model for driving backends
-/// through the unified API. `rules` and `cost` must outlive the context.
-inline Optimizer_context api_context(const Rule_set& rules, const Cost_model& cost,
+/// The standard two-device fleet (gtx1080 default + a100), shared by tests
+/// that only need *a* registry. Function-local static: initialised on first
+/// use, outlives every context built from it.
+inline const Device_registry& standard_devices()
+{
+    static Device_registry registry; // not movable (internal mutex) — fill in place
+    static const bool initialised = (register_standard_devices(registry), true);
+    (void)initialised;
+    return registry;
+}
+
+/// Context over a caller-owned corpus (plus the shared standard device
+/// registry) for driving backends through the unified API. `rules` must
+/// outlive the context.
+inline Optimizer_context api_context(const Rule_set& rules,
                                      std::map<std::string, double> options = {})
 {
     Optimizer_context context;
     context.rules = &rules;
-    context.cost = &cost;
+    context.devices = &standard_devices();
     context.options = std::move(options);
     return context;
 }

@@ -1,0 +1,324 @@
+// Device_registry: registration, default-device resolution, lazy per-device
+// cost models / simulators with stable identities, inline-profile caching by
+// fingerprint, device-aware request validation, and per-device memoisation
+// (including xrlflow policy-cache isolation) in Optimization_service.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "core/optimization_service.h"
+#include "core/optimizer_api.h"
+#include "cost/device_registry.h"
+#include "ir/builder.h"
+
+namespace xrl {
+namespace {
+
+/// The quickstart graph (paper Figure 1): y = relu(x.w + b).
+Graph quickstart_graph()
+{
+    Graph_builder b;
+    const Edge x = b.input({4, 32}, "x");
+    const Edge w = b.weight({32, 16}, "w");
+    const Edge bias = b.weight({16}, "b");
+    return b.finish({b.relu(b.add(b.matmul(x, w), bias))});
+}
+
+/// A fresh standard two-device fleet (Device_registry is not movable —
+/// internal mutex — so tests hold it through this wrapper).
+struct Standard_pair {
+    Device_registry registry;
+    Standard_pair() { register_standard_devices(registry); }
+};
+
+/// Smoke-scale backend budgets (plumbing, not search quality).
+Service_config smoke_service()
+{
+    Service_config config;
+    config.backend_options["taso.budget"] = 12;
+    config.backend_options["pet.budget"] = 8;
+    config.backend_options["tensat.max_iterations"] = 2;
+    config.backend_options["xrlflow.episodes"] = 0;
+    config.backend_options["xrlflow.max_steps"] = 6;
+    return config;
+}
+
+// ---------------------------------------------------------------------------
+// Registration and resolution
+// ---------------------------------------------------------------------------
+
+TEST(DeviceRegistry, RegistersListsAndDefaultsToFirstDevice)
+{
+    Device_registry registry;
+    EXPECT_EQ(registry.size(), 0u);
+    registry.add(gtx1080_profile());
+    registry.add(a100_profile());
+    EXPECT_EQ(registry.size(), 2u);
+    EXPECT_TRUE(registry.contains("gtx1080-sim"));
+    EXPECT_TRUE(registry.contains("a100-sim"));
+    EXPECT_FALSE(registry.contains("h100-sim"));
+    EXPECT_EQ(registry.names(), (std::vector<std::string>{"a100-sim", "gtx1080-sim"}));
+
+    // First registration is the default; set_default_device overrides.
+    EXPECT_EQ(registry.default_device(), "gtx1080-sim");
+    EXPECT_EQ(registry.resolve({}).name, "gtx1080-sim");
+    registry.set_default_device("a100-sim");
+    EXPECT_EQ(registry.resolve({}).name, "a100-sim");
+    EXPECT_THROW(registry.set_default_device("h100-sim"), std::invalid_argument);
+}
+
+TEST(DeviceRegistry, RejectsEmptyAndDuplicateNames)
+{
+    Device_registry registry;
+    EXPECT_THROW(registry.add(Device_profile{}), std::invalid_argument);
+    registry.add(gtx1080_profile());
+    EXPECT_THROW(registry.add(gtx1080_profile()), std::invalid_argument);
+}
+
+TEST(DeviceRegistry, UnknownNameThrowsListingRegisteredDevices)
+{
+    const Standard_pair fleet;
+    const Device_registry& registry = fleet.registry;
+    try {
+        registry.cost_model({"h100-sim"});
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("h100-sim"), std::string::npos);
+        EXPECT_NE(what.find("gtx1080-sim"), std::string::npos);
+        EXPECT_NE(what.find("a100-sim"), std::string::npos);
+    }
+}
+
+TEST(DeviceRegistry, PerDeviceModelsAreLazyAndStable)
+{
+    const Standard_pair fleet;
+    const Device_registry& registry = fleet.registry;
+    const Cost_model& gtx = registry.cost_model({"gtx1080-sim"});
+    const Cost_model& a100 = registry.cost_model({"a100-sim"});
+    EXPECT_NE(&gtx, &a100);
+    // Repeated resolution hands back the same object (the memo/policy
+    // layers key on it being one model per device).
+    EXPECT_EQ(&registry.cost_model({"gtx1080-sim"}), &gtx);
+    EXPECT_EQ(&registry.simulator({"a100-sim"}), &registry.simulator({"a100-sim"}));
+
+    // The device actually changes the numbers: the same graph is cheaper
+    // on the a100-like profile (more flops, cheaper launches).
+    const Graph g = quickstart_graph();
+    EXPECT_LT(a100.graph_cost_ms(g), gtx.graph_cost_ms(g));
+}
+
+TEST(DeviceRegistry, InlineProfilesCacheByFingerprintAndUnifyWithRegisteredDevices)
+{
+    const Standard_pair fleet;
+    const Device_registry& registry = fleet.registry;
+
+    // An inline profile equal to a registered one resolves to *that* entry.
+    EXPECT_EQ(&registry.cost_model(Target_device(a100_profile())),
+              &registry.cost_model({"a100-sim"}));
+
+    // A genuinely new inline profile gets its own cached entry.
+    Device_profile custom = a100_profile();
+    custom.name = "a100-overclocked";
+    custom.flops_per_ms *= 1.25;
+    const Cost_model& first = registry.cost_model(Target_device(custom));
+    EXPECT_EQ(&registry.cost_model(Target_device(custom)), &first);
+    EXPECT_NE(&first, &registry.cost_model({"a100-sim"}));
+    EXPECT_EQ(registry.fingerprint(Target_device(custom)), custom.fingerprint());
+    EXPECT_NE(custom.fingerprint(), a100_profile().fingerprint());
+}
+
+TEST(DeviceRegistry, InlineProfileCacheIsBoundedNotEvicted)
+{
+    // Entries hand out stable references, so the inline cache refuses
+    // newcomers past its cap instead of evicting (a long-running server
+    // fed distinct client profiles must not grow without bound).
+    const Standard_pair fleet;
+    Device_profile p = gtx1080_profile();
+    p.name = "inline-variant";
+    for (std::size_t i = 0; i < Device_registry::max_inline_entries; ++i) {
+        p.flops_per_ms = 1e9 + static_cast<double>(i);
+        fleet.registry.fingerprint(Target_device(p));
+    }
+    p.flops_per_ms = 5e9; // a 65th distinct profile
+    EXPECT_THROW(fleet.registry.fingerprint(Target_device(p)), std::invalid_argument);
+    // Registered devices and already-cached inline profiles still resolve.
+    EXPECT_NO_THROW(fleet.registry.cost_model({"a100-sim"}));
+    p.flops_per_ms = 1e9;
+    EXPECT_NO_THROW(fleet.registry.fingerprint(Target_device(p)));
+}
+
+TEST(DeviceProfile, FingerprintSeparatesProfilesAndMatchesCopies)
+{
+    const Device_profile gtx = gtx1080_profile();
+    EXPECT_EQ(gtx.fingerprint(), gtx1080_profile().fingerprint());
+    EXPECT_NE(gtx.fingerprint(), a100_profile().fingerprint());
+    Device_profile tweaked = gtx;
+    tweaked.kernel_launch_ms *= 2.0;
+    EXPECT_NE(tweaked.fingerprint(), gtx.fingerprint());
+}
+
+// ---------------------------------------------------------------------------
+// Device-aware request validation
+// ---------------------------------------------------------------------------
+
+TEST(DeviceRegistry, ValidateRequestRejectsUnknownDeviceListingRegistered)
+{
+    const Standard_pair fleet;
+    const Device_registry& registry = fleet.registry;
+    Optimize_request request;
+    request.device = "tpu-v4";
+    try {
+        validate_request(request, registry);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("tpu-v4"), std::string::npos);
+        EXPECT_NE(what.find("gtx1080-sim"), std::string::npos);
+        EXPECT_NE(what.find("a100-sim"), std::string::npos);
+    }
+
+    // Known names, the default, and inline profiles all pass.
+    EXPECT_NO_THROW(validate_request({}, registry));
+    request.device = "a100-sim";
+    EXPECT_NO_THROW(validate_request(request, registry));
+    request.device = Target_device(a100_profile());
+    EXPECT_NO_THROW(validate_request(request, registry));
+
+    // Malformed inline profiles are rejected by the base validation:
+    // non-positive throughputs, NaN overheads, and anonymous profiles
+    // (which would route and report under the default device's name).
+    Device_profile broken = gtx1080_profile();
+    broken.flops_per_ms = -1.0;
+    request.device = Target_device(broken);
+    EXPECT_THROW(validate_request(request, registry), std::invalid_argument);
+    Device_profile nan_launch = gtx1080_profile();
+    nan_launch.kernel_launch_ms = std::numeric_limits<double>::quiet_NaN();
+    request.device = Target_device(nan_launch);
+    EXPECT_THROW(validate_request(request, registry), std::invalid_argument);
+    Device_profile anonymous = gtx1080_profile();
+    anonymous.name.clear();
+    request.device = Target_device(anonymous);
+    EXPECT_THROW(validate_request(request, registry), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Per-device memoisation in Optimization_service
+// ---------------------------------------------------------------------------
+
+TEST(OptimizationService, MemoKeySeparatesDevices)
+{
+    const Optimize_request request;
+    const std::uint64_t gtx = gtx1080_profile().fingerprint();
+    const std::uint64_t a100 = a100_profile().fingerprint();
+    EXPECT_NE(Optimization_service::memo_key(42, "taso", gtx, request),
+              Optimization_service::memo_key(42, "taso", a100, request));
+    EXPECT_EQ(Optimization_service::memo_key(42, "taso", gtx, request),
+              Optimization_service::memo_key(42, "taso", gtx, request));
+}
+
+TEST(OptimizationService, SameGraphOnDifferentDevicesNeverSharesCacheEntries)
+{
+    Optimization_service service(smoke_service());
+    const Graph g = quickstart_graph();
+
+    Optimize_request on_a100;
+    on_a100.device = "a100-sim";
+    const Optimize_result gtx = service.optimize("taso", g);
+    const Optimize_result a100 = service.optimize("taso", g, on_a100);
+    EXPECT_FALSE(gtx.from_cache);
+    EXPECT_FALSE(a100.from_cache); // distinct device => distinct memo entry
+    EXPECT_EQ(service.cache_misses(), 2u);
+    EXPECT_EQ(gtx.device, "gtx1080-sim");
+    EXPECT_EQ(a100.device, "a100-sim");
+    EXPECT_NE(gtx.final_ms, a100.final_ms); // different cost model, different numbers
+
+    // Each device replays from its own entry.
+    EXPECT_TRUE(service.optimize("taso", g).from_cache);
+    EXPECT_TRUE(service.optimize("taso", g, on_a100).from_cache);
+    EXPECT_EQ(service.cache_hits(), 2u);
+}
+
+TEST(OptimizationService, InlineProfileSharesCacheWithItsRegisteredTwin)
+{
+    Optimization_service service(smoke_service());
+    const Graph g = quickstart_graph();
+
+    Optimize_request named;
+    named.device = "a100-sim";
+    const Optimize_result first = service.optimize("taso", g, named);
+    EXPECT_FALSE(first.from_cache);
+
+    // Same hardware described inline: same fingerprint, same memo entry.
+    Optimize_request inline_twin;
+    inline_twin.device = Target_device(a100_profile());
+    const Optimize_result replay = service.optimize("taso", g, inline_twin);
+    EXPECT_TRUE(replay.from_cache);
+    EXPECT_EQ(replay.final_ms, first.final_ms);
+    EXPECT_EQ(replay.best_graph.canonical_hash(), first.best_graph.canonical_hash());
+}
+
+TEST(OptimizationService, UnknownDeviceThrowsBeforeAnySearchOrCacheWork)
+{
+    Optimization_service service(smoke_service());
+    const Graph g = quickstart_graph();
+    Optimize_request request;
+    request.device = "h100-sim";
+    EXPECT_THROW(service.optimize("taso", g, request), std::invalid_argument);
+    EXPECT_THROW(service.optimize_all(g, request), std::invalid_argument);
+    EXPECT_EQ(service.cache_misses(), 0u);
+    EXPECT_EQ(service.cache_size(), 0u);
+}
+
+TEST(OptimizationService, ConfiguredFleetAndDefaultDeviceAreHonoured)
+{
+    Service_config config = smoke_service();
+    Device_profile big = a100_profile();
+    big.name = "a100-80gb";
+    config.devices = {gtx1080_profile(), big};
+    config.default_device = "a100-80gb";
+    Optimization_service service(config);
+
+    EXPECT_EQ(service.devices().names(), (std::vector<std::string>{"a100-80gb", "gtx1080-sim"}));
+    EXPECT_EQ(service.device().name, "a100-80gb");
+    const Optimize_result result = service.optimize("taso", quickstart_graph());
+    EXPECT_EQ(result.device, "a100-80gb");
+
+    // The standard pair's second device is not in this fleet.
+    Optimize_request request;
+    request.device = "a100-sim";
+    EXPECT_THROW(service.optimize("taso", quickstart_graph(), request), std::invalid_argument);
+}
+
+TEST(OptimizationService, XrlflowPolicyCacheIsolatesDevices)
+{
+    // episodes > 0 so the adapter actually trains and caches a policy per
+    // (graph, seed, episodes, device).
+    Service_config config = smoke_service();
+    config.backend_options["xrlflow.episodes"] = 2;
+    Optimization_service service(config);
+    const Graph g = quickstart_graph();
+
+    Optimize_request on_a100;
+    on_a100.device = "a100-sim";
+    const Optimize_result gtx_first = service.optimize("xrlflow", g);
+    const Optimize_result a100 = service.optimize("xrlflow", g, on_a100);
+    EXPECT_EQ(gtx_first.device, "gtx1080-sim");
+    EXPECT_EQ(a100.device, "a100-sim");
+    EXPECT_NE(gtx_first.final_ms, a100.final_ms);
+
+    // Replaying the gtx request bypasses the memo cache (cleared) but hits
+    // the trained-policy cache: training for the a100 in between must not
+    // have clobbered the gtx policy — bit-identical inference proves the
+    // cache is keyed by device.
+    service.clear_cache();
+    const Optimize_result gtx_again = service.optimize("xrlflow", g);
+    EXPECT_FALSE(gtx_again.from_cache);
+    EXPECT_EQ(gtx_again.final_ms, gtx_first.final_ms);
+    EXPECT_EQ(gtx_again.best_graph.canonical_hash(), gtx_first.best_graph.canonical_hash());
+}
+
+} // namespace
+} // namespace xrl

@@ -61,7 +61,7 @@ TEST(OptimizerRegistry, UnknownBackendThrowsWithKnownNames)
     const Rule_set rules = standard_rule_corpus();
     const Cost_model cost(gtx1080_profile());
     try {
-        make_optimizer("nope", api_context(rules, cost));
+        make_optimizer("nope", api_context(rules));
         FAIL() << "expected std::invalid_argument";
     } catch (const std::invalid_argument& e) {
         EXPECT_NE(std::string(e.what()).find("taso"), std::string::npos);
@@ -88,7 +88,7 @@ TEST(OptimizerRegistry, EveryBackendReturnsPopulatedResult)
     const Cost_model cost(gtx1080_profile());
     // Tiny budgets: this exercises plumbing, not search quality.
     const Optimizer_context context = api_context(
-        rules, cost,
+        rules,
         {{"taso.budget", 10}, {"pet.budget", 10}, {"tensat.max_iterations", 2},
          {"xrlflow.episodes", 1}, {"xrlflow.max_steps", 6}});
     for (const std::string& name : Optimizer_registry::built_in().names()) {
@@ -119,7 +119,7 @@ TEST(OptimizerParity, TasoAdapterMatchesLegacyResult)
     config.budget = 20;
     const Taso_result legacy = optimise_taso(g, rules, cost, config);
 
-    const auto taso = make_optimizer("taso", api_context(rules, cost, {{"taso.budget", 20}}));
+    const auto taso = make_optimizer("taso", api_context(rules, {{"taso.budget", 20}}));
     const Optimize_result unified = taso->optimize(g, {});
 
     EXPECT_EQ(unified.initial_ms, legacy.initial_cost_ms);
@@ -138,7 +138,7 @@ TEST(OptimizerParity, PetAdapterMatchesLegacyResult)
     const Pet_result legacy = optimise_pet(g, cost, config);
 
     const Rule_set rules = standard_rule_corpus();
-    const auto pet = make_optimizer("pet", api_context(rules, cost, {{"pet.budget", 10}}));
+    const auto pet = make_optimizer("pet", api_context(rules, {{"pet.budget", 10}}));
     const Optimize_result unified = pet->optimize(g, {});
 
     EXPECT_EQ(unified.final_ms, legacy.honest_cost_ms);
@@ -161,7 +161,7 @@ TEST(OptimizerParity, TensatAdapterMatchesLegacyResult)
 
     const Rule_set rules = standard_rule_corpus();
     const auto tensat =
-        make_optimizer("tensat", api_context(rules, cost, {{"tensat.max_iterations", 3}}));
+        make_optimizer("tensat", api_context(rules, {{"tensat.max_iterations", 3}}));
     const Optimize_result unified = tensat->optimize(g, {});
 
     EXPECT_EQ(unified.initial_ms, legacy.initial_cost_ms);
@@ -193,7 +193,7 @@ TEST(OptimizerParity, XrlflowAdapterMatchesLegacyGreedyRollout)
     const Optimisation_outcome legacy = legacy_system.optimise(g);
 
     const auto xrlflow =
-        make_optimizer("xrlflow", api_context(rules, cost, {{"xrlflow.episodes", 0}}));
+        make_optimizer("xrlflow", api_context(rules, {{"xrlflow.episodes", 0}}));
     Optimize_request request;
     request.seed = 11;
     request.deterministic = true;
@@ -214,7 +214,7 @@ TEST(OptimizeRequest, ProgressCallbackCancelsSearch)
     const Graph g = projection_graph();
     const Rule_set rules = standard_rule_corpus();
     const Cost_model cost(gtx1080_profile());
-    const auto taso = make_optimizer("taso", api_context(rules, cost));
+    const auto taso = make_optimizer("taso", api_context(rules));
 
     int calls = 0;
     Optimize_request request;
@@ -237,7 +237,7 @@ TEST(OptimizeRequest, TimeBudgetStopsSearch)
     const Graph g = projection_graph();
     const Rule_set rules = standard_rule_corpus();
     const Cost_model cost(gtx1080_profile());
-    const auto taso = make_optimizer("taso", api_context(rules, cost, {{"taso.budget", 100000}}));
+    const auto taso = make_optimizer("taso", api_context(rules, {{"taso.budget", 100000}}));
     Optimize_request request;
     request.time_budget_seconds = 1e-9; // expires before the first pop
     const Optimize_result result = taso->optimize(g, request);
@@ -252,7 +252,7 @@ TEST(OptimizeRequest, CancellationReachesXrlflowInference)
     const Rule_set rules = standard_rule_corpus();
     const Cost_model cost(gtx1080_profile());
     const auto xrlflow =
-        make_optimizer("xrlflow", api_context(rules, cost, {{"xrlflow.episodes", 0}}));
+        make_optimizer("xrlflow", api_context(rules, {{"xrlflow.episodes", 0}}));
     Optimize_request request;
     request.on_progress = [](const Optimize_progress&) { return false; };
     const Optimize_result result = xrlflow->optimize(g, request);

@@ -44,7 +44,7 @@ TEST(Taso, ImprovesCostOnOptimisableGraph)
     const Graph g = optimisable_graph();
     const Cost_model cost(gtx1080_profile());
     const Rule_set rules = standard_rule_corpus();
-    const auto taso = make_optimizer("taso", api_context(rules, cost, {{"taso.budget", 30}}));
+    const auto taso = make_optimizer("taso", api_context(rules, {{"taso.budget", 30}}));
     const Optimize_result result = taso->optimize(g, {});
     EXPECT_LT(result.final_ms, result.initial_ms);
     EXPECT_GT(result.speedup(), 1.0);
@@ -58,7 +58,7 @@ TEST(Taso, OptimisedGraphPreservesSemantics)
     const Graph g = optimisable_graph();
     const Cost_model cost(gtx1080_profile());
     const Rule_set rules = standard_rule_corpus();
-    const auto taso = make_optimizer("taso", api_context(rules, cost, {{"taso.budget", 30}}));
+    const auto taso = make_optimizer("taso", api_context(rules, {{"taso.budget", 30}}));
     const Optimize_result result = taso->optimize(g, {});
 
     Rng rng(321);
@@ -75,7 +75,7 @@ TEST(Taso, RespectsBudget)
     const Graph g = optimisable_graph();
     const Cost_model cost(gtx1080_profile());
     const Rule_set rules = standard_rule_corpus();
-    const auto taso = make_optimizer("taso", api_context(rules, cost));
+    const auto taso = make_optimizer("taso", api_context(rules));
     Optimize_request request;
     request.iteration_budget = 1;
     const Optimize_result result = taso->optimize(g, request);
@@ -87,7 +87,7 @@ TEST(Taso, NoRulesMeansNoChange)
     const Graph g = optimisable_graph();
     const Cost_model cost(gtx1080_profile());
     const Rule_set empty;
-    const auto taso = make_optimizer("taso", api_context(empty, cost));
+    const auto taso = make_optimizer("taso", api_context(empty));
     const Optimize_result result = taso->optimize(g, {});
     EXPECT_EQ(result.final_ms, result.initial_ms);
     EXPECT_EQ(result.best_graph.canonical_hash(), g.canonical_hash());
@@ -267,7 +267,7 @@ TEST(Tensat, OptimisesAndValidates)
     const Cost_model cost(gtx1080_profile());
     const Rule_set rules = standard_rule_corpus();
     const auto tensat =
-        make_optimizer("tensat", api_context(rules, cost, {{"tensat.max_iterations", 4}}));
+        make_optimizer("tensat", api_context(rules, {{"tensat.max_iterations", 4}}));
     const Optimize_result result = tensat->optimize(g, {});
     EXPECT_LE(result.final_ms, result.initial_ms);
     EXPECT_NO_THROW(result.best_graph.validate());
@@ -395,7 +395,7 @@ TEST(Pet, OptimiserRunsAndReportsBothCosts)
     const Graph g = optimisable_graph();
     const Cost_model cost(gtx1080_profile());
     const Rule_set rules = standard_rule_corpus();
-    const auto pet = make_optimizer("pet", api_context(rules, cost, {{"pet.budget", 15}}));
+    const auto pet = make_optimizer("pet", api_context(rules, {{"pet.budget", 15}}));
     const Optimize_result result = pet->optimize(g, {});
     EXPECT_NO_THROW(result.best_graph.validate());
     // The unified latency fields report the honest cost model; PET's own

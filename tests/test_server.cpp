@@ -4,6 +4,8 @@
 // direct Optimization_service::optimize calls.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <limits>
 #include <memory>
@@ -11,10 +13,12 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/optimization_service.h"
 #include "ir/builder.h"
+#include "serve/router.h"
 #include "serve/server.h"
 
 namespace xrl {
@@ -503,6 +507,342 @@ TEST(RequestValidation, MalformedRequestsRejectedByServiceAndServer)
     // Nothing above was enqueued or counted as a miss.
     EXPECT_EQ(server.queue_depth(), 0u);
     EXPECT_EQ(service.cache_misses(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Per-device isolation on one server
+// ---------------------------------------------------------------------------
+
+TEST(OptimizationServer, SameGraphOnDifferentDevicesNeverCoalescesOrSharesCache)
+{
+    Optimization_server server(smoke_server());
+    const Graph g = projection_graph();
+
+    Gate gate;
+    Optimize_request gated;
+    gated.on_progress = gate.callback();
+    const Job_handle primary = server.submit("taso", g, gated); // default device (gtx1080)
+    gate.await_entered();
+
+    // Same graph, same backend, same budgets — but a different target
+    // device: different work, must not attach to the in-flight job.
+    Optimize_request on_a100;
+    on_a100.device = "a100-sim";
+    const Job_handle other_device = server.submit("taso", g, on_a100);
+    EXPECT_FALSE(other_device.coalesced());
+
+    // The identical-device duplicate still coalesces.
+    const Job_handle same_device = server.submit("taso", g);
+    EXPECT_TRUE(same_device.coalesced());
+
+    gate.release();
+    const Optimize_result gtx = primary.wait();
+    const Optimize_result a100 = other_device.wait();
+    server.drain();
+    EXPECT_EQ(gtx.device, "gtx1080-sim");
+    EXPECT_EQ(a100.device, "a100-sim");
+    EXPECT_NE(gtx.final_ms, a100.final_ms);
+
+    // Two real searches ran (one per device); and each device replays from
+    // its own memo entry afterwards.
+    EXPECT_EQ(server.service().cache_misses(), 2u);
+    EXPECT_TRUE(server.submit("taso", g).wait().from_cache);
+    EXPECT_TRUE(server.submit("taso", g, on_a100).wait().from_cache);
+    const Server_stats stats = server.stats();
+    EXPECT_EQ(stats.coalesced, 1u);
+    EXPECT_EQ(stats.cache_hits, 2u);
+}
+
+TEST(OptimizationServer, UnknownDeviceRejectedBeforeEnqueue)
+{
+    Optimization_server server(smoke_server());
+    Optimize_request request;
+    request.device = "h100-sim";
+    EXPECT_THROW(server.submit("taso", quickstart_graph(), request), std::invalid_argument);
+    EXPECT_EQ(server.queue_depth(), 0u);
+    EXPECT_EQ(server.stats().submitted, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming progress
+// ---------------------------------------------------------------------------
+
+TEST(OptimizationServer, ProgressSnapshotsReachEveryCoalescedWaiter)
+{
+    Server_config config = smoke_server();
+    config.service.backend_options["taso.budget"] = 25;
+    Optimization_server server(config);
+    const Graph g = projection_graph();
+
+    Gate gate;
+    Optimize_request gated;
+    gated.on_progress = gate.callback();
+    Job_handle primary = server.submit("taso", g, gated);
+    gate.await_entered(); // at least one snapshot has been recorded
+
+    // A coalesced duplicate — whose own request carries no callback at all
+    // — can watch the shared search.
+    Job_handle attached = server.submit("taso", g);
+    ASSERT_TRUE(attached.coalesced());
+    auto observed = std::make_shared<std::atomic<int>>(0);
+    attached.on_progress([observed](const Optimize_progress& progress) {
+        EXPECT_EQ(progress.backend, "taso");
+        observed->fetch_add(1);
+    });
+
+    // The last snapshot is poll-able mid-flight from *any* handle.
+    EXPECT_TRUE(primary.progress().has_value());
+    EXPECT_TRUE(attached.progress().has_value());
+
+    gate.release();
+    const Optimize_result result = attached.wait();
+    server.drain();
+    EXPECT_FALSE(result.cancelled);
+    EXPECT_GT(observed->load(), 0); // the waiter streamed snapshots it never asked the backend for
+    EXPECT_GE(attached.progress()->step, 0);
+
+    // After the job resolves, late observers are a no-op (never fire).
+    attached.on_progress([observed](const Optimize_progress&) { observed->fetch_add(1000); });
+    EXPECT_LT(observed->load(), 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Queue-aware budgets
+// ---------------------------------------------------------------------------
+
+TEST(OptimizationServer, DequeuePastDeadlineClampsBudgetToNothing)
+{
+    Server_config config = smoke_server();
+    config.service.backend_options["taso.budget"] = 100000; // would run ~forever
+    config.start_paused = true;
+    config.queue.policy = Queue_policy::earliest_deadline;
+    Optimization_server server(config);
+
+    Job_handle handle =
+        server.submit("taso", projection_graph(), {}, {.deadline_seconds = 0.01});
+    std::this_thread::sleep_for(std::chrono::milliseconds(30)); // deadline passes while queued
+    server.resume();
+    const Optimize_result result = handle.wait();
+    server.drain();
+
+    // EDF only ordered the queue before; now the dequeue clamps the wall
+    // budget to the time remaining — here none — so the search stops at
+    // its first heartbeat instead of running its 100000-iteration budget.
+    EXPECT_TRUE(result.cancelled);
+    EXPECT_EQ(result.steps, 0);
+    EXPECT_EQ(result.best_graph.canonical_hash(), projection_graph().canonical_hash());
+    EXPECT_EQ(server.service().cache_size(), 0u); // cut-short runs are never cached
+}
+
+TEST(OptimizationServer, NoDeadlineWaiterDisarmsTheClampAndGetsTheFullSearch)
+{
+    Server_config config = smoke_server();
+    config.start_paused = true;
+    config.queue.policy = Queue_policy::earliest_deadline;
+    Optimization_server server(config);
+    const Graph g = projection_graph();
+
+    // The primary asked for a deadline that will expire while queued; the
+    // coalesced duplicate asked for none. The duplicate is owed a result
+    // identical to a direct call, so the dequeue-time clamp must not
+    // engage — deadlines can tighten the *ordering*, never another
+    // waiter's result.
+    Job_handle primary = server.submit("taso", g, {}, {.deadline_seconds = 0.01});
+    Job_handle relaxed = server.submit("taso", g);
+    ASSERT_TRUE(relaxed.coalesced());
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    server.resume();
+    const Optimize_result result = relaxed.wait();
+    server.drain();
+    EXPECT_FALSE(result.cancelled);
+
+    Optimization_service direct(smoke_service());
+    const Optimize_result reference = direct.optimize("taso", g);
+    EXPECT_EQ(result.best_graph.canonical_hash(), reference.best_graph.canonical_hash());
+    EXPECT_EQ(result.final_ms, reference.final_ms);
+    EXPECT_EQ(result.steps, reference.steps);
+}
+
+TEST(OptimizationServer, ClampedRunningJobAcceptsDeadlineWaitersButNotDeadlineFreeOnes)
+{
+    Optimization_server server(smoke_server());
+    const Graph g = projection_graph();
+
+    Gate gate;
+    Optimize_request gated;
+    gated.on_progress = gate.callback();
+    // Unlimited wall budget + a deadline => the dequeue clamp tightens the
+    // budget, so the running job is marked budget-clamped.
+    Job_handle primary = server.submit("taso", g, gated, {.deadline_seconds = 120.0});
+    gate.await_entered();
+
+    // A deadline-carrying duplicate opted into SLA semantics: it attaches.
+    const Job_handle sla = server.submit("taso", g, {}, {.deadline_seconds = 60.0});
+    EXPECT_TRUE(sla.coalesced());
+    // A deadline-free duplicate is owed the full search: it runs its own.
+    const Job_handle full = server.submit("taso", g);
+    EXPECT_FALSE(full.coalesced());
+
+    gate.release();
+    server.drain();
+    EXPECT_FALSE(primary.wait().cancelled); // 120 s was generous; nothing truncated
+    EXPECT_FALSE(full.wait().cancelled);
+}
+
+TEST(OptimizationServer, GenerousDeadlineLeavesResultIdenticalToDirectCall)
+{
+    Optimization_server server(smoke_server());
+    const Graph g = quickstart_graph();
+    const Optimize_result served =
+        server.submit("taso", g, {}, {.deadline_seconds = 120.0}).wait();
+    server.drain();
+    EXPECT_FALSE(served.cancelled);
+
+    Optimization_service direct(smoke_service());
+    const Optimize_result reference = direct.optimize("taso", g);
+    EXPECT_EQ(served.best_graph.canonical_hash(), reference.best_graph.canonical_hash());
+    EXPECT_EQ(served.final_ms, reference.final_ms);
+    EXPECT_EQ(served.steps, reference.steps);
+}
+
+// ---------------------------------------------------------------------------
+// Optimization_router
+// ---------------------------------------------------------------------------
+
+Router_config two_shard_fleet()
+{
+    Router_config config;
+    Shard_config gtx_shard;
+    gtx_shard.server = smoke_server();
+    gtx_shard.device_affinity = {"gtx1080-sim"};
+    Shard_config a100_shard;
+    a100_shard.server = smoke_server();
+    a100_shard.device_affinity = {"a100-sim"};
+    config.shards = {gtx_shard, a100_shard};
+    return config;
+}
+
+TEST(OptimizationRouter, RoutesByDeviceAffinity)
+{
+    Optimization_router router(two_shard_fleet());
+    const Graph g = quickstart_graph();
+
+    Optimize_request on_gtx; // default device resolves to gtx1080
+    Optimize_request on_a100;
+    on_a100.device = "a100-sim";
+    EXPECT_EQ(router.route("taso", g, on_gtx), 0u);
+    EXPECT_EQ(router.route("taso", g, on_a100), 1u);
+    // Deterministic: the same request always lands on the same shard.
+    EXPECT_EQ(router.route("taso", g, on_a100), router.route("taso", g, on_a100));
+
+    const Optimize_result gtx = router.submit("taso", g, on_gtx).wait();
+    const Optimize_result a100 = router.submit("taso", g, on_a100).wait();
+    router.drain();
+    EXPECT_EQ(gtx.device, "gtx1080-sim");
+    EXPECT_EQ(a100.device, "a100-sim");
+
+    const Router_stats stats = router.stats();
+    EXPECT_EQ(stats.submitted, 2u);
+    EXPECT_EQ(stats.affinity_routed, 2u);
+    EXPECT_EQ(stats.hash_routed, 0u);
+    EXPECT_EQ(stats.routed_to, (std::vector<std::uint64_t>{1, 1}));
+    EXPECT_EQ(stats.total.completed, 2u);
+    EXPECT_EQ(stats.shards.size(), 2u);
+    EXPECT_EQ(stats.shards[0].completed, 1u);
+    EXPECT_EQ(stats.shards[1].completed, 1u);
+}
+
+TEST(OptimizationRouter, UnclaimedDeviceFallsBackToDeterministicHash)
+{
+    // Neither shard claims the a100: both registries still hold it (the
+    // standard pair), so hash fallback spreads — deterministically — across
+    // the whole fleet.
+    Router_config config = two_shard_fleet();
+    config.shards[1].device_affinity = {"gtx1080-sim"};
+    Optimization_router router(config);
+
+    Optimize_request on_a100;
+    on_a100.device = "a100-sim";
+    const std::size_t target = router.route("taso", quickstart_graph(), on_a100);
+    EXPECT_LT(target, 2u);
+    EXPECT_EQ(router.route("taso", quickstart_graph(), on_a100), target);
+
+    const Optimize_result result = router.submit("taso", quickstart_graph(), on_a100).wait();
+    router.drain();
+    EXPECT_EQ(result.device, "a100-sim");
+    const Router_stats stats = router.stats();
+    EXPECT_EQ(stats.hash_routed, 1u);
+    EXPECT_EQ(stats.affinity_routed, 0u);
+}
+
+TEST(OptimizationRouter, HashFallbackOnlyConsidersShardsThatCanServeTheDevice)
+{
+    // Heterogeneous fleet: shard 1 never registered the a100. With no
+    // affinity anywhere, a100 traffic must hash-spread across *capable*
+    // shards only — landing it on shard 1 would reject a servable request.
+    Router_config config = two_shard_fleet();
+    config.shards[0].device_affinity = {};
+    config.shards[1].device_affinity = {};
+    config.shards[1].server.service.devices = {gtx1080_profile()};
+    Optimization_router router(config);
+
+    Optimize_request on_a100;
+    on_a100.device = "a100-sim";
+    for (int i = 1; i <= 4; ++i)
+        EXPECT_EQ(router.route("taso", variant_graph(i), on_a100), 0u) << i;
+    const Optimize_result result = router.submit("taso", quickstart_graph(), on_a100).wait();
+    router.drain();
+    EXPECT_EQ(result.device, "a100-sim");
+    EXPECT_EQ(router.stats().hash_routed, 1u);
+}
+
+TEST(OptimizationRouter, DefaultDeviceIsPinnedBeforeHeterogeneousShardsResolveIt)
+{
+    // Shard 1 claims the gtx1080 but *defaults* to the a100: a
+    // default-device request routes as shard 0's default (gtx1080) and
+    // must be optimised for that device by whichever shard executes it.
+    Router_config config = two_shard_fleet();
+    config.shards[0].device_affinity = {};
+    config.shards[1].device_affinity = {"gtx1080-sim"};
+    config.shards[1].server.service.default_device = "a100-sim";
+    Optimization_router router(config);
+
+    const Graph g = quickstart_graph();
+    EXPECT_EQ(router.route("taso", g), 1u); // affinity sends it to the a100-defaulting shard
+    const Optimize_result result = router.submit("taso", g).wait();
+    router.drain();
+    EXPECT_EQ(result.device, "gtx1080-sim");
+}
+
+TEST(OptimizationRouter, RejectsEmptyFleetAndUnservableAffinity)
+{
+    EXPECT_THROW(Optimization_router(Router_config{}), std::invalid_argument);
+
+    Router_config config = two_shard_fleet();
+    config.shards[0].device_affinity = {"h100-sim"}; // not in that shard's registry
+    EXPECT_THROW(Optimization_router(std::move(config)), std::invalid_argument);
+}
+
+TEST(OptimizationRouter, RoutedResultsBitIdenticalToDirectPerDeviceServiceCalls)
+{
+    Optimization_router router(two_shard_fleet());
+    Optimization_service direct(smoke_service());
+    const Graph g = projection_graph();
+
+    for (const std::string& backend : direct.backends()) {
+        for (const std::string& device : {std::string("gtx1080-sim"), std::string("a100-sim")}) {
+            Optimize_request request;
+            request.device = device;
+            const Optimize_result routed = router.submit(backend, g, request).wait();
+            const Optimize_result reference = direct.optimize(backend, g, request);
+            EXPECT_EQ(routed.best_graph.canonical_hash(), reference.best_graph.canonical_hash())
+                << backend << " on " << device;
+            EXPECT_EQ(routed.final_ms, reference.final_ms) << backend << " on " << device;
+            EXPECT_EQ(routed.initial_ms, reference.initial_ms) << backend << " on " << device;
+            EXPECT_EQ(routed.device, device) << backend;
+        }
+    }
+    router.drain();
 }
 
 // ---------------------------------------------------------------------------
