@@ -1,0 +1,174 @@
+// Warm-start persistence benchmark: cold process vs restarted-with-state
+// time-to-first-result.
+//
+// Phase 1 (cold) starts a server over an empty State_store directory and
+// submits an xrlflow request — the search trains a policy from scratch —
+// then drains, which snapshots the memo table (the policy was written
+// through when training finished). Phase 2 (warm restart) rebuilds the
+// whole stack over the same directory, as a process restart would, and
+// replays the identical request: the memo import answers it without any
+// search. Phase 3 (policy-only warm start) deletes the memo snapshot but
+// keeps the policies, forcing a real inference pass that skips only the
+// dominant cost — training.
+//
+// Parity gates (always on): the memo-served result must be bit-identical
+// to the cold one (modulo the from_cache stamp), and the policy-only rerun
+// must reproduce the cold search's deterministic outcome exactly. Emits
+// BENCH_warmstart.json (path overridable via argv[1]).
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "bench_common.h"
+#include "core/result_serial.h"
+#include "ir/builder.h"
+#include "serve/server.h"
+#include "serve/state_store.h"
+
+namespace {
+
+using namespace xrl;
+using xrlbench::print_header;
+
+double seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+/// Training-dominated smoke configuration: enough PPO episodes that the
+/// cold phase visibly pays for what the warm phases reuse.
+Server_config warm_start_server(std::shared_ptr<State_store> store)
+{
+    Server_config config;
+    config.service.backend_options = {{"xrlflow.episodes", 4},
+                                      {"xrlflow.max_steps", 10},
+                                      {"xrlflow.hidden_dim", 8},
+                                      {"xrlflow.max_candidates", 15}};
+    config.state_store = std::move(store);
+    return config;
+}
+
+/// Byte identity modulo the per-hit from_cache stamp.
+std::string fingerprint(Optimize_result result)
+{
+    result.from_cache = false;
+    return result_to_bytes(result);
+}
+
+std::string graph_fingerprint(const Graph& graph)
+{
+    Byte_writer out;
+    serialise_graph_binary(out, graph);
+    return out.take();
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const std::string json_path = argc > 1 ? argv[1] : "BENCH_warmstart.json";
+
+    print_header("Warm start: cold training vs checkpointed restart (time-to-first-result)");
+
+    namespace fs = std::filesystem;
+    const fs::path store_dir = fs::temp_directory_path() / "xrlflow_bench_warm_start";
+    fs::remove_all(store_dir);
+
+    // The attention-projection graph: small enough for CI, rich enough
+    // that the xrlflow environment has real rewrites to learn.
+    Graph_builder b;
+    const Edge x = b.input({8, 32}, "x");
+    const Edge wq = b.weight({32, 16});
+    const Edge wk = b.weight({32, 16});
+    const Graph graph = b.finish({b.add(b.relu(b.matmul(x, wq)), b.relu(b.matmul(x, wk)))});
+
+    // -- phase 1: cold process — trains, then checkpoints ------------------
+    Optimize_result cold_result;
+    double cold_seconds = 0.0;
+    {
+        auto store = std::make_shared<State_store>(State_store_config{store_dir.string()});
+        Optimization_server server(warm_start_server(store));
+        const auto start = std::chrono::steady_clock::now();
+        cold_result = server.submit("xrlflow", graph).wait();
+        cold_seconds = seconds_since(start);
+        server.drain(); // memo snapshot; the policy persisted at train time
+    }
+
+    // -- phase 2: restart with full state — memo answers, no search -------
+    Optimize_result memo_result;
+    double warm_memo_seconds = 0.0;
+    {
+        auto store = std::make_shared<State_store>(State_store_config{store_dir.string()});
+        Optimization_server server(warm_start_server(store));
+        const auto start = std::chrono::steady_clock::now();
+        memo_result = server.submit("xrlflow", graph).wait();
+        warm_memo_seconds = seconds_since(start);
+    }
+
+    // -- phase 3: restart with policies only — inference without training --
+    fs::remove((store_dir / "memo.xrls"));
+    Optimize_result policy_result;
+    double warm_policy_seconds = 0.0;
+    std::size_t policy_hits = 0;
+    {
+        auto store = std::make_shared<State_store>(State_store_config{store_dir.string()});
+        Optimization_server server(warm_start_server(store));
+        const auto start = std::chrono::steady_clock::now();
+        policy_result = server.submit("xrlflow", graph).wait();
+        warm_policy_seconds = seconds_since(start);
+        policy_hits = store->stats().policy_hits;
+    }
+    fs::remove_all(store_dir);
+
+    // -- parity gates ------------------------------------------------------
+    // Memo-served: bit-identical to the cold result (the acceptance bar).
+    const bool memo_parity =
+        memo_result.from_cache && fingerprint(memo_result) == fingerprint(cold_result);
+    // Policy-only: the deterministic search outcome is reproduced exactly;
+    // wall-clock fields legitimately differ because inference re-ran.
+    const bool policy_parity =
+        policy_hits == 1 &&
+        graph_fingerprint(policy_result.best_graph) == graph_fingerprint(cold_result.best_graph) &&
+        policy_result.final_ms == cold_result.final_ms &&
+        policy_result.steps == cold_result.steps &&
+        policy_result.rule_counts == cold_result.rule_counts;
+
+    const double memo_speedup = warm_memo_seconds > 0.0 ? cold_seconds / warm_memo_seconds : 0.0;
+    const double policy_speedup =
+        warm_policy_seconds > 0.0 ? cold_seconds / warm_policy_seconds : 0.0;
+
+    std::printf("%-38s %9.3fs\n", "cold time-to-first-result", cold_seconds);
+    std::printf("%-38s %9.3fs (%.0fx)\n", "warm restart (memo + policy)", warm_memo_seconds,
+                memo_speedup);
+    std::printf("%-38s %9.3fs (%.1fx)\n", "warm restart (policy only)", warm_policy_seconds,
+                policy_speedup);
+    std::printf("%-38s %9.3fs\n", "training time the restarts skipped",
+                cold_result.metadata.count("training_seconds")
+                    ? cold_result.metadata.at("training_seconds")
+                    : 0.0);
+    std::printf("%-38s %10s\n", "memo parity (bit-identical)", memo_parity ? "ok" : "MISMATCH");
+    std::printf("%-38s %10s\n", "policy parity (same outcome)", policy_parity ? "ok" : "MISMATCH");
+
+    std::ofstream json(json_path);
+    json << "{\n"
+         << "  \"cold_seconds\": " << cold_seconds << ",\n"
+         << "  \"warm_memo_seconds\": " << warm_memo_seconds << ",\n"
+         << "  \"warm_policy_seconds\": " << warm_policy_seconds << ",\n"
+         << "  \"memo_speedup\": " << memo_speedup << ",\n"
+         << "  \"policy_speedup\": " << policy_speedup << ",\n"
+         << "  \"memo_parity\": " << (memo_parity ? "true" : "false") << ",\n"
+         << "  \"policy_parity\": " << (policy_parity ? "true" : "false") << "\n"
+         << "}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+
+    // Acceptance: both parity gates hold, and the memo-backed restart beats
+    // the cold path outright (it skips search *and* training; 2x is a
+    // deliberately loose floor for noisy CI hosts).
+    const bool pass = memo_parity && policy_parity && memo_speedup >= 2.0;
+    if (!pass) std::cerr << "ACCEPTANCE FAILED\n";
+    return pass ? 0 : 1;
+}

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <fstream>
+#include <istream>
+#include <ostream>
 
 #include "support/check.h"
 
@@ -13,9 +15,8 @@ constexpr std::uint64_t checkpoint_magic = 0x78726c666c6f7731ULL; // "xrlflow1"
 
 } // namespace
 
-void save_parameters(const std::string& path, const std::vector<Parameter*>& parameters)
+void save_parameters(std::ostream& os, const std::vector<Parameter*>& parameters)
 {
-    std::ofstream os(path, std::ios::binary);
     XRL_EXPECTS(os.good());
     const std::uint64_t magic = checkpoint_magic;
     const std::uint64_t count = parameters.size();
@@ -32,9 +33,8 @@ void save_parameters(const std::string& path, const std::vector<Parameter*>& par
     XRL_ENSURES(os.good());
 }
 
-void load_parameters(const std::string& path, const std::vector<Parameter*>& parameters)
+void load_parameters(std::istream& is, const std::vector<Parameter*>& parameters)
 {
-    std::ifstream is(path, std::ios::binary);
     XRL_EXPECTS(is.good());
     std::uint64_t magic = 0;
     std::uint64_t count = 0;
@@ -54,6 +54,18 @@ void load_parameters(const std::string& path, const std::vector<Parameter*>& par
         p->zero_grad();
     }
     XRL_EXPECTS(is.good());
+}
+
+void save_parameters(const std::string& path, const std::vector<Parameter*>& parameters)
+{
+    std::ofstream os(path, std::ios::binary);
+    save_parameters(os, parameters);
+}
+
+void load_parameters(const std::string& path, const std::vector<Parameter*>& parameters)
+{
+    std::ifstream is(path, std::ios::binary);
+    load_parameters(is, parameters);
 }
 
 } // namespace xrl

@@ -1,7 +1,9 @@
 // Binary (de)serialisation of parameter sets — lets the generalisation
-// experiments (Figure 7) train once and reuse the policy.
+// experiments (Figure 7) train once and reuse the policy, and gives the
+// warm-start state store (serve/state_store.h) its policy payload format.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -14,5 +16,12 @@ void save_parameters(const std::string& path, const std::vector<Parameter*>& par
 /// Shapes must match the checkpoint exactly; throws Contract_violation
 /// otherwise.
 void load_parameters(const std::string& path, const std::vector<Parameter*>& parameters);
+
+/// Stream forms of the same format (the file forms delegate to these). The
+/// state store uses them to move policies through in-memory blobs instead
+/// of paths; values round-trip bit-exactly, so a restored policy's
+/// inference is bit-identical to the trained one's.
+void save_parameters(std::ostream& os, const std::vector<Parameter*>& parameters);
+void load_parameters(std::istream& is, const std::vector<Parameter*>& parameters);
 
 } // namespace xrl

@@ -24,6 +24,7 @@ Optimization_service::Optimization_service(Service_config config)
     context_.rules = &rules_;
     context_.devices = &devices_;
     context_.options = config_.backend_options;
+    context_.policy_store = config_.policy_store.get();
 }
 
 std::vector<std::string> Optimization_service::backends() const
@@ -189,6 +190,37 @@ void Optimization_service::clear_cache()
     std::lock_guard<std::mutex> lock(mutex_);
     cache_.clear();
     cache_order_.clear();
+}
+
+std::vector<Optimization_service::Memo_entry> Optimization_service::export_memo() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Memo_entry> entries;
+    entries.reserve(cache_order_.size());
+    for (const std::string& key : cache_order_) {
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) entries.push_back({key, it->second});
+    }
+    return entries;
+}
+
+std::size_t Optimization_service::import_memo(const std::vector<Memo_entry>& entries)
+{
+    if (config_.cache_capacity == 0) return 0;
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t imported = 0;
+    for (const Memo_entry& entry : entries) {
+        Optimize_result result = entry.result;
+        result.from_cache = false; // stamped per hit, never stored
+        if (!cache_.emplace(entry.key, std::move(result)).second) continue;
+        cache_order_.push_back(entry.key);
+        ++imported;
+        while (cache_order_.size() > config_.cache_capacity) {
+            cache_.erase(cache_order_.front());
+            cache_order_.pop_front();
+        }
+    }
+    return imported;
 }
 
 std::size_t Optimization_service::backend_instances(const std::string& backend) const

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/optimizer_api.h"
+#include "core/policy_store.h"
 #include "cost/device_registry.h"
 #include "cost/e2e_simulator.h"
 #include "rules/rule.h"
@@ -49,6 +50,13 @@ struct Service_config {
     /// one-off burst does not pin peak-concurrency memory — xrlflow
     /// instances in particular carry trained-policy caches).
     std::size_t max_idle_per_backend = 4;
+
+    /// Warm-start persistence for backends that train (the xrlflow
+    /// trained-policy cache): policies are looked up here before training
+    /// and offered back after. Shared so the serving layer can hand one
+    /// store (serve/state_store.h) to many services. Null = no
+    /// persistence.
+    std::shared_ptr<Policy_store> policy_store;
 };
 
 /// One backend's entry in an optimize_all comparison: the unified result
@@ -130,6 +138,29 @@ public:
     std::size_t cache_misses() const;
     std::size_t cache_size() const;
     void clear_cache();
+
+    /// One memo-table entry in persistable form: the full memo key and the
+    /// result exactly as cached (`from_cache` clear — the flag is stamped
+    /// per hit, not stored).
+    struct Memo_entry {
+        std::string key;
+        Optimize_result result;
+    };
+
+    /// Snapshot the memo table in FIFO (insertion) order, so a restore
+    /// into an equally-sized cache evicts in the same order the original
+    /// would have. Safe alongside concurrent optimize() traffic.
+    std::vector<Memo_entry> export_memo() const;
+
+    /// Seed the memo table (warm restart). Entries whose key is already
+    /// present are skipped — live results outrank a snapshot — capacity
+    /// and FIFO eviction apply as usual, and the hit/miss counters are
+    /// untouched (imports are not traffic). Returns how many entries were
+    /// inserted. Keys must come from the same service configuration:
+    /// memo keys do not cover backend_options, so snapshots only make
+    /// sense between services configured identically (the state store
+    /// documents this contract).
+    std::size_t import_memo(const std::vector<Memo_entry>& entries);
 
     /// Optimizer instances created so far for `backend` (tests observe that
     /// concurrency widens the pool and serial reuse does not).

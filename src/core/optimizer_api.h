@@ -110,9 +110,17 @@ struct Optimize_result {
 /// (Optimization_service owns both and guarantees this). There is no
 /// per-context cost model any more: a backend resolves its cost model from
 /// the registry per request, keyed by the request's Target_device.
+class Policy_store; // core/policy_store.h
+
 struct Optimizer_context {
     const Rule_set* rules = nullptr;
     const Device_registry* devices = nullptr;
+
+    /// Optional warm-start persistence for backends that train (xrlflow):
+    /// trained policies are offered to the store and looked up before
+    /// training. Null = no persistence. Must outlive optimizers created
+    /// from the context (Optimization_service holds it via its config).
+    Policy_store* policy_store = nullptr;
 
     /// Backend-specific knobs, namespaced by backend ("taso.alpha",
     /// "tensat.max_iterations", "xrlflow.episodes", ...). Unknown keys are

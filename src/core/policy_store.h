@@ -1,0 +1,35 @@
+// Policy_store: where trained policies outlive the process.
+//
+// X-RLflow's distinguishing production property is that a trained policy
+// is reusable — the paper's Figure 7 generalisation rests on it — so
+// retraining on every server restart throws away exactly the state the RL
+// backend exists to accumulate. This interface is the backend-facing
+// half of warm-start persistence: the xrlflow adapter offers every policy
+// it trains to the store and asks the store before training a new one.
+//
+// Keys and payloads are deliberately opaque strings: the backend composes
+// a key naming everything that identifies a policy — model hash, device
+// fingerprint, seed, training episodes, and the agent architecture — and
+// a payload via checkpoint.h's stream serialisers. The store (the
+// serving layer's State_store) adds versioning, checksums, atomic writes
+// and age eviction without either side knowing the other's format.
+#pragma once
+
+#include <string>
+
+namespace xrl {
+
+class Policy_store {
+public:
+    virtual ~Policy_store() = default;
+
+    /// Fill `*blob` with the policy stored under `key`; false = miss. A
+    /// store may decline entries it no longer trusts (age, corruption) —
+    /// a miss always just means "train from scratch".
+    virtual bool fetch_policy(const std::string& key, std::string* blob) = 0;
+
+    /// Persist `blob` under `key`, replacing any previous entry.
+    virtual void put_policy(const std::string& key, const std::string& blob) = 0;
+};
+
+} // namespace xrl

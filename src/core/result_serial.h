@@ -1,0 +1,39 @@
+// Bit-exact (de)serialisation of Optimize_result — the persistable form of
+// a memo-table entry.
+//
+// The Optimization_service memo table caches whole Optimize_results, and
+// warm-start persistence (serve/state_store.h) is a save/load of that
+// table: a result written here, restarted, and read back must be
+// bit-identical to the original — graph representation, float bit
+// patterns, metadata and all — so a repeated request after restart gets
+// exactly the answer it would have gotten before. Graphs use the binary
+// graph form (ir/graph_io.h); doubles travel as bit patterns.
+//
+// The field list is explicit, guarded by a static_assert on
+// aggregate_field_count<Optimize_result>: adding a field to the struct
+// without teaching the serialiser about it is a compile error, not silent
+// data loss on the next restart.
+//
+// The progress callback is the one part of a *request* that can't
+// persist; results carry no callables, so every field serialises.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/optimizer_api.h"
+#include "support/record_file.h"
+
+namespace xrl {
+
+void serialise_result(Byte_writer& out, const Optimize_result& result);
+
+/// Throws std::runtime_error on malformed or truncated input (the state
+/// store catches, counts, and skips the record).
+Optimize_result deserialise_result(Byte_reader& in);
+
+/// Whole-payload conveniences over the stream forms.
+std::string result_to_bytes(const Optimize_result& result);
+Optimize_result result_from_bytes(std::string_view bytes);
+
+} // namespace xrl

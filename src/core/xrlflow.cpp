@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 #include <unordered_map>
 
+#include "core/checkpoint.h"
+#include "core/policy_store.h"
 #include "support/check.h"
 
 namespace xrl {
@@ -163,6 +166,22 @@ private:
         return config;
     }
 
+    /// The persistent identity of a trained policy: everything that
+    /// changes what training would produce — the model, the device whose
+    /// simulator shaped the reward, the seed and episode budget — plus the
+    /// agent architecture (a checkpoint only loads into matching shapes).
+    /// Human-readable because it surfaces in store files and telemetry.
+    std::string policy_key(const Graph& graph, const Optimize_request& request, int episodes,
+                           const Device_profile& device) const
+    {
+        std::ostringstream os;
+        os << "policy|model=" << graph.model_hash() << "|device=" << device.fingerprint()
+           << "|seed=" << request.seed << "|episodes=" << episodes
+           << "|hidden=" << static_cast<int>(context_.option_or("xrlflow.hidden_dim", 16))
+           << "|actions=" << static_cast<int>(context_.option_or("xrlflow.max_candidates", 31)) + 1;
+        return os.str();
+    }
+
     /// Train-once cache: a policy per (graph, seed, episodes, device).
     /// Keys on model_hash so shape variants of one architecture train
     /// separately, and on the device fingerprint because the reward signal
@@ -170,6 +189,13 @@ private:
     /// gtx1080 simulator must never answer a100 requests. Keeps repeat
     /// optimisation of the same (model, device) from paying the RL
     /// training cost.
+    ///
+    /// With a Policy_store on the context, the cache extends across
+    /// process restarts: a miss here first asks the store (loading skips
+    /// training entirely — the warm start), and every freshly trained
+    /// policy is offered back. Loaded parameters are bit-exact, so a
+    /// warm-started policy's inference is bit-identical to the trained
+    /// one's.
     Xrlflow& trained_system(const Graph& graph, const Optimize_request& request, int episodes,
                             const Device_profile& device)
     {
@@ -180,7 +206,36 @@ private:
         if (it != trained_.end()) return *it->second;
         auto system =
             std::make_unique<Xrlflow>(*context_.rules, adapter_config(request.seed, device));
-        if (episodes > 0) system->train(graph, episodes);
+        bool warm = false;
+        if (context_.policy_store != nullptr && episodes > 0) {
+            std::string blob;
+            if (context_.policy_store->fetch_policy(policy_key(graph, request, episodes, device),
+                                                    &blob)) {
+                std::istringstream is(blob);
+                try {
+                    load_parameters(is, system->agent().parameters());
+                    warm = true;
+                } catch (const Contract_violation&) {
+                    // A stale checkpoint whose architecture no longer
+                    // matches (changed agent defaults) is a miss — but the
+                    // failed load already overwrote a prefix of the
+                    // parameters, so rebuild the system before retraining:
+                    // training must start from the seeded init or the
+                    // result loses its determinism per (graph, request).
+                    system = std::make_unique<Xrlflow>(*context_.rules,
+                                                       adapter_config(request.seed, device));
+                }
+            }
+        }
+        if (!warm && episodes > 0) {
+            system->train(graph, episodes);
+            if (context_.policy_store != nullptr) {
+                std::ostringstream os;
+                save_parameters(os, system->agent().parameters());
+                context_.policy_store->put_policy(policy_key(graph, request, episodes, device),
+                                                  os.str());
+            }
+        }
         return *trained_.emplace(key, std::move(system)).first->second;
     }
 

@@ -16,6 +16,9 @@
 
 namespace xrl {
 
+class Byte_writer; // support/record_file.h
+class Byte_reader;
+
 using Node_id = std::int32_t;
 constexpr Node_id invalid_node = -1;
 
@@ -186,6 +189,12 @@ public:
     std::string to_dot() const;
 
 private:
+    /// The bit-exact binary (de)serialiser (ir/graph_io.h) restores the id
+    /// space — tombstones included — which no public mutation sequence can
+    /// reproduce, so it works on the representation directly.
+    friend void serialise_graph_binary(Byte_writer& out, const Graph& graph);
+    friend Graph deserialise_graph_binary(Byte_reader& in);
+
     std::vector<Node> nodes_;
     std::vector<std::uint8_t> alive_;
     std::vector<Edge> outputs_;

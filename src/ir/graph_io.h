@@ -14,6 +14,7 @@
 #include <string>
 
 #include "ir/graph.h"
+#include "support/record_file.h"
 
 namespace xrl {
 
@@ -22,5 +23,20 @@ Graph deserialise_graph_text(std::istream& is);
 
 void save_graph(const std::string& path, const Graph& graph);
 Graph load_graph(const std::string& path);
+
+/// Bit-exact binary form, used by the warm-start state store (the memo
+/// table persists whole Optimize_results, graphs included). Unlike the
+/// text format above — which canonicalises ids and prints floats at
+/// ostream precision — this preserves the graph's exact representation:
+/// the id space with its tombstones, every parameter field, and
+/// bit-patterns for all floating-point data, so a deserialised graph
+/// re-serialises to identical bytes and compares bit-identical to the
+/// original.
+void serialise_graph_binary(Byte_writer& out, const Graph& graph);
+
+/// Inverse of serialise_graph_binary. Throws std::runtime_error on
+/// malformed or truncated input (the state store catches, counts, and
+/// skips); never reads past the input's bounds.
+Graph deserialise_graph_binary(Byte_reader& in);
 
 } // namespace xrl

@@ -13,6 +13,12 @@ Optimization_router::Optimization_router(Router_config config) : config_(std::mo
 {
     if (config_.shards.empty())
         throw std::invalid_argument("Optimization_router: config.shards must be non-empty");
+    // The fleet store reaches every shard that did not bring its own, so
+    // one shard's learned state (policies, memo snapshots) warms the rest.
+    if (config_.state_store != nullptr)
+        for (Shard_config& shard_config : config_.shards)
+            if (shard_config.server.state_store == nullptr)
+                shard_config.server.state_store = config_.state_store;
     shards_.reserve(config_.shards.size());
     for (const Shard_config& shard_config : config_.shards)
         shards_.push_back(std::make_unique<Optimization_server>(shard_config.server));
@@ -115,6 +121,22 @@ Job_handle Optimization_router::submit(const std::string& backend, const Graph& 
 void Optimization_router::drain()
 {
     for (const std::unique_ptr<Optimization_server>& shard : shards_) shard->drain();
+}
+
+void Optimization_router::save_state()
+{
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        const std::shared_ptr<State_store>& store = config_.shards[i].server.state_store;
+        if (store != nullptr) store->save_memo(shards_[i]->service());
+    }
+}
+
+void Optimization_router::replace_shard(std::size_t index)
+{
+    XRL_EXPECTS(index < shards_.size());
+    shards_[index]->drain(); // snapshots into the shared store, if any
+    shards_[index].reset();  // destructor snapshot + worker teardown
+    shards_[index] = std::make_unique<Optimization_server>(config_.shards[index].server);
 }
 
 Router_stats Optimization_router::stats() const

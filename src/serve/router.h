@@ -43,6 +43,14 @@ struct Shard_config {
 struct Router_config {
     /// One entry per shard; must be non-empty.
     std::vector<Shard_config> shards;
+
+    /// One warm-start store for the whole fleet: handed to every shard
+    /// whose config did not set its own, so policies trained on one shard
+    /// are fetched by the others, every shard's drain/shutdown snapshot
+    /// merges into the same files, and a replacement shard
+    /// (replace_shard) or a restarted fleet starts warm. See
+    /// serve/state_store.h for the sharing contract.
+    std::shared_ptr<State_store> state_store;
 };
 
 struct Router_stats {
@@ -81,8 +89,23 @@ public:
     Job_handle submit(const std::string& backend, const Graph& graph,
                       const Optimize_request& request = {}, const Submit_options& options = {});
 
-    /// Block until every shard is idle.
+    /// Block until every shard is idle (each shard with a state store
+    /// snapshots its memo table as it drains).
     void drain();
+
+    /// Snapshot every shard's memo table into its state store now (no-op
+    /// for shards without one). Fleet-level checkpoint between the
+    /// periodic and drain-time ones.
+    void save_state();
+
+    /// Tear down shard `index` and build a replacement from the same
+    /// config. The outgoing shard is drained first — with a shared store
+    /// its warm state (memo snapshot; policies were written through as
+    /// they trained) lands in the store, and the replacement imports it at
+    /// construction, so the swap loses no learned state. Administrative:
+    /// must not race submit()/stats() traffic to the fleet (dynamic
+    /// membership under live traffic is a ROADMAP item).
+    void replace_shard(std::size_t index);
 
     Router_stats stats() const;
 

@@ -17,16 +17,29 @@ double seconds_between(Job::Clock::time_point from, Job::Clock::time_point to)
     return std::chrono::duration<double>(to - from).count();
 }
 
+/// A configured state store doubles as the training backends' policy store
+/// unless the caller wired one explicitly; resolved before the service is
+/// constructed from this config.
+Server_config with_shared_state(Server_config config)
+{
+    if (config.state_store != nullptr && config.service.policy_store == nullptr)
+        config.service.policy_store = config.state_store;
+    return config;
+}
+
 } // namespace
 
 Optimization_server::Optimization_server(Server_config config)
-    : config_(std::move(config)),
+    : config_(with_shared_state(std::move(config))),
       service_(config_.service),
       pool_(&Thread_pool::shared()),
       workers_(config_.workers > 0 ? config_.workers : std::max<std::size_t>(pool_->workers(), 1)),
       queue_(config_.queue),
       paused_(config_.start_paused)
 {
+    // Warm restart: whatever the store holds answers repeats immediately;
+    // damaged store content degrades to a cold cache, never a throw.
+    if (config_.state_store != nullptr) config_.state_store->load_memo(service_);
 }
 
 Optimization_server::~Optimization_server()
@@ -45,8 +58,13 @@ Optimization_server::~Optimization_server()
         // Orphans never reached a worker, so this is their only recording.
         record_queued_resolution(job);
     }
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return running_ == 0; });
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return running_ == 0; });
+    }
+    // Final snapshot: everything the memo table learned this lifetime is
+    // on disk before the service is torn down.
+    if (config_.state_store != nullptr) config_.state_store->save_memo(service_);
 }
 
 bool Optimization_server::finalise_rejected(const std::shared_ptr<Job>& job, std::string reason)
@@ -382,6 +400,21 @@ void Optimization_server::execute(const std::shared_ptr<Job>& job)
         record_queued_resolution(job);
     }
 
+    // Periodic snapshotting, while this worker still counts as running —
+    // once the slot below is released, an idle-waiting destructor may free
+    // the server, so the store must not be touched after that.
+    if (config_.state_store != nullptr && config_.snapshot_every > 0) {
+        bool snapshot_due = false;
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            if (++finished_since_snapshot_ >= config_.snapshot_every) {
+                finished_since_snapshot_ = 0;
+                snapshot_due = true;
+            }
+        }
+        if (snapshot_due) config_.state_store->save_memo(service_);
+    }
+
     std::vector<std::shared_ptr<Job>> claimed;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
@@ -411,8 +444,11 @@ void Optimization_server::resume()
 
 void Optimization_server::drain()
 {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return running_ == 0 && queue_.empty(); });
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this] { return running_ == 0 && queue_.empty(); });
+    }
+    if (config_.state_store != nullptr) config_.state_store->save_memo(service_);
 }
 
 Server_stats Optimization_server::stats() const

@@ -40,6 +40,7 @@
 #include "core/optimization_service.h"
 #include "serve/job.h"
 #include "serve/job_queue.h"
+#include "serve/state_store.h"
 #include "serve/telemetry.h"
 #include "support/thread_pool.h"
 
@@ -64,6 +65,19 @@ struct Server_config {
     /// Construct with dispatch suspended (resume() starts execution).
     /// Tests and staged rollouts fill the queue deterministically this way.
     bool start_paused = false;
+
+    /// Warm-start persistence. When set the server imports the store's
+    /// memo snapshot at construction, snapshots the service memo table
+    /// back on drain() and destruction (and periodically, below), and —
+    /// unless `service.policy_store` was set explicitly — hands the store
+    /// to training backends as their policy store. Shared: a router
+    /// passes one store to every shard.
+    std::shared_ptr<State_store> state_store;
+
+    /// Also snapshot the memo table after every N jobs that reach a
+    /// terminal state, so long-running servers bound how much warm state
+    /// a crash can lose. 0 = snapshot only on drain and shutdown.
+    std::size_t snapshot_every = 0;
 };
 
 class Optimization_server {
@@ -98,8 +112,11 @@ public:
     void pause();
     void resume();
 
-    /// Block until no job is queued or running. Call resume() first if the
-    /// server is paused with work queued, or this waits forever.
+    /// Block until no job is queued or running, then — with a state store
+    /// configured — snapshot the memo table into it, so a drained server's
+    /// warm state is on disk before a deployment replaces it. Call
+    /// resume() first if the server is paused with work queued, or this
+    /// waits forever.
     void drain();
 
     /// Counters + latency percentiles (internally consistent with each
@@ -163,6 +180,7 @@ private:
     bool shutting_down_ = false;
     std::uint64_t next_id_ = 1;
     std::uint64_t next_sequence_ = 0;
+    std::size_t finished_since_snapshot_ = 0; ///< Drives periodic snapshotting.
 };
 
 } // namespace xrl

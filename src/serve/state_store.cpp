@@ -1,0 +1,212 @@
+#include "serve/state_store.h"
+
+#include <chrono>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/result_serial.h"
+
+namespace xrl {
+
+namespace {
+
+double system_clock_seconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+State_store::State_store(State_store_config config) : config_(std::move(config))
+{
+    if (config_.directory.empty())
+        throw std::invalid_argument("State_store: config.directory must be non-empty");
+    if (!config_.clock) config_.clock = system_clock_seconds;
+
+    const std::lock_guard<std::mutex> lock(mutex_);
+    load_file_locked(policy_path(), policies_, stats_.policies_loaded, stats_);
+    load_file_locked(memo_path(), memo_, stats_.memo_loaded, stats_);
+    evict_expired_locked(now());
+}
+
+std::string State_store::policy_path() const
+{
+    return (std::filesystem::path(config_.directory) / "policies.xrls").string();
+}
+
+std::string State_store::memo_path() const
+{
+    return (std::filesystem::path(config_.directory) / "memo.xrls").string();
+}
+
+void State_store::load_file_locked(const std::string& path, std::map<std::string, Record>& into,
+                                   std::size_t& loaded, State_store_stats& stats)
+{
+    Record_load_report report;
+    for (Record& record : read_record_file(path, &report)) {
+        std::string key = record.key;
+        into.insert_or_assign(std::move(key), std::move(record));
+    }
+    loaded += report.loaded;
+    stats.skipped_corrupt += report.skipped_corrupt;
+    stats.skipped_version += report.skipped_version;
+    if (report.header_version_mismatch) ++stats.skipped_version;
+}
+
+void State_store::evict_expired_locked(double now_seconds)
+{
+    if (config_.max_age_seconds <= 0.0) return;
+    const double horizon = now_seconds - config_.max_age_seconds;
+    for (auto* map : {&policies_, &memo_}) {
+        for (auto it = map->begin(); it != map->end();) {
+            if (it->second.stamp < horizon) {
+                it = map->erase(it);
+                ++stats_.evicted_by_age;
+            } else {
+                ++it;
+            }
+        }
+    }
+}
+
+std::vector<Record> State_store::snapshot_records_locked(
+    const std::map<std::string, Record>& map) const
+{
+    std::vector<Record> records;
+    records.reserve(map.size());
+    for (const auto& [key, record] : map) records.push_back(record);
+    return records;
+}
+
+bool State_store::fetch_policy(const std::string& key, std::string* blob)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    evict_expired_locked(now());
+    const auto it = policies_.find(key);
+    if (it == policies_.end()) {
+        ++stats_.policy_misses;
+        return false;
+    }
+    ++stats_.policy_hits;
+    if (blob != nullptr) *blob = it->second.payload;
+    return true;
+}
+
+void State_store::put_policy(const std::string& key, const std::string& blob)
+{
+    const std::lock_guard<std::mutex> write_lock(policy_writer_mutex_);
+    std::vector<Record> records;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        Record record;
+        record.stamp = now();
+        record.key = key;
+        record.payload = blob;
+        policies_.insert_or_assign(key, std::move(record));
+        ++stats_.policy_puts;
+        evict_expired_locked(now());
+        records = snapshot_records_locked(policies_);
+    }
+    write_record_file(policy_path(), records); // IO outside mutex_
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.snapshots_written;
+}
+
+std::size_t State_store::save_memo(const Optimization_service& service)
+{
+    // The export is the service's own consistent locked read, and the
+    // expensive part — serialising every result — runs before any store
+    // lock, so concurrent fetch_policy/put_policy never wait on it.
+    const std::vector<Optimization_service::Memo_entry> entries = service.export_memo();
+    const double stamp = now();
+    std::vector<Record> fresh;
+    fresh.reserve(entries.size());
+    for (const Optimization_service::Memo_entry& entry : entries) {
+        Record record;
+        record.stamp = stamp;
+        record.key = entry.key;
+        record.payload = result_to_bytes(entry.result);
+        fresh.push_back(std::move(record));
+    }
+
+    const std::lock_guard<std::mutex> write_lock(memo_writer_mutex_);
+    std::vector<Record> records;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (Record& record : fresh) {
+            std::string key = record.key;
+            memo_.insert_or_assign(std::move(key), std::move(record));
+        }
+        stats_.memo_saved += entries.size();
+        evict_expired_locked(stamp);
+        records = snapshot_records_locked(memo_);
+    }
+    write_record_file(memo_path(), records); // IO outside mutex_
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.snapshots_written;
+    }
+    return entries.size();
+}
+
+std::size_t State_store::load_memo(Optimization_service& service)
+{
+    std::vector<Optimization_service::Memo_entry> entries;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        evict_expired_locked(now());
+        entries.reserve(memo_.size());
+        for (const auto& [key, record] : memo_) {
+            try {
+                entries.push_back({key, result_from_bytes(record.payload)});
+            } catch (const std::runtime_error&) {
+                // Checksums catch random damage; this catches format drift
+                // (a record written by a serialiser this build no longer
+                // understands). Either way: skip, count, stay up.
+                ++stats_.memo_skipped;
+            }
+        }
+    }
+    const std::size_t imported = service.import_memo(entries);
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stats_.memo_imported += imported;
+    }
+    return imported;
+}
+
+State_store_stats State_store::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+namespace {
+
+std::vector<std::string> sorted_keys(const std::map<std::string, Record>& map)
+{
+    std::vector<std::string> keys;
+    keys.reserve(map.size());
+    for (const auto& [key, record] : map) keys.push_back(key);
+    return keys; // std::map iteration is already sorted
+}
+
+} // namespace
+
+std::vector<std::string> State_store::policy_keys() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sorted_keys(policies_);
+}
+
+std::vector<std::string> State_store::memo_keys() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return sorted_keys(memo_);
+}
+
+} // namespace xrl

@@ -1,0 +1,149 @@
+// State_store: checkpointed warm-start state shared across servers, shards,
+// and process restarts.
+//
+// Two kinds of state make the serving fleet warm, and both die with the
+// process without this store:
+//
+//   * trained xrlflow policies — the paper's central asset; retraining one
+//     on restart costs minutes of PPO for a result the previous process
+//     already had (Policy_store half, consumed by the xrlflow backend
+//     through Optimizer_context), and
+//   * the Optimization_service memo table — every completed search,
+//     persistable since Optimize_result grew a bit-exact serialised form
+//     (core/result_serial.h).
+//
+// One store instance can back a whole Optimization_router fleet: shards
+// share it (policies written by one shard are fetched by the next; memo
+// snapshots *merge* into the store rather than overwrite it), so a
+// replacement shard constructed over the same store starts warm — the
+// cross-shard sharing item from the ROADMAP. Across processes, the same
+// directory reloads into the next store instance.
+//
+// Durability model: on-disk state is record files (support/record_file.h)
+// — versioned, per-record checksummed, written atomically via temp +
+// rename. Loads never throw on damaged content: corrupt, truncated, or
+// future-versioned records are skipped and counted in stats(), because a
+// warm start is an optimisation and a cold start must always remain
+// available. Entries carry timestamps and can be evicted by age.
+//
+// Sharing contract: memo keys do not cover backend_options, so a store
+// directory must only be shared by services configured identically (the
+// fleet configuration — which is how the router builds shards anyway).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/optimization_service.h"
+#include "core/policy_store.h"
+#include "support/record_file.h"
+
+namespace xrl {
+
+struct State_store_config {
+    /// Directory holding the store's files (created on demand):
+    /// policies.xrls and memo.xrls.
+    std::string directory;
+
+    /// Entries older than this are evicted (at load, on writes, and on
+    /// fetch — an expired policy is a miss). 0 = keep forever. Age is
+    /// wall-clock: a policy trained for yesterday's traffic patterns is
+    /// still valid, but fleets that retrain on a cadence cap staleness
+    /// here.
+    double max_age_seconds = 0.0;
+
+    /// Seconds since the Unix epoch; defaults to the system clock. Tests
+    /// inject a fake clock to exercise age eviction deterministically.
+    std::function<double()> clock;
+};
+
+/// Damage and traffic counters; every load degradation is visible here
+/// rather than fatal anywhere.
+struct State_store_stats {
+    // Load-time (constructor) results, summed over both files.
+    std::size_t policies_loaded = 0;
+    std::size_t memo_loaded = 0;
+    std::size_t skipped_corrupt = 0; ///< Bad checksum / truncated / malformed.
+    std::size_t skipped_version = 0; ///< Future record or file version.
+    std::size_t evicted_by_age = 0;  ///< Cumulative, load + runtime.
+
+    // Runtime traffic.
+    std::size_t policy_hits = 0;   ///< fetch_policy served from the store.
+    std::size_t policy_misses = 0; ///< fetch_policy found nothing usable.
+    std::size_t policy_puts = 0;
+    std::size_t memo_saved = 0;    ///< Entries merged by save_memo calls.
+    std::size_t memo_imported = 0; ///< Entries handed to services by load_memo.
+    std::size_t memo_skipped = 0;  ///< Stored entries that failed to deserialise.
+    std::size_t snapshots_written = 0; ///< Successful file writes (both kinds).
+};
+
+class State_store final : public Policy_store {
+public:
+    /// Loads whatever the directory holds (missing files = empty store, a
+    /// cold start). Throws std::invalid_argument for an empty directory
+    /// path — never for file *content*.
+    explicit State_store(State_store_config config);
+
+    State_store(const State_store&) = delete;
+    State_store& operator=(const State_store&) = delete;
+
+    // -- Policy_store (the xrlflow backend's warm-start hook) --------------
+
+    /// Expired entries count as misses (and are dropped).
+    bool fetch_policy(const std::string& key, std::string* blob) override;
+
+    /// Upserts and writes the policy file through atomically, so a crash
+    /// right after training never loses the policy it paid for.
+    void put_policy(const std::string& key, const std::string& blob) override;
+
+    // -- memo-table snapshot / restore -------------------------------------
+
+    /// Merge `service`'s memo table into the store (newer stamp wins the
+    /// key; other shards' entries survive) and write the snapshot
+    /// atomically. Safe while the service is actively optimizing — the
+    /// export is one consistent locked read. Returns entries merged.
+    std::size_t save_memo(const Optimization_service& service);
+
+    /// Import every stored memo entry into `service` (entries that fail to
+    /// deserialise are skipped and counted). Returns entries the service
+    /// actually inserted.
+    std::size_t load_memo(Optimization_service& service);
+
+    State_store_stats stats() const;
+
+    /// Keys currently held, sorted (policy keys are human-readable —
+    /// "policy|model=…|device=…|…" — so operators and tests can see what a
+    /// store knows without decoding payloads).
+    std::vector<std::string> policy_keys() const;
+    std::vector<std::string> memo_keys() const;
+
+    const std::string& directory() const { return config_.directory; }
+    std::string policy_path() const;
+    std::string memo_path() const;
+
+private:
+    double now() const { return config_.clock(); }
+    void evict_expired_locked(double now_seconds);
+    std::vector<Record> snapshot_records_locked(const std::map<std::string, Record>& map) const;
+    static void load_file_locked(const std::string& path, std::map<std::string, Record>& into,
+                                 std::size_t& loaded, State_store_stats& stats);
+
+    State_store_config config_;
+
+    /// Guards the maps and stats only — never held across file IO, so one
+    /// shard's snapshot write cannot stall another shard's fetch_policy on
+    /// the optimize hot path. The writer mutexes below serialise writers
+    /// per file and are held across copy *and* write, so files always land
+    /// in copy order; lock order is writer mutex first, mutex_ inside.
+    mutable std::mutex mutex_;
+    std::mutex policy_writer_mutex_;
+    std::mutex memo_writer_mutex_;
+    std::map<std::string, Record> policies_; ///< key -> record (payload = checkpoint blob).
+    std::map<std::string, Record> memo_;     ///< key -> record (payload = serialised result).
+    State_store_stats stats_;
+};
+
+} // namespace xrl

@@ -1,0 +1,136 @@
+// Versioned, checksummed, crash-safe record files — the on-disk format
+// behind the serving layer's warm-start state (serve/state_store.h).
+//
+// A record file is a header (magic + format version) followed by a flat
+// sequence of records. Every record is length-framed, carries its own
+// format version and a timestamp, and is protected by a per-record FNV-1a
+// checksum, so a reader can:
+//
+//   * skip a corrupt record (flipped byte, truncated tail) and keep
+//     loading the rest,
+//   * skip a record written by a *future* format version without having to
+//     understand its body (the length frame walks over it),
+//   * refuse a whole file from a future header version,
+//
+// all without throwing — damage is reported through Record_load_report
+// counters, never as a crash, because warm-start state is an optimisation
+// and a cold start must always remain available.
+//
+// Writes are atomic: the new contents go to `<path>.tmp` which is then
+// renamed over `path`, so a writer dying mid-snapshot leaves the previous
+// snapshot intact (the stale temp file is ignored by readers and replaced
+// by the next successful write). Byte order is the host's: this is
+// same-machine persistence (a server restarting), not a wire format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xrl {
+
+// ---------------------------------------------------------------------------
+// Byte composition helpers
+// ---------------------------------------------------------------------------
+
+/// Appends fixed-width scalars and length-prefixed strings to a byte
+/// string. Floating-point values are written by bit pattern, so payloads
+/// round-trip bit-exactly (the warm-start parity guarantee rides on this).
+class Byte_writer {
+public:
+    void u8(std::uint8_t value);
+    void u32(std::uint32_t value);
+    void u64(std::uint64_t value);
+    void i32(std::int32_t value);
+    void i64(std::int64_t value);
+    void f32(float value);
+    void f64(double value);
+    void str(std::string_view value); ///< u64 length + raw bytes.
+
+    const std::string& bytes() const { return out_; }
+    std::string take() { return std::move(out_); }
+
+private:
+    std::string out_;
+};
+
+/// Bounds-checked reader over a byte string. Any read past the end throws
+/// std::runtime_error — deserialisers fail loudly and their callers (the
+/// state store) catch, count, and skip.
+class Byte_reader {
+public:
+    explicit Byte_reader(std::string_view bytes) : bytes_(bytes) {}
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int32_t i32();
+    std::int64_t i64();
+    float f32();
+    double f64();
+    std::string str();
+    std::string raw(std::size_t size); ///< Exactly `size` unframed bytes.
+
+    /// Guard a just-read element count against a corrupt length field:
+    /// throws unless `count` items of at least `min_bytes_each` could still
+    /// fit in the remaining input (stops giant bogus reserves before they
+    /// allocate).
+    void expect_items(std::uint64_t count, std::size_t min_bytes_each) const;
+
+    bool at_end() const { return pos_ == bytes_.size(); }
+    std::size_t remaining() const { return bytes_.size() - pos_; }
+
+private:
+    void take(void* destination, std::size_t size);
+
+    std::string_view bytes_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The record file
+// ---------------------------------------------------------------------------
+
+/// Format version written to new files and records; readers accept
+/// anything up to it and skip-count anything beyond it.
+inline constexpr std::uint32_t record_file_version = 1;
+
+struct Record {
+    /// Per-record format version. Defaults to current; tests (and future
+    /// writers) can stamp records with a newer version to exercise the
+    /// reader's skip path.
+    std::uint32_t version = record_file_version;
+
+    /// Caller-defined timestamp in seconds since the Unix epoch; the state
+    /// store uses it for age-based eviction.
+    double stamp = 0.0;
+
+    std::string key;
+    std::string payload; ///< Opaque bytes; the reader never interprets them.
+};
+
+/// What a read found, damage included. Counters are additive across the
+/// file; a clean load has everything but `loaded` at zero/false.
+struct Record_load_report {
+    bool file_missing = false;            ///< No file at `path` (a cold start).
+    bool header_version_mismatch = false; ///< Future header: whole file skipped.
+    std::size_t loaded = 0;
+    std::size_t skipped_corrupt = 0; ///< Bad checksum, bad frame, or truncation.
+    std::size_t skipped_version = 0; ///< Record from a future format version.
+};
+
+/// Atomically replace `path` with the given records: writes `<path>.tmp`
+/// and renames it over `path` (creating parent directories on demand).
+/// Throws std::runtime_error when the filesystem refuses — persistence
+/// failures are loud, load failures are soft.
+void write_record_file(const std::string& path, const std::vector<Record>& records);
+
+/// Load every intact record from `path`. Never throws on file *content* —
+/// corrupt or future-versioned records are skipped and counted in
+/// `report` (optional) — and a missing file is an empty result, not an
+/// error.
+std::vector<Record> read_record_file(const std::string& path,
+                                     Record_load_report* report = nullptr);
+
+} // namespace xrl

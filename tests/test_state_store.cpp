@@ -1,0 +1,823 @@
+// Warm-start persistence: the record-file format (round trips, atomic
+// writes, fault injection — truncation, flipped checksum bytes, future
+// versions), bit-exact Optimize_result serialisation, the State_store
+// (policy + memo persistence, age eviction, key isolation), xrlflow policy
+// warm starts that skip retraining, server/router snapshot + warm-restart
+// parity, and snapshot-under-load concurrency. Runs in CI's
+// ThreadSanitizer job alongside test_server.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/optimization_service.h"
+#include "core/result_serial.h"
+#include "ir/builder.h"
+#include "ir/graph_io.h"
+#include "serve/router.h"
+#include "serve/server.h"
+#include "serve/state_store.h"
+#include "support/record_file.h"
+#include "support/reflect.h"
+
+namespace xrl {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+/// Fresh per-test directory under the system temp dir, removed on scope
+/// exit, so store tests never see each other's files.
+struct Scoped_dir {
+    fs::path path;
+
+    Scoped_dir()
+    {
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        path = fs::temp_directory_path() /
+               (std::string("xrlflow_state_store_") + info->name());
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~Scoped_dir() { fs::remove_all(path); }
+
+    std::string str() const { return path.string(); }
+};
+
+std::string read_file(const std::string& path)
+{
+    std::ifstream is(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& contents)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+}
+
+/// Flip one byte of the file at the first occurrence of `marker` (fault
+/// injection aimed at a known record's payload).
+void flip_byte_at_marker(const std::string& path, const std::string& marker)
+{
+    std::string contents = read_file(path);
+    const std::size_t at = contents.find(marker);
+    ASSERT_NE(at, std::string::npos) << "marker not found in " << path;
+    contents[at] = static_cast<char>(contents[at] ^ 0x5a);
+    write_file(path, contents);
+}
+
+void truncate_file(const std::string& path, std::size_t drop_bytes)
+{
+    std::string contents = read_file(path);
+    ASSERT_GT(contents.size(), drop_bytes);
+    contents.resize(contents.size() - drop_bytes);
+    write_file(path, contents);
+}
+
+/// The quickstart graph (paper Figure 1): y = relu(x.w + b).
+Graph quickstart_graph()
+{
+    Graph_builder b;
+    const Edge x = b.input({4, 32}, "x");
+    const Edge w = b.weight({32, 16}, "w");
+    const Edge bias = b.weight({16}, "b");
+    return b.finish({b.relu(b.add(b.matmul(x, w), bias))});
+}
+
+/// Structurally distinct variants (different widths => different hashes).
+Graph variant_graph(int n)
+{
+    Graph_builder b;
+    const Edge x = b.input({4, 24 + n}, "x");
+    const Edge w = b.weight({24 + n, 12});
+    return b.finish({b.relu(b.matmul(x, w))});
+}
+
+/// Smoke-scale budgets; xrlflow trains 1 episode so policy persistence has
+/// something real to save.
+Service_config smoke_service()
+{
+    Service_config config;
+    config.backend_options["taso.budget"] = 15;
+    config.backend_options["pet.budget"] = 8;
+    config.backend_options["tensat.max_iterations"] = 2;
+    config.backend_options["xrlflow.episodes"] = 1;
+    config.backend_options["xrlflow.max_steps"] = 4;
+    config.backend_options["xrlflow.hidden_dim"] = 8;
+    config.backend_options["xrlflow.max_candidates"] = 15;
+    return config;
+}
+
+Server_config smoke_server(std::shared_ptr<State_store> store)
+{
+    Server_config config;
+    config.service = smoke_service();
+    config.state_store = std::move(store);
+    return config;
+}
+
+std::string graph_bytes(const Graph& graph)
+{
+    Byte_writer out;
+    serialise_graph_binary(out, graph);
+    return out.take();
+}
+
+/// Byte-for-byte result identity modulo the per-hit from_cache stamp.
+std::string result_fingerprint(Optimize_result result)
+{
+    result.from_cache = false;
+    return result_to_bytes(result);
+}
+
+/// The deterministic parts of a search outcome (what a warm-started policy
+/// must reproduce exactly; wall-clock fields legitimately differ).
+void expect_same_search_outcome(const Optimize_result& a, const Optimize_result& b)
+{
+    EXPECT_EQ(graph_bytes(a.best_graph), graph_bytes(b.best_graph));
+    EXPECT_EQ(a.initial_ms, b.initial_ms);
+    EXPECT_EQ(a.final_ms, b.final_ms);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.rule_counts, b.rule_counts);
+    EXPECT_EQ(a.device, b.device);
+}
+
+// ---------------------------------------------------------------------------
+// Record file format
+// ---------------------------------------------------------------------------
+
+TEST(RecordFile, RoundTripPreservesRecords)
+{
+    Scoped_dir dir;
+    const std::string path = (dir.path / "t.xrls").string();
+    std::vector<Record> records(3);
+    records[0] = {record_file_version, 1.5, "alpha", std::string(64, 'A')};
+    records[1] = {record_file_version, 2.5, "beta", std::string(64, 'B')};
+    records[2] = {record_file_version, 3.5, "gamma", ""}; // empty payload is legal
+    write_record_file(path, records);
+
+    Record_load_report report;
+    const std::vector<Record> loaded = read_record_file(path, &report);
+    ASSERT_EQ(loaded.size(), 3U);
+    EXPECT_EQ(report.loaded, 3U);
+    EXPECT_EQ(report.skipped_corrupt, 0U);
+    EXPECT_EQ(report.skipped_version, 0U);
+    EXPECT_FALSE(report.file_missing);
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_EQ(loaded[i].key, records[i].key);
+        EXPECT_EQ(loaded[i].payload, records[i].payload);
+        EXPECT_EQ(loaded[i].stamp, records[i].stamp);
+    }
+}
+
+TEST(RecordFile, MissingFileIsColdStartNotError)
+{
+    Scoped_dir dir;
+    Record_load_report report;
+    const auto loaded = read_record_file((dir.path / "absent.xrls").string(), &report);
+    EXPECT_TRUE(loaded.empty());
+    EXPECT_TRUE(report.file_missing);
+    EXPECT_EQ(report.skipped_corrupt, 0U);
+}
+
+TEST(RecordFile, TruncatedTailSkippedAndCounted)
+{
+    Scoped_dir dir;
+    const std::string path = (dir.path / "t.xrls").string();
+    write_record_file(path, {{record_file_version, 0.0, "a", std::string(64, 'A')},
+                             {record_file_version, 0.0, "b", std::string(64, 'B')},
+                             {record_file_version, 0.0, "c", std::string(64, 'C')}});
+    truncate_file(path, 10); // clips record "c" mid-frame
+
+    Record_load_report report;
+    const auto loaded = read_record_file(path, &report);
+    ASSERT_EQ(loaded.size(), 2U);
+    EXPECT_EQ(loaded[0].key, "a");
+    EXPECT_EQ(loaded[1].key, "b");
+    EXPECT_EQ(report.skipped_corrupt, 1U);
+}
+
+TEST(RecordFile, FlippedChecksumByteSkipsOnlyThatRecord)
+{
+    Scoped_dir dir;
+    const std::string path = (dir.path / "t.xrls").string();
+    write_record_file(path, {{record_file_version, 0.0, "a", std::string(64, 'A')},
+                             {record_file_version, 0.0, "b", std::string(64, 'B')},
+                             {record_file_version, 0.0, "c", std::string(64, 'C')}});
+    flip_byte_at_marker(path, std::string(64, 'B'));
+
+    Record_load_report report;
+    const auto loaded = read_record_file(path, &report);
+    ASSERT_EQ(loaded.size(), 2U);
+    EXPECT_EQ(loaded[0].key, "a");
+    EXPECT_EQ(loaded[1].key, "c"); // the frame walked over the bad record
+    EXPECT_EQ(report.skipped_corrupt, 1U);
+    EXPECT_EQ(report.loaded, 2U);
+}
+
+TEST(RecordFile, FutureRecordVersionSkippedAndCounted)
+{
+    Scoped_dir dir;
+    const std::string path = (dir.path / "t.xrls").string();
+    write_record_file(path, {{record_file_version, 0.0, "old", "p"},
+                             {record_file_version + 1, 0.0, "new", "q"}});
+
+    Record_load_report report;
+    const auto loaded = read_record_file(path, &report);
+    ASSERT_EQ(loaded.size(), 1U);
+    EXPECT_EQ(loaded[0].key, "old");
+    EXPECT_EQ(report.skipped_version, 1U);
+    EXPECT_EQ(report.skipped_corrupt, 0U);
+}
+
+TEST(RecordFile, FutureHeaderVersionSkipsWholeFile)
+{
+    Scoped_dir dir;
+    const std::string path = (dir.path / "t.xrls").string();
+    write_record_file(path, {{record_file_version, 0.0, "a", "p"}});
+    // Patch the header's version field (bytes 4..8, after the magic).
+    std::string contents = read_file(path);
+    const std::uint32_t future = record_file_version + 1;
+    contents.replace(4, sizeof(future),
+                     std::string(reinterpret_cast<const char*>(&future), sizeof(future)));
+    write_file(path, contents);
+
+    Record_load_report report;
+    const auto loaded = read_record_file(path, &report);
+    EXPECT_TRUE(loaded.empty());
+    EXPECT_TRUE(report.header_version_mismatch);
+}
+
+TEST(RecordFile, InterruptedWriteNeverCorruptsPreviousSnapshot)
+{
+    Scoped_dir dir;
+    const std::string path = (dir.path / "t.xrls").string();
+    write_record_file(path, {{record_file_version, 0.0, "stable", "payload"}});
+    // A writer died mid-write: a half-written temp file is left behind.
+    write_file(path + ".tmp", "garbage from a crashed writer");
+
+    Record_load_report report;
+    const auto loaded = read_record_file(path, &report);
+    ASSERT_EQ(loaded.size(), 1U);
+    EXPECT_EQ(loaded[0].key, "stable");
+    EXPECT_EQ(report.skipped_corrupt, 0U);
+
+    // The next successful write replaces both the snapshot and the stale temp.
+    write_record_file(path, {{record_file_version, 0.0, "fresh", "payload2"}});
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+    const auto reloaded = read_record_file(path);
+    ASSERT_EQ(reloaded.size(), 1U);
+    EXPECT_EQ(reloaded[0].key, "fresh");
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate reflection (the serialiser drift guard)
+// ---------------------------------------------------------------------------
+
+TEST(Reflect, AggregateFieldCountMatchesDefinitions)
+{
+    struct Two {
+        int a;
+        double b;
+    };
+    struct Five {
+        int a;
+        std::string b;
+        std::vector<int> c;
+        bool d;
+        float e;
+    };
+    static_assert(aggregate_field_count<Two> == 2);
+    static_assert(aggregate_field_count<Five> == 5);
+    // The guards the serialisers rely on — if one of these fails to
+    // compile, a struct grew a field its serialiser does not write.
+    static_assert(aggregate_field_count<Optimize_result> == 11);
+    static_assert(aggregate_field_count<Op_params> == 21);
+    SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Bit-exact result serialisation
+// ---------------------------------------------------------------------------
+
+TEST(ResultSerial, RoundTripIsBitIdentical)
+{
+    Optimization_service service(smoke_service());
+    const Graph graph = quickstart_graph();
+    const Optimize_result original = service.optimize("taso", graph);
+
+    const std::string bytes = result_to_bytes(original);
+    const Optimize_result restored = result_from_bytes(bytes);
+    // Re-serialising the restored result reproduces the exact bytes:
+    // nothing — graph ids, float bit patterns, maps — drifted.
+    EXPECT_EQ(result_to_bytes(restored), bytes);
+    EXPECT_EQ(restored.backend, original.backend);
+    EXPECT_EQ(restored.device, original.device);
+    EXPECT_EQ(restored.initial_ms, original.initial_ms);
+    EXPECT_EQ(restored.final_ms, original.final_ms);
+    EXPECT_EQ(restored.steps, original.steps);
+    EXPECT_EQ(restored.wall_seconds, original.wall_seconds);
+    EXPECT_EQ(restored.rule_counts, original.rule_counts);
+    EXPECT_EQ(restored.metadata, original.metadata);
+    EXPECT_EQ(graph_bytes(restored.best_graph), graph_bytes(original.best_graph));
+    // The restored graph is a live Graph, not just equal bytes.
+    EXPECT_EQ(restored.best_graph.model_hash(), original.best_graph.model_hash());
+    EXPECT_NO_THROW(restored.best_graph.validate());
+}
+
+TEST(ResultSerial, TruncatedBytesThrowInsteadOfCrashing)
+{
+    Optimization_service service(smoke_service());
+    const Optimize_result original = service.optimize("pet", quickstart_graph());
+    const std::string bytes = result_to_bytes(original);
+    for (const std::size_t keep : {std::size_t{0}, std::size_t{3}, bytes.size() / 2}) {
+        EXPECT_THROW((void)result_from_bytes(std::string_view(bytes).substr(0, keep)),
+                     std::runtime_error);
+    }
+    // Trailing garbage is rejected too (a concatenation bug, not a result).
+    EXPECT_THROW((void)result_from_bytes(bytes + "x"), std::runtime_error);
+}
+
+TEST(ResultSerial, GraphBinaryPreservesTombstones)
+{
+    Graph graph = quickstart_graph();
+    {
+        // Grow a dead branch, then DCE it into tombstones: the id space now
+        // has holes the text format cannot represent.
+        Graph_builder b;
+        const Edge x = b.input({4, 8}, "x");
+        const Edge w = b.weight({8, 8});
+        const Edge dead = b.relu(b.matmul(x, w));
+        (void)dead;
+        graph = b.finish({b.tanh(b.matmul(x, w))});
+    }
+    ASSERT_GT(graph.eliminate_dead_nodes(), 0);
+    ASSERT_LT(graph.size(), graph.capacity());
+
+    const std::string bytes = graph_bytes(graph);
+    Byte_reader in(bytes);
+    const Graph restored = deserialise_graph_binary(in);
+    EXPECT_TRUE(in.at_end());
+    EXPECT_EQ(restored.capacity(), graph.capacity()); // tombstones survived
+    EXPECT_EQ(restored.size(), graph.size());
+    EXPECT_EQ(graph_bytes(restored), bytes);
+    for (const Node_id id : graph.node_ids()) {
+        ASSERT_TRUE(restored.is_alive(id));
+        EXPECT_EQ(restored.node(id).kind, graph.node(id).kind);
+    }
+}
+
+TEST(ResultSerial, GraphBinaryRejectsInputEdgeToDeadNode)
+{
+    // Hand-written stream: capacity 2, slot 0 a tombstone, slot 1 an alive
+    // relu whose input references the dead slot — checksum-valid content
+    // that must be rejected at load, not crash a later graph walk.
+    Byte_writer out;
+    out.u32(1); // graph_binary_version
+    out.u32(2); // capacity
+    out.u8(0);  // slot 0: dead
+    out.u8(1);  // slot 1: alive
+    out.u8(static_cast<std::uint8_t>(Op_kind::relu));
+    // Op_params, field by field (defaults).
+    out.u8(static_cast<std::uint8_t>(Activation::none));
+    for (const std::int64_t v : {1, 1, 0, 0, 1, 0, 0, 0}) out.i64(v); // strides..axis
+    out.u32(0);                                                       // split_sizes
+    out.i64(0);                                                       // begin
+    out.i64(0);                                                       // end
+    for (int list = 0; list < 4; ++list) out.u32(0); // perm/target_shape/pads
+    out.i64(0);                                      // target_r
+    out.i64(0);                                      // target_s
+    out.f32(1e-5F);                                  // epsilon
+    out.f32(1.0F);                                   // scalar
+    out.u8(1);                                       // keep_dim
+    out.u32(1);                                      // one input...
+    out.i32(0);                                      // ...the dead slot
+    out.i32(0);
+    out.u32(0); // no output shapes
+    out.u8(0);  // no payload
+    out.str("");
+    out.u32(1); // outputs: {1, 0}
+    out.i32(1);
+    out.i32(0);
+
+    Byte_reader in(out.bytes());
+    EXPECT_THROW((void)deserialise_graph_binary(in), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// State_store: policies
+// ---------------------------------------------------------------------------
+
+TEST(StateStore, RequiresDirectory)
+{
+    EXPECT_THROW((void)State_store(State_store_config{}), std::invalid_argument);
+}
+
+TEST(StateStore, PolicyRoundTripAcrossInstances)
+{
+    Scoped_dir dir;
+    const std::string blob(256, '\x7f');
+    {
+        State_store store({dir.str()});
+        store.put_policy("policy|model=1|device=2", blob);
+        std::string fetched;
+        ASSERT_TRUE(store.fetch_policy("policy|model=1|device=2", &fetched));
+        EXPECT_EQ(fetched, blob);
+        EXPECT_EQ(store.stats().policy_puts, 1U);
+        EXPECT_EQ(store.stats().policy_hits, 1U);
+    }
+    // A new instance over the same directory (process restart) still has it.
+    State_store reloaded({dir.str()});
+    EXPECT_EQ(reloaded.stats().policies_loaded, 1U);
+    std::string fetched;
+    ASSERT_TRUE(reloaded.fetch_policy("policy|model=1|device=2", &fetched));
+    EXPECT_EQ(fetched, blob);
+    EXPECT_FALSE(reloaded.fetch_policy("policy|model=9|device=2", &fetched));
+    EXPECT_EQ(reloaded.stats().policy_misses, 1U);
+}
+
+TEST(StateStore, EvictsEntriesByAge)
+{
+    Scoped_dir dir;
+    double fake_now = 1000.0;
+    State_store_config config;
+    config.directory = dir.str();
+    config.max_age_seconds = 60.0;
+    config.clock = [&fake_now] { return fake_now; };
+    State_store store(config);
+
+    store.put_policy("old", "o");
+    fake_now += 45.0;
+    store.put_policy("young", "y");
+    fake_now += 30.0; // "old" is now 75s old, "young" 30s
+
+    std::string blob;
+    EXPECT_FALSE(store.fetch_policy("old", &blob));
+    EXPECT_TRUE(store.fetch_policy("young", &blob));
+    EXPECT_GE(store.stats().evicted_by_age, 1U);
+
+    // Eviction applies at load time too: a fresh instance far in the
+    // future starts empty.
+    State_store_config late = config;
+    late.clock = [&fake_now] { return fake_now + 3600.0; };
+    State_store reloaded(late);
+    EXPECT_FALSE(reloaded.fetch_policy("young", &blob));
+    EXPECT_GE(reloaded.stats().evicted_by_age, 1U);
+}
+
+TEST(StateStore, CorruptPolicyFileDegradesToMisses)
+{
+    Scoped_dir dir;
+    const std::string blob(128, 'P');
+    {
+        State_store store({dir.str()});
+        store.put_policy("the-policy", blob);
+    }
+    flip_byte_at_marker((fs::path(dir.path) / "policies.xrls").string(), std::string(128, 'P'));
+
+    State_store store({dir.str()});
+    EXPECT_EQ(store.stats().skipped_corrupt, 1U);
+    EXPECT_EQ(store.stats().policies_loaded, 0U);
+    std::string fetched;
+    EXPECT_FALSE(store.fetch_policy("the-policy", &fetched));
+    // The store stays writable after damage.
+    store.put_policy("the-policy", blob);
+    EXPECT_TRUE(store.fetch_policy("the-policy", &fetched));
+    EXPECT_EQ(fetched, blob);
+}
+
+// ---------------------------------------------------------------------------
+// State_store: memo snapshots
+// ---------------------------------------------------------------------------
+
+TEST(StateStore, MemoSaveLoadRoundTripsBitIdentically)
+{
+    Scoped_dir dir;
+    const Graph graph = quickstart_graph();
+    Optimization_service first(smoke_service());
+    const Optimize_result original = first.optimize("taso", graph);
+    {
+        State_store store({dir.str()});
+        EXPECT_EQ(store.save_memo(first), 1U);
+    }
+
+    State_store reloaded({dir.str()});
+    Optimization_service second(smoke_service());
+    EXPECT_EQ(reloaded.load_memo(second), 1U);
+    const Optimize_result replayed = second.optimize("taso", graph);
+    EXPECT_TRUE(replayed.from_cache) << "warm restart must answer from the imported memo";
+    EXPECT_EQ(second.cache_misses(), 0U) << "no search ran after restart";
+    EXPECT_EQ(result_fingerprint(replayed), result_fingerprint(original));
+}
+
+TEST(StateStore, MemoSnapshotsMergeAcrossServices)
+{
+    Scoped_dir dir;
+    State_store store({dir.str()});
+    Optimization_service a(smoke_service());
+    Optimization_service b(smoke_service());
+    a.optimize("taso", variant_graph(1));
+    b.optimize("taso", variant_graph(2));
+    store.save_memo(a);
+    store.save_memo(b); // must not clobber a's snapshot
+    EXPECT_EQ(store.memo_keys().size(), 2U);
+
+    Optimization_service fresh(smoke_service());
+    EXPECT_EQ(store.load_memo(fresh), 2U);
+    EXPECT_TRUE(fresh.optimize("taso", variant_graph(1)).from_cache);
+    EXPECT_TRUE(fresh.optimize("taso", variant_graph(2)).from_cache);
+}
+
+TEST(StateStore, ImportRespectsCapacityAndLiveEntries)
+{
+    Scoped_dir dir;
+    State_store store({dir.str()});
+    Optimization_service donor(smoke_service());
+    for (int n = 0; n < 4; ++n) donor.optimize("taso", variant_graph(n));
+    store.save_memo(donor);
+
+    Service_config small = smoke_service();
+    small.cache_capacity = 2;
+    Optimization_service bounded(small);
+    store.load_memo(bounded);
+    EXPECT_LE(bounded.cache_size(), 2U);
+
+    // A live result outranks the snapshot: optimize first, import after —
+    // the imported duplicate is skipped, not overwritten.
+    Optimization_service live(smoke_service());
+    const Optimize_result fresh_run = live.optimize("taso", variant_graph(1));
+    const std::size_t imported = store.load_memo(live);
+    EXPECT_LT(imported, 4U);
+    const Optimize_result replay = live.optimize("taso", variant_graph(1));
+    EXPECT_EQ(result_fingerprint(replay), result_fingerprint(fresh_run));
+}
+
+TEST(StateStore, CorruptMemoRecordSkippedOthersSurvive)
+{
+    Scoped_dir dir;
+    Optimization_service service(smoke_service());
+    service.optimize("taso", variant_graph(1));
+    service.optimize("pet", variant_graph(1));
+    {
+        State_store store({dir.str()});
+        EXPECT_EQ(store.save_memo(service), 2U);
+    }
+    // Target one record's graph payload: node names survive serialisation
+    // verbatim, but both records share them — flip a byte in the *first*
+    // record's frame instead by corrupting at a key marker. Memo keys
+    // embed the backend name; "pet|" appears only in pet's record.
+    flip_byte_at_marker((fs::path(dir.path) / "memo.xrls").string(), "|pet|");
+
+    State_store store({dir.str()});
+    EXPECT_EQ(store.stats().skipped_corrupt, 1U);
+    Optimization_service restored(smoke_service());
+    EXPECT_EQ(store.load_memo(restored), 1U);
+    EXPECT_TRUE(restored.optimize("taso", variant_graph(1)).from_cache);
+    EXPECT_FALSE(restored.optimize("pet", variant_graph(1)).from_cache);
+}
+
+TEST(StateStore, FutureVersionMemoRecordSkippedAndCounted)
+{
+    Scoped_dir dir;
+    // Hand-craft a memo file holding one record from "the future".
+    const std::string path = (fs::path(dir.path) / "memo.xrls").string();
+    write_record_file(path, {{record_file_version + 1, 0.0, "future-key", "future-payload"}});
+
+    State_store store({dir.str()});
+    EXPECT_EQ(store.stats().skipped_version, 1U);
+    EXPECT_EQ(store.stats().memo_loaded, 0U);
+    Optimization_service service(smoke_service());
+    EXPECT_EQ(store.load_memo(service), 0U);
+}
+
+// ---------------------------------------------------------------------------
+// xrlflow policy warm start
+// ---------------------------------------------------------------------------
+
+TEST(PolicyWarmStart, SecondProcessSkipsTrainingAndMatchesOutputs)
+{
+    Scoped_dir dir;
+    const Graph graph = quickstart_graph();
+    Optimize_request request;
+    request.seed = 11;
+
+    Service_config cold_config = smoke_service();
+    cold_config.policy_store = std::make_shared<State_store>(State_store_config{dir.str()});
+    Optimization_service cold(cold_config);
+    const Optimize_result trained = cold.optimize("xrlflow", graph, request);
+    const auto cold_stats =
+        std::static_pointer_cast<State_store>(cold_config.policy_store)->stats();
+    EXPECT_EQ(cold_stats.policy_puts, 1U) << "training must persist its policy";
+    EXPECT_EQ(cold_stats.policy_hits, 0U);
+
+    // "Restart": fresh store instance over the same directory, fresh service.
+    Service_config warm_config = smoke_service();
+    auto warm_store = std::make_shared<State_store>(State_store_config{dir.str()});
+    warm_config.policy_store = warm_store;
+    Optimization_service warm(warm_config);
+    const Optimize_result restarted = warm.optimize("xrlflow", graph, request);
+    EXPECT_EQ(warm_store->stats().policy_hits, 1U) << "restart must load, not retrain";
+    EXPECT_EQ(warm_store->stats().policy_puts, 0U);
+    expect_same_search_outcome(trained, restarted);
+}
+
+TEST(PolicyWarmStart, KeysIsolateModelAndDevice)
+{
+    Scoped_dir dir;
+    auto store = std::make_shared<State_store>(State_store_config{dir.str()});
+    Service_config config = smoke_service();
+    config.policy_store = store;
+    Optimization_service service(config);
+
+    Optimize_request gtx;
+    Optimize_request a100;
+    a100.device = Target_device("a100-sim");
+    service.optimize("xrlflow", variant_graph(1), gtx);
+    service.optimize("xrlflow", variant_graph(1), a100); // same model, other device
+    service.optimize("xrlflow", variant_graph(2), gtx);  // other model, same device
+    const std::vector<std::string> keys = store->policy_keys();
+    ASSERT_EQ(keys.size(), 3U) << "every (model, device) pair trains and persists its own policy";
+    for (const std::string& key : keys) {
+        EXPECT_NE(key.find("policy|model="), std::string::npos) << key;
+        EXPECT_NE(key.find("|device="), std::string::npos) << key;
+    }
+
+    // A warm restart fetches per (model, device): both a100 and gtx
+    // policies hit, and their outcomes replay independently.
+    Service_config warm_config = smoke_service();
+    auto warm_store = std::make_shared<State_store>(State_store_config{dir.str()});
+    warm_config.policy_store = warm_store;
+    Optimization_service warm(warm_config);
+    warm.optimize("xrlflow", variant_graph(1), a100);
+    warm.optimize("xrlflow", variant_graph(1), gtx);
+    EXPECT_EQ(warm_store->stats().policy_hits, 2U);
+    EXPECT_EQ(warm_store->stats().policy_puts, 0U);
+}
+
+TEST(PolicyWarmStart, CorruptPolicyRecordFallsBackToTraining)
+{
+    Scoped_dir dir;
+    const Graph graph = quickstart_graph();
+    {
+        Service_config config = smoke_service();
+        config.policy_store = std::make_shared<State_store>(State_store_config{dir.str()});
+        Optimization_service service(config);
+        service.optimize("xrlflow", graph);
+    }
+    flip_byte_at_marker((fs::path(dir.path) / "policies.xrls").string(), "policy|model=");
+
+    Service_config config = smoke_service();
+    auto store = std::make_shared<State_store>(State_store_config{dir.str()});
+    config.policy_store = store;
+    EXPECT_GE(store->stats().skipped_corrupt, 1U);
+    Optimization_service service(config);
+    const Optimize_result result = service.optimize("xrlflow", graph); // retrains cleanly
+    EXPECT_FALSE(result.cancelled);
+    EXPECT_EQ(store->stats().policy_puts, 1U) << "the retrained policy is persisted again";
+}
+
+// ---------------------------------------------------------------------------
+// Server and router integration
+// ---------------------------------------------------------------------------
+
+TEST(ServerPersistence, DrainSnapshotsAndRestartServesFromCache)
+{
+    Scoped_dir dir;
+    const Graph graph = quickstart_graph();
+    Optimize_result first;
+    auto first_store = std::make_shared<State_store>(State_store_config{dir.str()});
+    {
+        Optimization_server server(smoke_server(first_store));
+        first = server.submit("taso", graph).wait();
+        EXPECT_FALSE(first.from_cache);
+        server.drain();
+        EXPECT_GE(first_store->stats().snapshots_written, 1U);
+    }
+
+    auto store = std::make_shared<State_store>(State_store_config{dir.str()});
+    Optimization_server server(smoke_server(store));
+    const Optimize_result replay = server.submit("taso", graph).wait();
+    EXPECT_TRUE(replay.from_cache);
+    EXPECT_EQ(result_fingerprint(replay), result_fingerprint(first));
+    EXPECT_EQ(server.stats().cache_hits, 1U);
+}
+
+TEST(ServerPersistence, PeriodicSnapshotsWithoutDrain)
+{
+    Scoped_dir dir;
+    auto store = std::make_shared<State_store>(State_store_config{dir.str()});
+    Server_config config = smoke_server(store);
+    config.snapshot_every = 1;
+    Optimization_server server(config);
+    server.submit("taso", variant_graph(1)).wait();
+    server.submit("taso", variant_graph(2)).wait();
+    // wait() returns when the job resolves; the snapshot follows on the
+    // worker a beat later. Poll briefly instead of draining (drain would
+    // snapshot itself and mask the periodic path).
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (store->stats().snapshots_written < 2 && std::chrono::steady_clock::now() < deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_GE(store->stats().snapshots_written, 2U);
+    EXPECT_GE(store->memo_keys().size(), 1U);
+}
+
+TEST(ServerPersistence, SnapshotWhileServerActivelyOptimizing)
+{
+    Scoped_dir dir;
+    auto store = std::make_shared<State_store>(State_store_config{dir.str()});
+    Optimization_server server(smoke_server(store));
+
+    std::atomic<bool> stop{false};
+    std::thread snapshotter([&] {
+        while (!stop.load()) store->save_memo(server.service());
+    });
+    std::vector<Job_handle> handles;
+    for (int n = 0; n < 8; ++n) handles.push_back(server.submit("taso", variant_graph(n)));
+    for (Job_handle& handle : handles) handle.wait();
+    stop.store(true);
+    snapshotter.join();
+    server.drain();
+
+    // Everything the server learned under concurrent snapshotting restores.
+    Optimization_service restored(smoke_service());
+    State_store reloaded({dir.str()});
+    EXPECT_EQ(reloaded.load_memo(restored), 8U);
+    for (int n = 0; n < 8; ++n)
+        EXPECT_TRUE(restored.optimize("taso", variant_graph(n)).from_cache);
+}
+
+Router_config two_shard_fleet(std::shared_ptr<State_store> store)
+{
+    Router_config config;
+    config.shards.resize(2);
+    config.shards[0].server = smoke_server(nullptr);
+    config.shards[0].device_affinity = {"gtx1080-sim"};
+    config.shards[1].server = smoke_server(nullptr);
+    config.shards[1].device_affinity = {"a100-sim"};
+    config.state_store = std::move(store);
+    return config;
+}
+
+TEST(RouterPersistence, SharedStoreWarmsAReplacementFleet)
+{
+    Scoped_dir dir;
+    Optimize_request gtx;
+    Optimize_request a100;
+    a100.device = Target_device("a100-sim");
+    {
+        Optimization_router router(
+            two_shard_fleet(std::make_shared<State_store>(State_store_config{dir.str()})));
+        // Both shards learn, concurrently, through the one shared store.
+        std::thread t1([&] {
+            for (int n = 0; n < 4; ++n) router.submit("taso", variant_graph(n), gtx).wait();
+        });
+        std::thread t2([&] {
+            for (int n = 0; n < 4; ++n) router.submit("taso", variant_graph(n), a100).wait();
+        });
+        t1.join();
+        t2.join();
+        router.drain(); // every shard snapshots into the shared store
+    }
+
+    // A brand-new fleet over the same directory answers everything warm.
+    Optimization_router fleet(
+        two_shard_fleet(std::make_shared<State_store>(State_store_config{dir.str()})));
+    for (int n = 0; n < 4; ++n) {
+        EXPECT_TRUE(fleet.submit("taso", variant_graph(n), gtx).wait().from_cache);
+        EXPECT_TRUE(fleet.submit("taso", variant_graph(n), a100).wait().from_cache);
+    }
+    EXPECT_EQ(fleet.stats().total.cache_hits, 8U);
+}
+
+TEST(RouterPersistence, ReplacedShardStartsWarm)
+{
+    Scoped_dir dir;
+    Optimization_router router(
+        two_shard_fleet(std::make_shared<State_store>(State_store_config{dir.str()})));
+    const Graph graph = quickstart_graph();
+    const std::size_t target = router.route("taso", graph);
+    const Optimize_result first = router.submit("taso", graph).wait();
+    EXPECT_FALSE(first.from_cache);
+    router.drain();
+
+    router.replace_shard(target);
+    EXPECT_EQ(router.shard(target).stats().submitted, 0U) << "genuinely a fresh server";
+    const Optimize_result replay = router.submit("taso", graph).wait();
+    EXPECT_TRUE(replay.from_cache) << "the replacement imported the shared store";
+    EXPECT_EQ(result_fingerprint(replay), result_fingerprint(first));
+}
+
+} // namespace
+} // namespace xrl
