@@ -1,0 +1,194 @@
+// Network serving plane: concurrent remote clients vs one serial client.
+//
+// The serving claim behind src/net: the framed wire protocol and the
+// xrlflowd session model add little enough overhead that N concurrent
+// clients actually saturate the router fleet behind the daemon — the
+// fleet's horizontal scale (bench_router) survives the network hop. Two
+// phases, each against its *own* fresh daemon (so the second phase cannot
+// ride the first's memo cache): a single client driving the job mix
+// serially, then 4 clients driving disjoint quarters of the same mix
+// concurrently.
+//
+// Gates: every remote result must be bit-identical (modulo wall-clock
+// fields) to a direct Optimization_service call — always enforced; the
+// >= 2x makespan speedup for 4 clients over a 2-shard fleet is enforced
+// when the host has >= 4 hardware threads (the CI runner class), and
+// reported-but-skipped on smaller hosts. Emits BENCH_net.json (path
+// overridable via argv[1]).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/optimization_service.h"
+#include "core/result_serial.h"
+#include "models/models.h"
+#include "net/client.h"
+#include "net/daemon.h"
+
+namespace {
+
+using namespace xrl;
+using xrlbench::print_header;
+
+double seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::map<std::string, double> smoke_backend_options()
+{
+    return {{"taso.budget", 30},
+            {"pet.budget", 15},
+            {"tensat.max_iterations", 3},
+            {"xrlflow.episodes", 0},
+            {"xrlflow.max_steps", 10}};
+}
+
+Daemon_config fleet_daemon()
+{
+    Daemon_config config;
+    Shard_config gtx_shard;
+    gtx_shard.server.service.backend_options = smoke_backend_options();
+    gtx_shard.server.workers = 2;
+    gtx_shard.device_affinity = {"gtx1080-sim"};
+    Shard_config a100_shard;
+    a100_shard.server.service.backend_options = smoke_backend_options();
+    a100_shard.server.workers = 2;
+    a100_shard.device_affinity = {"a100-sim"};
+    config.router.shards = {gtx_shard, a100_shard};
+    return config;
+}
+
+Client_config client_for(const Daemon& daemon)
+{
+    Client_config config;
+    config.host = daemon.host();
+    config.port = daemon.port();
+    config.poll_wait_seconds = 0.01; // tight long-poll: measure the fleet, not the poll
+    return config;
+}
+
+struct Request_spec {
+    std::string backend;
+    std::string device;
+    const Graph* graph = nullptr;
+};
+
+Optimize_request request_for(const Request_spec& spec)
+{
+    Optimize_request request;
+    request.device = Target_device(spec.device);
+    return request;
+}
+
+/// Bit-exact comparison form: only wall-clock measurements and the cache
+/// marker may differ between a remote and a local run.
+std::string comparable_bytes(Optimize_result result)
+{
+    result.wall_seconds = 0.0;
+    result.from_cache = false;
+    result.metadata.erase("training_seconds");
+    return result_to_bytes(result);
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const std::string json_path = argc > 1 ? argv[1] : "BENCH_net.json";
+    constexpr int kClients = 4;
+
+    print_header("Network: 4 concurrent remote clients vs 1 serial client (2-shard fleet)");
+
+    const Graph bert = make_bert(Scale::smoke, 32);
+    const Graph vit = make_vit(Scale::smoke, 64);
+    const std::vector<std::pair<std::string, const Graph*>> models = {{"bert", &bert},
+                                                                      {"vit", &vit}};
+    const std::vector<std::string> backends = {"taso", "pet"};
+    const std::vector<std::string> devices = {"gtx1080-sim", "a100-sim"};
+
+    std::vector<Request_spec> mix;
+    for (const auto& [model_name, graph] : models)
+        for (const std::string& backend : backends)
+            for (const std::string& device : devices) mix.push_back({backend, device, graph});
+    // 8 distinct jobs; each concurrent client drives a disjoint quarter.
+
+    // -- phase A: one client, serially, against its own fresh daemon -------
+    double serial_seconds = 0.0;
+    {
+        Daemon daemon(fleet_daemon());
+        Client client(client_for(daemon));
+        const auto start = std::chrono::steady_clock::now();
+        for (const Request_spec& spec : mix)
+            (void)client.optimize(spec.backend, *spec.graph, request_for(spec));
+        serial_seconds = seconds_since(start);
+    }
+
+    // -- phase B: 4 clients, concurrently, against a second fresh daemon ---
+    Daemon daemon(fleet_daemon());
+    std::vector<Optimize_result> remote(mix.size());
+    std::vector<std::thread> threads;
+    const auto concurrent_start = std::chrono::steady_clock::now();
+    for (int c = 0; c < kClients; ++c)
+        threads.emplace_back([&, c] {
+            Client client(client_for(daemon));
+            for (std::size_t i = static_cast<std::size_t>(c); i < mix.size();
+                 i += static_cast<std::size_t>(kClients))
+                remote[i] = client.optimize(mix[i].backend, *mix[i].graph, request_for(mix[i]));
+        });
+    for (std::thread& thread : threads) thread.join();
+    const double concurrent_seconds = seconds_since(concurrent_start);
+    const double speedup = concurrent_seconds > 0.0 ? serial_seconds / concurrent_seconds : 0.0;
+
+    // -- parity: remote results == direct in-process service calls ---------
+    Optimization_service reference(fleet_daemon().router.shards[0].server.service);
+    bool parity_ok = true;
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+        const Optimize_result direct =
+            reference.optimize(mix[i].backend, *mix[i].graph, request_for(mix[i]));
+        parity_ok = parity_ok && comparable_bytes(remote[i]) == comparable_bytes(direct);
+    }
+
+    const Daemon_wire_stats wire = daemon.stats();
+    const unsigned cores = std::thread::hardware_concurrency();
+    const bool enforce_scaling = cores >= 4;
+
+    std::printf("%-34s %9zu\n", "distinct jobs", mix.size());
+    std::printf("%-34s %9.2fs\n", "1 client, serial", serial_seconds);
+    std::printf("%-34s %9.2fs\n", "4 clients, concurrent", concurrent_seconds);
+    std::printf("%-34s %9.2fx%s\n", "makespan speedup", speedup,
+                enforce_scaling ? "" : "  [gate skipped: < 4 cores]");
+    std::printf("%-34s %10llu\n", "frames received",
+                static_cast<unsigned long long>(wire.frames_received));
+    std::printf("%-34s %10llu / %llu\n", "wire jobs / protocol errors",
+                static_cast<unsigned long long>(wire.jobs_submitted),
+                static_cast<unsigned long long>(wire.protocol_errors));
+    std::printf("%-34s %10s\n", "parity vs direct service", parity_ok ? "ok" : "MISMATCH");
+
+    std::ofstream json(json_path, std::ios::trunc);
+    json << "{\n"
+         << "  \"bench\": \"net\",\n"
+         << "  \"clients\": " << kClients << ",\n"
+         << "  \"distinct_jobs\": " << mix.size() << ",\n"
+         << "  \"serial_seconds\": " << serial_seconds << ",\n"
+         << "  \"concurrent_seconds\": " << concurrent_seconds << ",\n"
+         << "  \"makespan_speedup\": " << speedup << ",\n"
+         << "  \"frames_received\": " << wire.frames_received << ",\n"
+         << "  \"protocol_errors\": " << wire.protocol_errors << ",\n"
+         << "  \"scaling_gate_enforced\": " << (enforce_scaling ? "true" : "false") << ",\n"
+         << "  \"parity_with_direct_service\": " << (parity_ok ? "true" : "false") << "\n"
+         << "}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+
+    // The acceptance gates: bit-identical remote results always; >= 2x
+    // makespan for 4 concurrent clients when the host has cores to scale
+    // into.
+    const bool pass = parity_ok && (!enforce_scaling || speedup >= 2.0);
+    if (!pass) std::cerr << "ACCEPTANCE FAILED\n";
+    return pass ? 0 : 1;
+}

@@ -1,0 +1,151 @@
+#include "net/client.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace xrl {
+
+Client::Client(Client_config config)
+    : config_(std::move(config)),
+      connection_(Connection::connect(config_.host, config_.port, config_.timeouts))
+{
+    // Handshake: always framed as version 1 (the shared floor), proposing
+    // the highest version this build speaks.
+    Hello hello;
+    hello.proposed_version = protocol_version;
+    hello.client_name = config_.client_name;
+    write_frame(connection_, 1, Pdu_type::hello, encode_hello(hello));
+
+    std::optional<Frame> reply = read_frame(connection_, config_.max_frame_payload);
+    if (!reply.has_value())
+        throw Protocol_error(Protocol_error_code::io,
+                             "connection closed during the hello handshake");
+    if (reply->type == Pdu_type::error) {
+        const Error_pdu error = decode_error(reply->payload);
+        throw Protocol_error(error.code, error.message, /*remote=*/true);
+    }
+    if (reply->type != Pdu_type::hello_ok)
+        throw Protocol_error(Protocol_error_code::bad_payload,
+                             std::string("expected hello_ok, got ") + to_string(reply->type));
+
+    const Hello_ok ok = decode_hello_ok(reply->payload);
+    if (ok.negotiated_version < 1 || ok.negotiated_version > protocol_version)
+        throw Protocol_error(Protocol_error_code::unsupported_version,
+                             "daemon negotiated version " +
+                                 std::to_string(ok.negotiated_version) +
+                                 ", which this client does not speak");
+    version_ = ok.negotiated_version;
+    server_name_ = ok.server_name;
+    shard_count_ = ok.shard_count;
+    backends_ = ok.backends;
+}
+
+std::string Client::call(Pdu_type request, std::string_view payload, Pdu_type expected_reply)
+{
+    write_frame(connection_, version_, request, payload);
+    std::optional<Frame> reply = read_frame(connection_, config_.max_frame_payload);
+    if (!reply.has_value())
+        throw Protocol_error(Protocol_error_code::io,
+                             std::string("connection closed awaiting ") +
+                                 to_string(expected_reply));
+    if (reply->version != version_)
+        throw Protocol_error(Protocol_error_code::unsupported_version,
+                             "reply framed as version " + std::to_string(reply->version) +
+                                 " on a connection that negotiated " + std::to_string(version_));
+    if (reply->type == Pdu_type::error) {
+        const Error_pdu error = decode_error(reply->payload);
+        throw Protocol_error(error.code, error.message, /*remote=*/true);
+    }
+    if (reply->type != expected_reply)
+        throw Protocol_error(Protocol_error_code::bad_payload,
+                             std::string("expected ") + to_string(expected_reply) + ", got " +
+                                 to_string(reply->type));
+    return std::move(reply->payload);
+}
+
+Submit_ok Client::submit(const std::string& backend, const Graph& graph,
+                         const Optimize_request& request, const Submit_options& options)
+{
+    Submit submit;
+    submit.backend = backend;
+    submit.request = request;
+    submit.graph = graph;
+    submit.priority = options.priority;
+    submit.deadline_seconds = options.deadline_seconds;
+    return decode_submit_ok(call(Pdu_type::submit, encode_submit(submit), Pdu_type::submit_ok));
+}
+
+Batch_ok Client::batch_submit(const Batch_submit& batch)
+{
+    return decode_batch_ok(
+        call(Pdu_type::batch_submit, encode_batch_submit(batch), Pdu_type::batch_ok));
+}
+
+Poll_ok Client::poll(std::uint64_t job_id, double wait_seconds)
+{
+    Poll poll;
+    poll.job_id = job_id;
+    poll.wait_seconds = wait_seconds;
+    return decode_poll_ok(call(Pdu_type::poll, encode_poll(poll), Pdu_type::poll_ok));
+}
+
+Optimize_result Client::wait(std::uint64_t job_id, const Progress_observer& observer)
+{
+    // The long poll is the client's loop: each round asks the daemon to
+    // wait briefly (capped server-side), so a slow search costs neither a
+    // parked daemon worker nor a client spin.
+    int last_step = -1;
+    for (;;) {
+        Poll_ok round = poll(job_id, config_.poll_wait_seconds);
+        if (observer && round.progress.has_value() && round.progress->step != last_step) {
+            last_step = round.progress->step;
+            observer(*round.progress);
+        }
+        switch (round.state) {
+        case Job_state::done:
+        case Job_state::cancelled:
+            if (!round.result.has_value())
+                throw Protocol_error(Protocol_error_code::bad_payload,
+                                     "terminal poll_ok without a result");
+            return std::move(*round.result);
+        case Job_state::rejected:
+        case Job_state::failed:
+            // Mirror Job_handle::wait: both surface as runtime_error with
+            // the daemon's message (reject reason / backend error text).
+            throw std::runtime_error(round.message.empty()
+                                         ? std::string("remote job ") + std::to_string(job_id) +
+                                               " " + to_string(round.state)
+                                         : round.message);
+        case Job_state::queued:
+        case Job_state::running:
+            break;
+        }
+    }
+}
+
+Optimize_result Client::optimize(const std::string& backend, const Graph& graph,
+                                 const Optimize_request& request, const Submit_options& options,
+                                 const Progress_observer& observer)
+{
+    const Submit_ok submitted = submit(backend, graph, request, options);
+    return wait(submitted.job_id, observer);
+}
+
+Cancel_ok Client::cancel(std::uint64_t job_id)
+{
+    Cancel cancel;
+    cancel.job_id = job_id;
+    return decode_cancel_ok(call(Pdu_type::cancel, encode_cancel(cancel), Pdu_type::cancel_ok));
+}
+
+Stats_ok Client::stats()
+{
+    return decode_stats_ok(call(Pdu_type::stats, {}, Pdu_type::stats_ok));
+}
+
+void Client::drain()
+{
+    call(Pdu_type::drain, {}, Pdu_type::drain_ok);
+}
+
+} // namespace xrl

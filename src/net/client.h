@@ -1,0 +1,123 @@
+// Client: the in-process face of a remote xrlflowd daemon.
+//
+// Mirrors the Optimization_service surface — optimize() blocks for a
+// result, submit()/poll()/wait()/cancel() expose the job lifecycle — but
+// every call travels the framed wire protocol (net/protocol.h) over one
+// blocking connection. Results come back through the same bit-exact codecs
+// the warm-start layer uses, so a remote optimize() returns bytes
+// identical to the in-process call it mirrors (test_net proves this).
+//
+// Error surface: transport failures throw Net_error; malformed frames and
+// local decode failures throw Protocol_error (remote() == false); typed
+// `error` PDUs from the daemon throw Protocol_error with remote() == true
+// and the daemon's code — so callers can distinguish "my connection died"
+// from "the daemon refused".
+//
+// One Client is one connection and is not thread-safe: the protocol is
+// strictly request/reply on a single stream. Concurrent callers each open
+// their own Client (connections are cheap; the daemon multiplexes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/connection.h"
+#include "net/protocol.h"
+
+namespace xrl {
+
+struct Client_config {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+
+    Net_timeouts timeouts;
+
+    /// Server-side wait requested per poll round inside wait(); the daemon
+    /// caps it anyway (poll_wait_cap_seconds), so this is the client's
+    /// long-poll cadence.
+    double poll_wait_seconds = 0.05;
+
+    /// Frames larger than this are rejected locally (frame_too_large).
+    std::size_t max_frame_payload = protocol_max_payload;
+
+    /// Advertised in the hello handshake.
+    std::string client_name = "xrlflow-client";
+};
+
+class Client {
+public:
+    /// Connects and completes the hello handshake (version negotiation).
+    /// Throws Net_error when the daemon is unreachable and Protocol_error
+    /// when the handshake fails.
+    explicit Client(Client_config config);
+
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+    Client(Client&&) = default;
+    Client& operator=(Client&&) = default;
+
+    // -- handshake results ------------------------------------------------
+    std::uint8_t negotiated_version() const { return version_; }
+    const std::string& server_name() const { return server_name_; }
+    std::uint32_t shard_count() const { return shard_count_; }
+    const std::vector<std::string>& backends() const { return backends_; }
+
+    // -- the Optimization_service mirror ----------------------------------
+
+    /// Submit and block until terminal: the remote twin of
+    /// Optimization_service::optimize. Returns the result for done and
+    /// cancelled (best-so-far, exactly like the in-process call); throws
+    /// std::runtime_error carrying the daemon's message for rejected and
+    /// failed jobs. `observer`, when set, receives each new progress
+    /// snapshot streamed back through the poll loop.
+    Optimize_result optimize(const std::string& backend, const Graph& graph,
+                             const Optimize_request& request = {},
+                             const Submit_options& options = {},
+                             const Progress_observer& observer = {});
+
+    // -- job lifecycle -----------------------------------------------------
+
+    /// Async submit; returns the wire job id (+ whether the daemon
+    /// coalesced it onto an in-flight duplicate).
+    Submit_ok submit(const std::string& backend, const Graph& graph,
+                     const Optimize_request& request = {}, const Submit_options& options = {});
+
+    /// A deployment's model set under one budget/deadline envelope.
+    Batch_ok batch_submit(const Batch_submit& batch);
+
+    /// One poll round: state, latest progress, result when terminal.
+    /// `wait_seconds` asks the daemon to wait briefly before answering
+    /// (capped server-side).
+    Poll_ok poll(std::uint64_t job_id, double wait_seconds = 0.0);
+
+    /// Long-poll until terminal; same result/throw contract as optimize().
+    Optimize_result wait(std::uint64_t job_id, const Progress_observer& observer = {});
+
+    /// Withdraw this submission's interest (the daemon's interest-counting
+    /// matches Job_handle::cancel).
+    Cancel_ok cancel(std::uint64_t job_id);
+
+    /// Fleet-wide router telemetry + the daemon's wire counters.
+    Stats_ok stats();
+
+    /// Block until the fleet is idle and its warm state is snapshotted.
+    void drain();
+
+    void close() { connection_.close(); }
+
+private:
+    /// One request/reply exchange; throws Protocol_error for error PDUs
+    /// (remote) and protocol violations (local), Net_error for transport.
+    std::string call(Pdu_type request, std::string_view payload, Pdu_type expected_reply);
+
+    Client_config config_;
+    Connection connection_;
+    std::uint8_t version_ = protocol_version;
+    std::string server_name_;
+    std::uint32_t shard_count_ = 0;
+    std::vector<std::string> backends_;
+};
+
+} // namespace xrl

@@ -1,0 +1,337 @@
+#include "net/connection.h"
+
+#if defined(_WIN32)
+
+// Non-POSIX stub: the serving plane targets Linux hosts. Everything that
+// would open a socket throws; the rest of the library stays usable.
+namespace xrl {
+
+const char* to_string(Net_error_kind kind)
+{
+    switch (kind) {
+    case Net_error_kind::timeout: return "timeout";
+    case Net_error_kind::closed: return "closed";
+    case Net_error_kind::refused: return "refused";
+    case Net_error_kind::failed: return "failed";
+    }
+    return "?";
+}
+
+namespace {
+[[noreturn]] void unsupported()
+{
+    throw Net_error(Net_error_kind::failed, "sockets are not supported on this platform");
+}
+} // namespace
+
+Connection::Connection(int, const Net_timeouts&) { unsupported(); }
+Connection::~Connection() = default;
+Connection::Connection(Connection&&) noexcept = default;
+Connection& Connection::operator=(Connection&&) noexcept = default;
+Connection Connection::connect(const std::string&, std::uint16_t, const Net_timeouts&)
+{
+    unsupported();
+}
+void Connection::send_all(std::string_view) { unsupported(); }
+std::string Connection::recv_exact(std::size_t) { unsupported(); }
+std::size_t Connection::recv_some(void*, std::size_t) { unsupported(); }
+bool Connection::readable(double) { unsupported(); }
+void Connection::shutdown_send() {}
+void Connection::close() {}
+
+Listener::Listener(const std::string&, std::uint16_t, int) { unsupported(); }
+Listener::~Listener() = default;
+std::optional<Connection> Listener::accept(const Net_timeouts&) { unsupported(); }
+void Listener::close() {}
+
+} // namespace xrl
+
+#else // POSIX
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace xrl {
+
+const char* to_string(Net_error_kind kind)
+{
+    switch (kind) {
+    case Net_error_kind::timeout: return "timeout";
+    case Net_error_kind::closed: return "closed";
+    case Net_error_kind::refused: return "refused";
+    case Net_error_kind::failed: return "failed";
+    }
+    return "?";
+}
+
+namespace {
+
+[[noreturn]] void throw_errno(Net_error_kind kind, const std::string& what)
+{
+    throw Net_error(kind, what + ": " + std::strerror(errno));
+}
+
+timeval to_timeval(double seconds)
+{
+    timeval tv{};
+    if (seconds > 0.0) {
+        tv.tv_sec = static_cast<time_t>(seconds);
+        tv.tv_usec = static_cast<suseconds_t>((seconds - std::floor(seconds)) * 1e6);
+    }
+    return tv;
+}
+
+/// SO_RCVTIMEO / SO_SNDTIMEO; zero timeouts leave the socket fully
+/// blocking. Also disables Nagle — the protocol is request/response with
+/// small frames, where delayed ACK + Nagle interaction costs 40ms a turn.
+void configure_socket(int fd, const Net_timeouts& timeouts)
+{
+    const timeval read_tv = to_timeval(timeouts.read_seconds);
+    const timeval write_tv = to_timeval(timeouts.write_seconds);
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &read_tv, sizeof(read_tv));
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &write_tv, sizeof(write_tv));
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in resolve(const std::string& host, std::uint16_t port)
+{
+    sockaddr_in address{};
+    address.sin_family = AF_INET;
+    address.sin_port = htons(port);
+    // Numeric IPv4 only ("127.0.0.1", "0.0.0.0"): the daemon and its
+    // clients address each other by IP inside a deployment; name
+    // resolution stays out of the transport.
+    if (::inet_pton(AF_INET, host.c_str(), &address.sin_addr) != 1)
+        throw Net_error(Net_error_kind::failed,
+                        "not a numeric IPv4 address: '" + host + "'");
+    return address;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Connection
+// ---------------------------------------------------------------------------
+
+Connection::Connection(int fd, const Net_timeouts& timeouts) : fd_(fd), timeouts_(timeouts)
+{
+    configure_socket(fd_, timeouts_);
+}
+
+Connection::~Connection() { close(); }
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), timeouts_(other.timeouts_)
+{
+}
+
+Connection& Connection::operator=(Connection&& other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+        timeouts_ = other.timeouts_;
+    }
+    return *this;
+}
+
+Connection Connection::connect(const std::string& host, std::uint16_t port,
+                               const Net_timeouts& timeouts)
+{
+    const sockaddr_in address = resolve(host, port);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno(Net_error_kind::failed, "socket()");
+
+    // Connect with its own deadline: start non-blocking, poll for
+    // writability, then restore blocking mode for the data path.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    (void)::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&address), sizeof(address));
+    if (rc != 0 && errno == EINPROGRESS) {
+        pollfd waiter{fd, POLLOUT, 0};
+        const int timeout_ms = timeouts.connect_seconds > 0.0
+                                   ? static_cast<int>(timeouts.connect_seconds * 1e3)
+                                   : -1;
+        rc = ::poll(&waiter, 1, timeout_ms);
+        if (rc == 0) {
+            ::close(fd);
+            throw Net_error(Net_error_kind::timeout,
+                            "connect to " + host + ":" + std::to_string(port) + " timed out");
+        }
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        (void)::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+        if (soerr != 0) {
+            ::close(fd);
+            errno = soerr;
+            throw_errno(soerr == ECONNREFUSED ? Net_error_kind::refused : Net_error_kind::failed,
+                        "connect to " + host + ":" + std::to_string(port));
+        }
+    } else if (rc != 0) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno(saved == ECONNREFUSED ? Net_error_kind::refused : Net_error_kind::failed,
+                    "connect to " + host + ":" + std::to_string(port));
+    }
+    (void)::fcntl(fd, F_SETFL, flags); // back to blocking
+    return Connection(fd, timeouts);
+}
+
+void Connection::send_all(std::string_view bytes)
+{
+    if (!valid()) throw Net_error(Net_error_kind::closed, "send on a closed connection");
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not a process
+        // signal — the daemon must survive every client departure.
+        const ssize_t n =
+            ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            throw Net_error(Net_error_kind::timeout, "send timed out");
+        if (errno == EPIPE || errno == ECONNRESET)
+            throw Net_error(Net_error_kind::closed, "peer closed the connection during send");
+        throw_errno(Net_error_kind::failed, "send()");
+    }
+}
+
+std::size_t Connection::recv_some(void* destination, std::size_t max)
+{
+    if (!valid()) throw Net_error(Net_error_kind::closed, "recv on a closed connection");
+    for (;;) {
+        const ssize_t n = ::recv(fd_, destination, max, 0);
+        if (n > 0) return static_cast<std::size_t>(n);
+        if (n == 0) return 0; // clean end-of-stream
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            throw Net_error(Net_error_kind::timeout, "recv timed out");
+        if (errno == ECONNRESET)
+            throw Net_error(Net_error_kind::closed, "peer reset the connection");
+        throw_errno(Net_error_kind::failed, "recv()");
+    }
+}
+
+std::string Connection::recv_exact(std::size_t size)
+{
+    std::string out(size, '\0');
+    std::size_t have = 0;
+    while (have < size) {
+        const std::size_t n = recv_some(out.data() + have, size - have);
+        if (n == 0)
+            throw Net_error(Net_error_kind::closed,
+                            "peer closed the connection mid-read (" + std::to_string(have) +
+                                " of " + std::to_string(size) + " bytes received)");
+        have += n;
+    }
+    return out;
+}
+
+bool Connection::readable(double timeout_seconds)
+{
+    if (!valid()) return false;
+    pollfd waiter{fd_, POLLIN, 0};
+    const int timeout_ms =
+        timeout_seconds > 0.0 ? static_cast<int>(timeout_seconds * 1e3) : 0;
+    for (;;) {
+        const int rc = ::poll(&waiter, 1, timeout_ms);
+        if (rc < 0 && errno == EINTR) continue;
+        // POLLHUP/POLLERR count as readable: the next recv reports the
+        // condition through the normal error path.
+        return rc > 0;
+    }
+}
+
+void Connection::shutdown_send()
+{
+    if (valid()) (void)::shutdown(fd_, SHUT_WR);
+}
+
+void Connection::close()
+{
+    if (fd_ >= 0) {
+        (void)::close(fd_);
+        fd_ = -1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Listener
+// ---------------------------------------------------------------------------
+
+Listener::Listener(const std::string& host, std::uint16_t port, int backlog)
+{
+    sockaddr_in address = resolve(host, port);
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw_errno(Net_error_kind::failed, "socket()");
+    const int one = 1;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd_, reinterpret_cast<const sockaddr*>(&address), sizeof(address)) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = saved;
+        throw_errno(Net_error_kind::failed,
+                    "bind to " + host + ":" + std::to_string(port));
+    }
+    if (::listen(fd_, backlog) != 0) {
+        const int saved = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = saved;
+        throw_errno(Net_error_kind::failed, "listen()");
+    }
+    // Read back the bound port (resolves port 0 to the kernel's choice).
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0)
+        port_ = ntohs(bound.sin_port);
+}
+
+Listener::~Listener()
+{
+    if (fd_ >= 0) {
+        (void)::close(fd_);
+        fd_ = -1;
+    }
+}
+
+std::optional<Connection> Listener::accept(const Net_timeouts& timeouts)
+{
+    for (;;) {
+        const int fd = ::accept(fd_, nullptr, nullptr);
+        if (fd >= 0) return Connection(fd, timeouts);
+        if (errno == EINTR) continue;
+        // close() shut the listening socket down: EINVAL (Linux) or a
+        // connection-level error on the dying fd — either way, accepting
+        // is over.
+        return std::nullopt;
+    }
+}
+
+void Listener::close()
+{
+    // Shut down rather than close: wakes a blocked accept() on another
+    // thread without freeing the fd number underneath it (the destructor
+    // closes after the accept thread has been joined).
+    if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+} // namespace xrl
+
+#endif // POSIX

@@ -1,0 +1,143 @@
+// Blocking-socket transport for the network serving plane.
+//
+// The wire protocol (net/protocol.h) needs exactly two primitives — "send
+// these bytes or fail loudly" and "give me exactly N bytes or fail loudly"
+// — plus bounded waiting, so this layer is deliberately small: a
+// `Connection` wraps one connected stream socket with connect/read/write
+// timeouts, and a `Listener` accepts them. Everything above the socket —
+// framing, checksums, versioning — lives in the protocol layer; everything
+// below — partial writes, EINTR retries, poll-based readiness — is hidden
+// here.
+//
+// Failure contract: every operation that cannot complete throws Net_error
+// with a typed `kind` (timeout / closed / refused / failed), never returns
+// garbage. A clean end-of-stream is only reported where it is legal — at
+// the *start* of a read via recv_some() returning zero — so callers can
+// tell "peer hung up between frames" (normal) from "peer hung up mid-frame"
+// (a protocol violation the framing layer reports as truncation).
+//
+// POSIX sockets only; on other platforms the constructors throw. The
+// serving plane is a Linux daemon — this mirrors the repo's "stub missing
+// platforms, never #ifdef the call sites" approach.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace xrl {
+
+/// Transport-level failure taxonomy. `timeout` covers connect, read, and
+/// write deadlines; `closed` is a peer reset or mid-operation hangup;
+/// `refused` is a failed connect (nothing listening); `failed` is any
+/// other socket-layer error (message carries errno text).
+enum class Net_error_kind { timeout, closed, refused, failed };
+
+const char* to_string(Net_error_kind kind);
+
+class Net_error : public std::runtime_error {
+public:
+    Net_error(Net_error_kind kind, const std::string& message)
+        : std::runtime_error(message), kind_(kind)
+    {
+    }
+
+    Net_error_kind kind() const { return kind_; }
+
+private:
+    Net_error_kind kind_;
+};
+
+/// Per-connection deadlines, all in seconds; 0 disables that deadline.
+struct Net_timeouts {
+    double connect_seconds = 5.0;
+    double read_seconds = 30.0;
+    double write_seconds = 30.0;
+};
+
+/// One connected stream socket. Move-only; the destructor closes the fd.
+class Connection {
+public:
+    Connection() = default; ///< Invalid (valid() == false) until assigned.
+
+    /// Adopt an already-connected socket (the listener's accept path).
+    Connection(int fd, const Net_timeouts& timeouts);
+
+    ~Connection();
+    Connection(Connection&& other) noexcept;
+    Connection& operator=(Connection&& other) noexcept;
+    Connection(const Connection&) = delete;
+    Connection& operator=(const Connection&) = delete;
+
+    /// Connect to host:port within the configured connect timeout. Throws
+    /// Net_error (refused / timeout / failed).
+    static Connection connect(const std::string& host, std::uint16_t port,
+                              const Net_timeouts& timeouts = {});
+
+    bool valid() const { return fd_ >= 0; }
+    int fd() const { return fd_; }
+
+    /// Write every byte or throw (timeout / closed / failed). Handles
+    /// partial writes and EINTR internally.
+    void send_all(std::string_view bytes);
+
+    /// Read exactly `size` bytes or throw. End-of-stream *anywhere* inside
+    /// the span throws Net_error{closed} — callers that must distinguish a
+    /// clean boundary hangup read the first byte range via recv_some.
+    std::string recv_exact(std::size_t size);
+
+    /// Read 1..max bytes, blocking up to the read timeout. Returns 0 on a
+    /// clean end-of-stream (the only non-exceptional EOF in this API).
+    std::size_t recv_some(void* destination, std::size_t max);
+
+    /// True when a read would not block, false after `timeout_seconds` of
+    /// nothing to read. A hangup/error counts as readable (the next read
+    /// reports it properly). Used by the daemon's cooperative session
+    /// turns so a pool worker never parks on an idle connection.
+    bool readable(double timeout_seconds);
+
+    /// Half-close: no more sends; the peer's next read sees EOF.
+    void shutdown_send();
+
+    void close();
+
+private:
+    int fd_ = -1;
+    Net_timeouts timeouts_;
+};
+
+/// A bound, listening socket. close() (or destruction) wakes a blocked
+/// accept() on another thread via shutdown — the owner joins its accept
+/// thread before the Listener is destroyed, which keeps the fd alive for
+/// the duration of any concurrent accept call.
+class Listener {
+public:
+    /// Bind and listen on host:port; port 0 binds an ephemeral port (read
+    /// it back via port()). Throws Net_error{failed} when the bind is
+    /// refused.
+    Listener(const std::string& host, std::uint16_t port, int backlog = 64);
+
+    ~Listener();
+    Listener(const Listener&) = delete;
+    Listener& operator=(const Listener&) = delete;
+
+    /// The actually-bound port (resolves an ephemeral bind).
+    std::uint16_t port() const { return port_; }
+
+    /// Block for the next connection; the returned Connection carries
+    /// `timeouts`. nullopt once the listener was close()d — the accept
+    /// loop's clean exit signal.
+    std::optional<Connection> accept(const Net_timeouts& timeouts = {});
+
+    /// Stop accepting and wake any blocked accept(). Idempotent.
+    void close();
+
+private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+} // namespace xrl

@@ -1,0 +1,480 @@
+#include "net/daemon.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "support/check.h"
+
+namespace xrl {
+
+namespace {
+
+/// The fleet store alias: hand Daemon_config::state_store to the router
+/// config when the latter did not bring its own.
+Router_config resolved_router_config(Daemon_config& config)
+{
+    if (config.state_store != nullptr && config.router.state_store == nullptr)
+        config.router.state_store = config.state_store;
+    return config.router;
+}
+
+} // namespace
+
+Daemon::Daemon(Daemon_config config)
+    : config_(std::move(config)),
+      router_(resolved_router_config(config_)),
+      listener_(config_.host, config_.port),
+      port_(listener_.port()),
+      pool_(&Thread_pool::shared())
+{
+    accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Daemon::~Daemon()
+{
+    stop();
+}
+
+void Daemon::stop()
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    // Idempotent by construction: every step below tolerates re-running
+    // (the destructor re-stops after an explicit stop()).
+    // Wake the accept thread (shutdown, not close: the fd number stays
+    // ours until the listener is destroyed, so no new socket can alias it
+    // while accept() is still waking up).
+    listener_.close();
+    if (accept_thread_.joinable()) accept_thread_.join();
+
+    // Let in-flight session turns observe stopping_ and retire. Turns are
+    // short by design (one readiness poll / one frame), except drain —
+    // which finishes because the fleet keeps executing below us.
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        sessions_done_.wait(lock, [this] { return active_sessions_ == 0; });
+    }
+
+    // The SIGTERM contract: finish what was admitted, then put warm state
+    // on disk so a restarted daemon starts warm.
+    router_.drain();
+    router_.save_state();
+}
+
+Daemon_wire_stats Daemon::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Daemon_wire_stats out = stats_;
+    out.connections_active = active_sessions_;
+    out.jobs_retained = jobs_.size();
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Accept path
+// ---------------------------------------------------------------------------
+
+void Daemon::accept_loop()
+{
+    for (;;) {
+        std::optional<Connection> connection;
+        try {
+            connection = listener_.accept(config_.timeouts);
+        } catch (const Net_error&) {
+            continue; // One failed handshake must not stop the daemon.
+        }
+        if (!connection.has_value()) return; // Listener closed: stopping.
+        start_session(std::move(*connection));
+    }
+}
+
+void Daemon::start_session(Connection connection)
+{
+    std::shared_ptr<Session> session;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_) return; // Dropped: the peer sees a clean close.
+        if (active_sessions_ >= config_.max_connections) {
+            ++stats_.connections_rejected;
+        } else {
+            ++stats_.connections_accepted;
+            ++active_sessions_;
+            session = std::make_shared<Session>();
+            session->connection = std::move(connection);
+            session->id = next_session_id_++;
+        }
+    }
+    if (session == nullptr) {
+        // Over capacity: a typed refusal, then close. Best-effort — the
+        // peer may already be gone.
+        try {
+            write_frame(connection, protocol_version, Pdu_type::error,
+                        encode_error({Protocol_error_code::busy,
+                                      "connection limit reached (" +
+                                          std::to_string(config_.max_connections) + ")"}));
+        } catch (const Net_error&) {
+        }
+        return;
+    }
+    pool_->post([this, session] { session_turn(session); });
+}
+
+void Daemon::finish_session(const std::shared_ptr<Session>& session)
+{
+    session->connection.close();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    XRL_ASSERT(active_sessions_ > 0);
+    --active_sessions_;
+    sessions_done_.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Session turns
+// ---------------------------------------------------------------------------
+
+void Daemon::session_turn(const std::shared_ptr<Session>& session)
+{
+    bool stopping = false;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping = stopping_;
+    }
+    if (stopping) {
+        finish_session(session);
+        return;
+    }
+
+    // Cooperative turn: a short readiness poll, at most one frame, then
+    // yield the worker back to the pool. Idle connections cost one poll
+    // per turn, never a parked thread.
+    bool ready = false;
+    try {
+        ready = session->connection.readable(config_.idle_poll_seconds);
+    } catch (const Net_error&) {
+        finish_session(session);
+        return;
+    }
+    if (!ready) {
+        pool_->post([this, session] { session_turn(session); });
+        return;
+    }
+
+    std::optional<Frame> frame;
+    try {
+        frame = read_frame(session->connection, config_.max_frame_payload);
+    } catch (const Protocol_error& error) {
+        // Framing damage: the stream can no longer be trusted. Name the
+        // failure, then close.
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.protocol_errors;
+        }
+        send_error(*session, error.code(), error.what());
+        finish_session(session);
+        return;
+    } catch (const Net_error&) {
+        finish_session(session);
+        return;
+    }
+    if (!frame.has_value()) { // Clean hangup at a frame boundary.
+        finish_session(session);
+        return;
+    }
+
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.frames_received;
+    }
+
+    bool keep = false;
+    try {
+        keep = handle_frame(session, *frame);
+    } catch (const Net_error&) {
+        keep = false; // Reply send failed: the peer is gone.
+    }
+    if (!keep) {
+        finish_session(session);
+        return;
+    }
+    pool_->post([this, session] { session_turn(session); });
+}
+
+bool Daemon::handle_frame(const std::shared_ptr<Session>& session, const Frame& frame)
+{
+    if (!session->negotiated) return handle_hello(session, frame);
+
+    if (frame.version != session->version) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.protocol_errors;
+        }
+        send_error(*session, Protocol_error_code::unsupported_version,
+                   "frame version " + std::to_string(frame.version) +
+                       " on a connection that negotiated version " +
+                       std::to_string(session->version));
+        return true; // Framing is intact; the client may recover.
+    }
+
+    Reply reply;
+    try {
+        reply = dispatch(frame);
+    } catch (const Protocol_error& error) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.protocol_errors;
+        }
+        send_error(*session, error.code(), error.what());
+        return true; // Payload-level failure; the stream itself is fine.
+    }
+    write_frame(session->connection, session->version, reply.type, reply.payload);
+    return true;
+}
+
+bool Daemon::handle_hello(const std::shared_ptr<Session>& session, const Frame& frame)
+{
+    // The handshake is strict: anything but a well-formed hello framed as
+    // version 1 closes the connection — there is no negotiated state to
+    // recover into.
+    const auto fail = [&](Protocol_error_code code, const std::string& message) {
+        {
+            const std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.protocol_errors;
+        }
+        send_error(*session, code, message);
+        return false;
+    };
+
+    if (frame.type != Pdu_type::hello)
+        return fail(Protocol_error_code::bad_payload,
+                    std::string("expected hello as the first frame, got ") + to_string(frame.type));
+    if (frame.version != 1)
+        return fail(Protocol_error_code::unsupported_version,
+                    "hello frames must be framed as version 1, got " +
+                        std::to_string(frame.version));
+
+    Hello hello;
+    try {
+        hello = decode_hello(frame.payload);
+    } catch (const Protocol_error& error) {
+        return fail(error.code(), error.what());
+    }
+    if (hello.proposed_version < 1)
+        return fail(Protocol_error_code::unsupported_version, "client proposed version 0");
+
+    session->version = std::min<std::uint8_t>(hello.proposed_version, protocol_version);
+    session->negotiated = true;
+
+    Hello_ok ok;
+    ok.negotiated_version = session->version;
+    ok.server_name = config_.server_name;
+    ok.shard_count = static_cast<std::uint32_t>(router_.shard_count());
+    ok.backends = router_.shard(0).service().backends();
+    write_frame(session->connection, session->version, Pdu_type::hello_ok, encode_hello_ok(ok));
+    return true;
+}
+
+// ---------------------------------------------------------------------------
+// PDU handlers
+// ---------------------------------------------------------------------------
+
+Daemon::Reply Daemon::dispatch(const Frame& frame)
+{
+    switch (frame.type) {
+    case Pdu_type::submit: return handle_submit(frame.payload);
+    case Pdu_type::batch_submit: return handle_batch(frame.payload);
+    case Pdu_type::poll: return handle_poll(frame.payload);
+    case Pdu_type::cancel: return handle_cancel(frame.payload);
+    case Pdu_type::stats: return handle_stats();
+    case Pdu_type::drain: return handle_drain();
+    case Pdu_type::hello:
+        throw Protocol_error(Protocol_error_code::bad_payload,
+                             "hello after the handshake completed");
+    default:
+        // Daemon-to-client PDUs (submit_ok, poll_ok, ...) arriving at the
+        // daemon: known bytes, wrong direction.
+        throw Protocol_error(Protocol_error_code::bad_payload,
+                             std::string("unexpected PDU at the daemon: ") +
+                                 to_string(frame.type));
+    }
+}
+
+Job_handle Daemon::routed_submit(const std::string& backend, const Graph& graph,
+                                 const Optimize_request& request, const Submit_options& options)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            throw Protocol_error(Protocol_error_code::shutting_down, "daemon is stopping");
+    }
+    try {
+        return router_.submit(backend, graph, request, options);
+    } catch (const std::invalid_argument& error) {
+        throw Protocol_error(Protocol_error_code::invalid_request, error.what());
+    } catch (const std::runtime_error& error) {
+        // The shard refused for operational reasons (shutdown mid-submit).
+        throw Protocol_error(Protocol_error_code::shutting_down, error.what());
+    }
+}
+
+Daemon::Reply Daemon::handle_submit(std::string_view payload)
+{
+    const Submit submit = decode_submit(payload);
+    const Submit_options options{static_cast<int>(submit.priority), submit.deadline_seconds};
+    Job_handle handle = routed_submit(submit.backend, submit.graph, submit.request, options);
+    return {Pdu_type::submit_ok, encode_submit_ok(register_job(std::move(handle)))};
+}
+
+Daemon::Reply Daemon::handle_batch(std::string_view payload)
+{
+    const Batch_submit batch = decode_batch_submit(payload);
+    if (batch.entries.empty())
+        throw Protocol_error(Protocol_error_code::invalid_request,
+                             "batch_submit carries no entries");
+
+    // The deployment contract: one envelope for the whole model set.
+    // Entries without their own wall budget split the batch budget evenly;
+    // deadline and priority apply to every entry.
+    const double shared_budget =
+        batch.budget_seconds > 0.0
+            ? batch.budget_seconds / static_cast<double>(batch.entries.size())
+            : 0.0;
+    const Submit_options options{static_cast<int>(batch.priority), batch.deadline_seconds};
+
+    Batch_ok ok;
+    std::vector<Job_handle> handles;
+    handles.reserve(batch.entries.size());
+    try {
+        for (const Batch_submit::Entry& entry : batch.entries) {
+            Optimize_request request = entry.request;
+            if (request.time_budget_seconds <= 0.0 && shared_budget > 0.0)
+                request.time_budget_seconds = shared_budget;
+            handles.push_back(routed_submit(entry.backend, entry.graph, request, options));
+        }
+    } catch (...) {
+        // All-or-nothing admission: withdraw the partial batch so a
+        // rejected deployment does not leave half its models searching.
+        for (Job_handle& handle : handles) handle.cancel();
+        throw;
+    }
+    ok.jobs.reserve(handles.size());
+    for (Job_handle& handle : handles) ok.jobs.push_back(register_job(std::move(handle)));
+    return {Pdu_type::batch_ok, encode_batch_ok(ok)};
+}
+
+Daemon::Reply Daemon::handle_poll(std::string_view payload)
+{
+    const Poll poll = decode_poll(payload);
+    Job_handle handle;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = jobs_.find(poll.job_id);
+        if (it == jobs_.end())
+            throw Protocol_error(Protocol_error_code::unknown_job,
+                                 "unknown job id " + std::to_string(poll.job_id));
+        handle = it->second.handle;
+    }
+
+    // Bounded server-side wait: a worker may sit here briefly, never for
+    // the client's whole patience — long polls are the client's loop.
+    const double wait = std::min(std::max(poll.wait_seconds, 0.0), config_.poll_wait_cap_seconds);
+    if (wait > 0.0 && !handle.finished()) handle.wait_for(wait);
+
+    Poll_ok ok;
+    ok.job_id = poll.job_id;
+    ok.state = handle.poll();
+    ok.progress = handle.progress();
+    if (ok.state == Job_state::done || ok.state == Job_state::cancelled) {
+        ok.result = handle.wait();
+        note_terminal_delivered(poll.job_id);
+    } else if (ok.state == Job_state::rejected || ok.state == Job_state::failed) {
+        try {
+            handle.wait();
+        } catch (const std::exception& error) {
+            ok.message = error.what();
+        }
+        note_terminal_delivered(poll.job_id);
+    }
+    return {Pdu_type::poll_ok, encode_poll_ok(ok)};
+}
+
+Daemon::Reply Daemon::handle_cancel(std::string_view payload)
+{
+    const Cancel cancel = decode_cancel(payload);
+    Job_handle handle;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = jobs_.find(cancel.job_id);
+        if (it == jobs_.end())
+            throw Protocol_error(Protocol_error_code::unknown_job,
+                                 "unknown job id " + std::to_string(cancel.job_id));
+        handle = it->second.handle;
+    }
+    // The wire submission owns exactly one interest; cancelling through a
+    // copy withdraws it once (Job_handle's ticket semantics).
+    handle.cancel();
+    return {Pdu_type::cancel_ok, encode_cancel_ok({cancel.job_id, handle.poll()})};
+}
+
+Daemon::Reply Daemon::handle_stats()
+{
+    Stats_ok ok;
+    ok.router = router_.stats();
+    ok.daemon = stats();
+    return {Pdu_type::stats_ok, encode_stats_ok(ok)};
+}
+
+Daemon::Reply Daemon::handle_drain()
+{
+    // One administrative drain at a time: losers get a typed `busy`
+    // rather than a second parked worker.
+    const std::unique_lock<std::mutex> admin(admin_mutex_, std::try_to_lock);
+    if (!admin.owns_lock())
+        throw Protocol_error(Protocol_error_code::busy, "a drain is already in progress");
+    router_.drain();
+    router_.save_state();
+    return {Pdu_type::drain_ok, {}};
+}
+
+// ---------------------------------------------------------------------------
+// Job table
+// ---------------------------------------------------------------------------
+
+Submit_ok Daemon::register_job(Job_handle handle)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t id = next_job_id_++;
+    const bool coalesced = handle.coalesced();
+    jobs_.emplace(id, Job_entry{std::move(handle), false});
+    ++stats_.jobs_submitted;
+    return {id, coalesced};
+}
+
+void Daemon::note_terminal_delivered(std::uint64_t job_id)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(job_id);
+    if (it == jobs_.end() || it->second.terminal_delivered) return;
+    it->second.terminal_delivered = true;
+    delivered_order_.push_back(job_id);
+    // Delivered results stay re-pollable (an idempotent client may ask
+    // again) up to the retention cap; beyond it the oldest are forgotten.
+    while (delivered_order_.size() > config_.retain_terminal_jobs) {
+        jobs_.erase(delivered_order_.front());
+        delivered_order_.pop_front();
+    }
+}
+
+void Daemon::send_error(Session& session, Protocol_error_code code, const std::string& message)
+{
+    const std::uint8_t version = session.negotiated ? session.version : protocol_version;
+    try {
+        write_frame(session.connection, version, Pdu_type::error, encode_error({code, message}));
+    } catch (const Net_error&) {
+        // Best-effort: the peer that sent us garbage may already be gone.
+    }
+}
+
+} // namespace xrl

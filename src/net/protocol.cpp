@@ -1,0 +1,710 @@
+#include "net/protocol.h"
+
+#include <bit>
+#include <limits>
+
+#include "core/result_serial.h"
+#include "ir/graph_io.h"
+#include "support/fnv.h"
+#include "support/reflect.h"
+
+namespace xrl {
+
+// The wire is little-endian; Byte_writer/Byte_reader compose in host
+// order, so a big-endian build would need swapping shims here. Every
+// deployment target today is little-endian — fail the build loudly rather
+// than corrupt frames silently if that ever changes.
+static_assert(std::endian::native == std::endian::little,
+              "the xrlflow wire protocol is little-endian; add byte swapping to "
+              "net/protocol.cpp before building for a big-endian target");
+
+// Drift guards: adding a field to any serialised struct must update the
+// codec below *and* these counts (and PROTOCOL.md, and the version rules
+// if the layout changed).
+static_assert(aggregate_field_count<Optimize_request> == 6,
+              "Optimize_request grew a field: update serialise_request / "
+              "deserialise_request (the progress callback stays unserialised) and PROTOCOL.md");
+static_assert(aggregate_field_count<Device_profile> == 7,
+              "Device_profile grew a field: update the device codec in net/protocol.cpp");
+static_assert(aggregate_field_count<Optimize_progress> == 4,
+              "Optimize_progress grew a field: update the progress codec in net/protocol.cpp");
+static_assert(aggregate_field_count<Backend_stats> == 5,
+              "Backend_stats grew a field: update the stats codec in net/protocol.cpp");
+static_assert(aggregate_field_count<Server_stats> == 16,
+              "Server_stats grew a field: update the stats codec in net/protocol.cpp");
+static_assert(aggregate_field_count<Router_stats> == 6,
+              "Router_stats grew a field: update the stats codec in net/protocol.cpp");
+static_assert(aggregate_field_count<Daemon_wire_stats> == 7,
+              "Daemon_wire_stats grew a field: update the stats codec in net/protocol.cpp");
+
+const char* to_string(Pdu_type type)
+{
+    switch (type) {
+    case Pdu_type::hello: return "hello";
+    case Pdu_type::hello_ok: return "hello_ok";
+    case Pdu_type::submit: return "submit";
+    case Pdu_type::submit_ok: return "submit_ok";
+    case Pdu_type::batch_submit: return "batch_submit";
+    case Pdu_type::batch_ok: return "batch_ok";
+    case Pdu_type::poll: return "poll";
+    case Pdu_type::poll_ok: return "poll_ok";
+    case Pdu_type::cancel: return "cancel";
+    case Pdu_type::cancel_ok: return "cancel_ok";
+    case Pdu_type::stats: return "stats";
+    case Pdu_type::stats_ok: return "stats_ok";
+    case Pdu_type::drain: return "drain";
+    case Pdu_type::drain_ok: return "drain_ok";
+    case Pdu_type::error: return "error";
+    }
+    return "?";
+}
+
+const char* to_string(Protocol_error_code code)
+{
+    switch (code) {
+    case Protocol_error_code::bad_magic: return "bad_magic";
+    case Protocol_error_code::bad_checksum: return "bad_checksum";
+    case Protocol_error_code::truncated: return "truncated";
+    case Protocol_error_code::frame_too_large: return "frame_too_large";
+    case Protocol_error_code::unsupported_version: return "unsupported_version";
+    case Protocol_error_code::unknown_type: return "unknown_type";
+    case Protocol_error_code::bad_payload: return "bad_payload";
+    case Protocol_error_code::invalid_request: return "invalid_request";
+    case Protocol_error_code::unknown_job: return "unknown_job";
+    case Protocol_error_code::busy: return "busy";
+    case Protocol_error_code::shutting_down: return "shutting_down";
+    case Protocol_error_code::io: return "io";
+    }
+    return "?";
+}
+
+namespace {
+
+bool known_pdu_type(std::uint8_t raw)
+{
+    return raw >= static_cast<std::uint8_t>(Pdu_type::hello) &&
+           raw <= static_cast<std::uint8_t>(Pdu_type::error);
+}
+
+/// Every decoder runs under this: Byte_reader's bounds-check throws (plain
+/// std::runtime_error) become typed bad_payload protocol errors, so a
+/// damaged payload is a diagnosable rejection, never a crash or a raw
+/// internal error leaking to the wire.
+template <class Decode>
+auto guarded_decode(const char* what, Decode&& decode)
+{
+    try {
+        return decode();
+    } catch (const Protocol_error&) {
+        throw; // already typed — keep the precise code
+    } catch (const std::exception& error) {
+        throw Protocol_error(Protocol_error_code::bad_payload,
+                             std::string(what) + ": " + error.what());
+    }
+}
+
+/// Trailing bytes mean the payload was composed by a different (newer)
+/// codec than the type byte claims — reject rather than half-read.
+void expect_consumed(const Byte_reader& in, const char* what)
+{
+    if (!in.at_end())
+        throw Protocol_error(Protocol_error_code::bad_payload,
+                             std::string(what) + ": " + std::to_string(in.remaining()) +
+                                 " trailing bytes after payload");
+}
+
+std::uint8_t state_to_wire(Job_state state) { return static_cast<std::uint8_t>(state); }
+
+Job_state state_from_wire(std::uint8_t raw)
+{
+    if (raw > static_cast<std::uint8_t>(Job_state::failed))
+        throw Protocol_error(Protocol_error_code::bad_payload,
+                             "unknown job state " + std::to_string(raw));
+    return static_cast<Job_state>(raw);
+}
+
+// -- device / request -------------------------------------------------------
+
+void serialise_profile(Byte_writer& out, const Device_profile& profile)
+{
+    out.str(profile.name);
+    out.f64(profile.flops_per_ms);
+    out.f64(profile.bytes_per_ms);
+    out.f64(profile.kernel_launch_ms);
+    out.f64(profile.scheduler_overhead_ms);
+    out.f64(profile.measurement_noise);
+    out.f64(profile.utilisation_knee_flops);
+}
+
+Device_profile deserialise_profile(Byte_reader& in)
+{
+    Device_profile profile;
+    profile.name = in.str();
+    profile.flops_per_ms = in.f64();
+    profile.bytes_per_ms = in.f64();
+    profile.kernel_launch_ms = in.f64();
+    profile.scheduler_overhead_ms = in.f64();
+    profile.measurement_noise = in.f64();
+    profile.utilisation_knee_flops = in.f64();
+    return profile;
+}
+
+void serialise_progress(Byte_writer& out, const Optimize_progress& progress)
+{
+    out.str(progress.backend);
+    out.i32(progress.step);
+    out.f64(progress.best_ms);
+    out.f64(progress.elapsed_seconds);
+}
+
+Optimize_progress deserialise_progress(Byte_reader& in)
+{
+    Optimize_progress progress;
+    progress.backend = in.str();
+    progress.step = in.i32();
+    progress.best_ms = in.f64();
+    progress.elapsed_seconds = in.f64();
+    return progress;
+}
+
+// -- stats ------------------------------------------------------------------
+
+void serialise_backend_stats(Byte_writer& out, const Backend_stats& stats)
+{
+    out.u64(stats.submitted);
+    out.u64(stats.completed);
+    out.u64(stats.cancelled);
+    out.u64(stats.failed);
+    out.f64(stats.busy_seconds);
+}
+
+Backend_stats deserialise_backend_stats(Byte_reader& in)
+{
+    Backend_stats stats;
+    stats.submitted = in.u64();
+    stats.completed = in.u64();
+    stats.cancelled = in.u64();
+    stats.failed = in.u64();
+    stats.busy_seconds = in.f64();
+    return stats;
+}
+
+void serialise_server_stats(Byte_writer& out, const Server_stats& stats)
+{
+    out.u64(stats.submitted);
+    out.u64(stats.coalesced);
+    out.u64(stats.rejected);
+    out.u64(stats.shed);
+    out.u64(stats.completed);
+    out.u64(stats.cancelled);
+    out.u64(stats.failed);
+    out.u64(stats.cache_hits);
+    out.u64(stats.queue_depth);
+    out.u64(stats.running);
+    out.u64(stats.inflight);
+    out.u64(stats.peak_queue_depth);
+    out.u64(stats.peak_running);
+    out.f64(stats.p50_latency_ms);
+    out.f64(stats.p95_latency_ms);
+    out.u32(static_cast<std::uint32_t>(stats.backends.size()));
+    for (const auto& [backend, per_backend] : stats.backends) {
+        out.str(backend);
+        serialise_backend_stats(out, per_backend);
+    }
+}
+
+Server_stats deserialise_server_stats(Byte_reader& in)
+{
+    Server_stats stats;
+    stats.submitted = in.u64();
+    stats.coalesced = in.u64();
+    stats.rejected = in.u64();
+    stats.shed = in.u64();
+    stats.completed = in.u64();
+    stats.cancelled = in.u64();
+    stats.failed = in.u64();
+    stats.cache_hits = in.u64();
+    stats.queue_depth = static_cast<std::size_t>(in.u64());
+    stats.running = static_cast<std::size_t>(in.u64());
+    stats.inflight = static_cast<std::size_t>(in.u64());
+    stats.peak_queue_depth = static_cast<std::size_t>(in.u64());
+    stats.peak_running = static_cast<std::size_t>(in.u64());
+    stats.p50_latency_ms = in.f64();
+    stats.p95_latency_ms = in.f64();
+    const std::uint32_t backend_count = in.u32();
+    in.expect_items(backend_count, sizeof(std::uint64_t));
+    for (std::uint32_t i = 0; i < backend_count; ++i) {
+        std::string backend = in.str();
+        stats.backends[std::move(backend)] = deserialise_backend_stats(in);
+    }
+    return stats;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+std::string encode_frame(std::uint8_t version, Pdu_type type, std::string_view payload)
+{
+    Byte_writer out;
+    out.u32(protocol_magic);
+    out.u8(version);
+    out.u8(static_cast<std::uint8_t>(type));
+    out.u32(static_cast<std::uint32_t>(payload.size()));
+    std::string bytes = out.take();
+    bytes.append(payload.data(), payload.size());
+    Byte_writer trailer;
+    trailer.u64(fnv1a_bytes(fnv1a_offset, bytes));
+    bytes += trailer.take();
+    return bytes;
+}
+
+Frame decode_frame(std::string_view bytes, std::size_t max_payload)
+{
+    if (bytes.size() < protocol_header_size + protocol_checksum_size)
+        throw Protocol_error(Protocol_error_code::truncated,
+                             "frame shorter than header + checksum (" +
+                                 std::to_string(bytes.size()) + " bytes)");
+    Byte_reader header(bytes.substr(0, protocol_header_size));
+    if (header.u32() != protocol_magic)
+        throw Protocol_error(Protocol_error_code::bad_magic,
+                             "frame does not start with the XRLF magic");
+    Frame frame;
+    frame.version = header.u8();
+    const std::uint8_t raw_type = header.u8();
+    const std::uint32_t payload_size = header.u32();
+    if (payload_size > max_payload)
+        throw Protocol_error(Protocol_error_code::frame_too_large,
+                             "frame payload of " + std::to_string(payload_size) +
+                                 " bytes exceeds the cap of " + std::to_string(max_payload));
+    if (bytes.size() != protocol_header_size + payload_size + protocol_checksum_size)
+        throw Protocol_error(Protocol_error_code::truncated,
+                             "frame length prefix says " + std::to_string(payload_size) +
+                                 " payload bytes but " +
+                                 std::to_string(bytes.size() - protocol_header_size -
+                                                protocol_checksum_size) +
+                                 " are present");
+    const std::size_t body_end = protocol_header_size + payload_size;
+    Byte_reader trailer(bytes.substr(body_end, protocol_checksum_size));
+    if (trailer.u64() != fnv1a_bytes(fnv1a_offset, bytes.substr(0, body_end)))
+        throw Protocol_error(Protocol_error_code::bad_checksum,
+                             "frame checksum mismatch (flipped bytes in transit?)");
+    // Checked *after* the checksum: a frame that hashes clean but names an
+    // unknown type really is from a future speaker, not damage.
+    if (!known_pdu_type(raw_type))
+        throw Protocol_error(Protocol_error_code::unknown_type,
+                             "unknown PDU type " + std::to_string(raw_type));
+    frame.type = static_cast<Pdu_type>(raw_type);
+    frame.payload.assign(bytes.data() + protocol_header_size, payload_size);
+    return frame;
+}
+
+void write_frame(Connection& connection, std::uint8_t version, Pdu_type type,
+                 std::string_view payload)
+{
+    connection.send_all(encode_frame(version, type, payload));
+}
+
+std::optional<Frame> read_frame(Connection& connection, std::size_t max_payload)
+{
+    // First byte separately: EOF here is a clean between-frames hangup,
+    // EOF anywhere later is truncation.
+    char first = 0;
+    if (connection.recv_some(&first, 1) == 0) return std::nullopt;
+    std::string bytes(1, first);
+    try {
+        bytes += connection.recv_exact(protocol_header_size - 1);
+    } catch (const Net_error& error) {
+        if (error.kind() == Net_error_kind::closed)
+            throw Protocol_error(Protocol_error_code::truncated,
+                                 std::string("stream ended inside a frame header: ") +
+                                     error.what());
+        throw;
+    }
+
+    // Validate the header before trusting the length prefix with an
+    // allocation or a long read.
+    Byte_reader header(bytes);
+    if (header.u32() != protocol_magic)
+        throw Protocol_error(Protocol_error_code::bad_magic,
+                             "frame does not start with the XRLF magic");
+    (void)header.u8(); // version — checked by decode_frame / the session layer
+    (void)header.u8(); // type — ditto
+    const std::uint32_t payload_size = header.u32();
+    if (payload_size > max_payload)
+        throw Protocol_error(Protocol_error_code::frame_too_large,
+                             "frame payload of " + std::to_string(payload_size) +
+                                 " bytes exceeds the cap of " + std::to_string(max_payload));
+    try {
+        bytes += connection.recv_exact(payload_size + protocol_checksum_size);
+    } catch (const Net_error& error) {
+        if (error.kind() == Net_error_kind::closed)
+            throw Protocol_error(Protocol_error_code::truncated,
+                                 std::string("stream ended inside a frame body: ") +
+                                     error.what());
+        throw;
+    }
+    return decode_frame(bytes, max_payload);
+}
+
+// ---------------------------------------------------------------------------
+// Request codec (shared by submit and batch_submit)
+// ---------------------------------------------------------------------------
+
+void serialise_request(Byte_writer& out, const Optimize_request& request)
+{
+    out.f64(request.time_budget_seconds);
+    out.i32(request.iteration_budget);
+    out.u64(request.seed);
+    out.u8(request.deterministic ? 1 : 0);
+    out.str(request.device.name);
+    out.u8(request.device.profile.has_value() ? 1 : 0);
+    if (request.device.profile.has_value()) serialise_profile(out, *request.device.profile);
+    // request.on_progress deliberately not serialised: callables cannot
+    // travel; remote progress is served through the poll PDU instead.
+}
+
+Optimize_request deserialise_request(Byte_reader& in)
+{
+    Optimize_request request;
+    request.time_budget_seconds = in.f64();
+    request.iteration_budget = in.i32();
+    request.seed = in.u64();
+    request.deterministic = in.u8() != 0;
+    request.device.name = in.str();
+    if (in.u8() != 0) request.device.profile = deserialise_profile(in);
+    return request;
+}
+
+// ---------------------------------------------------------------------------
+// PDU codecs
+// ---------------------------------------------------------------------------
+
+std::string encode_hello(const Hello& hello)
+{
+    Byte_writer out;
+    out.u8(hello.proposed_version);
+    out.str(hello.client_name);
+    return out.take();
+}
+
+Hello decode_hello(std::string_view payload)
+{
+    return guarded_decode("hello", [&] {
+        Byte_reader in(payload);
+        Hello hello;
+        hello.proposed_version = in.u8();
+        hello.client_name = in.str();
+        expect_consumed(in, "hello");
+        return hello;
+    });
+}
+
+std::string encode_hello_ok(const Hello_ok& hello_ok)
+{
+    Byte_writer out;
+    out.u8(hello_ok.negotiated_version);
+    out.str(hello_ok.server_name);
+    out.u32(hello_ok.shard_count);
+    out.u32(static_cast<std::uint32_t>(hello_ok.backends.size()));
+    for (const std::string& backend : hello_ok.backends) out.str(backend);
+    return out.take();
+}
+
+Hello_ok decode_hello_ok(std::string_view payload)
+{
+    return guarded_decode("hello_ok", [&] {
+        Byte_reader in(payload);
+        Hello_ok hello_ok;
+        hello_ok.negotiated_version = in.u8();
+        hello_ok.server_name = in.str();
+        hello_ok.shard_count = in.u32();
+        const std::uint32_t backend_count = in.u32();
+        in.expect_items(backend_count, sizeof(std::uint64_t));
+        hello_ok.backends.reserve(backend_count);
+        for (std::uint32_t i = 0; i < backend_count; ++i) hello_ok.backends.push_back(in.str());
+        expect_consumed(in, "hello_ok");
+        return hello_ok;
+    });
+}
+
+std::string encode_submit(const Submit& submit)
+{
+    Byte_writer out;
+    out.str(submit.backend);
+    serialise_request(out, submit.request);
+    out.i32(submit.priority);
+    out.f64(submit.deadline_seconds);
+    serialise_graph_binary(out, submit.graph);
+    return out.take();
+}
+
+Submit decode_submit(std::string_view payload)
+{
+    return guarded_decode("submit", [&] {
+        Byte_reader in(payload);
+        Submit submit;
+        submit.backend = in.str();
+        submit.request = deserialise_request(in);
+        submit.priority = in.i32();
+        submit.deadline_seconds = in.f64();
+        submit.graph = deserialise_graph_binary(in);
+        expect_consumed(in, "submit");
+        return submit;
+    });
+}
+
+std::string encode_submit_ok(const Submit_ok& ok)
+{
+    Byte_writer out;
+    out.u64(ok.job_id);
+    out.u8(ok.coalesced ? 1 : 0);
+    return out.take();
+}
+
+Submit_ok decode_submit_ok(std::string_view payload)
+{
+    return guarded_decode("submit_ok", [&] {
+        Byte_reader in(payload);
+        Submit_ok ok;
+        ok.job_id = in.u64();
+        ok.coalesced = in.u8() != 0;
+        expect_consumed(in, "submit_ok");
+        return ok;
+    });
+}
+
+std::string encode_batch_submit(const Batch_submit& batch)
+{
+    Byte_writer out;
+    out.u32(static_cast<std::uint32_t>(batch.entries.size()));
+    for (const Batch_submit::Entry& entry : batch.entries) {
+        out.str(entry.backend);
+        serialise_request(out, entry.request);
+        serialise_graph_binary(out, entry.graph);
+    }
+    out.f64(batch.budget_seconds);
+    out.f64(batch.deadline_seconds);
+    out.i32(batch.priority);
+    return out.take();
+}
+
+Batch_submit decode_batch_submit(std::string_view payload)
+{
+    return guarded_decode("batch_submit", [&] {
+        Byte_reader in(payload);
+        Batch_submit batch;
+        const std::uint32_t entry_count = in.u32();
+        in.expect_items(entry_count, sizeof(std::uint64_t));
+        batch.entries.reserve(entry_count);
+        for (std::uint32_t i = 0; i < entry_count; ++i) {
+            Batch_submit::Entry entry;
+            entry.backend = in.str();
+            entry.request = deserialise_request(in);
+            entry.graph = deserialise_graph_binary(in);
+            batch.entries.push_back(std::move(entry));
+        }
+        batch.budget_seconds = in.f64();
+        batch.deadline_seconds = in.f64();
+        batch.priority = in.i32();
+        expect_consumed(in, "batch_submit");
+        return batch;
+    });
+}
+
+std::string encode_batch_ok(const Batch_ok& ok)
+{
+    Byte_writer out;
+    out.u32(static_cast<std::uint32_t>(ok.jobs.size()));
+    for (const Submit_ok& job : ok.jobs) {
+        out.u64(job.job_id);
+        out.u8(job.coalesced ? 1 : 0);
+    }
+    return out.take();
+}
+
+Batch_ok decode_batch_ok(std::string_view payload)
+{
+    return guarded_decode("batch_ok", [&] {
+        Byte_reader in(payload);
+        Batch_ok ok;
+        const std::uint32_t count = in.u32();
+        in.expect_items(count, sizeof(std::uint64_t) + 1);
+        ok.jobs.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+            Submit_ok job;
+            job.job_id = in.u64();
+            job.coalesced = in.u8() != 0;
+            ok.jobs.push_back(job);
+        }
+        expect_consumed(in, "batch_ok");
+        return ok;
+    });
+}
+
+std::string encode_poll(const Poll& poll)
+{
+    Byte_writer out;
+    out.u64(poll.job_id);
+    out.f64(poll.wait_seconds);
+    return out.take();
+}
+
+Poll decode_poll(std::string_view payload)
+{
+    return guarded_decode("poll", [&] {
+        Byte_reader in(payload);
+        Poll poll;
+        poll.job_id = in.u64();
+        poll.wait_seconds = in.f64();
+        expect_consumed(in, "poll");
+        return poll;
+    });
+}
+
+std::string encode_poll_ok(const Poll_ok& ok)
+{
+    Byte_writer out;
+    out.u64(ok.job_id);
+    out.u8(state_to_wire(ok.state));
+    out.str(ok.message);
+    out.u8(ok.progress.has_value() ? 1 : 0);
+    if (ok.progress.has_value()) serialise_progress(out, *ok.progress);
+    out.u8(ok.result.has_value() ? 1 : 0);
+    if (ok.result.has_value()) serialise_result(out, *ok.result);
+    return out.take();
+}
+
+Poll_ok decode_poll_ok(std::string_view payload)
+{
+    return guarded_decode("poll_ok", [&] {
+        Byte_reader in(payload);
+        Poll_ok ok;
+        ok.job_id = in.u64();
+        ok.state = state_from_wire(in.u8());
+        ok.message = in.str();
+        if (in.u8() != 0) ok.progress = deserialise_progress(in);
+        if (in.u8() != 0) ok.result = deserialise_result(in);
+        expect_consumed(in, "poll_ok");
+        return ok;
+    });
+}
+
+std::string encode_cancel(const Cancel& cancel)
+{
+    Byte_writer out;
+    out.u64(cancel.job_id);
+    return out.take();
+}
+
+Cancel decode_cancel(std::string_view payload)
+{
+    return guarded_decode("cancel", [&] {
+        Byte_reader in(payload);
+        Cancel cancel;
+        cancel.job_id = in.u64();
+        expect_consumed(in, "cancel");
+        return cancel;
+    });
+}
+
+std::string encode_cancel_ok(const Cancel_ok& ok)
+{
+    Byte_writer out;
+    out.u64(ok.job_id);
+    out.u8(state_to_wire(ok.state));
+    return out.take();
+}
+
+Cancel_ok decode_cancel_ok(std::string_view payload)
+{
+    return guarded_decode("cancel_ok", [&] {
+        Byte_reader in(payload);
+        Cancel_ok ok;
+        ok.job_id = in.u64();
+        ok.state = state_from_wire(in.u8());
+        expect_consumed(in, "cancel_ok");
+        return ok;
+    });
+}
+
+std::string encode_stats_ok(const Stats_ok& stats)
+{
+    Byte_writer out;
+    out.u64(stats.router.submitted);
+    out.u64(stats.router.affinity_routed);
+    out.u64(stats.router.hash_routed);
+    serialise_server_stats(out, stats.router.total);
+    out.u32(static_cast<std::uint32_t>(stats.router.shards.size()));
+    for (const Server_stats& shard : stats.router.shards) serialise_server_stats(out, shard);
+    out.u32(static_cast<std::uint32_t>(stats.router.routed_to.size()));
+    for (const std::uint64_t routed : stats.router.routed_to) out.u64(routed);
+    out.u64(stats.daemon.connections_accepted);
+    out.u64(stats.daemon.connections_active);
+    out.u64(stats.daemon.connections_rejected);
+    out.u64(stats.daemon.frames_received);
+    out.u64(stats.daemon.protocol_errors);
+    out.u64(stats.daemon.jobs_submitted);
+    out.u64(stats.daemon.jobs_retained);
+    return out.take();
+}
+
+Stats_ok decode_stats_ok(std::string_view payload)
+{
+    return guarded_decode("stats_ok", [&] {
+        Byte_reader in(payload);
+        Stats_ok stats;
+        stats.router.submitted = in.u64();
+        stats.router.affinity_routed = in.u64();
+        stats.router.hash_routed = in.u64();
+        stats.router.total = deserialise_server_stats(in);
+        const std::uint32_t shard_count = in.u32();
+        in.expect_items(shard_count, 15 * sizeof(std::uint64_t));
+        stats.router.shards.reserve(shard_count);
+        for (std::uint32_t i = 0; i < shard_count; ++i)
+            stats.router.shards.push_back(deserialise_server_stats(in));
+        const std::uint32_t routed_count = in.u32();
+        in.expect_items(routed_count, sizeof(std::uint64_t));
+        stats.router.routed_to.reserve(routed_count);
+        for (std::uint32_t i = 0; i < routed_count; ++i)
+            stats.router.routed_to.push_back(in.u64());
+        stats.daemon.connections_accepted = in.u64();
+        stats.daemon.connections_active = in.u64();
+        stats.daemon.connections_rejected = in.u64();
+        stats.daemon.frames_received = in.u64();
+        stats.daemon.protocol_errors = in.u64();
+        stats.daemon.jobs_submitted = in.u64();
+        stats.daemon.jobs_retained = in.u64();
+        expect_consumed(in, "stats_ok");
+        return stats;
+    });
+}
+
+std::string encode_error(const Error_pdu& error)
+{
+    Byte_writer out;
+    out.u32(static_cast<std::uint32_t>(error.code));
+    out.str(error.message);
+    return out.take();
+}
+
+Error_pdu decode_error(std::string_view payload)
+{
+    return guarded_decode("error", [&] {
+        Byte_reader in(payload);
+        Error_pdu error;
+        const std::uint32_t raw = in.u32();
+        if (raw < static_cast<std::uint32_t>(Protocol_error_code::bad_magic) ||
+            raw > static_cast<std::uint32_t>(Protocol_error_code::io))
+            throw Protocol_error(Protocol_error_code::bad_payload,
+                                 "unknown protocol error code " + std::to_string(raw));
+        error.code = static_cast<Protocol_error_code>(raw);
+        error.message = in.str();
+        expect_consumed(in, "error");
+        return error;
+    });
+}
+
+} // namespace xrl

@@ -1,0 +1,302 @@
+// The xrlflow wire protocol: versioned, length-prefixed, checksummed
+// frames carrying request/response PDUs between clients and the xrlflowd
+// daemon (net/daemon.h).
+//
+// Frame layout (all integers little-endian, floats as IEEE-754 bit
+// patterns — the same byte composition record files use):
+//
+//   offset size  field
+//   0      4     magic  0x464C5258 ("XRLF")
+//   4      1     protocol version of this frame
+//   5      1     PDU type (Pdu_type)
+//   6      4     payload size N
+//   10     N     payload (PDU-specific, composed with Byte_writer)
+//   10+N   8     FNV-1a checksum over bytes [0, 10+N)
+//
+// Version negotiation: the first frame on a connection is `hello`, always
+// framed as version 1 (the floor every speaker shares), proposing the
+// client's highest supported version; the daemon answers `hello_ok` with
+// the negotiated version — min(client's, ours) — and every subsequent
+// frame in either direction must carry it. A proposal below the daemon's
+// floor, or a later frame with any other version byte, earns a typed
+// `error` PDU.
+//
+// Fault tolerance follows the record_file contract: a malformed frame —
+// bad magic, bad checksum, oversized or truncated length, unknown type,
+// undecodable payload, future version — is *never* a crash on either
+// side. The daemon answers with an `error` PDU naming a Protocol_error_code
+// and closes the connection when the stream can no longer be trusted
+// (framing damage); the client library throws Protocol_error. Payloads
+// reuse the bit-exact codecs the warm-start layer already trusts:
+// graphs via serialise_graph_binary (ir/graph_io.h), results via
+// core/result_serial.h — so a remote result is byte-identical to the
+// in-process one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/optimizer_api.h"
+#include "net/connection.h"
+#include "serve/job.h"
+#include "serve/router.h"
+#include "support/record_file.h"
+
+namespace xrl {
+
+inline constexpr std::uint32_t protocol_magic = 0x464C5258; // "XRLF"
+
+/// Highest protocol version this build speaks; hello frames are always
+/// framed as version 1 so any future speaker can still negotiate down.
+inline constexpr std::uint8_t protocol_version = 1;
+
+/// Frames larger than this are rejected before any allocation — an
+/// oversized length prefix is indistinguishable from corruption.
+inline constexpr std::size_t protocol_max_payload = 64u << 20;
+
+inline constexpr std::size_t protocol_header_size = 10; // magic + version + type + length
+inline constexpr std::size_t protocol_checksum_size = 8;
+
+// ---------------------------------------------------------------------------
+// PDU types and error taxonomy
+// ---------------------------------------------------------------------------
+
+enum class Pdu_type : std::uint8_t {
+    hello = 1,        ///< client → daemon: version proposal + client name.
+    hello_ok = 2,     ///< daemon → client: negotiated version + fleet info.
+    submit = 3,       ///< one (backend, request, graph) + scheduling options.
+    submit_ok = 4,    ///< wire job id + coalesced flag.
+    batch_submit = 5, ///< a deployment's model set under one budget/deadline.
+    batch_ok = 6,     ///< wire job ids, in entry order.
+    poll = 7,         ///< job id + bounded server-side wait.
+    poll_ok = 8,      ///< state, progress snapshot, result when terminal.
+    cancel = 9,       ///< withdraw interest in a job.
+    cancel_ok = 10,   ///< state after the cancel took effect.
+    stats = 11,       ///< no payload.
+    stats_ok = 12,    ///< router + daemon counters.
+    drain = 13,       ///< block until the fleet is idle and snapshotted.
+    drain_ok = 14,    ///< drain finished.
+    error = 15,       ///< typed failure; may be terminal for the connection.
+};
+
+const char* to_string(Pdu_type type);
+
+enum class Protocol_error_code : std::uint16_t {
+    bad_magic = 1,           ///< Frame does not start with "XRLF".
+    bad_checksum = 2,        ///< Frame bytes do not hash to the trailer.
+    truncated = 3,           ///< Stream ended inside a frame.
+    frame_too_large = 4,     ///< Length prefix exceeds the payload cap.
+    unsupported_version = 5, ///< Future version proposed or stamped on a frame.
+    unknown_type = 6,        ///< PDU type byte not in Pdu_type.
+    bad_payload = 7,         ///< Frame intact, payload undecodable.
+    invalid_request = 8,     ///< Decoded fine, rejected by validate_request etc.
+    unknown_job = 9,         ///< poll/cancel for an id the daemon does not hold.
+    busy = 10,               ///< Admin operation already in progress.
+    shutting_down = 11,      ///< Daemon is stopping; no new work.
+    io = 12,                 ///< Transport failure surfaced through the protocol layer.
+};
+
+const char* to_string(Protocol_error_code code);
+
+/// The typed failure both sides speak. Thrown by the client library for
+/// local decode failures and for `error` PDUs received from the daemon
+/// (`remote() == true`); the daemon never throws it across a connection —
+/// it answers with an `error` PDU instead.
+class Protocol_error : public std::runtime_error {
+public:
+    Protocol_error(Protocol_error_code code, const std::string& message, bool remote = false)
+        : std::runtime_error(message), code_(code), remote_(remote)
+    {
+    }
+
+    Protocol_error_code code() const { return code_; }
+    bool remote() const { return remote_; }
+
+private:
+    Protocol_error_code code_;
+    bool remote_;
+};
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+struct Frame {
+    std::uint8_t version = protocol_version;
+    Pdu_type type = Pdu_type::error;
+    std::string payload;
+};
+
+/// Compose one frame (header + payload + checksum) as raw bytes.
+std::string encode_frame(std::uint8_t version, Pdu_type type, std::string_view payload);
+
+/// Decode a whole frame from a flat buffer (tests and fuzzing drive this
+/// directly; the streaming path below shares its checks). Throws
+/// Protocol_error with the precise code.
+Frame decode_frame(std::string_view bytes, std::size_t max_payload = protocol_max_payload);
+
+void write_frame(Connection& connection, std::uint8_t version, Pdu_type type,
+                 std::string_view payload);
+
+/// Read the next frame off the stream. nullopt on a clean end-of-stream at
+/// a frame boundary (the peer finished and hung up); Protocol_error
+/// {truncated} when the stream dies inside a frame, {bad_magic /
+/// bad_checksum / frame_too_large / unknown_type} for damage. Transport
+/// timeouts and resets surface as Net_error.
+std::optional<Frame> read_frame(Connection& connection,
+                                std::size_t max_payload = protocol_max_payload);
+
+// ---------------------------------------------------------------------------
+// PDU payloads
+// ---------------------------------------------------------------------------
+
+struct Hello {
+    std::uint8_t proposed_version = protocol_version;
+    std::string client_name;
+};
+
+struct Hello_ok {
+    std::uint8_t negotiated_version = protocol_version;
+    std::string server_name;
+    std::uint32_t shard_count = 0;
+    std::vector<std::string> backends; ///< Registered backend names, sorted.
+};
+
+/// One optimisation submission. The request's progress callback cannot
+/// travel (documented in PROTOCOL.md); progress comes back through poll.
+struct Submit {
+    std::string backend;
+    Optimize_request request;
+    Graph graph;
+    std::int32_t priority = 0;
+    double deadline_seconds = 0.0;
+};
+
+struct Submit_ok {
+    std::uint64_t job_id = 0;
+    bool coalesced = false;
+};
+
+/// A deployment's whole model set under one scheduling envelope: every
+/// entry shares the batch deadline and priority, and entries that carry no
+/// wall-clock budget of their own split `budget_seconds` evenly — one
+/// request, one budget, N models, exactly as a deployment rollout wants.
+struct Batch_submit {
+    struct Entry {
+        std::string backend;
+        Optimize_request request;
+        Graph graph;
+    };
+    std::vector<Entry> entries;
+    double budget_seconds = 0.0;   ///< Shared wall budget; 0 = per-entry budgets only.
+    double deadline_seconds = 0.0; ///< Applied to every entry; 0 = none.
+    std::int32_t priority = 0;
+};
+
+struct Batch_ok {
+    std::vector<Submit_ok> jobs; ///< In entry order.
+};
+
+struct Poll {
+    std::uint64_t job_id = 0;
+    /// Server-side wait for a terminal state before answering, capped by
+    /// the daemon (Daemon_config::poll_wait_cap_seconds) so a slow search
+    /// cannot pin a daemon worker; clients long-poll in a loop.
+    double wait_seconds = 0.0;
+};
+
+struct Poll_ok {
+    std::uint64_t job_id = 0;
+    Job_state state = Job_state::queued;
+    /// Reject reason (rejected) or backend error text (failed); "" else.
+    std::string message;
+    std::optional<Optimize_progress> progress; ///< Latest heartbeat snapshot.
+    std::optional<Optimize_result> result;     ///< Present in done / cancelled.
+};
+
+struct Cancel {
+    std::uint64_t job_id = 0;
+};
+
+struct Cancel_ok {
+    std::uint64_t job_id = 0;
+    Job_state state = Job_state::queued; ///< State observed after the cancel.
+};
+
+/// Daemon-level counters riding next to the router's in stats_ok.
+struct Daemon_wire_stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_active = 0;
+    std::uint64_t connections_rejected = 0; ///< Over max_connections.
+    std::uint64_t frames_received = 0;
+    std::uint64_t protocol_errors = 0; ///< Malformed frames answered with `error`.
+    std::uint64_t jobs_submitted = 0;  ///< Wire jobs (batch entries count singly).
+    std::uint64_t jobs_retained = 0;   ///< Live entries in the daemon's job table.
+};
+
+struct Stats_ok {
+    Router_stats router;
+    Daemon_wire_stats daemon;
+};
+
+struct Error_pdu {
+    Protocol_error_code code = Protocol_error_code::bad_payload;
+    std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+//
+// Every decode_* throws Protocol_error{bad_payload} (or a more precise
+// code) on malformed input and never reads out of bounds — Byte_reader's
+// bounds checks are translated, not propagated raw. Field-count
+// static_asserts in protocol.cpp keep these in lockstep with the structs
+// they serialise.
+
+std::string encode_hello(const Hello& hello);
+Hello decode_hello(std::string_view payload);
+
+std::string encode_hello_ok(const Hello_ok& hello_ok);
+Hello_ok decode_hello_ok(std::string_view payload);
+
+std::string encode_submit(const Submit& submit);
+Submit decode_submit(std::string_view payload);
+
+std::string encode_submit_ok(const Submit_ok& ok);
+Submit_ok decode_submit_ok(std::string_view payload);
+
+std::string encode_batch_submit(const Batch_submit& batch);
+Batch_submit decode_batch_submit(std::string_view payload);
+
+std::string encode_batch_ok(const Batch_ok& ok);
+Batch_ok decode_batch_ok(std::string_view payload);
+
+std::string encode_poll(const Poll& poll);
+Poll decode_poll(std::string_view payload);
+
+std::string encode_poll_ok(const Poll_ok& ok);
+Poll_ok decode_poll_ok(std::string_view payload);
+
+std::string encode_cancel(const Cancel& cancel);
+Cancel decode_cancel(std::string_view payload);
+
+std::string encode_cancel_ok(const Cancel_ok& ok);
+Cancel_ok decode_cancel_ok(std::string_view payload);
+
+std::string encode_stats_ok(const Stats_ok& stats);
+Stats_ok decode_stats_ok(std::string_view payload);
+
+std::string encode_error(const Error_pdu& error);
+Error_pdu decode_error(std::string_view payload);
+
+/// Shared by submit and batch_submit: an Optimize_request minus its
+/// progress callback (which cannot travel), device target included.
+void serialise_request(Byte_writer& out, const Optimize_request& request);
+Optimize_request deserialise_request(Byte_reader& in);
+
+} // namespace xrl

@@ -165,6 +165,11 @@ Router_stats Optimization_router::stats() const
         total.cache_hits += s.cache_hits;
         total.queue_depth += s.queue_depth;
         total.running += s.running;
+        total.inflight += s.inflight;
+        // Summed per-shard high-water marks: an upper bound on the fleet's
+        // simultaneous peak (the shards need not have peaked together).
+        total.peak_queue_depth += s.peak_queue_depth;
+        total.peak_running += s.peak_running;
         // A fleet is as late as its slowest member: report the worst
         // shard's percentiles rather than inventing a merged reservoir.
         total.p50_latency_ms = std::max(total.p50_latency_ms, s.p50_latency_ms);

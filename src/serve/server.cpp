@@ -234,6 +234,7 @@ Job_handle Optimization_server::submit_hashed(std::uint64_t model_hash, const st
                     const auto it = inflight_.find(shed->coalesce_key);
                     if (it != inflight_.end() && it->second == shed) inflight_.erase(it);
                 }
+                telemetry_.on_occupancy(queue_.size(), running_);
             } else {
                 telemetry_.on_reject(/*shed=*/false);
             }
@@ -266,6 +267,7 @@ std::vector<std::shared_ptr<Job>> Optimization_server::claim_replacements_locked
            !queue_.empty())
         claimed.push_back(queue_.pop_best());
     running_ = running_ - freeing + claimed.size();
+    telemetry_.on_occupancy(queue_.size(), running_);
     if (running_ == 0 && queue_.empty()) idle_.notify_all();
     return claimed;
 }
@@ -455,12 +457,14 @@ Server_stats Optimization_server::stats() const
 {
     std::size_t depth = 0;
     std::size_t active = 0;
+    std::size_t inflight = 0;
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         depth = queue_.size();
         active = running_;
+        inflight = inflight_.size();
     }
-    return telemetry_.snapshot(depth, active);
+    return telemetry_.snapshot(depth, active, inflight);
 }
 
 std::size_t Optimization_server::queue_depth() const

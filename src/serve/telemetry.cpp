@@ -78,12 +78,21 @@ void Telemetry::on_finish(const std::string& backend, Job_state terminal, double
     }
 }
 
-Server_stats Telemetry::snapshot(std::size_t queue_depth, std::size_t running) const
+void Telemetry::on_occupancy(std::size_t queue_depth, std::size_t running)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    totals_.peak_queue_depth = std::max(totals_.peak_queue_depth, queue_depth);
+    totals_.peak_running = std::max(totals_.peak_running, running);
+}
+
+Server_stats Telemetry::snapshot(std::size_t queue_depth, std::size_t running,
+                                 std::size_t inflight) const
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     Server_stats stats = totals_;
     stats.queue_depth = queue_depth;
     stats.running = running;
+    stats.inflight = inflight;
     stats.p50_latency_ms = percentile(latencies_ms_, 0.50);
     stats.p95_latency_ms = percentile(latencies_ms_, 0.95);
     return stats;

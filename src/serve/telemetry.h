@@ -47,6 +47,19 @@ struct Server_stats {
     // Live occupancy at snapshot time.
     std::size_t queue_depth = 0;
     std::size_t running = 0;
+    /// Coalescable primaries (queued + running jobs duplicates could still
+    /// attach to) — the server's in-flight table size. Load-aware routing
+    /// and the wire protocol's stats PDU read fleet pressure off this and
+    /// queue_depth rather than re-deriving it.
+    std::size_t inflight = 0;
+
+    // High-water marks since construction (Telemetry gauges, fed by the
+    // server at every admission and worker transition): how deep the
+    // backlog and how wide the worker occupancy have ever been, so a
+    // snapshot taken in a quiet moment still shows what the server has
+    // absorbed.
+    std::size_t peak_queue_depth = 0;
+    std::size_t peak_running = 0;
 
     // Submit-to-terminal latency over the recent-completion reservoir.
     double p50_latency_ms = 0.0;
@@ -88,7 +101,14 @@ public:
     void on_finish(const std::string& backend, Job_state terminal, double latency_seconds,
                    double busy_seconds, bool from_cache);
 
-    Server_stats snapshot(std::size_t queue_depth, std::size_t running) const;
+    /// Occupancy gauge update: the server reports queue depth and running
+    /// workers after every admission and worker transition; the high-water
+    /// marks in Server_stats come from here. (The live in-flight count is
+    /// sampled at snapshot time instead — it only moves with these two.)
+    void on_occupancy(std::size_t queue_depth, std::size_t running);
+
+    Server_stats snapshot(std::size_t queue_depth, std::size_t running,
+                          std::size_t inflight) const;
 
 private:
     mutable std::mutex mutex_;

@@ -475,6 +475,35 @@ TEST(OptimizationServer, TelemetryCountsAddUpAcrossMixedOutcomes)
     EXPECT_GT(stats.dedup_rate(), 0.0);
 }
 
+TEST(OptimizationServer, OccupancyGaugesTrackQueueDepthInflightAndPeaks)
+{
+    Server_config config = smoke_server();
+    config.start_paused = true;
+    Optimization_server server(config);
+
+    std::vector<Job_handle> handles;
+    for (int n = 0; n < 3; ++n) handles.push_back(server.submit("taso", variant_graph(n)));
+
+    // Paused: everything sits in the queue, coalescable, nothing running.
+    Server_stats stats = server.stats();
+    EXPECT_EQ(stats.queue_depth, 3u);
+    EXPECT_EQ(stats.inflight, 3u);
+    EXPECT_EQ(stats.running, 0u);
+    EXPECT_GE(stats.peak_queue_depth, 3u);
+
+    server.resume();
+    for (const Job_handle& handle : handles) handle.wait();
+    server.drain();
+
+    // Quiet again — but the high-water marks remember the burst.
+    stats = server.stats();
+    EXPECT_EQ(stats.queue_depth, 0u);
+    EXPECT_EQ(stats.running, 0u);
+    EXPECT_EQ(stats.inflight, 0u);
+    EXPECT_GE(stats.peak_queue_depth, 3u);
+    EXPECT_GE(stats.peak_running, 1u);
+}
+
 // ---------------------------------------------------------------------------
 // Validation (surfaced through both entry points)
 // ---------------------------------------------------------------------------

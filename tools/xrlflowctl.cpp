@@ -1,0 +1,283 @@
+// xrlflowctl: the command-line client for a running xrlflowd daemon.
+//
+//   xrlflowctl --port P [--host H] <subcommand> ...
+//
+// A <graph> argument is either a path to a text graph file
+// (ir/graph_io.h format) or one of the built-in models: quickstart, bert,
+// vit — so a daemon can be smoke-tested with no files on disk.
+//
+//   optimize <backend> <graph> [--budget S] [--iterations N]
+//            [--seed N] [--device NAME] [--priority P] [--deadline S]
+//            [--out FILE] [--progress] [--verify-local] [--smoke]
+//       Submit one graph, long-poll to completion, print the result
+//       summary (and save the optimised graph with --out). --verify-local
+//       re-runs the same request in-process and fails unless the remote
+//       result is bit-identical (modulo wall-clock fields) — the parity
+//       check CI's loopback job leans on. --smoke must match the daemon's.
+//
+//   batch <backend> <graph>... [--budget S] [--deadline S] [--priority P]
+//       One deployment submit: every graph under a shared wall budget and
+//       deadline. Waits for all entries and prints the per-model summary.
+//
+//   stats
+//       Fleet + wire counters from the daemon.
+//
+//   drain
+//       Block until the fleet is idle and its warm state is snapshotted.
+//
+// --port-file PATH reads the port a daemon wrote with its own
+// --port-file (CI's ephemeral-port handshake).
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/optimization_service.h"
+#include "core/result_serial.h"
+#include "ir/graph_io.h"
+#include "models/models.h"
+#include "net/client.h"
+
+namespace {
+
+[[noreturn]] void usage()
+{
+    std::fprintf(stderr,
+                 "usage: xrlflowctl --port P [--host H] [--port-file PATH] <subcommand>\n"
+                 "  optimize <backend> <graph> [--budget S] [--iterations N] [--seed N]\n"
+                 "           [--device NAME] [--priority P] [--deadline S] [--out FILE]\n"
+                 "           [--progress] [--verify-local] [--smoke]\n"
+                 "  batch <backend> <graph>... [--budget S] [--deadline S] [--priority P]\n"
+                 "  stats\n"
+                 "  drain\n"
+                 "<graph> is a text graph file or a built-in model: quickstart, bert, vit\n");
+    std::exit(2);
+}
+
+/// Mirror of the daemon's --smoke budgets; --verify-local needs the local
+/// reference service configured exactly like the daemon's shards.
+void apply_smoke_options(xrl::Service_config& config)
+{
+    config.backend_options["taso.budget"] = 15;
+    config.backend_options["pet.budget"] = 8;
+    config.backend_options["tensat.max_iterations"] = 2;
+    config.backend_options["xrlflow.episodes"] = 1;
+    config.backend_options["xrlflow.max_steps"] = 4;
+    config.backend_options["xrlflow.hidden_dim"] = 8;
+    config.backend_options["xrlflow.max_candidates"] = 15;
+}
+
+/// A graph argument: an on-disk text graph, or a built-in zoo model so a
+/// daemon can be exercised with nothing on disk.
+xrl::Graph resolve_graph(const std::string& spec)
+{
+    if (std::filesystem::exists(spec)) return xrl::load_graph(spec);
+    if (spec == "quickstart") return xrl::make_dense_layer_example();
+    if (spec == "bert") return xrl::make_bert(xrl::Scale::smoke, 32);
+    if (spec == "vit") return xrl::make_vit(xrl::Scale::smoke, 64);
+    throw std::runtime_error("no such graph file or built-in model: " + spec +
+                             " (built-ins: quickstart, bert, vit)");
+}
+
+/// Bit-exact comparison form: zero the fields that measure wall time (they
+/// legitimately differ between a remote and a local run of the same
+/// deterministic search) and the cache marker, keep everything else.
+std::string comparable_bytes(xrl::Optimize_result result)
+{
+    result.wall_seconds = 0.0;
+    result.from_cache = false;
+    result.metadata.erase("training_seconds");
+    return xrl::result_to_bytes(result);
+}
+
+void print_result(const xrl::Optimize_result& result)
+{
+    std::printf("backend            %s\n", result.backend.c_str());
+    std::printf("device             %s\n", result.device.c_str());
+    std::printf("initial -> final   %.4f ms -> %.4f ms  (%.3fx)\n", result.initial_ms,
+                result.final_ms, result.speedup());
+    std::printf("steps              %d%s\n", result.steps, result.cancelled ? "  [cancelled]" : "");
+    std::printf("wall               %.3f s%s\n", result.wall_seconds,
+                result.from_cache ? "  [memo hit]" : "");
+}
+
+struct Optimize_args {
+    std::string backend;
+    std::vector<std::string> graph_files;
+    xrl::Optimize_request request;
+    xrl::Submit_options options;
+    double batch_budget = 0.0;
+    std::string out_file;
+    bool progress = false;
+    bool verify_local = false;
+    bool smoke = false;
+};
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    xrl::Client_config client_config;
+    client_config.client_name = "xrlflowctl";
+    std::string subcommand;
+    Optimize_args args;
+
+    int i = 1;
+    const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage();
+        return argv[++i];
+    };
+    for (; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--host") {
+            client_config.host = value();
+        } else if (arg == "--port") {
+            client_config.port = static_cast<std::uint16_t>(std::stoul(value()));
+        } else if (arg == "--port-file") {
+            std::ifstream in(value());
+            unsigned port = 0;
+            if (!(in >> port)) {
+                std::fprintf(stderr, "xrlflowctl: cannot read port from --port-file\n");
+                return 1;
+            }
+            client_config.port = static_cast<std::uint16_t>(port);
+        } else if (arg == "--budget") {
+            args.batch_budget = std::stod(value());
+            args.request.time_budget_seconds = args.batch_budget;
+        } else if (arg == "--iterations") {
+            args.request.iteration_budget = std::stoi(value());
+        } else if (arg == "--seed") {
+            args.request.seed = std::stoull(value());
+        } else if (arg == "--device") {
+            args.request.device = xrl::Target_device(value());
+        } else if (arg == "--priority") {
+            args.options.priority = std::stoi(value());
+        } else if (arg == "--deadline") {
+            args.options.deadline_seconds = std::stod(value());
+        } else if (arg == "--out") {
+            args.out_file = value();
+        } else if (arg == "--progress") {
+            args.progress = true;
+        } else if (arg == "--verify-local") {
+            args.verify_local = true;
+        } else if (arg == "--smoke") {
+            args.smoke = true;
+        } else if (arg.rfind("--", 0) == 0) {
+            usage();
+        } else if (subcommand.empty()) {
+            subcommand = arg;
+        } else if (args.backend.empty() && (subcommand == "optimize" || subcommand == "batch")) {
+            args.backend = arg;
+        } else {
+            args.graph_files.push_back(arg);
+        }
+    }
+    if (subcommand.empty() || client_config.port == 0) usage();
+
+    try {
+        xrl::Client client(client_config);
+
+        if (subcommand == "optimize") {
+            if (args.backend.empty() || args.graph_files.size() != 1) usage();
+            const xrl::Graph graph = resolve_graph(args.graph_files[0]);
+
+            xrl::Progress_observer observer;
+            if (args.progress)
+                observer = [](const xrl::Optimize_progress& p) {
+                    std::fprintf(stderr, "  [%s] step %d, best %.4f ms, %.2fs elapsed\n",
+                                 p.backend.c_str(), p.step, p.best_ms, p.elapsed_seconds);
+                };
+
+            const xrl::Optimize_result remote =
+                client.optimize(args.backend, graph, args.request, args.options, observer);
+            print_result(remote);
+            if (!args.out_file.empty()) {
+                xrl::save_graph(args.out_file, remote.best_graph);
+                std::printf("saved optimised graph to %s\n", args.out_file.c_str());
+            }
+
+            if (args.verify_local) {
+                xrl::Service_config service_config;
+                if (args.smoke) apply_smoke_options(service_config);
+                xrl::Optimization_service reference(service_config);
+                const xrl::Optimize_result local =
+                    reference.optimize(args.backend, graph, args.request);
+                if (comparable_bytes(remote) != comparable_bytes(local)) {
+                    std::fprintf(stderr, "PARITY MISMATCH: remote result differs from local "
+                                         "Optimization_service result\n");
+                    return 1;
+                }
+                std::printf("parity              ok (bit-identical to local service)\n");
+            }
+        } else if (subcommand == "batch") {
+            if (args.backend.empty() || args.graph_files.empty()) usage();
+            xrl::Batch_submit batch;
+            batch.budget_seconds = args.batch_budget;
+            batch.deadline_seconds = args.options.deadline_seconds;
+            batch.priority = args.options.priority;
+            for (const std::string& file : args.graph_files) {
+                xrl::Batch_submit::Entry entry;
+                entry.backend = args.backend;
+                xrl::Optimize_request request = args.request;
+                request.time_budget_seconds = 0.0; // the batch budget is shared
+                entry.request = request;
+                entry.graph = resolve_graph(file);
+                batch.entries.push_back(std::move(entry));
+            }
+            const xrl::Batch_ok submitted = client.batch_submit(batch);
+            for (std::size_t n = 0; n < submitted.jobs.size(); ++n) {
+                const xrl::Optimize_result result = client.wait(submitted.jobs[n].job_id);
+                std::printf("%-28s %.4f -> %.4f ms (%.3fx)%s\n", args.graph_files[n].c_str(),
+                            result.initial_ms, result.final_ms, result.speedup(),
+                            submitted.jobs[n].coalesced ? "  [coalesced]" : "");
+            }
+        } else if (subcommand == "stats") {
+            const xrl::Stats_ok stats = client.stats();
+            const xrl::Server_stats& t = stats.router.total;
+            std::printf("server              %s (protocol v%u, %u shard%s)\n",
+                        client.server_name().c_str(), client.negotiated_version(),
+                        client.shard_count(), client.shard_count() == 1 ? "" : "s");
+            std::printf("submitted           %llu (coalesced %llu, rejected %llu)\n",
+                        static_cast<unsigned long long>(t.submitted),
+                        static_cast<unsigned long long>(t.coalesced),
+                        static_cast<unsigned long long>(t.rejected));
+            std::printf("completed           %llu (cache hits %llu, cancelled %llu, failed %llu)\n",
+                        static_cast<unsigned long long>(t.completed),
+                        static_cast<unsigned long long>(t.cache_hits),
+                        static_cast<unsigned long long>(t.cancelled),
+                        static_cast<unsigned long long>(t.failed));
+            std::printf("occupancy           queue %zu, running %zu, inflight %zu "
+                        "(peaks: queue %zu, running %zu)\n",
+                        t.queue_depth, t.running, t.inflight, t.peak_queue_depth, t.peak_running);
+            std::printf("latency             p50 %.1f ms, p95 %.1f ms\n", t.p50_latency_ms,
+                        t.p95_latency_ms);
+            std::printf("wire                conns %llu active / %llu accepted / %llu rejected, "
+                        "frames %llu, protocol errors %llu\n",
+                        static_cast<unsigned long long>(stats.daemon.connections_active),
+                        static_cast<unsigned long long>(stats.daemon.connections_accepted),
+                        static_cast<unsigned long long>(stats.daemon.connections_rejected),
+                        static_cast<unsigned long long>(stats.daemon.frames_received),
+                        static_cast<unsigned long long>(stats.daemon.protocol_errors));
+            std::printf("wire jobs           %llu submitted, %llu retained\n",
+                        static_cast<unsigned long long>(stats.daemon.jobs_submitted),
+                        static_cast<unsigned long long>(stats.daemon.jobs_retained));
+        } else if (subcommand == "drain") {
+            client.drain();
+            std::printf("fleet drained and snapshotted\n");
+        } else {
+            usage();
+        }
+    } catch (const xrl::Protocol_error& error) {
+        std::fprintf(stderr, "xrlflowctl: %s error [%s]: %s\n",
+                     error.remote() ? "daemon" : "protocol", xrl::to_string(error.code()),
+                     error.what());
+        return 1;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "xrlflowctl: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,134 @@
+// xrlflowd: the network serving daemon.
+//
+// Fronts an Optimization_router fleet with the framed wire protocol
+// (src/net). Binds, prints the bound address, and serves until SIGTERM or
+// SIGINT — on which it stops accepting, finishes admitted work, snapshots
+// warm state (with --state-dir), and exits 0. CI's loopback job starts
+// this with --port 0 --port-file so the ephemeral port can be read back.
+//
+//   xrlflowd [--host H] [--port P] [--port-file PATH] [--shards N]
+//            [--workers N] [--max-connections N] [--state-dir DIR]
+//            [--snapshot-every N] [--smoke]
+//
+// --smoke shrinks every backend's search budget to the test scale the
+// suite uses, so a CI daemon answers in milliseconds, not minutes.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/daemon.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int)
+{
+    g_stop.store(true);
+}
+
+[[noreturn]] void usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--host H] [--port P] [--port-file PATH] [--shards N]\n"
+                 "          [--workers N] [--max-connections N] [--state-dir DIR]\n"
+                 "          [--snapshot-every N] [--smoke]\n",
+                 argv0);
+    std::exit(2);
+}
+
+/// The test-scale budgets the suite uses (tests/test_state_store.cpp);
+/// keeps a CI daemon's searches in the milliseconds.
+void apply_smoke_options(xrl::Service_config& config)
+{
+    config.backend_options["taso.budget"] = 15;
+    config.backend_options["pet.budget"] = 8;
+    config.backend_options["tensat.max_iterations"] = 2;
+    config.backend_options["xrlflow.episodes"] = 1;
+    config.backend_options["xrlflow.max_steps"] = 4;
+    config.backend_options["xrlflow.hidden_dim"] = 8;
+    config.backend_options["xrlflow.max_candidates"] = 15;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    xrl::Daemon_config config;
+    std::string port_file;
+    std::string state_dir;
+    std::size_t shards = 1;
+    std::size_t workers = 0;
+    std::size_t snapshot_every = 0;
+    bool smoke = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc) usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--host") {
+            config.host = value();
+        } else if (arg == "--port") {
+            config.port = static_cast<std::uint16_t>(std::stoul(value()));
+        } else if (arg == "--port-file") {
+            port_file = value();
+        } else if (arg == "--shards") {
+            shards = std::stoul(value());
+        } else if (arg == "--workers") {
+            workers = std::stoul(value());
+        } else if (arg == "--max-connections") {
+            config.max_connections = std::stoul(value());
+        } else if (arg == "--state-dir") {
+            state_dir = value();
+        } else if (arg == "--snapshot-every") {
+            snapshot_every = std::stoul(value());
+        } else if (arg == "--smoke") {
+            smoke = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (shards == 0) usage(argv[0]);
+
+    config.router.shards.resize(shards);
+    for (xrl::Shard_config& shard : config.router.shards) {
+        shard.server.workers = workers;
+        shard.server.snapshot_every = snapshot_every;
+        if (smoke) apply_smoke_options(shard.server.service);
+    }
+    if (!state_dir.empty())
+        config.state_store = std::make_shared<xrl::State_store>(xrl::State_store_config{state_dir});
+
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+
+    try {
+        xrl::Daemon daemon(std::move(config));
+        if (!port_file.empty()) {
+            std::ofstream out(port_file, std::ios::trunc);
+            out << daemon.port() << "\n";
+        }
+        std::printf("xrlflowd listening on %s:%u (%zu shard%s)\n", daemon.host().c_str(),
+                    static_cast<unsigned>(daemon.port()), shards, shards == 1 ? "" : "s");
+        std::fflush(stdout);
+
+        while (!g_stop.load()) std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+        std::printf("xrlflowd: draining and snapshotting...\n");
+        std::fflush(stdout);
+        daemon.stop();
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "xrlflowd: %s\n", error.what());
+        return 1;
+    }
+    std::printf("xrlflowd: stopped\n");
+    return 0;
+}
