@@ -1,0 +1,206 @@
+// Fleet resilience: one shard of four force-failed mid-stream.
+//
+// The resilience claim behind the fleet layer (serve/router.h +
+// serve/shard_health.h): when a shard starts failing every job, the
+// breaker trips after `failure_threshold` consecutive failures, the dead
+// shard's rendezvous slice re-spreads over the three survivors, and a
+// retrying submitter loses *zero* jobs — with every surviving result
+// bit-identical to a healthy run, because the backends are deterministic
+// and routing never changes what a search computes. After the fault is
+// healed, the open window expires and half-open probes re-admit the shard.
+//
+// One job stream, three phases against a single 4-shard router:
+//   warm    shard 0 executes its first job normally,
+//   dead    a Fault_plan rule fails every later job shard 0 executes; the
+//           submitter retries failures (the Client's policy, inlined),
+//   healed  at 3/4 of the stream the plan is cleared, the open window is
+//           slept out, and the next submits probe shard 0 back closed.
+//
+// Gates (always enforced): availability >= 99% (jobs completed / jobs
+// submitted — zero lost), parity with a direct Optimization_service run on
+// every job, zero duplicated searches, breaker tripped at least once and
+// finished closed. Emits BENCH_resilience.json (path overridable via
+// argv[1]).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/optimization_service.h"
+#include "core/result_serial.h"
+#include "ir/builder.h"
+#include "serve/router.h"
+#include "serve/shard_health.h"
+#include "support/fault_plan.h"
+
+namespace {
+
+using namespace xrl;
+using xrlbench::print_header;
+
+double seconds_since(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+std::map<std::string, double> smoke_backend_options()
+{
+    return {{"taso.budget", 30},
+            {"pet.budget", 15},
+            {"tensat.max_iterations", 3},
+            {"xrlflow.episodes", 0},
+            {"xrlflow.max_steps", 10}};
+}
+
+/// Structurally distinct models (different widths => different routing keys).
+Graph variant_graph(int n)
+{
+    Graph_builder b;
+    const Edge x = b.input({4, 24 + n}, "x");
+    const Edge w = b.weight({24 + n, 12});
+    return b.finish({b.relu(b.matmul(x, w))});
+}
+
+/// Bit-exact comparison form: only wall-clock measurements and the cache
+/// marker may differ between the resilient run and the healthy reference.
+std::string comparable_bytes(Optimize_result result)
+{
+    result.wall_seconds = 0.0;
+    result.from_cache = false;
+    result.metadata.erase("training_seconds");
+    return result_to_bytes(result);
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const std::string json_path = argc > 1 ? argv[1] : "BENCH_resilience.json";
+    constexpr std::size_t kShards = 4;
+    constexpr int kModels = 12;
+    constexpr int kMaxAttempts = 8; // the retrying submitter's budget per job
+    constexpr double kOpenSeconds = 0.3;
+
+    print_header("Resilience: 4-shard fleet, shard 0 force-failed mid-stream");
+
+    auto plan = std::make_shared<Fault_plan>();
+    Router_config config;
+    config.shards.resize(kShards);
+    for (Shard_config& shard : config.shards)
+        shard.server.service.backend_options = smoke_backend_options();
+    config.fault_plan = plan;
+    config.health.failure_threshold = 2;
+    config.health.open_seconds = kOpenSeconds;
+    config.health.half_open_probes = 2;
+    Optimization_router router(config);
+
+    Optimization_service reference(config.shards[0].server.service);
+
+    // 12 models x 2 backends = 24 jobs, streamed in a deterministic order.
+    std::vector<std::pair<std::string, int>> jobs;
+    for (int n = 0; n < kModels; ++n)
+        for (const char* backend : {"taso", "pet"}) jobs.emplace_back(backend, n);
+    const std::size_t heal_at = jobs.size() * 3 / 4;
+
+    // Shard 0 dies after the job it is executing when the stream starts:
+    // its first executed job succeeds (the warm phase), everything after
+    // fails until the heal.
+    plan->add("shard/0", {.begin = 1});
+
+    std::size_t completed = 0;
+    std::size_t failed_attempts = 0;
+    std::size_t total_attempts = 0;
+    bool parity_ok = true;
+    bool lost = false;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (i == heal_at) {
+            // Heal the shard and let the open window expire: the next
+            // submits are admitted as half-open probes.
+            plan->clear("shard/0");
+            std::this_thread::sleep_for(std::chrono::duration<double>(kOpenSeconds * 1.5));
+        }
+        const Graph graph = variant_graph(jobs[i].second);
+        std::string bytes;
+        for (int attempt = 0; attempt < kMaxAttempts && bytes.empty(); ++attempt) {
+            ++total_attempts;
+            try {
+                bytes = comparable_bytes(router.submit(jobs[i].first, graph).wait());
+            } catch (const std::runtime_error&) {
+                ++failed_attempts; // the dead shard refused; resubmit
+            }
+        }
+        if (bytes.empty()) {
+            lost = true;
+            continue;
+        }
+        ++completed;
+        parity_ok =
+            parity_ok && bytes == comparable_bytes(reference.optimize(jobs[i].first, graph));
+    }
+    router.drain();
+    const double stream_seconds = seconds_since(start);
+
+    // The breaker hears the last probe's success just after its waiter
+    // wakes; give the completion hook a moment before the final reading.
+    Breaker_state final_state = Breaker_state::open;
+    for (int spin = 0; spin < 1000; ++spin) {
+        final_state = router.stats().health[0].state;
+        if (final_state == Breaker_state::closed) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+
+    const Router_stats stats = router.stats();
+    const double availability =
+        jobs.empty() ? 0.0 : static_cast<double>(completed) / static_cast<double>(jobs.size());
+    const bool duplicates = stats.total.completed != completed;
+
+    std::printf("%-34s %9zu\n", "jobs streamed", jobs.size());
+    std::printf("%-34s %9zu\n", "jobs completed", completed);
+    std::printf("%-34s %9zu / %zu\n", "failed attempts / total attempts", failed_attempts,
+                total_attempts);
+    std::printf("%-34s %9.4f\n", "availability", availability);
+    std::printf("%-34s %9.2fs\n", "stream makespan", stream_seconds);
+    std::printf("%-34s %10llu\n", "rerouted around shard 0",
+                static_cast<unsigned long long>(stats.breaker_rerouted));
+    std::printf("%-34s %10llu / %llu\n", "breaker trips / probes",
+                static_cast<unsigned long long>(stats.health[0].trips),
+                static_cast<unsigned long long>(stats.health[0].probes));
+    std::printf("%-34s %10s\n", "breaker final state", to_string(final_state));
+    std::printf("%-34s %10s\n", "parity vs healthy run", parity_ok ? "ok" : "MISMATCH");
+    std::printf("%-34s %10s\n", "duplicated searches", duplicates ? "YES" : "none");
+
+    std::ofstream json(json_path, std::ios::trunc);
+    json << "{\n"
+         << "  \"bench\": \"resilience\",\n"
+         << "  \"shards\": " << kShards << ",\n"
+         << "  \"jobs\": " << jobs.size() << ",\n"
+         << "  \"completed\": " << completed << ",\n"
+         << "  \"failed_attempts\": " << failed_attempts << ",\n"
+         << "  \"total_attempts\": " << total_attempts << ",\n"
+         << "  \"availability\": " << availability << ",\n"
+         << "  \"stream_seconds\": " << stream_seconds << ",\n"
+         << "  \"breaker_rerouted\": " << stats.breaker_rerouted << ",\n"
+         << "  \"probe_routed\": " << stats.probe_routed << ",\n"
+         << "  \"breaker_trips\": " << stats.health[0].trips << ",\n"
+         << "  \"breaker_final_state\": \"" << to_string(final_state) << "\",\n"
+         << "  \"parity_with_healthy_run\": " << (parity_ok ? "true" : "false") << ",\n"
+         << "  \"duplicated_searches\": " << (duplicates ? "true" : "false") << ",\n"
+         << "  \"lost_jobs\": " << (lost ? jobs.size() - completed : 0) << "\n"
+         << "}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+
+    // The acceptance gates, all always enforced: nothing lost (availability
+    // >= 99%), bit-identical surviving work, no duplicated searches, the
+    // breaker actually tripped, and the healed shard was re-admitted.
+    const bool pass = availability >= 0.99 && parity_ok && !duplicates &&
+                      stats.health[0].trips >= 1 && final_state == Breaker_state::closed;
+    if (!pass) std::cerr << "ACCEPTANCE FAILED\n";
+    return pass ? 0 : 1;
+}

@@ -16,8 +16,19 @@
 // One Client is one connection and is not thread-safe: the protocol is
 // strictly request/reply on a single stream. Concurrent callers each open
 // their own Client (connections are cheap; the daemon multiplexes).
+//
+// Retries: with a Retry_policy allowing more than one attempt, transport
+// failures and *retryable* protocol errors (see retryable() in
+// net/protocol.h) are retried with capped exponential backoff and
+// deterministic seeded jitter, reconnecting and re-handshaking first when
+// the connection died. Every submit carries a client-generated idempotency
+// key, so a retried submit whose original reply was lost coalesces onto
+// the already-accepted job instead of searching twice (the daemon replays
+// the original reply byte-identically). The default policy is a single
+// attempt — exactly the pre-retry behaviour.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -25,8 +36,30 @@
 
 #include "net/connection.h"
 #include "net/protocol.h"
+#include "support/fault_plan.h"
+#include "support/rng.h"
 
 namespace xrl {
+
+/// Retry tuning for one Client. `max_attempts` counts the first try: 1
+/// disables retrying entirely. Backoff before attempt k+1 is
+/// min(initial * multiplier^(k-1), max), scaled by a deterministic jitter
+/// drawn from `jitter_seed` — two clients with different seeds never
+/// thundering-herd in lockstep, and a test with a fixed seed replays the
+/// exact same schedule.
+struct Retry_policy {
+    std::uint32_t max_attempts = 1;
+    double initial_backoff_seconds = 0.05;
+    double max_backoff_seconds = 2.0;
+    double backoff_multiplier = 2.0;
+    /// Each sleep is scaled by a factor in [1 - jitter, 1 + jitter].
+    double jitter = 0.2;
+    std::uint64_t jitter_seed = 1;
+    /// Overall wall-clock budget across all attempts of one call; once
+    /// exceeded the current failure is rethrown instead of retried.
+    /// 0 = no deadline.
+    double deadline_seconds = 0.0;
+};
 
 struct Client_config {
     std::string host = "127.0.0.1";
@@ -44,6 +77,19 @@ struct Client_config {
 
     /// Advertised in the hello handshake.
     std::string client_name = "xrlflow-client";
+
+    /// Retry/backoff behaviour; the default (one attempt) never retries.
+    Retry_policy retry;
+
+    /// Seed for the idempotency-key stream stamped on submits. 0 (the
+    /// default) draws a random stream per Client — two clients never
+    /// collide; a nonzero seed makes the keys reproducible for tests.
+    std::uint64_t request_key_seed = 0;
+
+    /// Deterministic fault injection on this client's send path: one event
+    /// consumed at site "client/send" per sent frame (see
+    /// Connection::set_fault_plan). Survives reconnects. Tests only.
+    std::shared_ptr<Fault_plan> fault_plan;
 };
 
 class Client {
@@ -60,6 +106,9 @@ public:
 
     // -- handshake results ------------------------------------------------
     std::uint8_t negotiated_version() const { return version_; }
+    /// The daemon's highest supported protocol version (may exceed the
+    /// negotiated one when the daemon is newer than this client).
+    std::uint8_t server_protocol_version() const { return server_protocol_version_; }
     const std::string& server_name() const { return server_name_; }
     std::uint32_t shard_count() const { return shard_count_; }
     const std::vector<std::string>& backends() const { return backends_; }
@@ -112,12 +161,39 @@ private:
     /// (remote) and protocol violations (local), Net_error for transport.
     std::string call(Pdu_type request, std::string_view payload, Pdu_type expected_reply);
 
+    /// call() under the retry policy: reconnect + re-handshake when the
+    /// connection died, capped exponential backoff with deterministic
+    /// jitter between attempts, overall deadline enforced. Only transport
+    /// failures and retryable protocol errors are retried.
+    std::string call_with_retry(Pdu_type request, std::string_view payload,
+                                Pdu_type expected_reply);
+
+    /// Connect and complete the hello handshake if the connection is down;
+    /// no-op on a live connection.
+    void ensure_connected();
+
+    /// Whether attempt `attempt` may be followed by another under the
+    /// policy's attempt and deadline budgets.
+    bool retry_again(std::uint32_t attempt, std::chrono::steady_clock::time_point start) const;
+
+    /// Sleep the jittered backoff, then advance `backoff` one step
+    /// (capped).
+    void backoff_sleep(double& backoff);
+
+    /// Next nonzero idempotency key from this client's stream.
+    std::uint64_t next_request_key();
+
+    std::string endpoint() const { return config_.host + ":" + std::to_string(config_.port); }
+
     Client_config config_;
     Connection connection_;
     std::uint8_t version_ = protocol_version;
+    std::uint8_t server_protocol_version_ = protocol_version;
     std::string server_name_;
     std::uint32_t shard_count_ = 0;
     std::vector<std::string> backends_;
+    Rng backoff_rng_;
+    std::uint64_t key_state_ = 0;
 };
 
 } // namespace xrl

@@ -32,6 +32,7 @@ Connection Connection::connect(const std::string&, std::uint16_t, const Net_time
 {
     unsupported();
 }
+void Connection::set_fault_plan(std::shared_ptr<Fault_plan>, std::string) {}
 void Connection::send_all(std::string_view) { unsupported(); }
 std::string Connection::recv_exact(std::size_t) { unsupported(); }
 std::size_t Connection::recv_some(void*, std::size_t) { unsupported(); }
@@ -59,6 +60,8 @@ void Listener::close() {}
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace xrl {
@@ -132,7 +135,8 @@ Connection::Connection(int fd, const Net_timeouts& timeouts) : fd_(fd), timeouts
 Connection::~Connection() { close(); }
 
 Connection::Connection(Connection&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), timeouts_(other.timeouts_)
+    : fd_(std::exchange(other.fd_, -1)), timeouts_(other.timeouts_),
+      fault_plan_(std::move(other.fault_plan_)), fault_site_(std::move(other.fault_site_))
 {
 }
 
@@ -142,8 +146,16 @@ Connection& Connection::operator=(Connection&& other) noexcept
         close();
         fd_ = std::exchange(other.fd_, -1);
         timeouts_ = other.timeouts_;
+        fault_plan_ = std::move(other.fault_plan_);
+        fault_site_ = std::move(other.fault_site_);
     }
     return *this;
+}
+
+void Connection::set_fault_plan(std::shared_ptr<Fault_plan> plan, std::string site)
+{
+    fault_plan_ = std::move(plan);
+    fault_site_ = std::move(site);
 }
 
 Connection Connection::connect(const std::string& host, std::uint16_t port,
@@ -192,6 +204,28 @@ Connection Connection::connect(const std::string& host, std::uint16_t port,
 void Connection::send_all(std::string_view bytes)
 {
     if (!valid()) throw Net_error(Net_error_kind::closed, "send on a closed connection");
+    std::string corrupted; // backing storage when a fault rewrites the bytes
+    if (fault_plan_ != nullptr) {
+        double delay_seconds = 0.0;
+        switch (fault_plan_->next(fault_site_, &delay_seconds)) {
+        case Fault_action::none:
+        case Fault_action::fail: // fail targets job execution, not transport
+            break;
+        case Fault_action::drop:
+            // Swallow the frame whole: the peer keeps waiting and its read
+            // deadline — not a decode error — reports the loss.
+            return;
+        case Fault_action::corrupt:
+            corrupted.assign(bytes);
+            if (!corrupted.empty()) corrupted[corrupted.size() / 2] ^= 0x5a;
+            bytes = corrupted;
+            break;
+        case Fault_action::delay:
+            if (delay_seconds > 0.0)
+                std::this_thread::sleep_for(std::chrono::duration<double>(delay_seconds));
+            break;
+        }
+    }
     std::size_t sent = 0;
     while (sent < bytes.size()) {
         // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not a process

@@ -23,10 +23,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+
+#include "support/fault_plan.h"
 
 namespace xrl {
 
@@ -80,6 +83,15 @@ public:
     bool valid() const { return fd_ >= 0; }
     int fd() const { return fd_; }
 
+    /// Deterministic fault injection on the send path
+    /// (support/fault_plan.h): each send_all call consumes one event at
+    /// `site`. `drop` discards the bytes (the peer's read times out),
+    /// `corrupt` flips one payload byte before sending (the peer sees a
+    /// checksum mismatch), `delay` stalls the send first. Tests drive
+    /// lost-reply and damaged-frame scenarios through this; production
+    /// never sets it.
+    void set_fault_plan(std::shared_ptr<Fault_plan> plan, std::string site);
+
     /// Write every byte or throw (timeout / closed / failed). Handles
     /// partial writes and EINTR internally.
     void send_all(std::string_view bytes);
@@ -107,6 +119,8 @@ public:
 private:
     int fd_ = -1;
     Net_timeouts timeouts_;
+    std::shared_ptr<Fault_plan> fault_plan_;
+    std::string fault_site_;
 };
 
 /// A bound, listening socket. close() (or destruction) wakes a blocked

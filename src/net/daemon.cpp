@@ -11,11 +11,14 @@ namespace xrl {
 namespace {
 
 /// The fleet store alias: hand Daemon_config::state_store to the router
-/// config when the latter did not bring its own.
+/// config when the latter did not bring its own — and likewise the fault
+/// plan, so one plan covers the shards and the wire.
 Router_config resolved_router_config(Daemon_config& config)
 {
     if (config.state_store != nullptr && config.router.state_store == nullptr)
         config.router.state_store = config.state_store;
+    if (config.fault_plan != nullptr && config.router.fault_plan == nullptr)
+        config.router.fault_plan = config.fault_plan;
     return config.router;
 }
 
@@ -104,6 +107,8 @@ void Daemon::start_session(Connection connection)
             ++active_sessions_;
             session = std::make_shared<Session>();
             session->connection = std::move(connection);
+            if (config_.fault_plan != nullptr)
+                session->connection.set_fault_plan(config_.fault_plan, "daemon/send");
             session->id = next_session_id_++;
         }
     }
@@ -114,7 +119,8 @@ void Daemon::start_session(Connection connection)
             write_frame(connection, protocol_version, Pdu_type::error,
                         encode_error({Protocol_error_code::busy,
                                       "connection limit reached (" +
-                                          std::to_string(config_.max_connections) + ")"}));
+                                          std::to_string(config_.max_connections) + ")",
+                                      retryable(Protocol_error_code::busy)}));
         } catch (const Net_error&) {
         }
         return;
@@ -269,6 +275,7 @@ bool Daemon::handle_hello(const std::shared_ptr<Session>& session, const Frame& 
 
     Hello_ok ok;
     ok.negotiated_version = session->version;
+    ok.server_protocol_version = protocol_version;
     ok.server_name = config_.server_name;
     ok.shard_count = static_cast<std::uint32_t>(router_.shard_count());
     ok.backends = router_.shard(0).service().backends();
@@ -322,14 +329,20 @@ Job_handle Daemon::routed_submit(const std::string& backend, const Graph& graph,
 Daemon::Reply Daemon::handle_submit(std::string_view payload)
 {
     const Submit submit = decode_submit(payload);
+    if (std::optional<Reply> replay = find_keyed_reply(submit.request_key); replay.has_value())
+        return std::move(*replay);
     const Submit_options options{static_cast<int>(submit.priority), submit.deadline_seconds};
     Job_handle handle = routed_submit(submit.backend, submit.graph, submit.request, options);
-    return {Pdu_type::submit_ok, encode_submit_ok(register_job(std::move(handle)))};
+    Reply reply{Pdu_type::submit_ok, encode_submit_ok(register_job(std::move(handle)))};
+    remember_keyed_reply(submit.request_key, reply);
+    return reply;
 }
 
 Daemon::Reply Daemon::handle_batch(std::string_view payload)
 {
     const Batch_submit batch = decode_batch_submit(payload);
+    if (std::optional<Reply> replay = find_keyed_reply(batch.request_key); replay.has_value())
+        return std::move(*replay);
     if (batch.entries.empty())
         throw Protocol_error(Protocol_error_code::invalid_request,
                              "batch_submit carries no entries");
@@ -361,7 +374,9 @@ Daemon::Reply Daemon::handle_batch(std::string_view payload)
     }
     ok.jobs.reserve(handles.size());
     for (Job_handle& handle : handles) ok.jobs.push_back(register_job(std::move(handle)));
-    return {Pdu_type::batch_ok, encode_batch_ok(ok)};
+    Reply reply{Pdu_type::batch_ok, encode_batch_ok(ok)};
+    remember_keyed_reply(batch.request_key, reply);
+    return reply;
 }
 
 Daemon::Reply Daemon::handle_poll(std::string_view payload)
@@ -442,6 +457,30 @@ Daemon::Reply Daemon::handle_drain()
 // Job table
 // ---------------------------------------------------------------------------
 
+std::optional<Daemon::Reply> Daemon::find_keyed_reply(std::uint64_t request_key)
+{
+    if (request_key == 0) return std::nullopt;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = keyed_replies_.find(request_key);
+    if (it == keyed_replies_.end()) return std::nullopt;
+    // Replay the stored bytes verbatim: the retry observes exactly the
+    // reply its lost original carried (same wire job id, same flags).
+    ++stats_.jobs_deduplicated;
+    return it->second;
+}
+
+void Daemon::remember_keyed_reply(std::uint64_t request_key, const Reply& reply)
+{
+    if (request_key == 0 || config_.retain_request_keys == 0) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!keyed_replies_.emplace(request_key, reply).second) return;
+    keyed_order_.push_back(request_key);
+    while (keyed_order_.size() > config_.retain_request_keys) {
+        keyed_replies_.erase(keyed_order_.front());
+        keyed_order_.pop_front();
+    }
+}
+
 Submit_ok Daemon::register_job(Job_handle handle)
 {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -471,7 +510,8 @@ void Daemon::send_error(Session& session, Protocol_error_code code, const std::s
 {
     const std::uint8_t version = session.negotiated ? session.version : protocol_version;
     try {
-        write_frame(session.connection, version, Pdu_type::error, encode_error({code, message}));
+        write_frame(session.connection, version, Pdu_type::error,
+                    encode_error({code, message, retryable(code)}));
     } catch (const Net_error&) {
         // Best-effort: the peer that sent us garbage may already be gone.
     }

@@ -85,6 +85,18 @@ struct Daemon_config {
     /// answers unknown_job).
     std::size_t retain_terminal_jobs = 1024;
 
+    /// Successful submit/batch replies are remembered by their idempotency
+    /// key up to this cap (oldest forgotten first), so a client retrying a
+    /// submit whose reply was lost gets the original reply replayed
+    /// byte-identically instead of a second search. 0 disables the cache.
+    std::size_t retain_request_keys = 1024;
+
+    /// Deterministic fault injection: handed to the router (unless it
+    /// brought its own plan, sites "shard/<id>") and to every accepted
+    /// connection's send path (site "daemon/send" — one event per sent
+    /// frame, so tests can drop or corrupt a specific reply). Tests only.
+    std::shared_ptr<Fault_plan> fault_plan;
+
     /// Convenience alias for `router.state_store`: the warm-start store
     /// shared by the fleet, snapshotted on drain and stop()/SIGTERM.
     std::shared_ptr<State_store> state_store;
@@ -168,6 +180,14 @@ private:
     /// Register a routed job under a fresh wire id.
     Submit_ok register_job(Job_handle handle);
 
+    /// Keyed-reply cache: the stored reply for this idempotency key, if
+    /// the daemon already answered it (counts a deduplication).
+    std::optional<Reply> find_keyed_reply(std::uint64_t request_key);
+
+    /// Remember a successful reply under its idempotency key (no-op for
+    /// key 0), evicting the oldest beyond the retention cap.
+    void remember_keyed_reply(std::uint64_t request_key, const Reply& reply);
+
     /// Mark a terminal job's result as delivered and evict the oldest
     /// delivered entries beyond the retention cap.
     void note_terminal_delivered(std::uint64_t job_id);
@@ -192,6 +212,9 @@ private:
     };
     std::unordered_map<std::uint64_t, Job_entry> jobs_;
     std::deque<std::uint64_t> delivered_order_; ///< Retention/eviction order.
+    /// Idempotency key -> the reply originally sent for it.
+    std::unordered_map<std::uint64_t, Reply> keyed_replies_;
+    std::deque<std::uint64_t> keyed_order_; ///< Key retention/eviction order.
     Daemon_wire_stats stats_;
 
     std::mutex admin_mutex_; ///< One drain at a time; losers get `busy`.

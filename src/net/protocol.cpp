@@ -32,10 +32,12 @@ static_assert(aggregate_field_count<Backend_stats> == 5,
               "Backend_stats grew a field: update the stats codec in net/protocol.cpp");
 static_assert(aggregate_field_count<Server_stats> == 16,
               "Server_stats grew a field: update the stats codec in net/protocol.cpp");
-static_assert(aggregate_field_count<Router_stats> == 6,
+static_assert(aggregate_field_count<Router_stats> == 9,
               "Router_stats grew a field: update the stats codec in net/protocol.cpp");
-static_assert(aggregate_field_count<Daemon_wire_stats> == 7,
+static_assert(aggregate_field_count<Daemon_wire_stats> == 8,
               "Daemon_wire_stats grew a field: update the stats codec in net/protocol.cpp");
+static_assert(aggregate_field_count<Shard_health_snapshot> == 8,
+              "Shard_health_snapshot grew a field: update the health codec in net/protocol.cpp");
 
 const char* to_string(Pdu_type type)
 {
@@ -76,6 +78,30 @@ const char* to_string(Protocol_error_code code)
     case Protocol_error_code::io: return "io";
     }
     return "?";
+}
+
+bool retryable(Protocol_error_code code)
+{
+    switch (code) {
+    // Transient: framing damage heals on a fresh connection, load states
+    // drain, transport hiccups pass.
+    case Protocol_error_code::bad_magic:
+    case Protocol_error_code::bad_checksum:
+    case Protocol_error_code::truncated:
+    case Protocol_error_code::busy:
+    case Protocol_error_code::shutting_down:
+    case Protocol_error_code::io:
+        return true;
+    // Permanent: the same bytes earn the same rejection.
+    case Protocol_error_code::frame_too_large:
+    case Protocol_error_code::unsupported_version:
+    case Protocol_error_code::unknown_type:
+    case Protocol_error_code::bad_payload:
+    case Protocol_error_code::invalid_request:
+    case Protocol_error_code::unknown_job:
+        return false;
+    }
+    return false;
 }
 
 namespace {
@@ -211,6 +237,36 @@ void serialise_server_stats(Byte_writer& out, const Server_stats& stats)
         out.str(backend);
         serialise_backend_stats(out, per_backend);
     }
+}
+
+void serialise_health(Byte_writer& out, const Shard_health_snapshot& health)
+{
+    out.u64(health.stable_id);
+    out.u8(static_cast<std::uint8_t>(health.state));
+    out.u8(health.draining ? 1 : 0);
+    out.u32(health.consecutive_failures);
+    out.u64(health.successes);
+    out.u64(health.failures);
+    out.u64(health.trips);
+    out.u64(health.probes);
+}
+
+Shard_health_snapshot deserialise_health(Byte_reader& in)
+{
+    Shard_health_snapshot health;
+    health.stable_id = in.u64();
+    const std::uint8_t raw_state = in.u8();
+    if (raw_state > static_cast<std::uint8_t>(Breaker_state::half_open))
+        throw Protocol_error(Protocol_error_code::bad_payload,
+                             "unknown breaker state " + std::to_string(raw_state));
+    health.state = static_cast<Breaker_state>(raw_state);
+    health.draining = in.u8() != 0;
+    health.consecutive_failures = in.u32();
+    health.successes = in.u64();
+    health.failures = in.u64();
+    health.trips = in.u64();
+    health.probes = in.u64();
+    return health;
 }
 
 Server_stats deserialise_server_stats(Byte_reader& in)
@@ -406,6 +462,7 @@ std::string encode_hello_ok(const Hello_ok& hello_ok)
 {
     Byte_writer out;
     out.u8(hello_ok.negotiated_version);
+    out.u8(hello_ok.server_protocol_version);
     out.str(hello_ok.server_name);
     out.u32(hello_ok.shard_count);
     out.u32(static_cast<std::uint32_t>(hello_ok.backends.size()));
@@ -419,6 +476,7 @@ Hello_ok decode_hello_ok(std::string_view payload)
         Byte_reader in(payload);
         Hello_ok hello_ok;
         hello_ok.negotiated_version = in.u8();
+        hello_ok.server_protocol_version = in.u8();
         hello_ok.server_name = in.str();
         hello_ok.shard_count = in.u32();
         const std::uint32_t backend_count = in.u32();
@@ -437,6 +495,7 @@ std::string encode_submit(const Submit& submit)
     serialise_request(out, submit.request);
     out.i32(submit.priority);
     out.f64(submit.deadline_seconds);
+    out.u64(submit.request_key);
     serialise_graph_binary(out, submit.graph);
     return out.take();
 }
@@ -450,6 +509,7 @@ Submit decode_submit(std::string_view payload)
         submit.request = deserialise_request(in);
         submit.priority = in.i32();
         submit.deadline_seconds = in.f64();
+        submit.request_key = in.u64();
         submit.graph = deserialise_graph_binary(in);
         expect_consumed(in, "submit");
         return submit;
@@ -488,6 +548,7 @@ std::string encode_batch_submit(const Batch_submit& batch)
     out.f64(batch.budget_seconds);
     out.f64(batch.deadline_seconds);
     out.i32(batch.priority);
+    out.u64(batch.request_key);
     return out.take();
 }
 
@@ -509,6 +570,7 @@ Batch_submit decode_batch_submit(std::string_view payload)
         batch.budget_seconds = in.f64();
         batch.deadline_seconds = in.f64();
         batch.priority = in.i32();
+        batch.request_key = in.u64();
         expect_consumed(in, "batch_submit");
         return batch;
     });
@@ -636,11 +698,16 @@ std::string encode_stats_ok(const Stats_ok& stats)
     out.u64(stats.router.submitted);
     out.u64(stats.router.affinity_routed);
     out.u64(stats.router.hash_routed);
+    out.u64(stats.router.probe_routed);
+    out.u64(stats.router.breaker_rerouted);
     serialise_server_stats(out, stats.router.total);
     out.u32(static_cast<std::uint32_t>(stats.router.shards.size()));
     for (const Server_stats& shard : stats.router.shards) serialise_server_stats(out, shard);
     out.u32(static_cast<std::uint32_t>(stats.router.routed_to.size()));
     for (const std::uint64_t routed : stats.router.routed_to) out.u64(routed);
+    out.u32(static_cast<std::uint32_t>(stats.router.health.size()));
+    for (const Shard_health_snapshot& health : stats.router.health)
+        serialise_health(out, health);
     out.u64(stats.daemon.connections_accepted);
     out.u64(stats.daemon.connections_active);
     out.u64(stats.daemon.connections_rejected);
@@ -648,6 +715,7 @@ std::string encode_stats_ok(const Stats_ok& stats)
     out.u64(stats.daemon.protocol_errors);
     out.u64(stats.daemon.jobs_submitted);
     out.u64(stats.daemon.jobs_retained);
+    out.u64(stats.daemon.jobs_deduplicated);
     return out.take();
 }
 
@@ -659,6 +727,8 @@ Stats_ok decode_stats_ok(std::string_view payload)
         stats.router.submitted = in.u64();
         stats.router.affinity_routed = in.u64();
         stats.router.hash_routed = in.u64();
+        stats.router.probe_routed = in.u64();
+        stats.router.breaker_rerouted = in.u64();
         stats.router.total = deserialise_server_stats(in);
         const std::uint32_t shard_count = in.u32();
         in.expect_items(shard_count, 15 * sizeof(std::uint64_t));
@@ -670,6 +740,12 @@ Stats_ok decode_stats_ok(std::string_view payload)
         stats.router.routed_to.reserve(routed_count);
         for (std::uint32_t i = 0; i < routed_count; ++i)
             stats.router.routed_to.push_back(in.u64());
+        const std::uint32_t health_count = in.u32();
+        // Per-entry wire size: u64 id + u8 state + u8 draining + u32 + 4×u64.
+        in.expect_items(health_count, 8 + 1 + 1 + 4 + 4 * 8);
+        stats.router.health.reserve(health_count);
+        for (std::uint32_t i = 0; i < health_count; ++i)
+            stats.router.health.push_back(deserialise_health(in));
         stats.daemon.connections_accepted = in.u64();
         stats.daemon.connections_active = in.u64();
         stats.daemon.connections_rejected = in.u64();
@@ -677,6 +753,7 @@ Stats_ok decode_stats_ok(std::string_view payload)
         stats.daemon.protocol_errors = in.u64();
         stats.daemon.jobs_submitted = in.u64();
         stats.daemon.jobs_retained = in.u64();
+        stats.daemon.jobs_deduplicated = in.u64();
         expect_consumed(in, "stats_ok");
         return stats;
     });
@@ -687,6 +764,7 @@ std::string encode_error(const Error_pdu& error)
     Byte_writer out;
     out.u32(static_cast<std::uint32_t>(error.code));
     out.str(error.message);
+    out.u8(error.retryable ? 1 : 0);
     return out.take();
 }
 
@@ -702,6 +780,7 @@ Error_pdu decode_error(std::string_view payload)
                                  "unknown protocol error code " + std::to_string(raw));
         error.code = static_cast<Protocol_error_code>(raw);
         error.message = in.str();
+        error.retryable = in.u8() != 0;
         expect_consumed(in, "error");
         return error;
     });

@@ -102,23 +102,43 @@ enum class Protocol_error_code : std::uint16_t {
 
 const char* to_string(Protocol_error_code code);
 
+/// Whether a failure with this code is worth retrying (possibly against a
+/// reconnected daemon): transient transport/framing damage and load states
+/// are; malformed or unserviceable *requests* are not — resending the same
+/// bytes earns the same answer. The table is part of the protocol contract
+/// (documented in PROTOCOL.md) so both sides and every client agree.
+bool retryable(Protocol_error_code code);
+
 /// The typed failure both sides speak. Thrown by the client library for
 /// local decode failures and for `error` PDUs received from the daemon
 /// (`remote() == true`); the daemon never throws it across a connection —
-/// it answers with an `error` PDU instead.
+/// it answers with an `error` PDU instead. `retryable()` defaults to the
+/// protocol table for the code; a remote error carries the daemon's
+/// explicit verdict instead (same table today, but the daemon's word
+/// wins if they ever diverge).
 class Protocol_error : public std::runtime_error {
 public:
     Protocol_error(Protocol_error_code code, const std::string& message, bool remote = false)
-        : std::runtime_error(message), code_(code), remote_(remote)
+        : std::runtime_error(message), code_(code), remote_(remote),
+          retryable_(xrl::retryable(code))
+    {
+    }
+
+    Protocol_error(Protocol_error_code code, const std::string& message, bool remote,
+                   bool retryable_override)
+        : std::runtime_error(message), code_(code), remote_(remote),
+          retryable_(retryable_override)
     {
     }
 
     Protocol_error_code code() const { return code_; }
     bool remote() const { return remote_; }
+    bool retryable() const { return retryable_; }
 
 private:
     Protocol_error_code code_;
     bool remote_;
+    bool retryable_;
 };
 
 // ---------------------------------------------------------------------------
@@ -161,6 +181,10 @@ struct Hello {
 
 struct Hello_ok {
     std::uint8_t negotiated_version = protocol_version;
+    /// The daemon's *highest* supported version, distinct from the
+    /// negotiated one — lets a client (and `xrlflowctl stats`) report when
+    /// the daemon could speak newer than the session does.
+    std::uint8_t server_protocol_version = protocol_version;
     std::string server_name;
     std::uint32_t shard_count = 0;
     std::vector<std::string> backends; ///< Registered backend names, sorted.
@@ -174,6 +198,12 @@ struct Submit {
     Graph graph;
     std::int32_t priority = 0;
     double deadline_seconds = 0.0;
+    /// Client-chosen idempotency key; 0 = none. A resubmit carrying the
+    /// key of a submit the daemon already answered gets the *original*
+    /// reply replayed byte-identically instead of scheduling a second
+    /// search — how a retry after a lost reply stays at-most-once. See
+    /// PROTOCOL.md "Retry semantics".
+    std::uint64_t request_key = 0;
 };
 
 struct Submit_ok {
@@ -195,6 +225,9 @@ struct Batch_submit {
     double budget_seconds = 0.0;   ///< Shared wall budget; 0 = per-entry budgets only.
     double deadline_seconds = 0.0; ///< Applied to every entry; 0 = none.
     std::int32_t priority = 0;
+    /// Idempotency key for the whole batch (one key, one reply); 0 = none.
+    /// Same replay contract as Submit::request_key.
+    std::uint64_t request_key = 0;
 };
 
 struct Batch_ok {
@@ -236,6 +269,9 @@ struct Daemon_wire_stats {
     std::uint64_t protocol_errors = 0; ///< Malformed frames answered with `error`.
     std::uint64_t jobs_submitted = 0;  ///< Wire jobs (batch entries count singly).
     std::uint64_t jobs_retained = 0;   ///< Live entries in the daemon's job table.
+    /// Submits answered from the keyed-reply cache (a retry whose original
+    /// was already accepted) rather than scheduled again.
+    std::uint64_t jobs_deduplicated = 0;
 };
 
 struct Stats_ok {
@@ -246,6 +282,9 @@ struct Stats_ok {
 struct Error_pdu {
     Protocol_error_code code = Protocol_error_code::bad_payload;
     std::string message;
+    /// The daemon's verdict on whether resending can help; defaults to
+    /// the protocol table when composed via the daemon's error path.
+    bool retryable = false;
 };
 
 // ---------------------------------------------------------------------------

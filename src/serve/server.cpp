@@ -1,8 +1,10 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -371,31 +373,60 @@ void Optimization_server::execute(const std::shared_ptr<Job>& job)
         Optimize_result result;
         std::exception_ptr error;
         try {
+            // Deterministic fault injection: one event per executed job.
+            // `fail` surfaces exactly like a backend throw — Job_state::failed,
+            // never cached — so the breaker and retry paths above exercise
+            // the same machinery a real sick shard would.
+            if (config_.fault_plan != nullptr) {
+                double delay_seconds = 0.0;
+                const Fault_action action =
+                    config_.fault_plan->next(config_.fault_site, &delay_seconds);
+                if (action == Fault_action::delay && delay_seconds > 0.0)
+                    std::this_thread::sleep_for(std::chrono::duration<double>(delay_seconds));
+                if (action == Fault_action::fail)
+                    throw std::runtime_error("injected fault: shard '" + config_.fault_site +
+                                             "' failed this job");
+            }
             result = service_.optimize_keyed(job->coalesce_key, job->backend, job->graph, request);
         } catch (...) {
             error = std::current_exception();
         }
 
-        const std::lock_guard<std::mutex> job_lock(job->mutex);
-        job->finished = Job::Clock::now();
-        if (error != nullptr) {
-            job->error = error;
-            job->state = Job_state::failed;
-        } else {
-            from_cache = result.from_cache;
-            job->result = std::move(result);
-            job->state = job->result.cancelled ? Job_state::cancelled : Job_state::done;
+        Job_state terminal_state;
+        {
+            const std::lock_guard<std::mutex> job_lock(job->mutex);
+            job->finished = Job::Clock::now();
+            if (error != nullptr) {
+                job->error = error;
+                job->state = Job_state::failed;
+            } else {
+                from_cache = result.from_cache;
+                job->result = std::move(result);
+                job->state = job->result.cancelled ? Job_state::cancelled : Job_state::done;
+            }
+            terminal_state = job->state;
+            // Observers never fire after the terminal transition; release them
+            // so an observer that captured its own Job_handle cannot keep the
+            // job alive in a shared_ptr cycle.
+            job->observers.clear();
+            // Record telemetry before waking waiters: a caller reading stats()
+            // right after wait() returns must see this job counted.
+            telemetry_.on_finish(job->backend, job->state,
+                                 seconds_between(job->submitted, job->finished),
+                                 seconds_between(job->started, job->finished), from_cache);
+            job->changed.notify_all();
         }
-        // Observers never fire after the terminal transition; release them
-        // so an observer that captured its own Job_handle cannot keep the
-        // job alive in a shared_ptr cycle.
-        job->observers.clear();
-        // Record telemetry before waking waiters: a caller reading stats()
-        // right after wait() returns must see this job counted.
-        telemetry_.on_finish(job->backend, job->state,
-                             seconds_between(job->submitted, job->finished),
-                             seconds_between(job->started, job->finished), from_cache);
-        job->changed.notify_all();
+        // The completion hook sees only jobs that actually ran here, after
+        // waiters can already observe the outcome. Outside the job mutex —
+        // the hook (breaker bookkeeping, user callbacks) must not deadlock
+        // against handle operations.
+        if (config_.on_terminal) {
+            try {
+                config_.on_terminal(job->backend, terminal_state);
+            } catch (...) {
+                // A spectator must not take down the worker.
+            }
+        }
     } else {
         // Resolved while queued (handle cancellation); waiters woke back
         // then — this worker only records the outcome.

@@ -32,6 +32,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -42,9 +43,17 @@
 #include "serve/job_queue.h"
 #include "serve/state_store.h"
 #include "serve/telemetry.h"
+#include "support/fault_plan.h"
 #include "support/thread_pool.h"
 
 namespace xrl {
+
+/// Invoked after a job this server *executed* reaches a terminal state
+/// (done / cancelled / failed). Jobs that resolved while still queued
+/// (handle cancellation, shedding) never ran here and are not reported.
+/// Called outside every server lock; exceptions are swallowed. The router
+/// feeds each shard's Shard_health through this.
+using Completion_hook = std::function<void(const std::string& backend, Job_state state)>;
 
 struct Server_config {
     /// Forwarded to the owned Optimization_service (device registry,
@@ -78,6 +87,18 @@ struct Server_config {
     /// terminal state, so long-running servers bound how much warm state
     /// a crash can lose. 0 = snapshot only on drain and shutdown.
     std::size_t snapshot_every = 0;
+
+    /// Observes executed jobs' terminal states (see Completion_hook).
+    Completion_hook on_terminal;
+
+    /// Deterministic fault injection (support/fault_plan.h). When set, one
+    /// event is consumed at `fault_site` per executed job, just before the
+    /// search runs: `fail` makes the job fail as if the backend threw (the
+    /// failure is never cached), `delay` stalls the worker first — the
+    /// heartbeat goes quiet for the duration. Tests and benches drive
+    /// shard-death scenarios through this; production leaves it null.
+    std::shared_ptr<Fault_plan> fault_plan;
+    std::string fault_site = "server";
 };
 
 class Optimization_server {

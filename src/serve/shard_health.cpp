@@ -1,0 +1,122 @@
+#include "serve/shard_health.h"
+
+namespace xrl {
+
+const char* to_string(Breaker_state state)
+{
+    switch (state) {
+    case Breaker_state::closed: return "closed";
+    case Breaker_state::open: return "open";
+    case Breaker_state::half_open: return "half_open";
+    }
+    return "?";
+}
+
+Shard_health::Shard_health(Shard_health_config config) : config_(std::move(config))
+{
+    if (config_.failure_threshold == 0) config_.failure_threshold = 1;
+    if (config_.half_open_probes == 0) config_.half_open_probes = 1;
+}
+
+std::chrono::steady_clock::time_point Shard_health::now() const
+{
+    return config_.clock ? config_.clock() : std::chrono::steady_clock::now();
+}
+
+void Shard_health::advance_locked()
+{
+    if (state_ != Breaker_state::open) return;
+    const auto window = std::chrono::duration<double>(config_.open_seconds);
+    if (std::chrono::duration<double>(now() - opened_at_) >= window) {
+        state_ = Breaker_state::half_open;
+        probes_admitted_ = 0;
+        probe_successes_ = 0;
+    }
+}
+
+void Shard_health::record_success()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    advance_locked();
+    ++successes_;
+    consecutive_failures_ = 0;
+    if (state_ == Breaker_state::half_open) {
+        if (++probe_successes_ >= config_.half_open_probes) state_ = Breaker_state::closed;
+    }
+    // A late success reaching an *open* breaker (a job admitted before the
+    // trip) does not close it — only half-open probes re-earn trust.
+}
+
+void Shard_health::record_failure()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    advance_locked();
+    ++failures_;
+    ++consecutive_failures_;
+    switch (state_) {
+    case Breaker_state::closed:
+        if (consecutive_failures_ >= config_.failure_threshold) {
+            state_ = Breaker_state::open;
+            opened_at_ = now();
+            ++trips_;
+        }
+        break;
+    case Breaker_state::half_open:
+        // A failed probe re-opens immediately and restarts the window.
+        state_ = Breaker_state::open;
+        opened_at_ = now();
+        ++trips_;
+        break;
+    case Breaker_state::open:
+        // Late failures from pre-trip jobs do not push the window out: the
+        // recovery schedule stays deterministic from the trip time.
+        break;
+    }
+}
+
+Breaker_state Shard_health::state()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    advance_locked();
+    return state_;
+}
+
+bool Shard_health::try_admit_probe()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    advance_locked();
+    if (state_ != Breaker_state::half_open) return false;
+    if (probes_admitted_ >= config_.half_open_probes) return false;
+    ++probes_admitted_;
+    ++probes_total_;
+    return true;
+}
+
+void Shard_health::reset()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    state_ = Breaker_state::closed;
+    consecutive_failures_ = 0;
+    probes_admitted_ = 0;
+    probe_successes_ = 0;
+    successes_ = 0;
+    failures_ = 0;
+    trips_ = 0;
+    probes_total_ = 0;
+}
+
+Shard_health_snapshot Shard_health::snapshot()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    advance_locked();
+    Shard_health_snapshot out;
+    out.state = state_;
+    out.consecutive_failures = consecutive_failures_;
+    out.successes = successes_;
+    out.failures = failures_;
+    out.trips = trips_;
+    out.probes = probes_total_;
+    return out;
+}
+
+} // namespace xrl

@@ -1,0 +1,113 @@
+// Shard_health: per-shard failure tracking and a circuit breaker for the
+// router's live-membership routing (serve/router.h).
+//
+// A shard that starts failing every job would otherwise keep swallowing
+// its hash slice of traffic — deterministic routing sends the same work
+// back to it forever. The breaker is the classic three-state machine:
+//
+//   closed     healthy; traffic flows. `failure_threshold` *consecutive*
+//              failures trip it open (one success resets the count — a
+//              flaky-but-working shard is not torn out of rotation).
+//   open       no traffic routed here. After `open_seconds` the breaker
+//              advances to half_open on the next observation.
+//   half_open  up to `half_open_probes` requests are admitted as probes
+//              (try_admit_probe). That many consecutive probe successes
+//              close the breaker; any failure re-opens it and restarts
+//              the window.
+//
+// Outcomes are reported by the server's completion hook
+// (Server_config::on_terminal): done and cancelled count as successes —
+// the shard did its job; the *search* being cancelled says nothing about
+// shard health — and failed counts as a failure.
+//
+// The clock is injectable (the state_store idiom): tests drive the
+// open→half_open transition deterministically with a fake clock instead of
+// sleeping through real windows. Internally locked; record/state/probe
+// calls race freely from shard workers and routing threads.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+namespace xrl {
+
+enum class Breaker_state : std::uint8_t { closed = 0, open = 1, half_open = 2 };
+
+const char* to_string(Breaker_state state);
+
+struct Shard_health_config {
+    /// Consecutive failures that trip the breaker open.
+    std::uint32_t failure_threshold = 3;
+
+    /// How long an open breaker blocks traffic before probing again.
+    double open_seconds = 5.0;
+
+    /// Probes admitted in half_open; that many consecutive successes close
+    /// the breaker.
+    std::uint32_t half_open_probes = 2;
+
+    /// Monotonic now(); defaults to steady_clock. Tests inject a fake
+    /// clock to exercise the open→half_open window deterministically.
+    std::function<std::chrono::steady_clock::time_point()> clock;
+};
+
+/// One shard's health as the router reports it (Router_stats::health and
+/// the stats_ok wire PDU carry these).
+struct Shard_health_snapshot {
+    std::uint64_t stable_id = 0; ///< The routing id (filled by the router).
+    Breaker_state state = Breaker_state::closed;
+    bool draining = false; ///< Membership transition (filled by the router).
+    std::uint32_t consecutive_failures = 0;
+    std::uint64_t successes = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t trips = 0;  ///< Times the breaker opened.
+    std::uint64_t probes = 0; ///< Half-open probes admitted, lifetime.
+};
+
+class Shard_health {
+public:
+    explicit Shard_health(Shard_health_config config = {});
+
+    /// A job this shard ran reached done or cancelled.
+    void record_success();
+
+    /// A job this shard ran failed.
+    void record_failure();
+
+    /// Current breaker state; advances open→half_open when the window has
+    /// expired (state is observation-driven, not timer-driven).
+    Breaker_state state();
+
+    /// In half_open with probe budget left: consume one probe slot and
+    /// return true — the caller routes this request to the shard as a
+    /// probe. False otherwise (closed shards take traffic unconditionally;
+    /// open shards take none).
+    bool try_admit_probe();
+
+    /// Forget everything — a replacement shard starts with clean health.
+    void reset();
+
+    Shard_health_snapshot snapshot();
+
+private:
+    /// Under mutex_: apply the open→half_open window transition.
+    void advance_locked();
+
+    std::chrono::steady_clock::time_point now() const;
+
+    Shard_health_config config_;
+    std::mutex mutex_;
+    Breaker_state state_ = Breaker_state::closed;
+    std::chrono::steady_clock::time_point opened_at_{};
+    std::uint32_t consecutive_failures_ = 0;
+    std::uint32_t probes_admitted_ = 0; ///< This half_open round.
+    std::uint32_t probe_successes_ = 0; ///< This half_open round.
+    std::uint64_t successes_ = 0;
+    std::uint64_t failures_ = 0;
+    std::uint64_t trips_ = 0;
+    std::uint64_t probes_total_ = 0;
+};
+
+} // namespace xrl

@@ -1,0 +1,59 @@
+#include "support/fault_plan.h"
+
+namespace xrl {
+
+const char* to_string(Fault_action action)
+{
+    switch (action) {
+    case Fault_action::none: return "none";
+    case Fault_action::fail: return "fail";
+    case Fault_action::drop: return "drop";
+    case Fault_action::corrupt: return "corrupt";
+    case Fault_action::delay: return "delay";
+    }
+    return "?";
+}
+
+void Fault_plan::add(const std::string& site, Fault_rule rule)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sites_[site].rules.push_back(rule);
+}
+
+void Fault_plan::clear(const std::string& site)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sites_.find(site);
+    if (it != sites_.end()) it->second.rules.clear();
+}
+
+Fault_action Fault_plan::next(const std::string& site, double* delay_seconds)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Site& state = sites_[site];
+    const std::uint64_t index = state.events++;
+    for (const Fault_rule& rule : state.rules) {
+        if (index < rule.begin || index - rule.begin >= rule.count) continue;
+        ++state.injected;
+        if (rule.action == Fault_action::delay && delay_seconds != nullptr)
+            *delay_seconds = rule.delay_seconds;
+        return rule.action;
+    }
+    return Fault_action::none;
+}
+
+std::uint64_t Fault_plan::events(const std::string& site) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.events;
+}
+
+std::uint64_t Fault_plan::injected(const std::string& site) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sites_.find(site);
+    return it == sites_.end() ? 0 : it->second.injected;
+}
+
+} // namespace xrl

@@ -1,0 +1,90 @@
+// Deterministic fault injection for the fleet resilience layer.
+//
+// The record_file and protocol tests already prove the byte-level failure
+// paths (flipped bytes, truncation, future versions) with hand-built
+// damage; a Fault_plan lifts the same idea to *component* level so fleet
+// failure paths — a shard that starts failing every job, a daemon that
+// drops a reply frame, a stalled send — are driven by seeded, reproducible
+// plans instead of luck.
+//
+// A plan is a set of rules keyed by *site*: a short string naming an
+// injection point ("shard/0", "daemon/send", "client/send"). Components
+// that opt in call next(site) once per event they are about to perform
+// (one executed job, one sent frame); the plan counts the event and
+// answers with the action to inject, matched by the event's index against
+// the rules registered for that site:
+//
+//   plan.add("daemon/send", {.begin = 1, .count = 1, .action = drop});
+//     // the daemon's second sent frame vanishes in flight
+//   plan.add("shard/0", {.begin = 3, .action = fail});
+//     // shard 0 fails every job from its 4th on, until clear()ed
+//
+// Everything is deterministic: same plan + same event order = same faults.
+// clear(site) "heals" a site (removes its rules); its event counter keeps
+// counting so later rules can still be indexed absolutely. Thread-safe —
+// sites are consulted from shard workers and session turns concurrently.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xrl {
+
+enum class Fault_action : std::uint8_t {
+    none = 0, ///< No rule matched; proceed normally.
+    fail,     ///< Throw / fail the operation (a crashed or sick component).
+    drop,     ///< Swallow the bytes silently (a frame lost in flight).
+    corrupt,  ///< Flip a payload byte before sending (damage in transit).
+    delay,    ///< Sleep delay_seconds first (a stall / heartbeat gap), then proceed.
+};
+
+const char* to_string(Fault_action action);
+
+/// One injection rule: events [begin, begin + count) at the rule's site
+/// get `action`. Defaults cover the common cases — "fail from event N on"
+/// is {.begin = N}, "drop exactly event N" is {.begin = N, .count = 1,
+/// .action = drop}.
+struct Fault_rule {
+    std::uint64_t begin = 0;
+    std::uint64_t count = std::numeric_limits<std::uint64_t>::max();
+    Fault_action action = Fault_action::fail;
+    double delay_seconds = 0.0; ///< Only meaningful for `delay`.
+};
+
+class Fault_plan {
+public:
+    /// Register a rule at `site`. Rules are consulted in registration
+    /// order; the first match wins.
+    void add(const std::string& site, Fault_rule rule);
+
+    /// Heal a site: remove its rules. The event counter keeps counting, so
+    /// rule indices stay absolute across a heal.
+    void clear(const std::string& site);
+
+    /// Consume one event at `site` and return the action to inject (none
+    /// when no rule matches). For `delay`, `*delay_seconds` receives the
+    /// rule's sleep. Sites spring into existence on first use.
+    Fault_action next(const std::string& site, double* delay_seconds = nullptr);
+
+    /// Events consumed at `site` so far.
+    std::uint64_t events(const std::string& site) const;
+
+    /// Events at `site` that matched a rule (faults actually injected).
+    std::uint64_t injected(const std::string& site) const;
+
+private:
+    struct Site {
+        std::uint64_t events = 0;
+        std::uint64_t injected = 0;
+        std::vector<Fault_rule> rules;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Site> sites_;
+};
+
+} // namespace xrl

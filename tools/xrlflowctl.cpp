@@ -20,13 +20,24 @@
 //       deadline. Waits for all entries and prints the per-model summary.
 //
 //   stats
-//       Fleet + wire counters from the daemon.
+//       Fleet + wire counters from the daemon, including per-shard breaker
+//       health and the daemon's protocol version.
 //
 //   drain
 //       Block until the fleet is idle and its warm state is snapshotted.
 //
 // --port-file PATH reads the port a daemon wrote with its own
 // --port-file (CI's ephemeral-port handshake).
+//
+// --retries N retries transient failures (transport errors, retryable
+// protocol errors — see PROTOCOL.md "Retry semantics") up to N extra
+// attempts with capped exponential backoff; --retry-deadline S bounds the
+// total wall time spent retrying.
+//
+// Exit codes: 0 success, 1 local failure (parity mismatch, bad graph
+// file), 2 usage, 3 transient failure (retryable — rerunning may succeed),
+// 4 permanent failure (the daemon rejected the request; rerunning the same
+// command will fail the same way). Scripts can branch on 3 vs 4.
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -46,14 +57,17 @@ namespace {
 [[noreturn]] void usage()
 {
     std::fprintf(stderr,
-                 "usage: xrlflowctl --port P [--host H] [--port-file PATH] <subcommand>\n"
+                 "usage: xrlflowctl --port P [--host H] [--port-file PATH]\n"
+                 "                  [--retries N] [--retry-deadline S] <subcommand>\n"
                  "  optimize <backend> <graph> [--budget S] [--iterations N] [--seed N]\n"
                  "           [--device NAME] [--priority P] [--deadline S] [--out FILE]\n"
                  "           [--progress] [--verify-local] [--smoke]\n"
                  "  batch <backend> <graph>... [--budget S] [--deadline S] [--priority P]\n"
                  "  stats\n"
                  "  drain\n"
-                 "<graph> is a text graph file or a built-in model: quickstart, bert, vit\n");
+                 "<graph> is a text graph file or a built-in model: quickstart, bert, vit\n"
+                 "exit codes: 0 ok, 1 local failure, 2 usage, 3 transient (retryable),\n"
+                 "            4 permanent (resending the same request cannot succeed)\n");
     std::exit(2);
 }
 
@@ -144,6 +158,10 @@ int main(int argc, char** argv)
                 return 1;
             }
             client_config.port = static_cast<std::uint16_t>(port);
+        } else if (arg == "--retries") {
+            client_config.retry.max_attempts = 1 + static_cast<std::uint32_t>(std::stoul(value()));
+        } else if (arg == "--retry-deadline") {
+            client_config.retry.deadline_seconds = std::stod(value());
         } else if (arg == "--budget") {
             args.batch_budget = std::stod(value());
             args.request.time_budget_seconds = args.batch_budget;
@@ -237,9 +255,11 @@ int main(int argc, char** argv)
         } else if (subcommand == "stats") {
             const xrl::Stats_ok stats = client.stats();
             const xrl::Server_stats& t = stats.router.total;
-            std::printf("server              %s (protocol v%u, %u shard%s)\n",
+            std::printf("server              %s (protocol v%u negotiated, daemon speaks v%u, "
+                        "%u shard%s)\n",
                         client.server_name().c_str(), client.negotiated_version(),
-                        client.shard_count(), client.shard_count() == 1 ? "" : "s");
+                        client.server_protocol_version(), client.shard_count(),
+                        client.shard_count() == 1 ? "" : "s");
             std::printf("submitted           %llu (coalesced %llu, rejected %llu)\n",
                         static_cast<unsigned long long>(t.submitted),
                         static_cast<unsigned long long>(t.coalesced),
@@ -261,9 +281,25 @@ int main(int argc, char** argv)
                         static_cast<unsigned long long>(stats.daemon.connections_rejected),
                         static_cast<unsigned long long>(stats.daemon.frames_received),
                         static_cast<unsigned long long>(stats.daemon.protocol_errors));
-            std::printf("wire jobs           %llu submitted, %llu retained\n",
+            std::printf("wire jobs           %llu submitted, %llu retained, %llu deduplicated\n",
                         static_cast<unsigned long long>(stats.daemon.jobs_submitted),
-                        static_cast<unsigned long long>(stats.daemon.jobs_retained));
+                        static_cast<unsigned long long>(stats.daemon.jobs_retained),
+                        static_cast<unsigned long long>(stats.daemon.jobs_deduplicated));
+            std::printf("routing             %llu probes, %llu rerouted around "
+                        "unhealthy shards\n",
+                        static_cast<unsigned long long>(stats.router.probe_routed),
+                        static_cast<unsigned long long>(stats.router.breaker_rerouted));
+            for (std::size_t n = 0; n < stats.router.health.size(); ++n) {
+                const xrl::Shard_health_snapshot& h = stats.router.health[n];
+                std::printf("shard %-13zu id %llu, breaker %s%s, %llu ok / %llu failed, "
+                            "%llu trip%s, %llu probe%s\n",
+                            n, static_cast<unsigned long long>(h.stable_id),
+                            xrl::to_string(h.state), h.draining ? " [draining]" : "",
+                            static_cast<unsigned long long>(h.successes),
+                            static_cast<unsigned long long>(h.failures),
+                            static_cast<unsigned long long>(h.trips), h.trips == 1 ? "" : "s",
+                            static_cast<unsigned long long>(h.probes), h.probes == 1 ? "" : "s");
+            }
         } else if (subcommand == "drain") {
             client.drain();
             std::printf("fleet drained and snapshotted\n");
@@ -271,10 +307,16 @@ int main(int argc, char** argv)
             usage();
         }
     } catch (const xrl::Protocol_error& error) {
-        std::fprintf(stderr, "xrlflowctl: %s error [%s]: %s\n",
+        std::fprintf(stderr, "xrlflowctl: %s error [%s, %s]: %s\n",
                      error.remote() ? "daemon" : "protocol", xrl::to_string(error.code()),
-                     error.what());
-        return 1;
+                     error.retryable() ? "transient" : "permanent", error.what());
+        return error.retryable() ? 3 : 4;
+    } catch (const xrl::Net_error& error) {
+        // Transport failures are transient by nature: the daemon may be
+        // restarting, the route flapping.
+        std::fprintf(stderr, "xrlflowctl: network error [%s]: %s\n",
+                     xrl::to_string(error.kind()), error.what());
+        return 3;
     } catch (const std::exception& error) {
         std::fprintf(stderr, "xrlflowctl: %s\n", error.what());
         return 1;
