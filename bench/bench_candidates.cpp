@@ -19,6 +19,8 @@
 #include "models/models.h"
 #include "rules/candidate_engine.h"
 #include "rules/corpus.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace {
 
@@ -72,6 +74,10 @@ Env_throughput env_rollout(const Graph& model, const Rule_set& rules, bool use_e
     Environment env(model, rules, simulator, config);
 
     Env_throughput out;
+    // With XRLFLOW_TRACE set the rollout runs under a trace id, so the
+    // env-step and candidate-phase spans land in the process buffer (the
+    // trace artifact written at exit).
+    const Trace_scope trace_scope(trace_enabled() ? new_trace_id() : 0, 0);
     const auto start = std::chrono::steady_clock::now();
     while (!env.done()) {
         env.step(0); // deterministic walk: both backends see the same graphs
@@ -114,6 +120,25 @@ int main(int argc, char** argv)
                 legacy_env.steps_per_second, engine_env.steps_per_second,
                 engine_env.steps_per_second / legacy_env.steps_per_second);
 
+    // Per-phase engine timings, straight from the registry histograms the
+    // engine publishes (every generate()/enumerate() above observed them).
+    const char* const phases[] = {"index_build", "match", "dedup", "materialise",
+                                  "finalise_rewrite"};
+    std::printf("\n%-28s %10s %12s %12s %12s\n", "engine phase", "count", "mean (us)",
+                "p50 (us)", "p95 (us)");
+    std::string phase_json;
+    for (const char* phase : phases) {
+        const Histogram::Snapshot snap = candidate_phase_histogram(phase).snapshot();
+        std::printf("%-28s %10llu %12.2f %12.2f %12.2f\n", phase,
+                    static_cast<unsigned long long>(snap.count), snap.mean(),
+                    snap.quantile(0.5), snap.quantile(0.95));
+        if (!phase_json.empty()) phase_json += ",\n";
+        phase_json += "    \"" + std::string(phase) + "\": {\"count\": " +
+                      std::to_string(snap.count) + ", \"mean\": " + std::to_string(snap.mean()) +
+                      ", \"p50\": " + std::to_string(snap.quantile(0.5)) +
+                      ", \"p95\": " + std::to_string(snap.quantile(0.95)) + "}";
+    }
+
     std::ofstream json(json_path);
     json << "{\n"
          << "  \"per_rule_limit\": " << per_rule_limit << ",\n"
@@ -129,8 +154,19 @@ int main(int argc, char** argv)
          << ", \"engine\": " << engine_env.steps_per_second
          << ", \"speedup\": " << engine_env.steps_per_second / legacy_env.steps_per_second
          << ", \"steps\": " << engine_env.steps << "}\n"
+         << "  },\n"
+         << "  \"candidate_phase_us\": {\n"
+         << phase_json << "\n"
          << "  }\n"
          << "}\n";
     std::cout << "\nwrote " << json_path << "\n";
+
+    if (trace_enabled()) {
+        const std::string trace_path = argc > 2 ? argv[2] : "BENCH_candidates_trace.json";
+        std::ofstream trace_out(trace_path);
+        write_chrome_trace(trace_out, Trace_buffer::global().spans());
+        std::cout << "wrote " << trace_path << " (" << Trace_buffer::global().size()
+                  << " spans)\n";
+    }
     return 0;
 }

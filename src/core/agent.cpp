@@ -4,6 +4,8 @@
 
 #include "core/checkpoint.h"
 #include "support/check.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace xrl {
 
@@ -77,6 +79,11 @@ Agent::Forward Agent::forward(Tape& tape, const Encoded_graph& state)
 Agent::Decision Agent::act(const Encoded_graph& state, const std::vector<std::uint8_t>& mask,
                            Rng& rng, bool greedy)
 {
+    static Histogram& phase_histogram = Metrics_registry::global().histogram(
+        "xrlflow_rollout_phase_us", "RL rollout time by phase", duration_us_buckets(),
+        {{"phase", "gnn_inference"}});
+    const Scoped_timer_us timer(phase_histogram);
+    const Span_scope span("rollout/gnn_inference");
     Tape tape;
     const Forward fwd = forward(tape, state);
     const Tensor& logits = tape.value(fwd.logits);

@@ -3,6 +3,8 @@
 #include <unordered_set>
 
 #include "support/check.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace xrl {
 
@@ -93,6 +95,11 @@ double Environment::measure_current()
 
 Env_step Environment::step(int action)
 {
+    static Histogram& phase_histogram = Metrics_registry::global().histogram(
+        "xrlflow_rollout_phase_us", "RL rollout time by phase", duration_us_buckets(),
+        {{"phase", "env_step"}});
+    const Scoped_timer_us timer(phase_histogram);
+    const Span_scope span("rollout/env_step");
     XRL_EXPECTS(!done_);
     Env_step result;
 

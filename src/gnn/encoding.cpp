@@ -3,6 +3,8 @@
 #include <unordered_map>
 
 #include "support/check.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace xrl {
 
@@ -77,6 +79,11 @@ Encoded_graph encode_graph_for_gnn(const Graph& graph)
 
 Encoded_graph encode_meta_graph(const Graph& current, const std::vector<const Graph*>& candidates)
 {
+    static Histogram& phase_histogram = Metrics_registry::global().histogram(
+        "xrlflow_rollout_phase_us", "RL rollout time by phase", duration_us_buckets(),
+        {{"phase", "gnn_encode"}});
+    const Scoped_timer_us timer(phase_histogram);
+    const Span_scope span("rollout/gnn_encode");
     Encoded_graph enc;
     std::vector<float> edge_rows;
     append_graph(enc, current, 0, edge_rows);

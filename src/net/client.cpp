@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "support/trace.h"
+
 namespace xrl {
 
 Client::Client(Client_config config)
@@ -193,6 +195,19 @@ Submit_ok Client::submit(const std::string& backend, const Graph& graph,
     // lost reply replays the original accept instead of starting a second
     // search.
     submit.request_key = next_request_key();
+
+    // One trace for every attempt too: joined to the caller's trace when
+    // one is active, otherwise a fresh id — the daemon parents its spans
+    // under whatever span is current here.
+    const Trace_context ambient = current_trace();
+    const std::uint64_t trace_id = ambient.trace_id != 0 ? ambient.trace_id : new_trace_id();
+    const Trace_scope trace_scope(trace_id, ambient.span_id);
+    Span_scope span("client/submit");
+    if (span.active()) span.annotate("backend", backend);
+    submit.trace_id = trace_id;
+    submit.parent_span = current_trace().span_id;
+    last_trace_id_ = trace_id;
+
     const std::string payload = encode_submit(submit);
     return decode_submit_ok(call_with_retry(Pdu_type::submit, payload, Pdu_type::submit_ok));
 }
@@ -201,6 +216,18 @@ Batch_ok Client::batch_submit(const Batch_submit& batch)
 {
     Batch_submit keyed = batch;
     if (keyed.request_key == 0) keyed.request_key = next_request_key();
+
+    const Trace_context ambient = current_trace();
+    if (keyed.trace_id == 0) {
+        keyed.trace_id = ambient.trace_id != 0 ? ambient.trace_id : new_trace_id();
+        keyed.parent_span = ambient.span_id;
+    }
+    const Trace_scope trace_scope(keyed.trace_id, keyed.parent_span);
+    Span_scope span("client/batch_submit");
+    if (span.active()) span.annotate("entries", std::to_string(keyed.entries.size()));
+    keyed.parent_span = current_trace().span_id;
+    last_trace_id_ = keyed.trace_id;
+
     const std::string payload = encode_batch_submit(keyed);
     return decode_batch_ok(call_with_retry(Pdu_type::batch_submit, payload, Pdu_type::batch_ok));
 }
@@ -267,6 +294,18 @@ Cancel_ok Client::cancel(std::uint64_t job_id)
 Stats_ok Client::stats()
 {
     return decode_stats_ok(call_with_retry(Pdu_type::stats, {}, Pdu_type::stats_ok));
+}
+
+Metrics_ok Client::metrics()
+{
+    return decode_metrics_ok(call_with_retry(Pdu_type::metrics, {}, Pdu_type::metrics_ok));
+}
+
+Trace_ok Client::trace(std::uint64_t job_id, std::uint64_t trace_id)
+{
+    const Trace_request request{job_id, trace_id};
+    return decode_trace_ok(
+        call_with_retry(Pdu_type::trace, encode_trace_request(request), Pdu_type::trace_ok));
 }
 
 void Client::drain()

@@ -151,6 +151,17 @@ public:
     /// Fleet-wide router telemetry + the daemon's wire counters.
     Stats_ok stats();
 
+    /// The daemon's full metric registry in Prometheus text exposition.
+    Metrics_ok metrics();
+
+    /// Spans recorded on the daemon: by wire job id (job_id != 0), by
+    /// trace id (trace_id != 0), or the whole buffer (both 0).
+    Trace_ok trace(std::uint64_t job_id = 0, std::uint64_t trace_id = 0);
+
+    /// The trace id stamped on the most recent submit/batch_submit (0
+    /// before the first). Pair with trace() to fetch that job's spans.
+    std::uint64_t last_trace_id() const { return last_trace_id_; }
+
     /// Block until the fleet is idle and its warm state is snapshotted.
     void drain();
 
@@ -194,6 +205,7 @@ private:
     std::vector<std::string> backends_;
     Rng backoff_rng_;
     std::uint64_t key_state_ = 0;
+    std::uint64_t last_trace_id_ = 0;
 };
 
 } // namespace xrl

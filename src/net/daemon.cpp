@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "support/check.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace xrl {
 
@@ -296,6 +298,8 @@ Daemon::Reply Daemon::dispatch(const Frame& frame)
     case Pdu_type::cancel: return handle_cancel(frame.payload);
     case Pdu_type::stats: return handle_stats();
     case Pdu_type::drain: return handle_drain();
+    case Pdu_type::metrics: return handle_metrics();
+    case Pdu_type::trace: return handle_trace(frame.payload);
     case Pdu_type::hello:
         throw Protocol_error(Protocol_error_code::bad_payload,
                              "hello after the handshake completed");
@@ -331,6 +335,11 @@ Daemon::Reply Daemon::handle_submit(std::string_view payload)
     const Submit submit = decode_submit(payload);
     if (std::optional<Reply> replay = find_keyed_reply(submit.request_key); replay.has_value())
         return std::move(*replay);
+    // Install the client-stamped trace context for the whole admission:
+    // the router span and the shard's job capture both nest under it.
+    const Trace_scope trace_scope(submit.trace_id, submit.parent_span);
+    Span_scope span("daemon/submit");
+    if (span.active()) span.annotate("backend", submit.backend);
     const Submit_options options{static_cast<int>(submit.priority), submit.deadline_seconds};
     Job_handle handle = routed_submit(submit.backend, submit.graph, submit.request, options);
     Reply reply{Pdu_type::submit_ok, encode_submit_ok(register_job(std::move(handle)))};
@@ -346,6 +355,10 @@ Daemon::Reply Daemon::handle_batch(std::string_view payload)
     if (batch.entries.empty())
         throw Protocol_error(Protocol_error_code::invalid_request,
                              "batch_submit carries no entries");
+    // One trace for the whole envelope: every entry's job shares it.
+    const Trace_scope trace_scope(batch.trace_id, batch.parent_span);
+    Span_scope span("daemon/batch_submit");
+    if (span.active()) span.annotate("entries", std::to_string(batch.entries.size()));
 
     // The deployment contract: one envelope for the whole model set.
     // Entries without their own wall budget split the batch budget evenly;
@@ -453,6 +466,59 @@ Daemon::Reply Daemon::handle_drain()
     return {Pdu_type::drain_ok, {}};
 }
 
+Daemon::Reply Daemon::handle_metrics()
+{
+    // Scrape-time refresh: router_.stats() re-publishes the slow gauges
+    // (uptime, shard count, per-shard breaker state) into the registry,
+    // and the daemon's own wire counters are mirrored here — the registry
+    // holds the history, stats_ stays the wire-struct source of truth.
+    router_.stats();
+    const Daemon_wire_stats wire = stats();
+    Metrics_registry& registry = Metrics_registry::global();
+    registry.gauge("xrlflow_daemon_connections_active",
+                   "Currently connected wire clients")
+        .set(static_cast<double>(wire.connections_active));
+    registry.gauge("xrlflow_daemon_connections_accepted",
+                   "Wire connections accepted since start")
+        .set(static_cast<double>(wire.connections_accepted));
+    registry.gauge("xrlflow_daemon_connections_rejected",
+                   "Wire connections refused over max_connections")
+        .set(static_cast<double>(wire.connections_rejected));
+    registry.gauge("xrlflow_daemon_frames_received", "Frames decoded off the wire")
+        .set(static_cast<double>(wire.frames_received));
+    registry.gauge("xrlflow_daemon_protocol_errors",
+                   "Malformed frames answered with a typed error")
+        .set(static_cast<double>(wire.protocol_errors));
+    registry.gauge("xrlflow_daemon_jobs_submitted", "Wire jobs admitted since start")
+        .set(static_cast<double>(wire.jobs_submitted));
+    registry.gauge("xrlflow_daemon_jobs_retained", "Live entries in the wire job table")
+        .set(static_cast<double>(wire.jobs_retained));
+    registry.gauge("xrlflow_daemon_jobs_deduplicated",
+                   "Submits replayed from the keyed-reply cache")
+        .set(static_cast<double>(wire.jobs_deduplicated));
+    return {Pdu_type::metrics_ok, encode_metrics_ok({registry.expose()})};
+}
+
+Daemon::Reply Daemon::handle_trace(std::string_view payload)
+{
+    const Trace_request request = decode_trace_request(payload);
+    std::uint64_t trace_id = request.trace_id;
+    if (request.job_id != 0) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = jobs_.find(request.job_id);
+        if (it == jobs_.end())
+            throw Protocol_error(Protocol_error_code::unknown_job,
+                                 "unknown job id " + std::to_string(request.job_id));
+        trace_id = it->second.trace_id;
+    }
+    Trace_ok ok;
+    ok.trace_id = trace_id;
+    // trace_id 0 (no job filter either) dumps the whole buffer — the
+    // operator's "what has this daemon been doing" view.
+    ok.spans = Trace_buffer::global().spans_for(trace_id);
+    return {Pdu_type::trace_ok, encode_trace_ok(ok)};
+}
+
 // ---------------------------------------------------------------------------
 // Job table
 // ---------------------------------------------------------------------------
@@ -486,7 +552,7 @@ Submit_ok Daemon::register_job(Job_handle handle)
     const std::lock_guard<std::mutex> lock(mutex_);
     const std::uint64_t id = next_job_id_++;
     const bool coalesced = handle.coalesced();
-    jobs_.emplace(id, Job_entry{std::move(handle), false});
+    jobs_.emplace(id, Job_entry{std::move(handle), false, current_trace().trace_id});
     ++stats_.jobs_submitted;
     return {id, coalesced};
 }

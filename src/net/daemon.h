@@ -173,6 +173,8 @@ private:
     Reply handle_cancel(std::string_view payload);
     Reply handle_stats();
     Reply handle_drain();
+    Reply handle_metrics();
+    Reply handle_trace(std::string_view payload);
 
     /// Send an error PDU, best-effort (a dead peer is already gone).
     void send_error(Session& session, Protocol_error_code code, const std::string& message);
@@ -209,6 +211,7 @@ private:
     struct Job_entry {
         Job_handle handle;
         bool terminal_delivered = false;
+        std::uint64_t trace_id = 0; ///< Client-stamped; `trace` by job id resolves here.
     };
     std::unordered_map<std::uint64_t, Job_entry> jobs_;
     std::deque<std::uint64_t> delivered_order_; ///< Retention/eviction order.

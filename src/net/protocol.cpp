@@ -30,14 +30,16 @@ static_assert(aggregate_field_count<Optimize_progress> == 4,
               "Optimize_progress grew a field: update the progress codec in net/protocol.cpp");
 static_assert(aggregate_field_count<Backend_stats> == 5,
               "Backend_stats grew a field: update the stats codec in net/protocol.cpp");
-static_assert(aggregate_field_count<Server_stats> == 16,
+static_assert(aggregate_field_count<Server_stats> == 18,
               "Server_stats grew a field: update the stats codec in net/protocol.cpp");
-static_assert(aggregate_field_count<Router_stats> == 9,
+static_assert(aggregate_field_count<Router_stats> == 11,
               "Router_stats grew a field: update the stats codec in net/protocol.cpp");
 static_assert(aggregate_field_count<Daemon_wire_stats> == 8,
               "Daemon_wire_stats grew a field: update the stats codec in net/protocol.cpp");
 static_assert(aggregate_field_count<Shard_health_snapshot> == 8,
               "Shard_health_snapshot grew a field: update the health codec in net/protocol.cpp");
+static_assert(aggregate_field_count<Trace_span> == 8,
+              "Trace_span grew a field: update the trace codec in net/protocol.cpp");
 
 const char* to_string(Pdu_type type)
 {
@@ -57,6 +59,10 @@ const char* to_string(Pdu_type type)
     case Pdu_type::drain: return "drain";
     case Pdu_type::drain_ok: return "drain_ok";
     case Pdu_type::error: return "error";
+    case Pdu_type::metrics: return "metrics";
+    case Pdu_type::metrics_ok: return "metrics_ok";
+    case Pdu_type::trace: return "trace";
+    case Pdu_type::trace_ok: return "trace_ok";
     }
     return "?";
 }
@@ -109,7 +115,7 @@ namespace {
 bool known_pdu_type(std::uint8_t raw)
 {
     return raw >= static_cast<std::uint8_t>(Pdu_type::hello) &&
-           raw <= static_cast<std::uint8_t>(Pdu_type::error);
+           raw <= static_cast<std::uint8_t>(Pdu_type::trace_ok);
 }
 
 /// Every decoder runs under this: Byte_reader's bounds-check throws (plain
@@ -232,6 +238,8 @@ void serialise_server_stats(Byte_writer& out, const Server_stats& stats)
     out.u64(stats.peak_running);
     out.f64(stats.p50_latency_ms);
     out.f64(stats.p95_latency_ms);
+    out.f64(stats.uptime_seconds);
+    out.u64(stats.snapshot_seq);
     out.u32(static_cast<std::uint32_t>(stats.backends.size()));
     for (const auto& [backend, per_backend] : stats.backends) {
         out.str(backend);
@@ -287,6 +295,8 @@ Server_stats deserialise_server_stats(Byte_reader& in)
     stats.peak_running = static_cast<std::size_t>(in.u64());
     stats.p50_latency_ms = in.f64();
     stats.p95_latency_ms = in.f64();
+    stats.uptime_seconds = in.f64();
+    stats.snapshot_seq = in.u64();
     const std::uint32_t backend_count = in.u32();
     in.expect_items(backend_count, sizeof(std::uint64_t));
     for (std::uint32_t i = 0; i < backend_count; ++i) {
@@ -496,6 +506,8 @@ std::string encode_submit(const Submit& submit)
     out.i32(submit.priority);
     out.f64(submit.deadline_seconds);
     out.u64(submit.request_key);
+    out.u64(submit.trace_id);
+    out.u64(submit.parent_span);
     serialise_graph_binary(out, submit.graph);
     return out.take();
 }
@@ -510,6 +522,8 @@ Submit decode_submit(std::string_view payload)
         submit.priority = in.i32();
         submit.deadline_seconds = in.f64();
         submit.request_key = in.u64();
+        submit.trace_id = in.u64();
+        submit.parent_span = in.u64();
         submit.graph = deserialise_graph_binary(in);
         expect_consumed(in, "submit");
         return submit;
@@ -549,6 +563,8 @@ std::string encode_batch_submit(const Batch_submit& batch)
     out.f64(batch.deadline_seconds);
     out.i32(batch.priority);
     out.u64(batch.request_key);
+    out.u64(batch.trace_id);
+    out.u64(batch.parent_span);
     return out.take();
 }
 
@@ -571,6 +587,8 @@ Batch_submit decode_batch_submit(std::string_view payload)
         batch.deadline_seconds = in.f64();
         batch.priority = in.i32();
         batch.request_key = in.u64();
+        batch.trace_id = in.u64();
+        batch.parent_span = in.u64();
         expect_consumed(in, "batch_submit");
         return batch;
     });
@@ -700,6 +718,8 @@ std::string encode_stats_ok(const Stats_ok& stats)
     out.u64(stats.router.hash_routed);
     out.u64(stats.router.probe_routed);
     out.u64(stats.router.breaker_rerouted);
+    out.f64(stats.router.uptime_seconds);
+    out.u64(stats.router.snapshot_seq);
     serialise_server_stats(out, stats.router.total);
     out.u32(static_cast<std::uint32_t>(stats.router.shards.size()));
     for (const Server_stats& shard : stats.router.shards) serialise_server_stats(out, shard);
@@ -729,6 +749,8 @@ Stats_ok decode_stats_ok(std::string_view payload)
         stats.router.hash_routed = in.u64();
         stats.router.probe_routed = in.u64();
         stats.router.breaker_rerouted = in.u64();
+        stats.router.uptime_seconds = in.f64();
+        stats.router.snapshot_seq = in.u64();
         stats.router.total = deserialise_server_stats(in);
         const std::uint32_t shard_count = in.u32();
         in.expect_items(shard_count, 15 * sizeof(std::uint64_t));
@@ -756,6 +778,100 @@ Stats_ok decode_stats_ok(std::string_view payload)
         stats.daemon.jobs_deduplicated = in.u64();
         expect_consumed(in, "stats_ok");
         return stats;
+    });
+}
+
+std::string encode_metrics_ok(const Metrics_ok& metrics)
+{
+    Byte_writer out;
+    out.str(metrics.exposition);
+    return out.take();
+}
+
+Metrics_ok decode_metrics_ok(std::string_view payload)
+{
+    return guarded_decode("metrics_ok", [&] {
+        Byte_reader in(payload);
+        Metrics_ok metrics;
+        metrics.exposition = in.str();
+        expect_consumed(in, "metrics_ok");
+        return metrics;
+    });
+}
+
+std::string encode_trace_request(const Trace_request& request)
+{
+    Byte_writer out;
+    out.u64(request.job_id);
+    out.u64(request.trace_id);
+    return out.take();
+}
+
+Trace_request decode_trace_request(std::string_view payload)
+{
+    return guarded_decode("trace", [&] {
+        Byte_reader in(payload);
+        Trace_request request;
+        request.job_id = in.u64();
+        request.trace_id = in.u64();
+        expect_consumed(in, "trace");
+        return request;
+    });
+}
+
+std::string encode_trace_ok(const Trace_ok& trace)
+{
+    Byte_writer out;
+    out.u64(trace.trace_id);
+    out.u32(static_cast<std::uint32_t>(trace.spans.size()));
+    for (const Trace_span& span : trace.spans) {
+        out.u64(span.trace_id);
+        out.u64(span.span_id);
+        out.u64(span.parent_span);
+        out.str(span.name);
+        out.u64(span.thread_id);
+        out.u64(span.start_us);
+        out.u64(span.duration_us);
+        out.u32(static_cast<std::uint32_t>(span.annotations.size()));
+        for (const auto& [key, value] : span.annotations) {
+            out.str(key);
+            out.str(value);
+        }
+    }
+    return out.take();
+}
+
+Trace_ok decode_trace_ok(std::string_view payload)
+{
+    return guarded_decode("trace_ok", [&] {
+        Byte_reader in(payload);
+        Trace_ok trace;
+        trace.trace_id = in.u64();
+        const std::uint32_t span_count = in.u32();
+        // Minimum wire size per span: 6×u64 + 2 length-prefixed counts.
+        in.expect_items(span_count, 6 * sizeof(std::uint64_t) + 2 * sizeof(std::uint32_t));
+        trace.spans.reserve(span_count);
+        for (std::uint32_t i = 0; i < span_count; ++i) {
+            Trace_span span;
+            span.trace_id = in.u64();
+            span.span_id = in.u64();
+            span.parent_span = in.u64();
+            span.name = in.str();
+            span.thread_id = in.u64();
+            span.start_us = in.u64();
+            span.duration_us = in.u64();
+            const std::uint32_t annotation_count = in.u32();
+            in.expect_items(annotation_count, 2 * sizeof(std::uint32_t));
+            span.annotations.reserve(annotation_count);
+            for (std::uint32_t k = 0; k < annotation_count; ++k) {
+                std::string key = in.str();
+                std::string value = in.str();
+                span.annotations.emplace_back(std::move(key), std::move(value));
+            }
+            trace.spans.push_back(std::move(span));
+        }
+        expect_consumed(in, "trace_ok");
+        return trace;
     });
 }
 

@@ -45,6 +45,7 @@
 #include "serve/job.h"
 #include "serve/router.h"
 #include "support/record_file.h"
+#include "support/trace.h"
 
 namespace xrl {
 
@@ -81,6 +82,10 @@ enum class Pdu_type : std::uint8_t {
     drain = 13,       ///< block until the fleet is idle and snapshotted.
     drain_ok = 14,    ///< drain finished.
     error = 15,       ///< typed failure; may be terminal for the connection.
+    metrics = 16,     ///< no payload; scrape the daemon's metrics plane.
+    metrics_ok = 17,  ///< Prometheus text exposition of the whole process.
+    trace = 18,       ///< fetch buffered spans for a job / trace id.
+    trace_ok = 19,    ///< the matching spans, oldest first.
 };
 
 const char* to_string(Pdu_type type);
@@ -204,6 +209,13 @@ struct Submit {
     /// search — how a retry after a lost reply stays at-most-once. See
     /// PROTOCOL.md "Retry semantics".
     std::uint64_t request_key = 0;
+    /// Client-stamped trace identity (support/trace.h); 0 = untraced. The
+    /// daemon joins this trace for its own spans and carries it through
+    /// router → shard → optimizer, so `xrlflowctl trace` reconstructs the
+    /// job end to end. `parent_span` is the client-side span the daemon's
+    /// spans nest under.
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span = 0;
 };
 
 struct Submit_ok {
@@ -228,6 +240,9 @@ struct Batch_submit {
     /// Idempotency key for the whole batch (one key, one reply); 0 = none.
     /// Same replay contract as Submit::request_key.
     std::uint64_t request_key = 0;
+    /// Trace identity shared by every entry; same contract as on Submit.
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span = 0;
 };
 
 struct Batch_ok {
@@ -277,6 +292,26 @@ struct Daemon_wire_stats {
 struct Stats_ok {
     Router_stats router;
     Daemon_wire_stats daemon;
+};
+
+/// metrics has no payload; the reply is the whole process's Prometheus
+/// text exposition (Metrics_registry::global().expose() after the daemon
+/// refreshes its scrape-time gauges).
+struct Metrics_ok {
+    std::string exposition;
+};
+
+/// Span fetch: by daemon job id (the daemon maps it to the job's trace),
+/// by raw trace id, or everything buffered when both are 0. Exactly one of
+/// job_id / trace_id should be nonzero otherwise.
+struct Trace_request {
+    std::uint64_t job_id = 0;
+    std::uint64_t trace_id = 0;
+};
+
+struct Trace_ok {
+    std::uint64_t trace_id = 0; ///< Resolved trace (0 for an all-spans dump).
+    std::vector<Trace_span> spans;
 };
 
 struct Error_pdu {
@@ -329,6 +364,15 @@ Cancel_ok decode_cancel_ok(std::string_view payload);
 
 std::string encode_stats_ok(const Stats_ok& stats);
 Stats_ok decode_stats_ok(std::string_view payload);
+
+std::string encode_metrics_ok(const Metrics_ok& metrics);
+Metrics_ok decode_metrics_ok(std::string_view payload);
+
+std::string encode_trace_request(const Trace_request& request);
+Trace_request decode_trace_request(std::string_view payload);
+
+std::string encode_trace_ok(const Trace_ok& trace);
+Trace_ok decode_trace_ok(std::string_view payload);
 
 std::string encode_error(const Error_pdu& error);
 Error_pdu decode_error(std::string_view payload);

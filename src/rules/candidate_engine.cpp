@@ -5,8 +5,17 @@
 #include <utility>
 
 #include "support/check.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 namespace xrl {
+
+Histogram& candidate_phase_histogram(const char* phase)
+{
+    return Metrics_registry::global().histogram(
+        "xrlflow_candidate_phase_us", "Candidate-engine time by pipeline phase",
+        duration_us_buckets(), {{"phase", phase}});
+}
 
 namespace {
 
@@ -36,13 +45,24 @@ Candidate_engine::Candidate_engine(const Rule_set& rules, Candidate_engine_confi
 
 std::vector<Rewrite_candidate> Candidate_engine::enumerate(const Graph& host) const
 {
-    const Host_index index(host);
+    // Per-phase timing: histogram references resolve once (function-local
+    // statics), so the steady-state cost is two clock reads per phase.
+    static Histogram& index_histogram = candidate_phase_histogram("index_build");
+    static Histogram& match_histogram = candidate_phase_histogram("match");
+    static Histogram& dedup_histogram = candidate_phase_histogram("dedup");
+
+    std::optional<Host_index> index;
+    {
+        const Scoped_timer_us timer(index_histogram);
+        const Span_scope span("candidates/index_build");
+        index.emplace(host);
+    }
     std::vector<std::vector<Rewrite_candidate>> per_rule(rules_->size());
 
     const auto run_rule = [&](std::size_t rule_index) {
         std::vector<Rewrite_candidate>& bucket = per_rule[rule_index];
         if (const Pattern_rule* pattern_rule = pattern_rules_[rule_index]) {
-            auto matches = find_matches(host, index, pattern_rule->pattern(),
+            auto matches = find_matches(host, *index, pattern_rule->pattern(),
                                         config_.per_rule_limit);
             bucket.reserve(matches.size());
             for (Pattern_match& match : matches) {
@@ -65,14 +85,21 @@ std::vector<Rewrite_candidate> Candidate_engine::enumerate(const Graph& host) co
         }
     };
 
-    if (pool_ != nullptr) {
-        pool_->run(per_rule.size(), run_rule);
-    } else {
-        for (std::size_t i = 0; i < per_rule.size(); ++i) run_rule(i);
+    {
+        const Scoped_timer_us timer(match_histogram);
+        Span_scope span("candidates/match");
+        if (pool_ != nullptr) {
+            pool_->run(per_rule.size(), run_rule);
+        } else {
+            for (std::size_t i = 0; i < per_rule.size(); ++i) run_rule(i);
+        }
+        if (span.active()) span.annotate("rules", std::to_string(per_rule.size()));
     }
 
     // Deterministic order — rule index, then discovery order — and
     // fingerprint dedup before anything is materialised.
+    const Scoped_timer_us timer(dedup_histogram);
+    const Span_scope span("candidates/dedup");
     std::size_t total = 0;
     for (const auto& bucket : per_rule) total += bucket.size();
     std::vector<Rewrite_candidate> records;
@@ -103,6 +130,11 @@ Candidate_engine::Generated Candidate_engine::generate(const Graph& host,
                                                        std::size_t max_total) const
 {
     std::vector<Rewrite_candidate> records = enumerate(host);
+
+    static Histogram& materialise_histogram = candidate_phase_histogram("materialise");
+    const Scoped_timer_us timer(materialise_histogram);
+    Span_scope span("candidates/materialise");
+    if (span.active()) span.annotate("enumerated", std::to_string(records.size()));
 
     Generated out;
     out.enumerated = records.size();

@@ -111,4 +111,12 @@ private:
     Thread_pool* pool_ = nullptr; ///< The shared pool; null = serial.
 };
 
+class Histogram;
+
+/// The registry histogram `xrlflow_candidate_phase_us{phase=...}` every
+/// engine instance times its pipeline phases into (index_build, match,
+/// dedup, materialise, finalise_rewrite). Exposed so the benches can read
+/// per-phase snapshots into BENCH_candidates.json.
+Histogram& candidate_phase_histogram(const char* phase);
+
 } // namespace xrl

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "rules/candidate_engine.h"
 #include "support/check.h"
+#include "support/metrics.h"
 
 namespace xrl {
 
@@ -292,6 +294,10 @@ std::vector<Pattern_match> find_matches(const Graph& host, const Host_index& ind
 bool finalise_rewrite(Graph& g, const Graph& host, Node_id first_new_node,
                       const std::vector<Rewired_edge>& rewired, std::uint64_t* canonical_hash_out)
 {
+    // Histogram only (no span): this runs once per materialised candidate —
+    // span records would dominate the trace buffer without adding shape.
+    static Histogram& finalise_histogram = candidate_phase_histogram("finalise_rewrite");
+    const Scoped_timer_us timer(finalise_histogram);
     try {
         if (!g.is_acyclic()) return false; // the rewrite closed a cycle
         g.eliminate_dead_nodes();

@@ -83,6 +83,11 @@ struct Job {
     Optimize_request request;
     std::string coalesce_key; ///< Optimization_service::memo_key of the job.
     Clock::time_point submitted{};
+    /// Distributed-trace linkage, captured from the submitting thread's
+    /// trace context (support/trace.h): the worker re-installs these so
+    /// shard-side spans nest under the client/daemon spans. 0 = untraced.
+    std::uint64_t trace_id = 0;
+    std::uint64_t parent_span = 0;
 
     /// Read lock-free by the server's heartbeat wrapper on every search
     /// step; set once all interest is withdrawn.

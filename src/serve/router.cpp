@@ -1,11 +1,13 @@
 #include "serve/router.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "support/check.h"
 #include "support/fnv.h"
+#include "support/trace.h"
 
 namespace xrl {
 
@@ -25,10 +27,25 @@ Optimization_router::Optimization_router(Router_config config) : config_(std::mo
 {
     if (config_.shards.empty())
         throw std::invalid_argument("Optimization_router: config.shards must be non-empty");
+    Metrics_registry& registry = Metrics_registry::global();
+    submitted_counter_ =
+        &registry.counter("xrlflow_router_submitted_total", "Submits routed by the router");
+    affinity_counter_ = &registry.counter("xrlflow_router_affinity_routed_total",
+                                          "Submits sent to a shard claiming the device");
+    hash_counter_ = &registry.counter("xrlflow_router_hash_routed_total",
+                                      "Submits spread by rendezvous hashing");
+    probe_counter_ = &registry.counter("xrlflow_router_probe_routed_total",
+                                       "Submits admitted to half-open shards as probes");
+    rerouted_counter_ = &registry.counter("xrlflow_router_breaker_rerouted_total",
+                                          "Submits re-spread past an open/draining shard");
+    shard_count_gauge_ = &registry.gauge("xrlflow_router_shards", "Live shards in the fleet");
+    uptime_gauge_ =
+        &registry.gauge("xrlflow_router_uptime_seconds", "Seconds since router start");
     slots_.reserve(config_.shards.size());
     for (Shard_config& shard_config : config_.shards)
         slots_.push_back(make_slot(std::move(shard_config), next_stable_id_++));
     config_.shards.clear(); // each config now lives on its slot
+    shard_count_gauge_->set(static_cast<double>(slots_.size()));
 }
 
 std::shared_ptr<Optimization_router::Slot>
@@ -45,9 +62,20 @@ Optimization_router::make_slot(Shard_config shard_config, std::uint64_t stable_i
         shard_config.server.fault_site = "shard/" + std::to_string(stable_id);
     }
 
+    // The stable shard id is the fleet-wide `shard` label: the server's
+    // Telemetry series and the router's per-shard series line up on it.
+    shard_config.server.metrics_shard = std::to_string(stable_id);
+
     auto slot = std::make_shared<Slot>();
     slot->stable_id = stable_id;
     slot->health = std::make_shared<Shard_health>(config_.health);
+    Metrics_registry& registry = Metrics_registry::global();
+    const Metric_labels shard_label{{"shard", shard_config.server.metrics_shard}};
+    slot->routed_counter = &registry.counter("xrlflow_router_routed_total",
+                                             "Submits routed to this shard", shard_label);
+    slot->breaker_gauge =
+        &registry.gauge("xrlflow_shard_breaker_state",
+                        "Circuit breaker: 0 closed, 1 open, 2 half-open", shard_label);
     slot->config = std::move(shard_config);
     slot->server = build_server(slot->config, slot->health);
     for (const std::string& device : slot->config.device_affinity)
@@ -181,11 +209,17 @@ Job_handle Optimization_router::submit(const std::string& backend, const Graph& 
                                        const Submit_options& options)
 {
     const std::uint64_t model_hash = graph.model_hash(); // paid once: routing + coalesce key
+    Span_scope span("router/dispatch");
     std::shared_lock<std::shared_mutex> lock(membership_mutex_);
     const std::string device = routing_device(request);
     const Route_decision decision = decide_locked(backend, model_hash, device,
                                                   request.device.profile.has_value(),
                                                   /*consume_probe=*/true);
+    if (span.active()) {
+        span.annotate("backend", backend);
+        span.annotate("shard", std::to_string(decision.slot->stable_id));
+        span.annotate("device", device);
+    }
     // Pin the resolved device onto the request: routing resolved "default"
     // against the first shard's registry, and the executing shard must
     // optimise for *that* device even if its own default differs
@@ -200,13 +234,24 @@ Job_handle Optimization_router::submit(const std::string& backend, const Graph& 
     Job_handle handle =
         decision.slot->server->submit_hashed(model_hash, backend, graph, routed, options);
     submitted_.fetch_add(1, std::memory_order_relaxed);
+    submitted_counter_->increment();
     decision.slot->routed_to.fetch_add(1, std::memory_order_relaxed);
-    if (decision.used_affinity)
+    decision.slot->routed_counter->increment();
+    if (decision.used_affinity) {
         affinity_routed_.fetch_add(1, std::memory_order_relaxed);
-    else
+        affinity_counter_->increment();
+    } else {
         hash_routed_.fetch_add(1, std::memory_order_relaxed);
-    if (decision.probe) probe_routed_.fetch_add(1, std::memory_order_relaxed);
-    if (decision.rerouted) breaker_rerouted_.fetch_add(1, std::memory_order_relaxed);
+        hash_counter_->increment();
+    }
+    if (decision.probe) {
+        probe_routed_.fetch_add(1, std::memory_order_relaxed);
+        probe_counter_->increment();
+    }
+    if (decision.rerouted) {
+        breaker_rerouted_.fetch_add(1, std::memory_order_relaxed);
+        rerouted_counter_->increment();
+    }
     return handle;
 }
 
@@ -340,6 +385,12 @@ Router_stats Optimization_router::stats() const
             servers.push_back(slot->server);
         }
     }
+    out.uptime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - started_).count();
+    out.snapshot_seq = snapshot_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    uptime_gauge_->set(out.uptime_seconds);
+    shard_count_gauge_->set(static_cast<double>(slots.size()));
+
     out.shards.reserve(slots.size());
     for (std::size_t i = 0; i < slots.size(); ++i) {
         out.shards.push_back(servers[i]->stats());
@@ -347,6 +398,9 @@ Router_stats Optimization_router::stats() const
         Shard_health_snapshot health = slots[i]->health->snapshot();
         health.stable_id = slots[i]->stable_id;
         health.draining = slots[i]->draining.load(std::memory_order_relaxed);
+        // A scrape is the natural refresh point for the breaker gauge —
+        // breaker transitions are observation-driven anyway.
+        slots[i]->breaker_gauge->set(static_cast<double>(static_cast<int>(health.state)));
         out.health.push_back(health);
     }
 
@@ -371,6 +425,10 @@ Router_stats Optimization_router::stats() const
         // shard's percentiles rather than inventing a merged reservoir.
         total.p50_latency_ms = std::max(total.p50_latency_ms, s.p50_latency_ms);
         total.p95_latency_ms = std::max(total.p95_latency_ms, s.p95_latency_ms);
+        // The fleet is as old as its oldest member; the sequence sums so
+        // it stays monotonic whichever shard answered.
+        total.uptime_seconds = std::max(total.uptime_seconds, s.uptime_seconds);
+        total.snapshot_seq += s.snapshot_seq;
         for (const auto& [backend, b] : s.backends) {
             Backend_stats& agg = total.backends[backend];
             agg.submitted += b.submitted;

@@ -41,6 +41,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
@@ -93,6 +94,11 @@ struct Router_stats {
     /// Submits whose steady-state shard was skipped (open breaker or
     /// draining) and that re-spread to another candidate.
     std::uint64_t breaker_rerouted = 0;
+
+    /// Scraper aids (mirrors Server_stats): seconds since router
+    /// construction and a monotonic per-stats() sequence number.
+    double uptime_seconds = 0.0;
+    std::uint64_t snapshot_seq = 0;
 
     Server_stats total;                ///< Fleet-wide aggregation (see header note).
     std::vector<Server_stats> shards;  ///< Per-shard snapshots, in shard order.
@@ -183,6 +189,11 @@ private:
         std::uint64_t stable_id = 0;
         std::atomic<bool> draining{false};
         std::atomic<std::uint64_t> routed_to{0};
+        /// Registry series for this shard (stable for the process
+        /// lifetime): submits routed here, and the breaker state gauge
+        /// (0 closed / 1 open / 2 half-open), refreshed at stats() time.
+        Counter* routed_counter = nullptr;
+        Gauge* breaker_gauge = nullptr;
     };
 
     struct Route_decision {
@@ -236,6 +247,19 @@ private:
     std::atomic<std::uint64_t> hash_routed_{0};
     std::atomic<std::uint64_t> probe_routed_{0};
     std::atomic<std::uint64_t> breaker_rerouted_{0};
+
+    std::chrono::steady_clock::time_point started_ = std::chrono::steady_clock::now();
+    mutable std::atomic<std::uint64_t> snapshot_seq_{0};
+
+    // Registry series the router publishes into (resolved once at
+    // construction; see support/metrics.h).
+    Counter* submitted_counter_ = nullptr;
+    Counter* affinity_counter_ = nullptr;
+    Counter* hash_counter_ = nullptr;
+    Counter* probe_counter_ = nullptr;
+    Counter* rerouted_counter_ = nullptr;
+    Gauge* shard_count_gauge_ = nullptr;
+    Gauge* uptime_gauge_ = nullptr;
 };
 
 } // namespace xrl

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "support/check.h"
+#include "support/trace.h"
 
 namespace xrl {
 
@@ -36,6 +37,7 @@ Optimization_server::Optimization_server(Server_config config)
       service_(config_.service),
       pool_(&Thread_pool::shared()),
       workers_(config_.workers > 0 ? config_.workers : std::max<std::size_t>(pool_->workers(), 1)),
+      telemetry_(8192, config_.metrics_shard),
       queue_(config_.queue),
       paused_(config_.start_paused)
 {
@@ -191,6 +193,11 @@ Job_handle Optimization_server::submit_hashed(std::uint64_t model_hash, const st
     job->request = request;
     job->coalesce_key = key;
     job->submitted = now;
+    // Capture the submitting thread's trace context: the worker thread
+    // re-installs it in execute() so shard-side spans join the job's tree.
+    const Trace_context trace = current_trace();
+    job->trace_id = trace.trace_id;
+    job->parent_span = trace.span_id;
     job->priority = options.priority;
     job->has_deadline = has_deadline;
     job->deadline = deadline;
@@ -372,24 +379,39 @@ void Optimization_server::execute(const std::shared_ptr<Job>& job)
 
         Optimize_result result;
         std::exception_ptr error;
-        try {
-            // Deterministic fault injection: one event per executed job.
-            // `fail` surfaces exactly like a backend throw — Job_state::failed,
-            // never cached — so the breaker and retry paths above exercise
-            // the same machinery a real sick shard would.
-            if (config_.fault_plan != nullptr) {
-                double delay_seconds = 0.0;
-                const Fault_action action =
-                    config_.fault_plan->next(config_.fault_site, &delay_seconds);
-                if (action == Fault_action::delay && delay_seconds > 0.0)
-                    std::this_thread::sleep_for(std::chrono::duration<double>(delay_seconds));
-                if (action == Fault_action::fail)
-                    throw std::runtime_error("injected fault: shard '" + config_.fault_site +
-                                             "' failed this job");
+        {
+            // Join the job's trace on this worker thread: optimizer-level
+            // spans (candidate-engine phases, rollout steps) nest under
+            // "shard/execute", which itself parents under the daemon/router
+            // span recorded at submit. The scope closes before the terminal
+            // transition below, so once a waiter observes the outcome the
+            // span is already in the buffer.
+            Trace_scope trace_scope(job->trace_id, job->parent_span);
+            Span_scope span("shard/execute");
+            if (span.active()) {
+                span.annotate("job_id", std::to_string(job->id));
+                span.annotate("backend", job->backend);
             }
-            result = service_.optimize_keyed(job->coalesce_key, job->backend, job->graph, request);
-        } catch (...) {
-            error = std::current_exception();
+            try {
+                // Deterministic fault injection: one event per executed job.
+                // `fail` surfaces exactly like a backend throw — Job_state::failed,
+                // never cached — so the breaker and retry paths above exercise
+                // the same machinery a real sick shard would.
+                if (config_.fault_plan != nullptr) {
+                    double delay_seconds = 0.0;
+                    const Fault_action action =
+                        config_.fault_plan->next(config_.fault_site, &delay_seconds);
+                    if (action == Fault_action::delay && delay_seconds > 0.0)
+                        std::this_thread::sleep_for(std::chrono::duration<double>(delay_seconds));
+                    if (action == Fault_action::fail)
+                        throw std::runtime_error("injected fault: shard '" + config_.fault_site +
+                                                 "' failed this job");
+                }
+                result =
+                    service_.optimize_keyed(job->coalesce_key, job->backend, job->graph, request);
+            } catch (...) {
+                error = std::current_exception();
+            }
         }
 
         Job_state terminal_state;

@@ -91,6 +91,12 @@ struct Server_config {
     /// Observes executed jobs' terminal states (see Completion_hook).
     Completion_hook on_terminal;
 
+    /// `shard` label value for this server's series in
+    /// Metrics_registry::global() (xrlflow_server_*, xrlflow_job_latency_ms).
+    /// The router stamps each slot's stable shard id here; a standalone
+    /// server keeps the default.
+    std::string metrics_shard = "0";
+
     /// Deterministic fault injection (support/fault_plan.h). When set, one
     /// event is consumed at `fault_site` per executed job, just before the
     /// search runs: `fail` makes the job fail as if the backend threw (the

@@ -20,9 +20,49 @@ double percentile(std::vector<double> sample, double p)
 
 } // namespace
 
-Telemetry::Telemetry(std::size_t latency_reservoir) : reservoir_capacity_(latency_reservoir)
+Telemetry::Telemetry(std::size_t latency_reservoir, std::string metrics_shard)
+    : reservoir_capacity_(latency_reservoir), metrics_shard_(std::move(metrics_shard))
 {
     XRL_EXPECTS(reservoir_capacity_ >= 1);
+    // Resolve every fixed series once; references stay valid for the
+    // process lifetime, so hot-path publishing is one relaxed atomic add.
+    Metrics_registry& registry = Metrics_registry::global();
+    const Metric_labels shard{{"shard", metrics_shard_}};
+    submitted_total_ = &registry.counter("xrlflow_server_submitted_total",
+                                         "submit() calls (incl. coalesced/rejected)", shard);
+    coalesced_total_ = &registry.counter("xrlflow_server_coalesced_total",
+                                         "Submits attached to an in-flight duplicate", shard);
+    rejected_total_ = &registry.counter("xrlflow_server_rejected_total",
+                                        "Submits refused at admission (incl. shed)", shard);
+    shed_total_ = &registry.counter("xrlflow_server_shed_total",
+                                    "Queued jobs evicted by a better-ranked arrival", shard);
+    completed_total_ =
+        &registry.counter("xrlflow_server_completed_total", "Jobs finished successfully", shard);
+    cancelled_total_ =
+        &registry.counter("xrlflow_server_cancelled_total", "Jobs reaching cancelled", shard);
+    failed_total_ = &registry.counter("xrlflow_server_failed_total", "Jobs reaching failed", shard);
+    cache_hits_total_ = &registry.counter("xrlflow_server_cache_hits_total",
+                                          "Jobs answered by the service memo cache", shard);
+    queue_depth_gauge_ =
+        &registry.gauge("xrlflow_server_queue_depth", "Jobs waiting in the admission queue", shard);
+    running_gauge_ =
+        &registry.gauge("xrlflow_server_running", "Jobs currently executing on workers", shard);
+    inflight_gauge_ = &registry.gauge("xrlflow_server_inflight",
+                                      "Coalescable primaries (queued + running)", shard);
+    uptime_gauge_ =
+        &registry.gauge("xrlflow_server_uptime_seconds", "Seconds since shard start", shard);
+}
+
+Histogram& Telemetry::latency_histogram_locked(const std::string& backend)
+{
+    auto it = latency_histograms_.find(backend);
+    if (it == latency_histograms_.end()) {
+        Histogram& h = Metrics_registry::global().histogram(
+            "xrlflow_job_latency_ms", "Submit-to-terminal latency", latency_ms_buckets(),
+            {{"backend", backend}, {"shard", metrics_shard_}});
+        it = latency_histograms_.emplace(backend, &h).first;
+    }
+    return *it->second;
 }
 
 void Telemetry::on_submit(const std::string& backend)
@@ -30,19 +70,25 @@ void Telemetry::on_submit(const std::string& backend)
     const std::lock_guard<std::mutex> lock(mutex_);
     ++totals_.submitted;
     ++totals_.backends[backend].submitted;
+    submitted_total_->increment();
 }
 
 void Telemetry::on_coalesce()
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++totals_.coalesced;
+    coalesced_total_->increment();
 }
 
 void Telemetry::on_reject(bool shed)
 {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++totals_.rejected;
-    if (shed) ++totals_.shed;
+    rejected_total_->increment();
+    if (shed) {
+        ++totals_.shed;
+        shed_total_->increment();
+    }
 }
 
 void Telemetry::on_finish(const std::string& backend, Job_state terminal, double latency_seconds,
@@ -54,22 +100,29 @@ void Telemetry::on_finish(const std::string& backend, Job_state terminal, double
     case Job_state::done:
         ++totals_.completed;
         ++per_backend.completed;
+        completed_total_->increment();
         break;
     case Job_state::cancelled:
         ++totals_.cancelled;
         ++per_backend.cancelled;
+        cancelled_total_->increment();
         break;
     case Job_state::failed:
         ++totals_.failed;
         ++per_backend.failed;
+        failed_total_->increment();
         break;
     default:
         XRL_ASSERT(false && "on_finish expects a terminal worker outcome");
     }
-    if (from_cache) ++totals_.cache_hits;
+    if (from_cache) {
+        ++totals_.cache_hits;
+        cache_hits_total_->increment();
+    }
     per_backend.busy_seconds += busy_seconds;
 
     const double latency_ms = latency_seconds * 1e3;
+    latency_histogram_locked(backend).observe(latency_ms);
     if (latencies_ms_.size() < reservoir_capacity_) {
         latencies_ms_.push_back(latency_ms);
     } else {
@@ -83,6 +136,8 @@ void Telemetry::on_occupancy(std::size_t queue_depth, std::size_t running)
     const std::lock_guard<std::mutex> lock(mutex_);
     totals_.peak_queue_depth = std::max(totals_.peak_queue_depth, queue_depth);
     totals_.peak_running = std::max(totals_.peak_running, running);
+    queue_depth_gauge_->set(static_cast<double>(queue_depth));
+    running_gauge_->set(static_cast<double>(running));
 }
 
 Server_stats Telemetry::snapshot(std::size_t queue_depth, std::size_t running,
@@ -95,6 +150,14 @@ Server_stats Telemetry::snapshot(std::size_t queue_depth, std::size_t running,
     stats.inflight = inflight;
     stats.p50_latency_ms = percentile(latencies_ms_, 0.50);
     stats.p95_latency_ms = percentile(latencies_ms_, 0.95);
+    const auto elapsed = std::chrono::steady_clock::now() - started_;
+    stats.uptime_seconds = std::chrono::duration<double>(elapsed).count();
+    stats.snapshot_seq = snapshot_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Snapshot time is the natural point to refresh the slow-moving gauges.
+    queue_depth_gauge_->set(static_cast<double>(queue_depth));
+    running_gauge_->set(static_cast<double>(running));
+    inflight_gauge_->set(static_cast<double>(inflight));
+    uptime_gauge_->set(stats.uptime_seconds);
     return stats;
 }
 

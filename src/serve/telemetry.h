@@ -9,6 +9,8 @@
 // (coalesce + cache-hit rate, makespan) off these counters.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "serve/job.h"
+#include "support/metrics.h"
 
 namespace xrl {
 
@@ -65,6 +68,12 @@ struct Server_stats {
     double p50_latency_ms = 0.0;
     double p95_latency_ms = 0.0;
 
+    // Scraper aids: seconds since this Telemetry was constructed (a reset
+    // betrays a restart) and a monotonic per-snapshot sequence number so
+    // out-of-order scrape replies can be ordered.
+    double uptime_seconds = 0.0;
+    std::uint64_t snapshot_seq = 0;
+
     std::map<std::string, Backend_stats> backends;
 
     /// Fraction of submits that attached to an in-flight duplicate.
@@ -91,9 +100,17 @@ struct Server_stats {
 
 /// Internally-locked recorder; the server calls it from submit and from
 /// worker threads without extra synchronisation.
+///
+/// Every event is also published into `Metrics_registry::global()` under
+/// a `shard` label (`metrics_shard` — the router stamps each slot's stable
+/// id here), so `xrlflowctl metrics` reads the same truth as stats():
+/// `xrlflow_server_*_total` counters, `xrlflow_server_queue_depth/running/
+/// inflight` gauges, and per-backend `xrlflow_job_latency_ms` histograms.
+/// Counter pointers are resolved once at construction — the per-event cost
+/// is one relaxed atomic add on top of the existing mutex hold.
 class Telemetry {
 public:
-    explicit Telemetry(std::size_t latency_reservoir = 8192);
+    explicit Telemetry(std::size_t latency_reservoir = 8192, std::string metrics_shard = "0");
 
     void on_submit(const std::string& backend);
     void on_coalesce();
@@ -111,11 +128,32 @@ public:
                           std::size_t inflight) const;
 
 private:
+    Histogram& latency_histogram_locked(const std::string& backend);
+
     mutable std::mutex mutex_;
     Server_stats totals_;
     std::size_t reservoir_capacity_;
     std::vector<double> latencies_ms_; ///< Ring buffer of recent completions.
     std::size_t next_slot_ = 0;
+
+    // Registry series this instance publishes into (stable for the
+    // process lifetime — see Metrics_registry).
+    std::string metrics_shard_;
+    std::chrono::steady_clock::time_point started_ = std::chrono::steady_clock::now();
+    mutable std::atomic<std::uint64_t> snapshot_seq_{0};
+    Counter* submitted_total_ = nullptr;
+    Counter* coalesced_total_ = nullptr;
+    Counter* rejected_total_ = nullptr;
+    Counter* shed_total_ = nullptr;
+    Counter* completed_total_ = nullptr;
+    Counter* cancelled_total_ = nullptr;
+    Counter* failed_total_ = nullptr;
+    Counter* cache_hits_total_ = nullptr;
+    Gauge* queue_depth_gauge_ = nullptr;
+    Gauge* running_gauge_ = nullptr;
+    Gauge* inflight_gauge_ = nullptr;
+    Gauge* uptime_gauge_ = nullptr;
+    std::map<std::string, Histogram*> latency_histograms_; ///< By backend.
 };
 
 } // namespace xrl

@@ -1,8 +1,12 @@
 #include "support/logging.h"
 
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 
 #include "support/config.h"
+#include "support/trace.h"
 
 namespace xrl {
 
@@ -46,9 +50,40 @@ void set_log_threshold(Log_level level)
     threshold_ref() = level;
 }
 
+namespace {
+
+/// ISO-8601 UTC with millisecond precision: 2026-08-08T12:34:56.789Z.
+std::string utc_timestamp()
+{
+    using namespace std::chrono;
+    const auto now = system_clock::now();
+    const std::time_t seconds = system_clock::to_time_t(now);
+    const auto millis =
+        duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+    std::tm tm{};
+    gmtime_r(&seconds, &tm);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                  tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min,
+                  tm.tm_sec, static_cast<int>(millis));
+    return buf;
+}
+
+} // namespace
+
 void log_message(Log_level level, const std::string& message)
 {
-    std::cerr << "[xrlflow " << level_name(level) << "] " << message << '\n';
+    // Structured prefix: timestamp, level, thread ordinal, and — when a
+    // trace is in scope on this thread — the job's trace id, so one grep
+    // lines a job's log output up with its spans.
+    std::ostringstream line;
+    line << utc_timestamp() << ' ' << level_name(level) << " [xrlflow t"
+         << trace_thread_id();
+    if (const Trace_context context = current_trace(); context.trace_id != 0)
+        line << " trace=" << std::hex << context.trace_id << std::dec;
+    line << "] " << message << '\n';
+    // One stream insertion so concurrent threads don't interleave fields.
+    std::cerr << line.str();
 }
 
 } // namespace xrl

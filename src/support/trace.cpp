@@ -1,0 +1,252 @@
+#include "support/trace.h"
+
+#include "support/config.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <ostream>
+#include <random>
+
+namespace xrl {
+
+namespace {
+
+std::atomic<bool>& enabled_flag()
+{
+    static std::atomic<bool> flag{[] {
+        const std::string v = env_or("XRLFLOW_TRACE", "");
+        return !v.empty() && v != "0";
+    }()};
+    return flag;
+}
+
+/// Process-random high bits for span/trace ids: ids stay unique with high
+/// probability even across daemon + client processes writing one trace.
+std::uint64_t process_seed()
+{
+    static const std::uint64_t seed = [] {
+        std::random_device rd;
+        std::uint64_t s = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+        return s == 0 ? 0x9e3779b97f4a7c15ull : s;
+    }();
+    return seed;
+}
+
+std::uint64_t next_id()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    // splitmix64 finaliser over seed ^ counter: well-spread, never reuses.
+    std::uint64_t x = process_seed() ^ counter.fetch_add(1, std::memory_order_relaxed);
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    x = x ^ (x >> 31);
+    return x == 0 ? 1 : x;
+}
+
+thread_local Trace_context tls_context;
+
+} // namespace
+
+bool trace_enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_trace_enabled(bool enabled)
+{
+    enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t new_trace_id() { return next_id(); }
+
+Trace_context current_trace() { return tls_context; }
+
+std::uint64_t trace_thread_id()
+{
+    static std::atomic<std::uint64_t> next{1};
+    thread_local const std::uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+std::uint64_t trace_wall_now_us()
+{
+    using namespace std::chrono;
+    // One (steady, system) base pair per process: steady deltas give
+    // monotonic timestamps, the system base anchors them to the epoch.
+    struct Base {
+        steady_clock::time_point steady = steady_clock::now();
+        system_clock::time_point system = system_clock::now();
+    };
+    static const Base base;
+    const auto elapsed = steady_clock::now() - base.steady;
+    return static_cast<std::uint64_t>(
+        duration_cast<microseconds>(base.system.time_since_epoch() + elapsed).count());
+}
+
+// ---------------------------------------------------------------------------
+// Scopes
+// ---------------------------------------------------------------------------
+
+Trace_scope::Trace_scope(std::uint64_t trace_id, std::uint64_t parent_span)
+    : saved_(tls_context)
+{
+    tls_context = Trace_context{trace_id, parent_span};
+}
+
+Trace_scope::~Trace_scope() { tls_context = saved_; }
+
+Span_scope::Span_scope(const char* name)
+{
+    if (!trace_enabled()) return;
+    if (tls_context.trace_id == 0) return;
+    active_ = true;
+    name_ = name;
+    saved_ = tls_context;
+    span_id_ = next_id();
+    tls_context.span_id = span_id_; // Nested spans parent under this one.
+    start_us_ = trace_wall_now_us();
+}
+
+Span_scope::~Span_scope()
+{
+    if (!active_) return;
+    Trace_span span;
+    span.trace_id = saved_.trace_id;
+    span.span_id = span_id_;
+    span.parent_span = saved_.span_id;
+    span.name = name_;
+    span.thread_id = trace_thread_id();
+    span.start_us = start_us_;
+    const std::uint64_t end = trace_wall_now_us();
+    span.duration_us = end > start_us_ ? end - start_us_ : 0;
+    span.annotations = std::move(annotations_);
+    tls_context = saved_;
+    Trace_buffer::global().record(std::move(span));
+}
+
+void Span_scope::annotate(std::string key, std::string value)
+{
+    if (!active_) return;
+    annotations_.emplace_back(std::move(key), std::move(value));
+}
+
+// ---------------------------------------------------------------------------
+// Trace_buffer
+// ---------------------------------------------------------------------------
+
+Trace_buffer::Trace_buffer(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity)
+{
+    ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+Trace_buffer& Trace_buffer::global()
+{
+    static Trace_buffer buffer;
+    return buffer;
+}
+
+void Trace_buffer::record(Trace_span span)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(span));
+        return;
+    }
+    // Ring full: overwrite the oldest slot.
+    wrapped_ = true;
+    ring_[head_] = std::move(span);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+}
+
+std::vector<Trace_span> Trace_buffer::spans() const { return spans_for(0); }
+
+std::vector<Trace_span> Trace_buffer::spans_for(std::uint64_t trace_id) const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Trace_span> out;
+    out.reserve(ring_.size());
+    const std::size_t n = ring_.size();
+    const std::size_t start = wrapped_ ? head_ : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const Trace_span& span = ring_[(start + i) % n];
+        if (trace_id == 0 || span.trace_id == trace_id) out.push_back(span);
+    }
+    return out;
+}
+
+std::size_t Trace_buffer::size() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+std::uint64_t Trace_buffer::dropped() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+void Trace_buffer::clear()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ring_.clear();
+    head_ = 0;
+    wrapped_ = false;
+    dropped_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\r': os << "\\r"; break;
+        case '\t': os << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                const char* hex = "0123456789abcdef";
+                os << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+            } else {
+                os << c;
+            }
+        }
+    }
+    os << '"';
+}
+
+} // namespace
+
+void write_chrome_trace(std::ostream& os, const std::vector<Trace_span>& spans)
+{
+    os << "[\n";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const Trace_span& span = spans[i];
+        os << "{\"ph\":\"X\",\"name\":";
+        write_json_string(os, span.name);
+        os << ",\"cat\":\"xrlflow\",\"pid\":1,\"tid\":" << span.thread_id
+           << ",\"ts\":" << span.start_us << ",\"dur\":" << span.duration_us
+           << ",\"args\":{\"trace_id\":\"" << span.trace_id << "\",\"span_id\":\""
+           << span.span_id << "\",\"parent_span\":\"" << span.parent_span << '"';
+        for (const auto& [key, value] : span.annotations) {
+            os << ',';
+            write_json_string(os, key);
+            os << ':';
+            write_json_string(os, value);
+        }
+        os << "}}";
+        if (i + 1 < spans.size()) os << ',';
+        os << '\n';
+    }
+    os << "]\n";
+}
+
+} // namespace xrl

@@ -1,0 +1,163 @@
+// Per-job distributed tracing: spans, propagation, export.
+//
+// A trace is a tree of spans sharing one nonzero `trace_id`. The client
+// stamps a fresh trace id onto each submit/batch PDU; the daemon, router,
+// shard, and optimizer each open spans under it, so one `xrlflowctl trace`
+// call reconstructs a job's life: client submit → daemon frame → router
+// dispatch → shard execute → candidate-engine phases.
+//
+// Propagation is thread-local: `Trace_scope` installs a (trace_id,
+// current-span) context on the executing thread; `Span_scope` records a
+// timed span under whatever context is installed, making itself the parent
+// of spans opened inside it. Crossing a thread boundary (e.g. server
+// worker picking up a queued job) means carrying the ids explicitly —
+// `Job` holds `trace_id`/`parent_span` for exactly this hop.
+//
+// Cost model: tracing is off unless `XRLFLOW_TRACE` is set (or
+// `set_trace_enabled(true)` is called). When off, `Span_scope` is one
+// relaxed atomic load and two branches — the acceptance bar is ≤ 2%
+// `env_steps_per_second` regression with tracing disabled. When on, spans
+// land in a bounded in-process ring (`Trace_buffer::global()`); overflow
+// evicts the oldest span and counts it in `dropped()` rather than growing
+// without bound.
+//
+// Export: `write_chrome_trace` emits Chrome trace-event JSON — an array of
+// "X" (complete) events, one per line — loadable in Perfetto or
+// chrome://tracing. Timestamps are wall-clock microseconds derived from a
+// (steady, system) clock pair captured once at process start, so spans
+// from one process line up on a shared axis without steady-clock skew.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xrl {
+
+/// One completed span. Plain aggregate: the wire codec and the
+/// `aggregate_field_count` drift guard both rely on this staying a simple
+/// field list.
+struct Trace_span {
+    std::uint64_t trace_id = 0;    ///< Tree identity; 0 = untraced (never recorded).
+    std::uint64_t span_id = 0;     ///< Unique within the process.
+    std::uint64_t parent_span = 0; ///< 0 = root of its tree.
+    std::string name;              ///< e.g. "router/dispatch", "candidates/match".
+    std::uint64_t thread_id = 0;   ///< Small per-process thread ordinal (Perfetto tid).
+    std::uint64_t start_us = 0;    ///< Wall-clock microseconds since the Unix epoch.
+    std::uint64_t duration_us = 0;
+    /// Key/value annotations (job id, backend, candidate counts, ...).
+    std::vector<std::pair<std::string, std::string>> annotations;
+};
+
+/// Global enable toggle. Initialised once from the `XRLFLOW_TRACE`
+/// environment variable ("0"/"" = off, anything else = on);
+/// `set_trace_enabled` overrides at runtime. Reading is one relaxed load.
+bool trace_enabled();
+void set_trace_enabled(bool enabled);
+
+/// Fresh nonzero trace id: process-random seed mixed with a counter, so
+/// concurrent clients in one process (and across processes, with high
+/// probability) never collide.
+std::uint64_t new_trace_id();
+
+/// The thread's active trace context: which tree new spans join and which
+/// span is their parent. {0, 0} when no trace is in scope.
+struct Trace_context {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0; ///< Current innermost span (parent for new spans).
+};
+
+Trace_context current_trace();
+
+/// Small stable ordinal for the calling thread (1, 2, 3, ... in first-use
+/// order) — readable Perfetto lanes instead of opaque pthread handles.
+std::uint64_t trace_thread_id();
+
+/// Wall-clock "now" in microseconds since the Unix epoch, derived from the
+/// steady clock against a base pair captured at first use (monotonic
+/// within the process, comparable across processes).
+std::uint64_t trace_wall_now_us();
+
+/// RAII: installs (trace_id, parent_span) as the thread's context, restores
+/// the previous context on destruction. Use when a job hops threads and
+/// carries its ids explicitly (server worker, daemon session turn).
+class Trace_scope {
+public:
+    Trace_scope(std::uint64_t trace_id, std::uint64_t parent_span);
+    ~Trace_scope();
+
+    Trace_scope(const Trace_scope&) = delete;
+    Trace_scope& operator=(const Trace_scope&) = delete;
+
+private:
+    Trace_context saved_;
+};
+
+/// RAII: times a named span under the thread's current context and records
+/// it to `Trace_buffer::global()` on destruction. No-op (and near-free)
+/// when tracing is disabled or no trace is in scope. While alive, the span
+/// is the thread's current span, so nested Span_scopes parent under it.
+class Span_scope {
+public:
+    explicit Span_scope(const char* name);
+    ~Span_scope();
+
+    Span_scope(const Span_scope&) = delete;
+    Span_scope& operator=(const Span_scope&) = delete;
+
+    /// Attach a key/value annotation. Ignored when the span is inactive.
+    void annotate(std::string key, std::string value);
+
+    bool active() const { return active_; }
+
+private:
+    bool active_ = false;
+    const char* name_ = nullptr;
+    Trace_context saved_;
+    std::uint64_t span_id_ = 0;
+    std::uint64_t start_us_ = 0;
+    std::vector<std::pair<std::string, std::string>> annotations_;
+};
+
+/// Bounded in-process span ring. Recording is mutex-guarded (spans are
+/// recorded at scope exit, off the per-event hot path); overflow evicts
+/// the oldest span and increments `dropped()`.
+class Trace_buffer {
+public:
+    explicit Trace_buffer(std::size_t capacity = 16384);
+
+    /// The process-wide buffer every Span_scope records into.
+    static Trace_buffer& global();
+
+    void record(Trace_span span);
+
+    /// All buffered spans, oldest first.
+    std::vector<Trace_span> spans() const;
+    /// Spans belonging to one trace, oldest first. trace_id 0 = all.
+    std::vector<Trace_span> spans_for(std::uint64_t trace_id) const;
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    std::uint64_t dropped() const;
+
+    void clear();
+
+private:
+    mutable std::mutex mutex_;
+    std::size_t capacity_;
+    std::size_t head_ = 0; ///< Index of the oldest span once the ring wraps.
+    bool wrapped_ = false;
+    std::vector<Trace_span> ring_;
+    std::uint64_t dropped_ = 0;
+};
+
+/// Chrome trace-event JSON: an array of "X" (complete) events, one per
+/// line, with trace/span/parent ids and annotations under "args". Valid
+/// JSON, loadable in Perfetto / chrome://tracing.
+void write_chrome_trace(std::ostream& os, const std::vector<Trace_span>& spans);
+
+} // namespace xrl

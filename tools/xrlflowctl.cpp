@@ -23,6 +23,21 @@
 //       Fleet + wire counters from the daemon, including per-shard breaker
 //       health and the daemon's protocol version.
 //
+//   metrics
+//       The daemon's full metric registry in Prometheus text exposition —
+//       pipe to a file and point promtool/Prometheus at it.
+//
+//   trace <job-id|all> [--out FILE]
+//       Spans recorded on the daemon for one wire job (or the whole span
+//       buffer with `all`), written as a Chrome trace-event JSON array —
+//       load it in Perfetto (ui.perfetto.dev) or chrome://tracing. Without
+//       --out the JSON goes to stdout. The daemon records spans only when
+//       started with XRLFLOW_TRACE=1.
+//
+//   optimize ... --trace-out FILE
+//       Additionally fetch the submitted job's spans after completion and
+//       write them — merged with this client's own spans — to FILE.
+//
 //   drain
 //       Block until the fleet is idle and its warm state is snapshotted.
 //
@@ -42,6 +57,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <optional>
 #include <string>
 #include <vector>
@@ -51,6 +67,7 @@
 #include "ir/graph_io.h"
 #include "models/models.h"
 #include "net/client.h"
+#include "support/trace.h"
 
 namespace {
 
@@ -61,9 +78,11 @@ namespace {
                  "                  [--retries N] [--retry-deadline S] <subcommand>\n"
                  "  optimize <backend> <graph> [--budget S] [--iterations N] [--seed N]\n"
                  "           [--device NAME] [--priority P] [--deadline S] [--out FILE]\n"
-                 "           [--progress] [--verify-local] [--smoke]\n"
+                 "           [--progress] [--verify-local] [--smoke] [--trace-out FILE]\n"
                  "  batch <backend> <graph>... [--budget S] [--deadline S] [--priority P]\n"
                  "  stats\n"
+                 "  metrics\n"
+                 "  trace <job-id|all> [--out FILE]\n"
                  "  drain\n"
                  "<graph> is a text graph file or a built-in model: quickstart, bert, vit\n"
                  "exit codes: 0 ok, 1 local failure, 2 usage, 3 transient (retryable),\n"
@@ -118,6 +137,13 @@ void print_result(const xrl::Optimize_result& result)
                 result.from_cache ? "  [memo hit]" : "");
 }
 
+void write_trace_file(const std::string& path, const std::vector<xrl::Trace_span>& spans)
+{
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot write trace file: " + path);
+    xrl::write_chrome_trace(out, spans);
+}
+
 struct Optimize_args {
     std::string backend;
     std::vector<std::string> graph_files;
@@ -125,6 +151,7 @@ struct Optimize_args {
     xrl::Submit_options options;
     double batch_budget = 0.0;
     std::string out_file;
+    std::string trace_out_file;
     bool progress = false;
     bool verify_local = false;
     bool smoke = false;
@@ -177,6 +204,8 @@ int main(int argc, char** argv)
             args.options.deadline_seconds = std::stod(value());
         } else if (arg == "--out") {
             args.out_file = value();
+        } else if (arg == "--trace-out") {
+            args.trace_out_file = value();
         } else if (arg == "--progress") {
             args.progress = true;
         } else if (arg == "--verify-local") {
@@ -200,6 +229,9 @@ int main(int argc, char** argv)
 
         if (subcommand == "optimize") {
             if (args.backend.empty() || args.graph_files.size() != 1) usage();
+            // --trace-out implies tracing for this process; the daemon
+            // records its side only when started with XRLFLOW_TRACE=1.
+            if (!args.trace_out_file.empty()) xrl::set_trace_enabled(true);
             const xrl::Graph graph = resolve_graph(args.graph_files[0]);
 
             xrl::Progress_observer observer;
@@ -215,6 +247,21 @@ int main(int argc, char** argv)
             if (!args.out_file.empty()) {
                 xrl::save_graph(args.out_file, remote.best_graph);
                 std::printf("saved optimised graph to %s\n", args.out_file.c_str());
+            }
+
+            if (!args.trace_out_file.empty()) {
+                // The daemon's spans for this job, merged with the spans
+                // this process recorded under the same trace id.
+                const xrl::Trace_ok remote_trace =
+                    client.trace(/*job_id=*/0, client.last_trace_id());
+                std::vector<xrl::Trace_span> spans =
+                    xrl::Trace_buffer::global().spans_for(client.last_trace_id());
+                spans.insert(spans.end(), remote_trace.spans.begin(),
+                             remote_trace.spans.end());
+                write_trace_file(args.trace_out_file, spans);
+                std::printf("saved %zu trace spans to %s (trace id %llx)\n", spans.size(),
+                            args.trace_out_file.c_str(),
+                            static_cast<unsigned long long>(client.last_trace_id()));
             }
 
             if (args.verify_local) {
@@ -299,6 +346,26 @@ int main(int argc, char** argv)
                             static_cast<unsigned long long>(h.failures),
                             static_cast<unsigned long long>(h.trips), h.trips == 1 ? "" : "s",
                             static_cast<unsigned long long>(h.probes), h.probes == 1 ? "" : "s");
+            }
+        } else if (subcommand == "metrics") {
+            const xrl::Metrics_ok metrics = client.metrics();
+            std::fputs(metrics.exposition.c_str(), stdout);
+        } else if (subcommand == "trace") {
+            if (args.graph_files.size() + (args.backend.empty() ? 0 : 1) != 1) usage();
+            // "trace <arg>": the positional lands in `backend` because the
+            // parser treats the first non-flag after the subcommand name
+            // generically; accept it from either slot.
+            const std::string spec =
+                args.backend.empty() ? args.graph_files[0] : args.backend;
+            const std::uint64_t job_id = spec == "all" ? 0 : std::stoull(spec);
+            const xrl::Trace_ok trace = client.trace(job_id);
+            if (args.out_file.empty()) {
+                xrl::write_chrome_trace(std::cout, trace.spans);
+            } else {
+                write_trace_file(args.out_file, trace.spans);
+                std::printf("saved %zu trace spans to %s (trace id %llx)\n",
+                            trace.spans.size(), args.out_file.c_str(),
+                            static_cast<unsigned long long>(trace.trace_id));
             }
         } else if (subcommand == "drain") {
             client.drain();
