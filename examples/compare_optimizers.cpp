@@ -38,9 +38,11 @@ int main()
             it != run.result.metadata.end())
             notes += "e-nodes " + std::to_string(static_cast<long long>(it->second));
         if (const auto it = run.result.metadata.find("training_episodes");
-            it != run.result.metadata.end())
-            notes += "+" + std::to_string(static_cast<long long>(it->second)) +
-                     " training episodes";
+            it != run.result.metadata.end()) {
+            notes += "+";
+            notes += std::to_string(static_cast<long long>(it->second));
+            notes += " training episodes";
+        }
         std::printf("%-10s %12.4f %9.1f%% %12.2f   %s\n", run.backend.c_str(),
                     run.e2e_after.mean_ms,
                     (initial.mean_ms / run.e2e_after.mean_ms - 1.0) * 100.0,

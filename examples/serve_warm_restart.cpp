@@ -42,7 +42,9 @@ Server_config serving_config(std::shared_ptr<State_store> store)
 Optimize_result one_life(const std::string& label, const std::string& store_dir,
                          const Graph& graph)
 {
-    auto store = std::make_shared<State_store>(State_store_config{store_dir});
+    State_store_config store_config;
+    store_config.directory = store_dir;
+    auto store = std::make_shared<State_store>(std::move(store_config));
     Optimization_server server(serving_config(store));
 
     const auto start = std::chrono::steady_clock::now();

@@ -34,7 +34,7 @@ std::vector<std::string> Optimization_service::backends() const
 
 std::unique_ptr<Optimizer> Optimization_service::acquire_instance(const std::string& backend)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    Lock_guard lock(mutex_);
     Backend_pool& pool = pools_[backend];
     if (!pool.idle.empty()) {
         std::unique_ptr<Optimizer> instance = std::move(pool.idle.back());
@@ -52,7 +52,7 @@ std::unique_ptr<Optimizer> Optimization_service::acquire_instance(const std::str
 void Optimization_service::release_instance(const std::string& backend,
                                             std::unique_ptr<Optimizer> instance)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    Lock_guard lock(mutex_);
     Backend_pool& pool = pools_[backend];
     if (pool.idle.size() < config_.max_idle_per_backend)
         pool.idle.push_back(std::move(instance));
@@ -97,7 +97,7 @@ Optimize_result Optimization_service::optimize_keyed(const std::string& key,
     // would re-take the registry lock on every job.
 
     if (config_.cache_capacity > 0) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        Lock_guard lock(mutex_);
         const auto hit = cache_.find(key);
         if (hit != cache_.end()) {
             ++hits_;
@@ -109,7 +109,7 @@ Optimize_result Optimization_service::optimize_keyed(const std::string& key,
 
     std::unique_ptr<Optimizer> instance = acquire_instance(backend); // throws for unknown names
     if (config_.cache_capacity > 0) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        Lock_guard lock(mutex_);
         ++misses_; // only real runs count as misses
     }
 
@@ -123,7 +123,7 @@ Optimize_result Optimization_service::optimize_keyed(const std::string& key,
     release_instance(backend, std::move(instance));
 
     if (config_.cache_capacity > 0 && !result.cancelled) {
-        std::lock_guard<std::mutex> lock(mutex_);
+        Lock_guard lock(mutex_);
         if (cache_.emplace(key, result).second) {
             cache_order_.push_back(key);
             while (cache_order_.size() > config_.cache_capacity) {
@@ -169,32 +169,32 @@ std::vector<Backend_run> Optimization_service::optimize_all(const Graph& graph,
 
 std::size_t Optimization_service::cache_hits() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    Lock_guard lock(mutex_);
     return hits_;
 }
 
 std::size_t Optimization_service::cache_misses() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    Lock_guard lock(mutex_);
     return misses_;
 }
 
 std::size_t Optimization_service::cache_size() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    Lock_guard lock(mutex_);
     return cache_.size();
 }
 
 void Optimization_service::clear_cache()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    Lock_guard lock(mutex_);
     cache_.clear();
     cache_order_.clear();
 }
 
 std::vector<Optimization_service::Memo_entry> Optimization_service::export_memo() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    Lock_guard lock(mutex_);
     std::vector<Memo_entry> entries;
     entries.reserve(cache_order_.size());
     for (const std::string& key : cache_order_) {
@@ -207,7 +207,7 @@ std::vector<Optimization_service::Memo_entry> Optimization_service::export_memo(
 std::size_t Optimization_service::import_memo(const std::vector<Memo_entry>& entries)
 {
     if (config_.cache_capacity == 0) return 0;
-    std::lock_guard<std::mutex> lock(mutex_);
+    Lock_guard lock(mutex_);
     std::size_t imported = 0;
     for (const Memo_entry& entry : entries) {
         Optimize_result result = entry.result;
@@ -225,7 +225,7 @@ std::size_t Optimization_service::import_memo(const std::vector<Memo_entry>& ent
 
 std::size_t Optimization_service::backend_instances(const std::string& backend) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    Lock_guard lock(mutex_);
     const auto it = pools_.find(backend);
     return it == pools_.end() ? 0 : it->second.created;
 }

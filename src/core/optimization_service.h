@@ -15,7 +15,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -25,6 +24,7 @@
 #include "cost/device_registry.h"
 #include "cost/e2e_simulator.h"
 #include "rules/rule.h"
+#include "support/sync.h"
 
 namespace xrl {
 
@@ -186,12 +186,13 @@ private:
     Device_registry devices_;
     Optimizer_context context_;
 
-    mutable std::mutex mutex_; ///< Guards pools_, cache_, stats.
-    std::unordered_map<std::string, Backend_pool> pools_;
-    std::unordered_map<std::string, Optimize_result> cache_;
-    std::deque<std::string> cache_order_; ///< FIFO eviction.
-    std::size_t hits_ = 0;
-    std::size_t misses_ = 0;
+    mutable Mutex mutex_{"service", Lock_rank::service};
+    std::unordered_map<std::string, Backend_pool> pools_ XRL_GUARDED_BY(mutex_);
+    std::unordered_map<std::string, Optimize_result> cache_ XRL_GUARDED_BY(mutex_);
+    /// FIFO eviction.
+    std::deque<std::string> cache_order_ XRL_GUARDED_BY(mutex_);
+    std::size_t hits_ XRL_GUARDED_BY(mutex_) = 0;
+    std::size_t misses_ XRL_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace xrl

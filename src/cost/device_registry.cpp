@@ -15,7 +15,7 @@ void Device_registry::add(Device_profile profile)
     // Same field checks requests get for inline profiles: a fleet must not
     // be configurable with a profile that poisons every latency.
     validate_device_profile(profile, "Device_registry::add:");
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     if (named_.contains(profile.name))
         throw std::invalid_argument("Device_registry::add: device '" + profile.name +
                                     "' is already registered");
@@ -28,13 +28,13 @@ void Device_registry::add(Device_profile profile)
 
 bool Device_registry::contains(const std::string& name) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     return named_.contains(name);
 }
 
 std::vector<std::string> Device_registry::names() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     std::vector<std::string> out;
     out.reserve(named_.size());
     for (const auto& [name, entry] : named_) out.push_back(name);
@@ -43,13 +43,13 @@ std::vector<std::string> Device_registry::names() const
 
 std::size_t Device_registry::size() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     return named_.size();
 }
 
 void Device_registry::set_default_device(const std::string& name)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     if (!named_.contains(name)) {
         std::ostringstream os;
         os << "Device_registry::set_default_device: unknown device '" << name
@@ -62,7 +62,7 @@ void Device_registry::set_default_device(const std::string& name)
 
 std::string Device_registry::default_device() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     return default_name_;
 }
 
@@ -116,13 +116,13 @@ Device_registry::Entry& Device_registry::entry_for_locked(const Target_device& d
 
 const Device_profile& Device_registry::resolve(const Target_device& device) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     return entry_for_locked(device).profile;
 }
 
 const Cost_model& Device_registry::cost_model(const Target_device& device) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     Entry& entry = entry_for_locked(device);
     if (!entry.cost) entry.cost = std::make_unique<Cost_model>(entry.profile);
     return *entry.cost;
@@ -130,7 +130,7 @@ const Cost_model& Device_registry::cost_model(const Target_device& device) const
 
 E2e_simulator& Device_registry::simulator(const Target_device& device) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     Entry& entry = entry_for_locked(device);
     if (!entry.simulator)
         entry.simulator = std::make_unique<E2e_simulator>(
@@ -140,7 +140,7 @@ E2e_simulator& Device_registry::simulator(const Target_device& device) const
 
 std::uint64_t Device_registry::fingerprint(const Target_device& device) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     return entry_for_locked(device).profile.fingerprint();
 }
 

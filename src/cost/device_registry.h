@@ -16,13 +16,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cost/cost_model.h"
 #include "cost/device.h"
 #include "cost/e2e_simulator.h"
+#include "support/sync.h"
 
 namespace xrl {
 
@@ -82,19 +82,19 @@ private:
         std::unique_ptr<E2e_simulator> simulator; ///< Built on first simulator().
     };
 
-    Entry& entry_for_locked(const Target_device& device) const;
-    Entry& named_entry_locked(const std::string& name) const;
+    Entry& entry_for_locked(const Target_device& device) const XRL_REQUIRES(mutex_);
+    Entry& named_entry_locked(const std::string& name) const XRL_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<Entry>> named_;
+    mutable Mutex mutex_{"device_registry", Lock_rank::device_registry};
+    std::map<std::string, std::unique_ptr<Entry>> named_ XRL_GUARDED_BY(mutex_);
     /// Registered entries by fingerprint (filled in add(); profiles are
     /// immutable afterwards), so inline-profile resolution is one lookup
     /// instead of re-hashing the whole fleet under the mutex.
-    std::map<std::uint64_t, Entry*> named_by_fingerprint_;
+    std::map<std::uint64_t, Entry*> named_by_fingerprint_ XRL_GUARDED_BY(mutex_);
     /// Inline profiles, cached by fingerprint so a repeated one-off target
     /// reuses its models (and its simulator noise stream).
-    mutable std::map<std::uint64_t, std::unique_ptr<Entry>> inline_;
-    std::string default_name_;
+    mutable std::map<std::uint64_t, std::unique_ptr<Entry>> inline_ XRL_GUARDED_BY(mutex_);
+    std::string default_name_ XRL_GUARDED_BY(mutex_);
     std::uint64_t simulator_seed_;
 };
 

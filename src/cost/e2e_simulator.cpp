@@ -129,7 +129,7 @@ E2e_breakdown E2e_simulator::analyse(const Graph& g) const
 double E2e_simulator::measure_ms(const Graph& g)
 {
     const double base = noiseless_ms(g);
-    const std::lock_guard<std::mutex> lock(rng_mutex_);
+    const Lock_guard lock(rng_mutex_);
     const double noisy = base * (1.0 + device().measurement_noise * rng_.normal());
     return std::max(noisy, 1e-9);
 }
@@ -138,7 +138,7 @@ Latency_stats E2e_simulator::measure_repeated(const Graph& g, int repeats)
 {
     XRL_EXPECTS(repeats >= 1);
     const double base = noiseless_ms(g);
-    const std::lock_guard<std::mutex> lock(rng_mutex_);
+    const Lock_guard lock(rng_mutex_);
     double sum = 0.0;
     double sum_sq = 0.0;
     for (int i = 0; i < repeats; ++i) {

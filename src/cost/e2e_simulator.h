@@ -11,12 +11,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 
 #include "cost/cost_model.h"
 #include "cost/device.h"
 #include "ir/graph.h"
 #include "support/rng.h"
+#include "support/sync.h"
 
 namespace xrl {
 
@@ -64,8 +64,9 @@ public:
 
 private:
     Cost_model cost_model_;
-    Rng rng_;              ///< Guarded by rng_mutex_.
-    std::mutex rng_mutex_; ///< Makes the simulator safe under server concurrency.
+    /// Makes the simulator safe under server concurrency.
+    Mutex rng_mutex_{"simulator_rng", Lock_rank::simulator_rng};
+    Rng rng_ XRL_GUARDED_BY(rng_mutex_);
 };
 
 } // namespace xrl

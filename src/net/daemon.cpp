@@ -44,7 +44,7 @@ Daemon::~Daemon()
 void Daemon::stop()
 {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         stopping_ = true;
     }
     // Idempotent by construction: every step below tolerates re-running
@@ -59,8 +59,8 @@ void Daemon::stop()
     // short by design (one readiness poll / one frame), except drain —
     // which finishes because the fleet keeps executing below us.
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        sessions_done_.wait(lock, [this] { return active_sessions_ == 0; });
+        Unique_lock lock(mutex_);
+        sessions_done_.wait(lock, [this]() XRL_REQUIRES(mutex_) { return active_sessions_ == 0; });
     }
 
     // The SIGTERM contract: finish what was admitted, then put warm state
@@ -71,7 +71,7 @@ void Daemon::stop()
 
 Daemon_wire_stats Daemon::stats() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     Daemon_wire_stats out = stats_;
     out.connections_active = active_sessions_;
     out.jobs_retained = jobs_.size();
@@ -100,7 +100,7 @@ void Daemon::start_session(Connection connection)
 {
     std::shared_ptr<Session> session;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         if (stopping_) return; // Dropped: the peer sees a clean close.
         if (active_sessions_ >= config_.max_connections) {
             ++stats_.connections_rejected;
@@ -133,7 +133,7 @@ void Daemon::start_session(Connection connection)
 void Daemon::finish_session(const std::shared_ptr<Session>& session)
 {
     session->connection.close();
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     XRL_ASSERT(active_sessions_ > 0);
     --active_sessions_;
     sessions_done_.notify_all();
@@ -147,7 +147,7 @@ void Daemon::session_turn(const std::shared_ptr<Session>& session)
 {
     bool stopping = false;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         stopping = stopping_;
     }
     if (stopping) {
@@ -177,7 +177,7 @@ void Daemon::session_turn(const std::shared_ptr<Session>& session)
         // Framing damage: the stream can no longer be trusted. Name the
         // failure, then close.
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const Lock_guard lock(mutex_);
             ++stats_.protocol_errors;
         }
         send_error(*session, error.code(), error.what());
@@ -193,7 +193,7 @@ void Daemon::session_turn(const std::shared_ptr<Session>& session)
     }
 
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         ++stats_.frames_received;
     }
 
@@ -216,7 +216,7 @@ bool Daemon::handle_frame(const std::shared_ptr<Session>& session, const Frame& 
 
     if (frame.version != session->version) {
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const Lock_guard lock(mutex_);
             ++stats_.protocol_errors;
         }
         send_error(*session, Protocol_error_code::unsupported_version,
@@ -231,7 +231,7 @@ bool Daemon::handle_frame(const std::shared_ptr<Session>& session, const Frame& 
         reply = dispatch(frame);
     } catch (const Protocol_error& error) {
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const Lock_guard lock(mutex_);
             ++stats_.protocol_errors;
         }
         send_error(*session, error.code(), error.what());
@@ -248,7 +248,7 @@ bool Daemon::handle_hello(const std::shared_ptr<Session>& session, const Frame& 
     // recover into.
     const auto fail = [&](Protocol_error_code code, const std::string& message) {
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const Lock_guard lock(mutex_);
             ++stats_.protocol_errors;
         }
         send_error(*session, code, message);
@@ -316,7 +316,7 @@ Job_handle Daemon::routed_submit(const std::string& backend, const Graph& graph,
                                  const Optimize_request& request, const Submit_options& options)
 {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         if (stopping_)
             throw Protocol_error(Protocol_error_code::shutting_down, "daemon is stopping");
     }
@@ -397,7 +397,7 @@ Daemon::Reply Daemon::handle_poll(std::string_view payload)
     const Poll poll = decode_poll(payload);
     Job_handle handle;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         const auto it = jobs_.find(poll.job_id);
         if (it == jobs_.end())
             throw Protocol_error(Protocol_error_code::unknown_job,
@@ -433,7 +433,7 @@ Daemon::Reply Daemon::handle_cancel(std::string_view payload)
     const Cancel cancel = decode_cancel(payload);
     Job_handle handle;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         const auto it = jobs_.find(cancel.job_id);
         if (it == jobs_.end())
             throw Protocol_error(Protocol_error_code::unknown_job,
@@ -458,7 +458,7 @@ Daemon::Reply Daemon::handle_drain()
 {
     // One administrative drain at a time: losers get a typed `busy`
     // rather than a second parked worker.
-    const std::unique_lock<std::mutex> admin(admin_mutex_, std::try_to_lock);
+    const Try_lock admin(admin_mutex_);
     if (!admin.owns_lock())
         throw Protocol_error(Protocol_error_code::busy, "a drain is already in progress");
     router_.drain();
@@ -504,7 +504,7 @@ Daemon::Reply Daemon::handle_trace(std::string_view payload)
     const Trace_request request = decode_trace_request(payload);
     std::uint64_t trace_id = request.trace_id;
     if (request.job_id != 0) {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         const auto it = jobs_.find(request.job_id);
         if (it == jobs_.end())
             throw Protocol_error(Protocol_error_code::unknown_job,
@@ -526,7 +526,7 @@ Daemon::Reply Daemon::handle_trace(std::string_view payload)
 std::optional<Daemon::Reply> Daemon::find_keyed_reply(std::uint64_t request_key)
 {
     if (request_key == 0) return std::nullopt;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     const auto it = keyed_replies_.find(request_key);
     if (it == keyed_replies_.end()) return std::nullopt;
     // Replay the stored bytes verbatim: the retry observes exactly the
@@ -538,7 +538,7 @@ std::optional<Daemon::Reply> Daemon::find_keyed_reply(std::uint64_t request_key)
 void Daemon::remember_keyed_reply(std::uint64_t request_key, const Reply& reply)
 {
     if (request_key == 0 || config_.retain_request_keys == 0) return;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     if (!keyed_replies_.emplace(request_key, reply).second) return;
     keyed_order_.push_back(request_key);
     while (keyed_order_.size() > config_.retain_request_keys) {
@@ -549,7 +549,7 @@ void Daemon::remember_keyed_reply(std::uint64_t request_key, const Reply& reply)
 
 Submit_ok Daemon::register_job(Job_handle handle)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     const std::uint64_t id = next_job_id_++;
     const bool coalesced = handle.coalesced();
     jobs_.emplace(id, Job_entry{std::move(handle), false, current_trace().trace_id});
@@ -559,7 +559,7 @@ Submit_ok Daemon::register_job(Job_handle handle)
 
 void Daemon::note_terminal_delivered(std::uint64_t job_id)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     const auto it = jobs_.find(job_id);
     if (it == jobs_.end() || it->second.terminal_delivered) return;
     it->second.terminal_delivered = true;

@@ -36,11 +36,9 @@
 // SIGTERM'd daemon restarts warm.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -49,6 +47,7 @@
 #include "net/protocol.h"
 #include "serve/router.h"
 #include "serve/state_store.h"
+#include "support/sync.h"
 #include "support/thread_pool.h"
 
 namespace xrl {
@@ -201,26 +200,32 @@ private:
     Thread_pool* pool_;
     std::thread accept_thread_;
 
-    mutable std::mutex mutex_; ///< Guards everything below.
-    std::condition_variable sessions_done_;
-    bool stopping_ = false;
-    std::size_t active_sessions_ = 0;
-    std::uint64_t next_session_id_ = 1;
-    std::uint64_t next_job_id_ = 1;
+    mutable Mutex mutex_{"daemon", Lock_rank::daemon};
+    Cond_var sessions_done_;
+    bool stopping_ XRL_GUARDED_BY(mutex_) = false;
+    std::size_t active_sessions_ XRL_GUARDED_BY(mutex_) = 0;
+    std::uint64_t next_session_id_ XRL_GUARDED_BY(mutex_) = 1;
+    std::uint64_t next_job_id_ XRL_GUARDED_BY(mutex_) = 1;
     /// Wire job id -> the handle the protocol polls/cancels through.
     struct Job_entry {
         Job_handle handle;
         bool terminal_delivered = false;
         std::uint64_t trace_id = 0; ///< Client-stamped; `trace` by job id resolves here.
     };
-    std::unordered_map<std::uint64_t, Job_entry> jobs_;
-    std::deque<std::uint64_t> delivered_order_; ///< Retention/eviction order.
+    std::unordered_map<std::uint64_t, Job_entry> jobs_ XRL_GUARDED_BY(mutex_);
+    /// Retention/eviction order.
+    std::deque<std::uint64_t> delivered_order_ XRL_GUARDED_BY(mutex_);
     /// Idempotency key -> the reply originally sent for it.
-    std::unordered_map<std::uint64_t, Reply> keyed_replies_;
-    std::deque<std::uint64_t> keyed_order_; ///< Key retention/eviction order.
-    Daemon_wire_stats stats_;
+    std::unordered_map<std::uint64_t, Reply> keyed_replies_ XRL_GUARDED_BY(mutex_);
+    /// Key retention/eviction order.
+    std::deque<std::uint64_t> keyed_order_ XRL_GUARDED_BY(mutex_);
+    Daemon_wire_stats stats_ XRL_GUARDED_BY(mutex_);
 
-    std::mutex admin_mutex_; ///< One drain at a time; losers get `busy`.
+    /// One drain at a time; losers get `busy`. A mutual-exclusion token
+    /// (guards no fields) taken with Try_lock from session turns; ranked
+    /// below everything because drain holds it across router_.drain() and
+    /// save_state().
+    Mutex admin_mutex_{"daemon_admin", Lock_rank::daemon_admin};
 };
 
 } // namespace xrl

@@ -27,13 +27,13 @@ bool is_terminal(Job_state state)
 
 Job_state Job::snapshot_state() const
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const Lock_guard lock(mutex);
     return state;
 }
 
 void Job::withdraw_interest()
 {
-    const std::lock_guard<std::mutex> lock(mutex);
+    const Lock_guard lock(mutex);
     XRL_EXPECTS(interest > 0);
     if (--interest > 0) return; // someone still wants the result
     cancel_requested.store(true, std::memory_order_relaxed);
@@ -87,8 +87,8 @@ Job_state Job_handle::poll() const
 Optimize_result Job_handle::wait() const
 {
     XRL_EXPECTS(job_ != nullptr);
-    std::unique_lock<std::mutex> lock(job_->mutex);
-    job_->changed.wait(lock, [this] { return is_terminal(job_->state); });
+    Unique_lock lock(job_->mutex);
+    job_->changed.wait(lock, [this]() XRL_REQUIRES(job_->mutex) { return is_terminal(job_->state); });
     if (job_->state == Job_state::rejected)
         throw std::runtime_error("optimization job " + std::to_string(job_->id) +
                                  " rejected: " + job_->reject_reason);
@@ -99,16 +99,16 @@ Optimize_result Job_handle::wait() const
 bool Job_handle::wait_for(double seconds) const
 {
     XRL_EXPECTS(job_ != nullptr);
-    std::unique_lock<std::mutex> lock(job_->mutex);
+    Unique_lock lock(job_->mutex);
     return job_->changed.wait_for(lock, std::chrono::duration<double>(seconds),
-                                  [this] { return is_terminal(job_->state); });
+                                  [this]() XRL_REQUIRES(job_->mutex) { return is_terminal(job_->state); });
 }
 
 void Job_handle::on_progress(Progress_observer observer)
 {
     XRL_EXPECTS(job_ != nullptr);
     XRL_EXPECTS(observer != nullptr);
-    const std::lock_guard<std::mutex> lock(job_->mutex);
+    const Lock_guard lock(job_->mutex);
     if (is_terminal(job_->state)) return; // no more heartbeats will come
     job_->observers.push_back(std::move(observer));
 }
@@ -116,7 +116,7 @@ void Job_handle::on_progress(Progress_observer observer)
 std::optional<Optimize_progress> Job_handle::progress() const
 {
     XRL_EXPECTS(job_ != nullptr);
-    const std::lock_guard<std::mutex> lock(job_->mutex);
+    const Lock_guard lock(job_->mutex);
     return job_->last_progress;
 }
 

@@ -19,18 +19,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/optimizer_api.h"
 #include "ir/graph.h"
+#include "support/sync.h"
 
 namespace xrl {
 
@@ -94,28 +93,34 @@ struct Job {
     std::atomic<bool> cancel_requested{false};
 
     // -- guarded by mutex -------------------------------------------------
-    mutable std::mutex mutex;
-    std::condition_variable changed;
-    Job_state state = Job_state::queued;
-    int priority = 0;                ///< Coalesced arrivals may raise this.
-    Clock::time_point deadline{};    ///< Coalesced arrivals may tighten this (EDF ordering).
-    bool has_deadline = false;
+    mutable Mutex mutex{"job", Lock_rank::job};
+    Cond_var changed;
+    Job_state state XRL_GUARDED_BY(mutex) = Job_state::queued;
+    /// Coalesced arrivals may raise this.
+    int priority XRL_GUARDED_BY(mutex) = 0;
+    /// Coalesced arrivals may tighten this (EDF ordering).
+    Clock::time_point deadline XRL_GUARDED_BY(mutex){};
+    bool has_deadline XRL_GUARDED_BY(mutex) = false;
     /// Budget-clamp bookkeeping, distinct from the *ordering* deadline
     /// above: the dequeue-time clamp may only engage when every attached
     /// submission opted into deadline semantics, and then only to the
     /// loosest of their deadlines — a no-deadline waiter is owed the full
     /// search, identical to a direct service call.
-    bool every_waiter_has_deadline = false;
-    Clock::time_point latest_deadline{};
-    bool budget_clamped = false; ///< Set at dequeue; clamped running jobs refuse attachments.
-    int interest = 1;                ///< Handles that still want the result.
-    std::optional<Optimize_progress> last_progress; ///< Latest heartbeat snapshot.
-    std::vector<Progress_observer> observers; ///< Fan-out to every waiter.
-    Optimize_result result;          ///< Valid in done / cancelled.
-    std::exception_ptr error;        ///< Valid in failed.
-    std::string reject_reason;       ///< Valid in rejected.
-    Clock::time_point started{};
-    Clock::time_point finished{};
+    bool every_waiter_has_deadline XRL_GUARDED_BY(mutex) = false;
+    Clock::time_point latest_deadline XRL_GUARDED_BY(mutex){};
+    /// Set at dequeue; clamped running jobs refuse attachments.
+    bool budget_clamped XRL_GUARDED_BY(mutex) = false;
+    /// Handles that still want the result.
+    int interest XRL_GUARDED_BY(mutex) = 1;
+    /// Latest heartbeat snapshot.
+    std::optional<Optimize_progress> last_progress XRL_GUARDED_BY(mutex);
+    /// Fan-out to every waiter.
+    std::vector<Progress_observer> observers XRL_GUARDED_BY(mutex);
+    Optimize_result result XRL_GUARDED_BY(mutex);     ///< Valid in done / cancelled.
+    std::exception_ptr error XRL_GUARDED_BY(mutex);   ///< Valid in failed.
+    std::string reject_reason XRL_GUARDED_BY(mutex);  ///< Valid in rejected.
+    Clock::time_point started XRL_GUARDED_BY(mutex){};
+    Clock::time_point finished XRL_GUARDED_BY(mutex){};
 
     Job_state snapshot_state() const;
 
@@ -130,7 +135,7 @@ struct Job {
     /// the result and waiters wake. Caller holds `mutex` and has checked
     /// the state is not already terminal (handle cancellation and server
     /// shutdown share this path).
-    void resolve_cancelled_locked();
+    void resolve_cancelled_locked() XRL_REQUIRES(mutex);
 };
 
 /// The caller's view of a submitted job. Copyable; copies share the same

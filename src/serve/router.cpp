@@ -109,13 +109,13 @@ Optimization_router::build_server(const Shard_config& shard_config,
 
 std::size_t Optimization_router::shard_count() const
 {
-    std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+    Shared_lock lock(membership_mutex_);
     return slots_.size();
 }
 
 Optimization_server& Optimization_router::shard(std::size_t index)
 {
-    std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+    Shared_lock lock(membership_mutex_);
     XRL_EXPECTS(index < slots_.size());
     return *slots_[index]->server;
 }
@@ -194,7 +194,7 @@ Optimization_router::decide_locked(const std::string& backend, std::uint64_t mod
 std::size_t Optimization_router::route(const std::string& backend, const Graph& graph,
                                        const Optimize_request& request) const
 {
-    std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+    Shared_lock lock(membership_mutex_);
     const Route_decision decision =
         decide_locked(backend, graph.model_hash(), routing_device(request),
                       request.device.profile.has_value(), /*consume_probe=*/false);
@@ -210,7 +210,7 @@ Job_handle Optimization_router::submit(const std::string& backend, const Graph& 
 {
     const std::uint64_t model_hash = graph.model_hash(); // paid once: routing + coalesce key
     Span_scope span("router/dispatch");
-    std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+    Shared_lock lock(membership_mutex_);
     const std::string device = routing_device(request);
     const Route_decision decision = decide_locked(backend, model_hash, device,
                                                   request.device.profile.has_value(),
@@ -261,7 +261,7 @@ void Optimization_router::drain()
     // must not block membership changes (or vice versa).
     std::vector<std::shared_ptr<Optimization_server>> servers;
     {
-        std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+        Shared_lock lock(membership_mutex_);
         servers.reserve(slots_.size());
         for (const std::shared_ptr<Slot>& slot : slots_) servers.push_back(slot->server);
     }
@@ -273,7 +273,7 @@ void Optimization_router::save_state()
     std::vector<std::shared_ptr<Slot>> slots;
     std::vector<std::shared_ptr<Optimization_server>> servers;
     {
-        std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+        Shared_lock lock(membership_mutex_);
         for (const std::shared_ptr<Slot>& slot : slots_) {
             slots.push_back(slot);
             servers.push_back(slot->server);
@@ -291,7 +291,7 @@ Optimization_router::begin_drain(std::size_t index, std::shared_ptr<Optimization
     // Exclusive: waits for in-flight submits to release the shared lock,
     // so once draining is visible no routed submit can still reach the
     // slot.
-    std::unique_lock<std::shared_mutex> lock(membership_mutex_);
+    Writer_lock lock(membership_mutex_);
     XRL_EXPECTS(index < slots_.size());
     std::shared_ptr<Slot> slot = slots_[index];
     slot->draining.store(true, std::memory_order_relaxed);
@@ -303,13 +303,13 @@ std::size_t Optimization_router::add_shard(Shard_config shard_config)
 {
     std::uint64_t stable_id = 0;
     {
-        std::unique_lock<std::shared_mutex> lock(membership_mutex_);
+        Writer_lock lock(membership_mutex_);
         stable_id = next_stable_id_++;
     }
     // Built outside the lock: server construction imports warm state and
     // must not stall the fleet's routing.
     std::shared_ptr<Slot> slot = make_slot(std::move(shard_config), stable_id);
-    std::unique_lock<std::shared_mutex> lock(membership_mutex_);
+    Writer_lock lock(membership_mutex_);
     slots_.push_back(std::move(slot));
     return slots_.size() - 1;
 }
@@ -319,7 +319,7 @@ void Optimization_router::remove_shard(std::size_t index)
     std::shared_ptr<Slot> slot;
     std::shared_ptr<Optimization_server> server;
     {
-        std::unique_lock<std::shared_mutex> lock(membership_mutex_);
+        Writer_lock lock(membership_mutex_);
         XRL_EXPECTS(index < slots_.size());
         if (slots_.size() == 1)
             throw std::invalid_argument(
@@ -332,7 +332,7 @@ void Optimization_router::remove_shard(std::size_t index)
     // results) and the shard's warm state snapshots into the store.
     server->drain();
     {
-        std::unique_lock<std::shared_mutex> lock(membership_mutex_);
+        Writer_lock lock(membership_mutex_);
         const auto it = std::find(slots_.begin(), slots_.end(), slot);
         if (it != slots_.end()) slots_.erase(it);
     }
@@ -358,7 +358,7 @@ void Optimization_router::replace_shard(std::size_t index)
     outgoing->drain();
     std::shared_ptr<Optimization_server> replacement = build_server(slot->config, slot->health);
     {
-        std::unique_lock<std::shared_mutex> lock(membership_mutex_);
+        Writer_lock lock(membership_mutex_);
         slot->server = std::move(replacement);
     }
     outgoing.reset(); // destructor snapshot + worker teardown
@@ -379,7 +379,7 @@ Router_stats Optimization_router::stats() const
     std::vector<std::shared_ptr<Slot>> slots;
     std::vector<std::shared_ptr<Optimization_server>> servers;
     {
-        std::shared_lock<std::shared_mutex> lock(membership_mutex_);
+        Shared_lock lock(membership_mutex_);
         for (const std::shared_ptr<Slot>& slot : slots_) {
             slots.push_back(slot);
             servers.push_back(slot->server);

@@ -44,13 +44,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "serve/server.h"
 #include "serve/shard_health.h"
 #include "support/fault_plan.h"
+#include "support/sync.h"
 
 namespace xrl {
 
@@ -219,7 +219,7 @@ private:
     /// route() previews without consuming.
     Route_decision decide_locked(const std::string& backend, std::uint64_t model_hash,
                                  const std::string& device, bool inline_profile,
-                                 bool consume_probe) const;
+                                 bool consume_probe) const XRL_REQUIRES_SHARED(membership_mutex_);
 
     /// The name the request's device goes by for routing: the inline
     /// profile's name, the named target, or the first shard's default
@@ -238,9 +238,9 @@ private:
     /// Membership lock: submit/route/stats/drain take it shared; add /
     /// remove / replace / drain_shard take it exclusive only for the brief
     /// structural mutation (never while draining a backlog).
-    mutable std::shared_mutex membership_mutex_;
-    std::vector<std::shared_ptr<Slot>> slots_;
-    std::uint64_t next_stable_id_ = 0;
+    mutable Shared_mutex membership_mutex_{"router_membership", Lock_rank::router_membership};
+    std::vector<std::shared_ptr<Slot>> slots_ XRL_GUARDED_BY(membership_mutex_);
+    std::uint64_t next_stable_id_ XRL_GUARDED_BY(membership_mutex_) = 0;
 
     std::atomic<std::uint64_t> submitted_{0};
     std::atomic<std::uint64_t> affinity_routed_{0};

@@ -50,21 +50,21 @@ Optimization_server::~Optimization_server()
 {
     std::vector<std::shared_ptr<Job>> orphans;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         shutting_down_ = true;
         orphans = queue_.drain();
     }
     for (const std::shared_ptr<Job>& job : orphans) {
         {
-            const std::lock_guard<std::mutex> job_lock(job->mutex);
+            const Lock_guard job_lock(job->mutex);
             if (!is_terminal(job->state)) job->resolve_cancelled_locked();
         }
         // Orphans never reached a worker, so this is their only recording.
         record_queued_resolution(job);
     }
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        idle_.wait(lock, [this] { return running_ == 0; });
+        Unique_lock lock(mutex_);
+        idle_.wait(lock, [this]() XRL_REQUIRES(mutex_) { return running_ == 0; });
     }
     // Final snapshot: everything the memo table learned this lifetime is
     // on disk before the service is torn down.
@@ -73,7 +73,7 @@ Optimization_server::~Optimization_server()
 
 bool Optimization_server::finalise_rejected(const std::shared_ptr<Job>& job, std::string reason)
 {
-    const std::lock_guard<std::mutex> job_lock(job->mutex);
+    const Lock_guard job_lock(job->mutex);
     // A queued job can already be terminal (handle-cancelled) by the time
     // it is shed; its waiters saw that outcome — never rewrite it.
     if (is_terminal(job->state)) return false;
@@ -93,7 +93,7 @@ std::shared_ptr<Job> Optimization_server::try_attach_locked(const std::string& k
     const auto it = inflight_.find(key);
     if (it == inflight_.end()) return nullptr;
     const std::shared_ptr<Job>& primary = it->second;
-    const std::lock_guard<std::mutex> job_lock(primary->mutex);
+    const Lock_guard job_lock(primary->mutex);
     const bool attachable =
         (primary->state == Job_state::queued || primary->state == Job_state::running) &&
         !primary->cancel_requested.load(std::memory_order_relaxed) &&
@@ -124,7 +124,7 @@ void Optimization_server::record_queued_resolution(const std::shared_ptr<Job>& j
     double latency_seconds = 0.0;
     Job_state terminal;
     {
-        const std::lock_guard<std::mutex> job_lock(job->mutex);
+        const Lock_guard job_lock(job->mutex);
         terminal = job->state;
         latency_seconds = seconds_between(job->submitted, job->finished);
     }
@@ -173,7 +173,7 @@ Job_handle Optimization_server::submit_hashed(std::uint64_t model_hash, const st
     // Fast path: attach to an in-flight duplicate before building
     // anything — a coalesced submit costs a hash probe, not a graph copy.
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         if (shutting_down_)
             throw std::runtime_error("Optimization_server::submit during shutdown");
         telemetry_.on_submit(backend);
@@ -209,7 +209,7 @@ Job_handle Optimization_server::submit_hashed(std::uint64_t model_hash, const st
     bool coalesced = false;
     bool admitted = false;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         if (shutting_down_)
             throw std::runtime_error("Optimization_server::submit during shutdown");
 
@@ -285,7 +285,7 @@ void Optimization_server::dispatch()
 {
     std::vector<std::shared_ptr<Job>> claimed;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         claimed = claim_replacements_locked(0);
     }
     // Posted outside the lock: with a zero-worker pool, post() degrades to
@@ -300,7 +300,7 @@ void Optimization_server::execute(const std::shared_ptr<Job>& job)
     bool clamp_to_deadline = false;
     double deadline_remaining_seconds = 0.0;
     {
-        const std::lock_guard<std::mutex> job_lock(job->mutex);
+        const Lock_guard job_lock(job->mutex);
         if (job->state == Job_state::queued) {
             job->state = Job_state::running;
             job->started = Job::Clock::now();
@@ -341,7 +341,7 @@ void Optimization_server::execute(const std::shared_ptr<Job>& job)
         request.on_progress = [tracked, user_callback](const Optimize_progress& progress) {
             std::vector<Progress_observer> observers;
             {
-                const std::lock_guard<std::mutex> job_lock(tracked->mutex);
+                const Lock_guard job_lock(tracked->mutex);
                 tracked->last_progress = progress;
                 observers = tracked->observers;
             }
@@ -416,7 +416,7 @@ void Optimization_server::execute(const std::shared_ptr<Job>& job)
 
         Job_state terminal_state;
         {
-            const std::lock_guard<std::mutex> job_lock(job->mutex);
+            const Lock_guard job_lock(job->mutex);
             job->finished = Job::Clock::now();
             if (error != nullptr) {
                 job->error = error;
@@ -461,7 +461,7 @@ void Optimization_server::execute(const std::shared_ptr<Job>& job)
     if (config_.state_store != nullptr && config_.snapshot_every > 0) {
         bool snapshot_due = false;
         {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const Lock_guard lock(mutex_);
             if (++finished_since_snapshot_ >= config_.snapshot_every) {
                 finished_since_snapshot_ = 0;
                 snapshot_due = true;
@@ -472,7 +472,7 @@ void Optimization_server::execute(const std::shared_ptr<Job>& job)
 
     std::vector<std::shared_ptr<Job>> claimed;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         const auto it = inflight_.find(job->coalesce_key);
         if (it != inflight_.end() && it->second == job) inflight_.erase(it);
         XRL_ASSERT(running_ > 0);
@@ -484,14 +484,14 @@ void Optimization_server::execute(const std::shared_ptr<Job>& job)
 
 void Optimization_server::pause()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     paused_ = true;
 }
 
 void Optimization_server::resume()
 {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         paused_ = false;
     }
     dispatch();
@@ -500,8 +500,8 @@ void Optimization_server::resume()
 void Optimization_server::drain()
 {
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        idle_.wait(lock, [this] { return running_ == 0 && queue_.empty(); });
+        Unique_lock lock(mutex_);
+        idle_.wait(lock, [this]() XRL_REQUIRES(mutex_) { return running_ == 0 && queue_.empty(); });
     }
     if (config_.state_store != nullptr) config_.state_store->save_memo(service_);
 }
@@ -512,7 +512,7 @@ Server_stats Optimization_server::stats() const
     std::size_t active = 0;
     std::size_t inflight = 0;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         depth = queue_.size();
         active = running_;
         inflight = inflight_.size();
@@ -522,13 +522,13 @@ Server_stats Optimization_server::stats() const
 
 std::size_t Optimization_server::queue_depth() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     return queue_.size();
 }
 
 std::size_t Optimization_server::running() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     return running_;
 }
 

@@ -30,11 +30,9 @@
 // resolve immediately; wait() on them throws.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -44,6 +42,7 @@
 #include "serve/state_store.h"
 #include "serve/telemetry.h"
 #include "support/fault_plan.h"
+#include "support/sync.h"
 #include "support/thread_pool.h"
 
 namespace xrl {
@@ -178,7 +177,8 @@ private:
     /// deadline). Null when coalescing is off, no such job exists, or the
     /// job is no longer attachable (terminal / cancellation requested).
     std::shared_ptr<Job> try_attach_locked(const std::string& key, int priority,
-                                           bool has_deadline, Job::Clock::time_point deadline);
+                                           bool has_deadline, Job::Clock::time_point deadline)
+        XRL_REQUIRES(mutex_);
 
     /// Under mutex_: give back `freeing` worker slots, claim as many
     /// queued jobs as the remaining budget allows (claims count as running
@@ -187,7 +187,8 @@ private:
     /// returned jobs *after* releasing mutex_ — and must not touch `this`
     /// afterwards if it returns empty with running_ at zero, because
     /// idle_ waiters (drain, the destructor) may free the server then.
-    std::vector<std::shared_ptr<Job>> claim_replacements_locked(std::size_t freeing);
+    std::vector<std::shared_ptr<Job>> claim_replacements_locked(std::size_t freeing)
+        XRL_REQUIRES(mutex_);
 
     Server_config config_;
     Optimization_service service_;
@@ -195,19 +196,20 @@ private:
     std::size_t workers_;
     Telemetry telemetry_;
 
-    mutable std::mutex mutex_; ///< Guards queue_, inflight_, counters below.
-    std::condition_variable idle_;
-    Job_queue queue_;
+    mutable Mutex mutex_{"server", Lock_rank::server};
+    Cond_var idle_;
+    Job_queue queue_ XRL_GUARDED_BY(mutex_);
     /// Coalesce key -> the queued/running job duplicates attach to. Entries
     /// are removed when their job resolves; later duplicates then hit the
     /// service memo cache instead.
-    std::unordered_map<std::string, std::shared_ptr<Job>> inflight_;
-    std::size_t running_ = 0;
-    bool paused_ = false;
-    bool shutting_down_ = false;
-    std::uint64_t next_id_ = 1;
-    std::uint64_t next_sequence_ = 0;
-    std::size_t finished_since_snapshot_ = 0; ///< Drives periodic snapshotting.
+    std::unordered_map<std::string, std::shared_ptr<Job>> inflight_ XRL_GUARDED_BY(mutex_);
+    std::size_t running_ XRL_GUARDED_BY(mutex_) = 0;
+    bool paused_ XRL_GUARDED_BY(mutex_) = false;
+    bool shutting_down_ XRL_GUARDED_BY(mutex_) = false;
+    std::uint64_t next_id_ XRL_GUARDED_BY(mutex_) = 1;
+    std::uint64_t next_sequence_ XRL_GUARDED_BY(mutex_) = 0;
+    /// Drives periodic snapshotting.
+    std::size_t finished_since_snapshot_ XRL_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace xrl

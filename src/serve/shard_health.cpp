@@ -36,7 +36,7 @@ void Shard_health::advance_locked()
 
 void Shard_health::record_success()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     advance_locked();
     ++successes_;
     consecutive_failures_ = 0;
@@ -49,7 +49,7 @@ void Shard_health::record_success()
 
 void Shard_health::record_failure()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     advance_locked();
     ++failures_;
     ++consecutive_failures_;
@@ -76,14 +76,14 @@ void Shard_health::record_failure()
 
 Breaker_state Shard_health::state()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     advance_locked();
     return state_;
 }
 
 bool Shard_health::try_admit_probe()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     advance_locked();
     if (state_ != Breaker_state::half_open) return false;
     if (probes_admitted_ >= config_.half_open_probes) return false;
@@ -94,7 +94,7 @@ bool Shard_health::try_admit_probe()
 
 void Shard_health::reset()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     state_ = Breaker_state::closed;
     consecutive_failures_ = 0;
     probes_admitted_ = 0;
@@ -107,7 +107,7 @@ void Shard_health::reset()
 
 Shard_health_snapshot Shard_health::snapshot()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     advance_locked();
     Shard_health_snapshot out;
     out.state = state_;

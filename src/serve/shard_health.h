@@ -29,7 +29,8 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+
+#include "support/sync.h"
 
 namespace xrl {
 
@@ -93,21 +94,21 @@ public:
 
 private:
     /// Under mutex_: apply the open→half_open window transition.
-    void advance_locked();
+    void advance_locked() XRL_REQUIRES(mutex_);
 
     std::chrono::steady_clock::time_point now() const;
 
     Shard_health_config config_;
-    std::mutex mutex_;
-    Breaker_state state_ = Breaker_state::closed;
-    std::chrono::steady_clock::time_point opened_at_{};
-    std::uint32_t consecutive_failures_ = 0;
-    std::uint32_t probes_admitted_ = 0; ///< This half_open round.
-    std::uint32_t probe_successes_ = 0; ///< This half_open round.
-    std::uint64_t successes_ = 0;
-    std::uint64_t failures_ = 0;
-    std::uint64_t trips_ = 0;
-    std::uint64_t probes_total_ = 0;
+    Mutex mutex_{"shard_health", Lock_rank::shard_health};
+    Breaker_state state_ XRL_GUARDED_BY(mutex_) = Breaker_state::closed;
+    std::chrono::steady_clock::time_point opened_at_ XRL_GUARDED_BY(mutex_){};
+    std::uint32_t consecutive_failures_ XRL_GUARDED_BY(mutex_) = 0;
+    std::uint32_t probes_admitted_ XRL_GUARDED_BY(mutex_) = 0;  ///< This half_open round.
+    std::uint32_t probe_successes_ XRL_GUARDED_BY(mutex_) = 0;  ///< This half_open round.
+    std::uint64_t successes_ XRL_GUARDED_BY(mutex_) = 0;
+    std::uint64_t failures_ XRL_GUARDED_BY(mutex_) = 0;
+    std::uint64_t trips_ XRL_GUARDED_BY(mutex_) = 0;
+    std::uint64_t probes_total_ XRL_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace xrl

@@ -27,7 +27,7 @@ State_store::State_store(State_store_config config) : config_(std::move(config))
         throw std::invalid_argument("State_store: config.directory must be non-empty");
     if (!config_.clock) config_.clock = system_clock_seconds;
 
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     load_file_locked(policy_path(), policies_, stats_.policies_loaded, stats_);
     load_file_locked(memo_path(), memo_, stats_.memo_loaded, stats_);
     evict_expired_locked(now());
@@ -84,7 +84,7 @@ std::vector<Record> State_store::snapshot_records_locked(
 
 bool State_store::fetch_policy(const std::string& key, std::string* blob)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     evict_expired_locked(now());
     const auto it = policies_.find(key);
     if (it == policies_.end()) {
@@ -98,10 +98,10 @@ bool State_store::fetch_policy(const std::string& key, std::string* blob)
 
 void State_store::put_policy(const std::string& key, const std::string& blob)
 {
-    const std::lock_guard<std::mutex> write_lock(policy_writer_mutex_);
+    const Lock_guard write_lock(policy_writer_mutex_);
     std::vector<Record> records;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         Record record;
         record.stamp = now();
         record.key = key;
@@ -112,7 +112,7 @@ void State_store::put_policy(const std::string& key, const std::string& blob)
         records = snapshot_records_locked(policies_);
     }
     write_record_file(policy_path(), records); // IO outside mutex_
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     ++stats_.snapshots_written;
 }
 
@@ -133,10 +133,10 @@ std::size_t State_store::save_memo(const Optimization_service& service)
         fresh.push_back(std::move(record));
     }
 
-    const std::lock_guard<std::mutex> write_lock(memo_writer_mutex_);
+    const Lock_guard write_lock(memo_writer_mutex_);
     std::vector<Record> records;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         for (Record& record : fresh) {
             std::string key = record.key;
             memo_.insert_or_assign(std::move(key), std::move(record));
@@ -147,7 +147,7 @@ std::size_t State_store::save_memo(const Optimization_service& service)
     }
     write_record_file(memo_path(), records); // IO outside mutex_
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         ++stats_.snapshots_written;
     }
     return entries.size();
@@ -157,7 +157,7 @@ std::size_t State_store::load_memo(Optimization_service& service)
 {
     std::vector<Optimization_service::Memo_entry> entries;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         evict_expired_locked(now());
         entries.reserve(memo_.size());
         for (const auto& [key, record] : memo_) {
@@ -173,7 +173,7 @@ std::size_t State_store::load_memo(Optimization_service& service)
     }
     const std::size_t imported = service.import_memo(entries);
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         stats_.memo_imported += imported;
     }
     return imported;
@@ -181,7 +181,7 @@ std::size_t State_store::load_memo(Optimization_service& service)
 
 State_store_stats State_store::stats() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     return stats_;
 }
 
@@ -199,13 +199,13 @@ std::vector<std::string> sorted_keys(const std::map<std::string, Record>& map)
 
 std::vector<std::string> State_store::policy_keys() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     return sorted_keys(policies_);
 }
 
 std::vector<std::string> State_store::memo_keys() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     return sorted_keys(memo_);
 }
 

@@ -34,16 +34,20 @@
 #include <cstddef>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "core/optimization_service.h"
 #include "core/policy_store.h"
 #include "support/record_file.h"
+#include "support/sync.h"
 
 namespace xrl {
 
 struct State_store_config {
+    State_store_config() = default;
+    /// The common case: everything default but the directory.
+    State_store_config(std::string directory_) : directory(std::move(directory_)) {}
+
     /// Directory holding the store's files (created on demand):
     /// policies.xrls and memo.xrls.
     std::string directory;
@@ -126,8 +130,9 @@ public:
 
 private:
     double now() const { return config_.clock(); }
-    void evict_expired_locked(double now_seconds);
-    std::vector<Record> snapshot_records_locked(const std::map<std::string, Record>& map) const;
+    void evict_expired_locked(double now_seconds) XRL_REQUIRES(mutex_);
+    std::vector<Record> snapshot_records_locked(const std::map<std::string, Record>& map) const
+        XRL_REQUIRES(mutex_);
     static void load_file_locked(const std::string& path, std::map<std::string, Record>& into,
                                  std::size_t& loaded, State_store_stats& stats);
 
@@ -138,12 +143,16 @@ private:
     /// the optimize hot path. The writer mutexes below serialise writers
     /// per file and are held across copy *and* write, so files always land
     /// in copy order; lock order is writer mutex first, mutex_ inside.
-    mutable std::mutex mutex_;
-    std::mutex policy_writer_mutex_;
-    std::mutex memo_writer_mutex_;
-    std::map<std::string, Record> policies_; ///< key -> record (payload = checkpoint blob).
-    std::map<std::string, Record> memo_;     ///< key -> record (payload = serialised result).
-    State_store_stats stats_;
+    /// The two writer mutexes share a rank: they never nest (one file per
+    /// writer path).
+    mutable Mutex mutex_{"state_store", Lock_rank::state_store};
+    Mutex policy_writer_mutex_{"state_store_policy_writer", Lock_rank::state_store_writer};
+    Mutex memo_writer_mutex_{"state_store_memo_writer", Lock_rank::state_store_writer};
+    /// key -> record (payload = checkpoint blob).
+    std::map<std::string, Record> policies_ XRL_GUARDED_BY(mutex_);
+    /// key -> record (payload = serialised result).
+    std::map<std::string, Record> memo_ XRL_GUARDED_BY(mutex_);
+    State_store_stats stats_ XRL_GUARDED_BY(mutex_);
 };
 
 } // namespace xrl

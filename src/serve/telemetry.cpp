@@ -67,7 +67,7 @@ Histogram& Telemetry::latency_histogram_locked(const std::string& backend)
 
 void Telemetry::on_submit(const std::string& backend)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     ++totals_.submitted;
     ++totals_.backends[backend].submitted;
     submitted_total_->increment();
@@ -75,14 +75,14 @@ void Telemetry::on_submit(const std::string& backend)
 
 void Telemetry::on_coalesce()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     ++totals_.coalesced;
     coalesced_total_->increment();
 }
 
 void Telemetry::on_reject(bool shed)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     ++totals_.rejected;
     rejected_total_->increment();
     if (shed) {
@@ -94,7 +94,7 @@ void Telemetry::on_reject(bool shed)
 void Telemetry::on_finish(const std::string& backend, Job_state terminal, double latency_seconds,
                           double busy_seconds, bool from_cache)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     Backend_stats& per_backend = totals_.backends[backend];
     switch (terminal) {
     case Job_state::done:
@@ -133,7 +133,7 @@ void Telemetry::on_finish(const std::string& backend, Job_state terminal, double
 
 void Telemetry::on_occupancy(std::size_t queue_depth, std::size_t running)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     totals_.peak_queue_depth = std::max(totals_.peak_queue_depth, queue_depth);
     totals_.peak_running = std::max(totals_.peak_running, running);
     queue_depth_gauge_->set(static_cast<double>(queue_depth));
@@ -143,7 +143,7 @@ void Telemetry::on_occupancy(std::size_t queue_depth, std::size_t running)
 Server_stats Telemetry::snapshot(std::size_t queue_depth, std::size_t running,
                                  std::size_t inflight) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     Server_stats stats = totals_;
     stats.queue_depth = queue_depth;
     stats.running = running;

@@ -13,12 +13,12 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/job.h"
 #include "support/metrics.h"
+#include "support/sync.h"
 
 namespace xrl {
 
@@ -128,13 +128,14 @@ public:
                           std::size_t inflight) const;
 
 private:
-    Histogram& latency_histogram_locked(const std::string& backend);
+    Histogram& latency_histogram_locked(const std::string& backend) XRL_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    Server_stats totals_;
+    mutable Mutex mutex_{"telemetry", Lock_rank::telemetry};
+    Server_stats totals_ XRL_GUARDED_BY(mutex_);
     std::size_t reservoir_capacity_;
-    std::vector<double> latencies_ms_; ///< Ring buffer of recent completions.
-    std::size_t next_slot_ = 0;
+    /// Ring buffer of recent completions.
+    std::vector<double> latencies_ms_ XRL_GUARDED_BY(mutex_);
+    std::size_t next_slot_ XRL_GUARDED_BY(mutex_) = 0;
 
     // Registry series this instance publishes into (stable for the
     // process lifetime — see Metrics_registry).
@@ -153,7 +154,8 @@ private:
     Gauge* running_gauge_ = nullptr;
     Gauge* inflight_gauge_ = nullptr;
     Gauge* uptime_gauge_ = nullptr;
-    std::map<std::string, Histogram*> latency_histograms_; ///< By backend.
+    /// By backend.
+    std::map<std::string, Histogram*> latency_histograms_ XRL_GUARDED_BY(mutex_);
 };
 
 } // namespace xrl

@@ -16,20 +16,20 @@ const char* to_string(Fault_action action)
 
 void Fault_plan::add(const std::string& site, Fault_rule rule)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     sites_[site].rules.push_back(rule);
 }
 
 void Fault_plan::clear(const std::string& site)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     const auto it = sites_.find(site);
     if (it != sites_.end()) it->second.rules.clear();
 }
 
 Fault_action Fault_plan::next(const std::string& site, double* delay_seconds)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     Site& state = sites_[site];
     const std::uint64_t index = state.events++;
     for (const Fault_rule& rule : state.rules) {
@@ -44,14 +44,14 @@ Fault_action Fault_plan::next(const std::string& site, double* delay_seconds)
 
 std::uint64_t Fault_plan::events(const std::string& site) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     const auto it = sites_.find(site);
     return it == sites_.end() ? 0 : it->second.events;
 }
 
 std::uint64_t Fault_plan::injected(const std::string& site) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     const auto it = sites_.find(site);
     return it == sites_.end() ? 0 : it->second.injected;
 }

@@ -28,9 +28,10 @@
 #include <cstdint>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "support/sync.h"
 
 namespace xrl {
 
@@ -83,8 +84,8 @@ private:
         std::vector<Fault_rule> rules;
     };
 
-    mutable std::mutex mutex_;
-    std::map<std::string, Site> sites_;
+    mutable Mutex mutex_{"fault_plan", Lock_rank::fault_plan};
+    std::map<std::string, Site> sites_ XRL_GUARDED_BY(mutex_);
 };
 
 } // namespace xrl

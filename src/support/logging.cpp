@@ -62,7 +62,10 @@ std::string utc_timestamp()
         duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
     std::tm tm{};
     gmtime_r(&seconds, &tm);
-    char buf[40];
+    // Sized for the worst case the format string admits (tm fields are int;
+    // a corrupt tm must truncate safely, not overflow), not just the 25
+    // bytes a sane timestamp needs.
+    char buf[80];
     std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
                   tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min,
                   tm.tm_sec, static_cast<int>(millis));

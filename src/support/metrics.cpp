@@ -185,7 +185,7 @@ Metrics_registry::Family& Metrics_registry::family_locked(std::string_view name,
 Counter& Metrics_registry::counter(std::string_view name, std::string_view help,
                                    Metric_labels labels)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     Family& family = family_locked(name, help, Metric_kind::counter);
     labels = sorted(std::move(labels));
     Series& series = family.series[format_labels(labels)];
@@ -198,7 +198,7 @@ Counter& Metrics_registry::counter(std::string_view name, std::string_view help,
 
 Gauge& Metrics_registry::gauge(std::string_view name, std::string_view help, Metric_labels labels)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     Family& family = family_locked(name, help, Metric_kind::gauge);
     labels = sorted(std::move(labels));
     Series& series = family.series[format_labels(labels)];
@@ -212,7 +212,7 @@ Gauge& Metrics_registry::gauge(std::string_view name, std::string_view help, Met
 Histogram& Metrics_registry::histogram(std::string_view name, std::string_view help,
                                        std::vector<double> upper_bounds, Metric_labels labels)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     Family& family = family_locked(name, help, Metric_kind::histogram);
     if (family.series.empty()) {
         family.bounds = upper_bounds;
@@ -231,7 +231,7 @@ Histogram& Metrics_registry::histogram(std::string_view name, std::string_view h
 
 std::vector<Metrics_registry::Family_snapshot> Metrics_registry::snapshot() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     std::vector<Family_snapshot> out;
     out.reserve(families_.size());
     for (const auto& [name, family] : families_) {

@@ -35,12 +35,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "support/sync.h"
 
 namespace xrl {
 
@@ -165,10 +166,11 @@ private:
     struct Series;
     struct Family;
 
-    Family& family_locked(std::string_view name, std::string_view help, Metric_kind kind);
+    Family& family_locked(std::string_view name, std::string_view help, Metric_kind kind)
+        XRL_REQUIRES(mutex_);
 
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<Family>, std::less<>> families_;
+    mutable Mutex mutex_{"metrics_registry", Lock_rank::metrics};
+    std::map<std::string, std::unique_ptr<Family>, std::less<>> families_ XRL_GUARDED_BY(mutex_);
 };
 
 /// RAII phase timer: observes elapsed microseconds into a histogram at

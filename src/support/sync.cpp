@@ -1,0 +1,91 @@
+// Lock-rank deadlock detector: the out-of-line guts behind the hooks in
+// sync.h. Compiled unconditionally (it is tiny); the hooks are only *called*
+// when XRL_SYNC_DEADLOCK_CHECKS is on, so release builds pay nothing.
+//
+// Model: a thread-local stack of the locks this thread currently holds.
+// Acquiring is legal only when the new lock's rank is strictly greater than
+// every rank already held — the classic total-order discipline that makes
+// cross-thread deadlock impossible. A violation aborts immediately with
+// both lock names, turning an inversion that would deadlock one run in a
+// thousand into a deterministic failure on its first wrong-order
+// acquisition, even on a single thread.
+#include "support/sync.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace xrl::sync_detail {
+namespace {
+
+struct Held {
+    const void* mutex;
+    const char* name;
+    int rank;
+};
+
+// Fixed-capacity stack: no allocation on the lock path, and 32 simultaneous
+// locks per thread is an order of magnitude beyond the deepest real nesting
+// (admin -> membership -> server -> job -> telemetry -> metrics is six).
+constexpr int max_held = 32;
+
+thread_local Held held[max_held];
+thread_local int held_count = 0;
+
+[[noreturn]] void die(const char* fmt, const char* a, int ar, const char* b,
+                      int br) {
+    std::fprintf(stderr, fmt, a, ar, b, br);
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace
+
+void check(const void* mutex, const char* name, int rank) {
+    for (int i = 0; i < held_count; ++i) {
+        if (held[i].mutex == mutex) {
+            die("xrl::sync lock-order violation: recursive acquisition of "
+                "\"%s\" (rank %d) while already holding \"%s\" (rank %d)\n",
+                name, rank, held[i].name, held[i].rank);
+        }
+        if (held[i].rank >= rank) {
+            die("xrl::sync lock-order violation: acquiring \"%s\" (rank %d) "
+                "while holding \"%s\" (rank %d); ranks must be strictly "
+                "increasing — see docs/CONCURRENCY.md\n",
+                name, rank, held[i].name, held[i].rank);
+        }
+    }
+}
+
+void acquired(const void* mutex, const char* name, int rank) {
+    if (held_count >= max_held) {
+        std::fprintf(stderr,
+                     "xrl::sync: more than %d locks held by one thread "
+                     "(acquiring \"%s\", rank %d); raise max_held or fix the "
+                     "caller\n",
+                     max_held, name, rank);
+        std::fflush(stderr);
+        std::abort();
+    }
+    held[held_count++] = Held{mutex, name, rank};
+}
+
+void released(const void* mutex) {
+    // Locks are almost always released LIFO; scan from the top so the common
+    // case is one comparison. Out-of-order release (e.g. Unique_lock on an
+    // outer scope outliving an inner Lock_guard release) is still handled.
+    for (int i = held_count - 1; i >= 0; --i) {
+        if (held[i].mutex == mutex) {
+            for (int j = i; j + 1 < held_count; ++j) held[j] = held[j + 1];
+            --held_count;
+            return;
+        }
+    }
+    // Releasing a lock we never saw acquired: only possible via API misuse
+    // (e.g. unlocking twice). Abort loudly rather than corrupt the stack.
+    std::fprintf(stderr,
+                 "xrl::sync: release of a lock this thread does not hold\n");
+    std::fflush(stderr);
+    std::abort();
+}
+
+} // namespace xrl::sync_detail

@@ -16,11 +16,11 @@ struct Thread_pool::Batch {
     std::atomic<std::size_t> next{0};
     std::size_t finished = 0;           // guarded by the owning pool's mutex
     std::exception_ptr first_error;     // guarded by the owning pool's mutex
-    std::condition_variable done;
+    Cond_var done;
 
     /// Claim and run indices until the counter is exhausted. Returns how
     /// many indices this thread completed.
-    std::size_t drain(std::mutex& mutex)
+    std::size_t drain(Mutex& mutex)
     {
         std::size_t ran = 0;
         for (;;) {
@@ -29,7 +29,7 @@ struct Thread_pool::Batch {
             try {
                 (*task)(index);
             } catch (...) {
-                const std::lock_guard<std::mutex> lock(mutex);
+                const Lock_guard lock(mutex);
                 if (!first_error) first_error = std::current_exception();
             }
             ++ran;
@@ -47,7 +47,7 @@ Thread_pool::Thread_pool(std::size_t workers)
 Thread_pool::~Thread_pool()
 {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         shutting_down_ = true;
     }
     work_ready_.notify_all();
@@ -59,8 +59,8 @@ void Thread_pool::worker_loop()
     for (;;) {
         std::shared_ptr<Batch> batch;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_ready_.wait(lock, [this] {
+            Unique_lock lock(mutex_);
+            work_ready_.wait(lock, [this]() XRL_REQUIRES(mutex_) {
                 return shutting_down_ || !pending_.empty() || !detached_.empty();
             });
             if (shutting_down_) return;
@@ -81,7 +81,7 @@ void Thread_pool::worker_loop()
         }
         const std::size_t ran = batch->drain(mutex_);
         if (ran > 0) {
-            const std::lock_guard<std::mutex> lock(mutex_);
+            const Lock_guard lock(mutex_);
             batch->finished += ran;
             if (batch->finished == batch->count) batch->done.notify_all();
         }
@@ -100,14 +100,14 @@ void Thread_pool::run(std::size_t count, const std::function<void(std::size_t)>&
     batch->count = count;
     batch->task = &task;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         pending_.push_back(batch);
     }
     work_ready_.notify_all();
 
     const std::size_t ran = batch->drain(mutex_);
     {
-        std::unique_lock<std::mutex> lock(mutex_);
+        Unique_lock lock(mutex_);
         batch->finished += ran;
         pending_.erase(std::remove(pending_.begin(), pending_.end(), batch), pending_.end());
         batch->done.wait(lock, [&batch] { return batch->finished == batch->count; });
@@ -122,7 +122,7 @@ void Thread_pool::post(std::function<void()> task)
         return;
     }
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const Lock_guard lock(mutex_);
         detached_.push_back(std::move(task));
     }
     work_ready_.notify_one();

@@ -16,14 +16,14 @@
 // is busy with posted work.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/sync.h"
 
 namespace xrl {
 
@@ -61,12 +61,12 @@ private:
 
     void worker_loop();
 
-    std::mutex mutex_;
-    std::condition_variable work_ready_;
-    std::vector<std::shared_ptr<Batch>> pending_;
-    std::deque<std::function<void()>> detached_;
+    Mutex mutex_{"thread_pool", Lock_rank::thread_pool};
+    Cond_var work_ready_;
+    std::vector<std::shared_ptr<Batch>> pending_ XRL_GUARDED_BY(mutex_);
+    std::deque<std::function<void()>> detached_ XRL_GUARDED_BY(mutex_);
     std::vector<std::thread> threads_;
-    bool shutting_down_ = false;
+    bool shutting_down_ XRL_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace xrl

@@ -146,7 +146,7 @@ Trace_buffer& Trace_buffer::global()
 
 void Trace_buffer::record(Trace_span span)
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     if (ring_.size() < capacity_) {
         ring_.push_back(std::move(span));
         return;
@@ -162,7 +162,7 @@ std::vector<Trace_span> Trace_buffer::spans() const { return spans_for(0); }
 
 std::vector<Trace_span> Trace_buffer::spans_for(std::uint64_t trace_id) const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     std::vector<Trace_span> out;
     out.reserve(ring_.size());
     const std::size_t n = ring_.size();
@@ -176,19 +176,19 @@ std::vector<Trace_span> Trace_buffer::spans_for(std::uint64_t trace_id) const
 
 std::size_t Trace_buffer::size() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     return ring_.size();
 }
 
 std::uint64_t Trace_buffer::dropped() const
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     return dropped_;
 }
 
 void Trace_buffer::clear()
 {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const Lock_guard lock(mutex_);
     ring_.clear();
     head_ = 0;
     wrapped_ = false;

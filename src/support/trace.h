@@ -31,10 +31,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "support/sync.h"
 
 namespace xrl {
 
@@ -147,12 +148,13 @@ public:
     void clear();
 
 private:
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_{"trace_buffer", Lock_rank::trace};
     std::size_t capacity_;
-    std::size_t head_ = 0; ///< Index of the oldest span once the ring wraps.
-    bool wrapped_ = false;
-    std::vector<Trace_span> ring_;
-    std::uint64_t dropped_ = 0;
+    /// Index of the oldest span once the ring wraps.
+    std::size_t head_ XRL_GUARDED_BY(mutex_) = 0;
+    bool wrapped_ XRL_GUARDED_BY(mutex_) = false;
+    std::vector<Trace_span> ring_ XRL_GUARDED_BY(mutex_);
+    std::uint64_t dropped_ XRL_GUARDED_BY(mutex_) = 0;
 };
 
 /// Chrome trace-event JSON: an array of "X" (complete) events, one per

@@ -154,7 +154,9 @@ TEST(Environment, InvalidActionForbiddenByDefault)
     Env_fixture f;
     Environment env(fusable_chain(), f.rules, f.sim);
     const int invalid = static_cast<int>(env.candidates().size()); // first padded slot
-    if (invalid < env.noop_action()) EXPECT_THROW(env.step(invalid), Contract_violation);
+    if (invalid < env.noop_action()) {
+        EXPECT_THROW(env.step(invalid), Contract_violation);
+    }
 }
 
 TEST(Environment, PenaltyPolicyPunishesAndTerminates)

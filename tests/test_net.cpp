@@ -663,6 +663,14 @@ struct Evil_server {
     }
 };
 
+Client_config evil_client_config(std::uint16_t port)
+{
+    Client_config config;
+    config.port = port;
+    config.timeouts = {5.0, 10.0, 10.0};
+    return config;
+}
+
 TEST(NetFaultInjection, ClientRejectsDamagedRepliesTyped)
 {
     const std::string intact = encode_frame(1, Pdu_type::stats_ok, "");
@@ -671,30 +679,30 @@ TEST(NetFaultInjection, ClientRejectsDamagedRepliesTyped)
         std::string flipped = intact;
         flipped.back() = static_cast<char>(flipped.back() ^ 0x5a);
         Evil_server server(flipped);
-        Client client({"127.0.0.1", server.listener.port(), {5.0, 10.0, 10.0}});
+        Client client(evil_client_config(server.listener.port()));
         EXPECT_EQ(code_of([&] { (void)client.stats(); }), Protocol_error_code::bad_checksum);
     }
     {
         Evil_server server(intact.substr(0, intact.size() - 4));
-        Client client({"127.0.0.1", server.listener.port(), {5.0, 10.0, 10.0}});
+        Client client(evil_client_config(server.listener.port()));
         EXPECT_EQ(code_of([&] { (void)client.stats(); }), Protocol_error_code::truncated);
     }
     {
         Evil_server server(encode_frame(1, static_cast<Pdu_type>(200), ""));
-        Client client({"127.0.0.1", server.listener.port(), {5.0, 10.0, 10.0}});
+        Client client(evil_client_config(server.listener.port()));
         EXPECT_EQ(code_of([&] { (void)client.stats(); }), Protocol_error_code::unknown_type);
     }
     {
         // A reply from the future: right frame, wrong version byte.
         Evil_server server(encode_frame(7, Pdu_type::stats_ok, ""));
-        Client client({"127.0.0.1", server.listener.port(), {5.0, 10.0, 10.0}});
+        Client client(evil_client_config(server.listener.port()));
         EXPECT_EQ(code_of([&] { (void)client.stats(); }),
                   Protocol_error_code::unsupported_version);
     }
     {
         // A clean close instead of a reply.
         Evil_server server("");
-        Client client({"127.0.0.1", server.listener.port(), {5.0, 10.0, 10.0}});
+        Client client(evil_client_config(server.listener.port()));
         EXPECT_EQ(code_of([&] { (void)client.stats(); }), Protocol_error_code::io);
     }
 }

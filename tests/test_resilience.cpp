@@ -689,10 +689,18 @@ struct Mini_server {
     }
 };
 
+Client_config mini_client_config(std::uint16_t port, Net_timeouts timeouts)
+{
+    Client_config config;
+    config.port = port;
+    config.timeouts = timeouts;
+    return config;
+}
+
 TEST(ClientErrors, CleanCloseNamesTheAwaitedReply)
 {
     Mini_server server(/*stall=*/false);
-    Client client({"127.0.0.1", server.listener.port(), {5.0, 10.0, 10.0}});
+    Client client(mini_client_config(server.listener.port(), {5.0, 10.0, 10.0}));
     try {
         (void)client.stats();
         FAIL() << "expected Protocol_error";
@@ -709,7 +717,7 @@ TEST(ClientErrors, CleanCloseNamesTheAwaitedReply)
 TEST(ClientErrors, ReadTimeoutIsDistinctFromConnectFailure)
 {
     Mini_server server(/*stall=*/true);
-    Client client({"127.0.0.1", server.listener.port(), {5.0, 0.5, 10.0}});
+    Client client(mini_client_config(server.listener.port(), {5.0, 0.5, 10.0}));
     try {
         (void)client.stats();
         FAIL() << "expected Net_error";

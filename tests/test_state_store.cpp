@@ -430,7 +430,7 @@ TEST(StateStore, PolicyRoundTripAcrossInstances)
     Scoped_dir dir;
     const std::string blob(256, '\x7f');
     {
-        State_store store({dir.str()});
+        State_store store(dir.str());
         store.put_policy("policy|model=1|device=2", blob);
         std::string fetched;
         ASSERT_TRUE(store.fetch_policy("policy|model=1|device=2", &fetched));
@@ -439,7 +439,7 @@ TEST(StateStore, PolicyRoundTripAcrossInstances)
         EXPECT_EQ(store.stats().policy_hits, 1U);
     }
     // A new instance over the same directory (process restart) still has it.
-    State_store reloaded({dir.str()});
+    State_store reloaded(dir.str());
     EXPECT_EQ(reloaded.stats().policies_loaded, 1U);
     std::string fetched;
     ASSERT_TRUE(reloaded.fetch_policy("policy|model=1|device=2", &fetched));
@@ -482,12 +482,12 @@ TEST(StateStore, CorruptPolicyFileDegradesToMisses)
     Scoped_dir dir;
     const std::string blob(128, 'P');
     {
-        State_store store({dir.str()});
+        State_store store(dir.str());
         store.put_policy("the-policy", blob);
     }
     flip_byte_at_marker((fs::path(dir.path) / "policies.xrls").string(), std::string(128, 'P'));
 
-    State_store store({dir.str()});
+    State_store store(dir.str());
     EXPECT_EQ(store.stats().skipped_corrupt, 1U);
     EXPECT_EQ(store.stats().policies_loaded, 0U);
     std::string fetched;
@@ -509,11 +509,11 @@ TEST(StateStore, MemoSaveLoadRoundTripsBitIdentically)
     Optimization_service first(smoke_service());
     const Optimize_result original = first.optimize("taso", graph);
     {
-        State_store store({dir.str()});
+        State_store store(dir.str());
         EXPECT_EQ(store.save_memo(first), 1U);
     }
 
-    State_store reloaded({dir.str()});
+    State_store reloaded(dir.str());
     Optimization_service second(smoke_service());
     EXPECT_EQ(reloaded.load_memo(second), 1U);
     const Optimize_result replayed = second.optimize("taso", graph);
@@ -525,7 +525,7 @@ TEST(StateStore, MemoSaveLoadRoundTripsBitIdentically)
 TEST(StateStore, MemoSnapshotsMergeAcrossServices)
 {
     Scoped_dir dir;
-    State_store store({dir.str()});
+    State_store store(dir.str());
     Optimization_service a(smoke_service());
     Optimization_service b(smoke_service());
     a.optimize("taso", variant_graph(1));
@@ -543,7 +543,7 @@ TEST(StateStore, MemoSnapshotsMergeAcrossServices)
 TEST(StateStore, ImportRespectsCapacityAndLiveEntries)
 {
     Scoped_dir dir;
-    State_store store({dir.str()});
+    State_store store(dir.str());
     Optimization_service donor(smoke_service());
     for (int n = 0; n < 4; ++n) donor.optimize("taso", variant_graph(n));
     store.save_memo(donor);
@@ -571,7 +571,7 @@ TEST(StateStore, CorruptMemoRecordSkippedOthersSurvive)
     service.optimize("taso", variant_graph(1));
     service.optimize("pet", variant_graph(1));
     {
-        State_store store({dir.str()});
+        State_store store(dir.str());
         EXPECT_EQ(store.save_memo(service), 2U);
     }
     // Target one record's graph payload: node names survive serialisation
@@ -580,7 +580,7 @@ TEST(StateStore, CorruptMemoRecordSkippedOthersSurvive)
     // embed the backend name; "pet|" appears only in pet's record.
     flip_byte_at_marker((fs::path(dir.path) / "memo.xrls").string(), "|pet|");
 
-    State_store store({dir.str()});
+    State_store store(dir.str());
     EXPECT_EQ(store.stats().skipped_corrupt, 1U);
     Optimization_service restored(smoke_service());
     EXPECT_EQ(store.load_memo(restored), 1U);
@@ -595,7 +595,7 @@ TEST(StateStore, FutureVersionMemoRecordSkippedAndCounted)
     const std::string path = (fs::path(dir.path) / "memo.xrls").string();
     write_record_file(path, {{record_file_version + 1, 0.0, "future-key", "future-payload"}});
 
-    State_store store({dir.str()});
+    State_store store(dir.str());
     EXPECT_EQ(store.stats().skipped_version, 1U);
     EXPECT_EQ(store.stats().memo_loaded, 0U);
     Optimization_service service(smoke_service());
@@ -752,7 +752,7 @@ TEST(ServerPersistence, SnapshotWhileServerActivelyOptimizing)
 
     // Everything the server learned under concurrent snapshotting restores.
     Optimization_service restored(smoke_service());
-    State_store reloaded({dir.str()});
+    State_store reloaded(dir.str());
     EXPECT_EQ(reloaded.load_memo(restored), 8U);
     for (int n = 0; n < 8; ++n)
         EXPECT_TRUE(restored.optimize("taso", variant_graph(n)).from_cache);

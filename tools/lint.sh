@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Run clang-tidy (policy in .clang-tidy) over every project source in the
+# cmake compilation database.
+#
+#   tools/lint.sh [build-dir]     default build dir: ./build
+#
+# The build dir must have been configured already — any cmake run works,
+# since the top-level CMakeLists sets CMAKE_EXPORT_COMPILE_COMMANDS. Exits
+# non-zero on the first finding (WarningsAsErrors: '*'); CI uploads the log.
+set -u -o pipefail
+
+build_dir="${1:-build}"
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo_root"
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy" >/dev/null 2>&1; then
+    echo "lint.sh: $tidy not found on PATH." >&2
+    echo "lint.sh: install clang-tidy (or set CLANG_TIDY) to lint locally;" >&2
+    echo "lint.sh: the clang-tidy CI job runs this script on every PR." >&2
+    exit 0
+fi
+
+db="$build_dir/compile_commands.json"
+if [ ! -f "$db" ]; then
+    echo "lint.sh: $db not found; configure first: cmake -B $build_dir -S ." >&2
+    exit 1
+fi
+
+# Project sources only: everything in the database except external/ and the
+# build tree itself (gtest/benchmark sources never appear — they are
+# imported targets — but keep the filter defensive).
+mapfile -t files < <(python3 - "$db" <<'EOF'
+import json, sys
+seen = []
+for entry in json.load(open(sys.argv[1])):
+    f = entry["file"]
+    if "/external/" in f or "/build" in f:
+        continue
+    if f not in seen:
+        seen.append(f)
+print("\n".join(seen))
+EOF
+)
+
+if [ "${#files[@]}" -eq 0 ]; then
+    echo "lint.sh: no project sources in $db" >&2
+    exit 1
+fi
+
+echo "lint.sh: linting ${#files[@]} files with $tidy"
+jobs="$(nproc 2>/dev/null || echo 4)"
+printf '%s\n' "${files[@]}" \
+    | xargs -P "$jobs" -n 4 "$tidy" -p "$build_dir" --quiet
+status=$?
+if [ "$status" -eq 0 ]; then
+    echo "lint.sh: clean"
+fi
+exit "$status"

@@ -104,8 +104,11 @@ int main(int argc, char** argv)
         shard.server.snapshot_every = snapshot_every;
         if (smoke) apply_smoke_options(shard.server.service);
     }
-    if (!state_dir.empty())
-        config.state_store = std::make_shared<xrl::State_store>(xrl::State_store_config{state_dir});
+    if (!state_dir.empty()) {
+        xrl::State_store_config store_config;
+        store_config.directory = state_dir;
+        config.state_store = std::make_shared<xrl::State_store>(std::move(store_config));
+    }
 
     std::signal(SIGTERM, on_signal);
     std::signal(SIGINT, on_signal);
