@@ -62,6 +62,8 @@ std::size_t legacy_pass(const Graph& host, const Rule_set& rules, std::size_t pe
 struct Env_throughput {
     double steps_per_second = 0.0;
     int steps = 0;
+    Pool_stats pool;
+    Arena_stats arena;
 };
 
 Env_throughput env_rollout(const Graph& model, const Rule_set& rules, bool use_engine,
@@ -71,6 +73,10 @@ Env_throughput env_rollout(const Graph& model, const Rule_set& rules, bool use_e
     Env_config config;
     config.max_steps = max_steps;
     config.use_candidate_engine = use_engine;
+    // The bench measures the production configuration; the rebuild-and-
+    // compare parity check (on by default in debug builds) is covered by
+    // the A/B gate in test_incremental_index.
+    config.verify_incremental_index = false;
     Environment env(model, rules, simulator, config);
 
     Env_throughput out;
@@ -78,12 +84,25 @@ Env_throughput env_rollout(const Graph& model, const Rule_set& rules, bool use_e
     // env-step and candidate-phase spans land in the process buffer (the
     // trace artifact written at exit).
     const Trace_scope trace_scope(trace_enabled() ? new_trace_id() : 0, 0);
+    // One untimed warm-up rollout fills the engine's slot pool and the
+    // thread-local scratch, then three timed rollouts measure the
+    // steady state (and average away single-rollout noise). Both
+    // backends get the identical treatment.
+    while (!env.done()) env.step(0);
+    env.reset();
     const auto start = std::chrono::steady_clock::now();
-    while (!env.done()) {
-        env.step(0); // deterministic walk: both backends see the same graphs
-        ++out.steps;
+    for (int rollout = 0; rollout < 3; ++rollout) {
+        while (!env.done()) {
+            env.step(0); // deterministic walk: both backends see the same graphs
+            ++out.steps;
+        }
+        env.reset();
     }
     out.steps_per_second = out.steps / seconds_since(start);
+    if (env.engine() != nullptr) {
+        out.pool = env.engine()->step_pool_stats();
+        out.arena = env.engine()->step_arena_stats();
+    }
     return out;
 }
 
@@ -154,6 +173,15 @@ int main(int argc, char** argv)
          << ", \"engine\": " << engine_env.steps_per_second
          << ", \"speedup\": " << engine_env.steps_per_second / legacy_env.steps_per_second
          << ", \"steps\": " << engine_env.steps << "}\n"
+         << "  },\n"
+         << "  \"arena\": {\n"
+         << "    \"pool_slots\": " << engine_env.pool.slots
+         << ", \"pool_high_water_slots\": " << engine_env.pool.high_water_slots
+         << ", \"pool_acquires\": " << engine_env.pool.acquires
+         << ", \"pool_reuses\": " << engine_env.pool.reuses << ",\n"
+         << "    \"arena_chunks\": " << engine_env.arena.chunks
+         << ", \"arena_reserved_bytes\": " << engine_env.arena.reserved_bytes
+         << ", \"arena_high_water_bytes\": " << engine_env.arena.high_water_bytes << "\n"
          << "  },\n"
          << "  \"candidate_phase_us\": {\n"
          << phase_json << "\n"

@@ -10,12 +10,13 @@ namespace xrl {
 
 namespace {
 
-Encoded_graph encode_state(const Environment& env)
+const Encoded_graph& encode_state(Meta_encoder& encoder, std::vector<const Graph*>& candidate_ptrs,
+                                  const Environment& env)
 {
-    std::vector<const Graph*> candidate_ptrs;
+    candidate_ptrs.clear();
     candidate_ptrs.reserve(env.candidates().size());
-    for (const Candidate& c : env.candidates()) candidate_ptrs.push_back(&c.graph);
-    return encode_meta_graph(env.current_graph(), candidate_ptrs);
+    for (const Candidate& c : env.candidates()) candidate_ptrs.push_back(c.graph);
+    return encoder.encode(env.current_graph(), candidate_ptrs);
 }
 
 } // namespace
@@ -35,8 +36,10 @@ Episode_stats Trainer::run_episode(bool greedy, bool record)
     Episode_stats stats;
     stats.best_latency_ms = env_->initial_latency_ms();
 
+    Meta_encoder encoder;
+    std::vector<const Graph*> candidate_ptrs;
     while (!env_->done()) {
-        Encoded_graph state = encode_state(*env_);
+        const Encoded_graph& state = encode_state(encoder, candidate_ptrs, *env_);
         const std::vector<std::uint8_t> mask = env_->action_mask();
         const Agent::Decision decision = agent_->act(state, mask, rng_, greedy);
         const Env_step outcome = env_->step(decision.action);
@@ -49,7 +52,7 @@ Episode_stats Trainer::run_episode(bool greedy, bool record)
 
         if (record) {
             Transition t;
-            t.state = std::move(state);
+            t.state = state; // copy: the encoder's buffer is reused next step
             t.mask = mask;
             t.action = decision.action;
             t.log_prob = decision.log_prob;

@@ -50,6 +50,8 @@ Optimisation_outcome Xrlflow::optimise(const Graph& model, const Inference_optio
     rollouts = std::max(rollouts, 1);
     if (options.deterministic_only) rollouts = 1;
     int total_steps = 0;
+    Meta_encoder encoder;
+    std::vector<const Graph*> candidate_ptrs;
     for (int rollout = 0; rollout < rollouts && !outcome.stopped_early; ++rollout) {
         Environment env(model, *rules_, simulator, config_.env);
         const bool greedy = rollout == 0;
@@ -60,9 +62,9 @@ Optimisation_outcome Xrlflow::optimise(const Graph& model, const Inference_optio
                 outcome.stopped_early = true;
                 break;
             }
-            std::vector<const Graph*> candidate_ptrs;
-            for (const Candidate& c : env.candidates()) candidate_ptrs.push_back(&c.graph);
-            const Encoded_graph state = encode_meta_graph(env.current_graph(), candidate_ptrs);
+            candidate_ptrs.clear();
+            for (const Candidate& c : env.candidates()) candidate_ptrs.push_back(c.graph);
+            const Encoded_graph& state = encoder.encode(env.current_graph(), candidate_ptrs);
             const Agent::Decision decision = agent_->act(state, env.action_mask(), rng, greedy);
             env.step(decision.action);
             ++steps;

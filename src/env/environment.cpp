@@ -21,7 +21,8 @@ Environment::Environment(Graph initial, const Rule_set& rules, E2e_simulator& si
     XRL_EXPECTS(config_.feedback_frequency >= 1);
     if (config_.use_candidate_engine)
         engine_ = std::make_unique<Candidate_engine>(
-            rules, Candidate_engine_config{config_.per_rule_limit, config_.engine_threads});
+            rules, Candidate_engine_config{config_.per_rule_limit, config_.engine_threads,
+                                           config_.verify_incremental_index});
     reset();
 }
 
@@ -32,36 +33,46 @@ void Environment::reset()
     done_ = false;
     initial_latency_ms_ = simulator_->measure_ms(current_);
     last_latency_ms_ = initial_latency_ms_;
-    regenerate_candidates();
+    regenerate_candidates(nullptr);
     if (candidates_.empty()) done_ = true;
 }
 
-void Environment::regenerate_candidates()
+void Environment::regenerate_candidates(const Candidate_engine::Step_candidate* via)
 {
     candidates_.clear();
     if (engine_ != nullptr) {
         // Engine path: candidates beyond the action-space cap are counted
         // but never materialised (the GNN only observes the capped set).
-        Candidate_engine::Generated generated =
-            engine_->generate(current_, static_cast<std::size_t>(config_.max_candidates));
+        // The step graphs live in the engine's pool until the next call.
+        const Candidate_engine::Step_generated& generated = engine_->generate_step(
+            current_, static_cast<std::size_t>(config_.max_candidates), via);
+        last_step_ = &generated;
         truncated_ += generated.truncated;
         candidates_.reserve(generated.candidates.size());
-        for (Engine_candidate& candidate : generated.candidates)
-            candidates_.push_back({std::move(candidate.graph), candidate.rule_index});
+        for (const Candidate_engine::Step_candidate& candidate : generated.candidates)
+            candidates_.push_back({candidate.graph, candidate.rule_index});
     } else {
+        // Two passes so candidates_ can point into legacy_graphs_ without
+        // reallocation invalidating earlier pointers.
+        legacy_graphs_.clear();
+        std::vector<int> rule_of;
         std::unordered_set<std::uint64_t> seen;
         seen.insert(current_.canonical_hash());
         for (std::size_t rule_index = 0; rule_index < rules_->size(); ++rule_index) {
             for (Graph& candidate :
                  (*rules_)[rule_index]->apply_all(current_, config_.per_rule_limit)) {
                 if (!seen.insert(candidate.canonical_hash()).second) continue;
-                if (candidates_.size() >= static_cast<std::size_t>(config_.max_candidates)) {
+                if (legacy_graphs_.size() >= static_cast<std::size_t>(config_.max_candidates)) {
                     ++truncated_;
                     continue;
                 }
-                candidates_.push_back({std::move(candidate), static_cast<int>(rule_index)});
+                legacy_graphs_.push_back(std::move(candidate));
+                rule_of.push_back(static_cast<int>(rule_index));
             }
         }
+        candidates_.reserve(legacy_graphs_.size());
+        for (std::size_t i = 0; i < legacy_graphs_.size(); ++i)
+            candidates_.push_back({&legacy_graphs_[i], rule_of[i]});
     }
     candidate_observations_ += static_cast<std::int64_t>(candidates_.size());
     ++candidate_steps_;
@@ -123,10 +134,15 @@ Env_step Environment::step(int action)
     if (is_noop) {
         terminal = true;
     } else {
-        current_ = candidates_[static_cast<std::size_t>(action)].graph;
-        ++rule_counts_[static_cast<std::size_t>(
-            candidates_[static_cast<std::size_t>(action)].rule_index)];
-        regenerate_candidates();
+        const Candidate& chosen = candidates_[static_cast<std::size_t>(action)];
+        // Copy out of the pool slot before regeneration recycles it.
+        current_ = *chosen.graph;
+        ++rule_counts_[static_cast<std::size_t>(chosen.rule_index)];
+        const Candidate_engine::Step_candidate* via =
+            engine_ != nullptr && last_step_ != nullptr
+                ? &last_step_->candidates[static_cast<std::size_t>(action)]
+                : nullptr;
+        regenerate_candidates(via);
         if (candidates_.empty()) terminal = true;
         if (steps_ >= config_.max_steps) terminal = true;
     }

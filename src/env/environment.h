@@ -39,14 +39,28 @@ struct Env_config {
 
     /// Candidate generation backend. The engine (default) shares one
     /// op-kind index across the rule corpus, dedups by fingerprint before
-    /// materialising, and stops materialising at max_candidates; the
-    /// legacy per-rule apply_all scan is kept for A/B benchmarking.
+    /// materialising, stops materialising at max_candidates, recycles
+    /// candidate graphs through a pool, and patches its host index
+    /// incrementally across steps; the legacy per-rule apply_all scan is
+    /// kept for A/B benchmarking.
     bool use_candidate_engine = true;
     std::size_t engine_threads = 0; ///< Candidate_engine_config::threads.
+
+    /// Passed to Candidate_engine_config: rebuild-and-compare the host
+    /// index after every incremental patch (defaults on in debug builds).
+    bool verify_incremental_index =
+#ifndef NDEBUG
+        true;
+#else
+        false;
+#endif
 };
 
+/// One applicable substitution. `graph` points into environment-owned
+/// storage (the engine's step pool or the legacy scan's buffer) and is
+/// invalidated by the next step()/reset().
 struct Candidate {
-    Graph graph;
+    const Graph* graph = nullptr;
     int rule_index = -1;
 };
 
@@ -111,11 +125,17 @@ public:
 
     const Rule_set& rules() const { return *rules_; }
 
+    /// The engine backend (null on the legacy path) — pool/arena statistics
+    /// for the bench artifacts and the index for the A/B parity gate.
+    const Candidate_engine* engine() const { return engine_.get(); }
+
     /// Replace the default Eq. 2 reward.
     void register_reward_callback(Reward_callback callback);
 
 private:
-    void regenerate_candidates();
+    /// `via`: the step candidate just applied to current_ (null on reset),
+    /// enabling the engine's incremental index patch.
+    void regenerate_candidates(const Candidate_engine::Step_candidate* via);
     double default_reward(const Reward_context& ctx) const;
 
     Graph initial_;
@@ -126,6 +146,10 @@ private:
     std::unique_ptr<Candidate_engine> engine_; ///< Null when legacy scan requested.
 
     std::vector<Candidate> candidates_;
+    /// Engine path: the step candidates backing candidates_ (for the next
+    /// step's `via`). Legacy path: owning storage for the scanned graphs.
+    const Candidate_engine::Step_generated* last_step_ = nullptr;
+    std::vector<Graph> legacy_graphs_;
     std::vector<int> rule_counts_;
     Reward_callback reward_callback_;
 

@@ -1,7 +1,5 @@
 #include "gnn/encoding.h"
 
-#include <unordered_map>
-
 #include "support/check.h"
 #include "support/metrics.h"
 #include "support/trace.h"
@@ -10,22 +8,24 @@ namespace xrl {
 
 namespace {
 
+/// `row_of` is caller-provided scratch (Node_id -> meta-graph row) so the
+/// hot loop's Meta_encoder can keep it warm across steps.
 void append_graph(Encoded_graph& enc, const Graph& graph, std::int64_t member,
-                  std::vector<float>& edge_rows)
+                  std::vector<float>& edge_rows, std::vector<std::int64_t>& row_of)
 {
-    const std::int64_t base = enc.num_nodes;
-    std::unordered_map<Node_id, std::int64_t> row_of;
+    row_of.assign(graph.capacity(), -1);
     for (const Node_id id : graph.topo_order()) {
-        row_of.emplace(id, enc.num_nodes);
+        row_of[static_cast<std::size_t>(id)] = enc.num_nodes;
         enc.node_kinds.push_back(static_cast<std::int32_t>(graph.node(id).kind));
         enc.node_graph.push_back(member);
         ++enc.num_nodes;
     }
     for (const Node_id id : graph.node_ids()) {
         const Node& n = graph.node(id);
-        const std::int64_t dst = row_of.at(id);
+        const std::int64_t dst = row_of[static_cast<std::size_t>(id)];
         for (const Edge& e : n.inputs) {
-            const std::int64_t src = row_of.at(e.node);
+            const std::int64_t src = row_of[static_cast<std::size_t>(e.node)];
+            XRL_ASSERT(src >= 0 && dst >= 0);
             enc.edge_src.push_back(src);
             enc.edge_dst.push_back(dst);
             // Shape of the carried tensor, leading-padded to rank 4 and
@@ -39,13 +39,14 @@ void append_graph(Encoded_graph& enc, const Graph& graph, std::int64_t member,
             for (const float f : padded) edge_rows.push_back(f);
         }
     }
-    (void)base;
 }
 
-void finalise(Encoded_graph& enc, std::vector<float>&& edge_rows)
+/// `edge_rows` is copied (not moved) into the feature tensor so the
+/// caller's buffer survives for the next encode.
+void finalise(Encoded_graph& enc, const std::vector<float>& edge_rows)
 {
     const auto num_edges = static_cast<std::int64_t>(enc.edge_src.size());
-    enc.edge_features = Tensor(Shape{num_edges, edge_feature_dim}, std::move(edge_rows));
+    enc.edge_features = Tensor(Shape{num_edges, edge_feature_dim}, edge_rows);
     // Attention connectivity: dataflow edges + one self loop per node so
     // every node attends at least to itself.
     enc.attn_src = enc.edge_src;
@@ -54,6 +55,25 @@ void finalise(Encoded_graph& enc, std::vector<float>&& edge_rows)
         enc.attn_src.push_back(i);
         enc.attn_dst.push_back(i);
     }
+}
+
+void clear_encoding(Encoded_graph& enc)
+{
+    enc.node_kinds.clear();
+    enc.node_graph.clear();
+    enc.edge_src.clear();
+    enc.edge_dst.clear();
+    enc.attn_src.clear();
+    enc.attn_dst.clear();
+    enc.num_nodes = 0;
+    enc.num_graphs = 0;
+}
+
+Histogram& encode_histogram()
+{
+    return Metrics_registry::global().histogram(
+        "xrlflow_rollout_phase_us", "RL rollout time by phase", duration_us_buckets(),
+        {{"phase", "gnn_encode"}});
 }
 
 } // namespace
@@ -71,29 +91,35 @@ Encoded_graph encode_graph_for_gnn(const Graph& graph)
 {
     Encoded_graph enc;
     std::vector<float> edge_rows;
-    append_graph(enc, graph, 0, edge_rows);
+    std::vector<std::int64_t> row_of;
+    append_graph(enc, graph, 0, edge_rows, row_of);
     enc.num_graphs = 1;
-    finalise(enc, std::move(edge_rows));
+    finalise(enc, edge_rows);
     return enc;
 }
 
 Encoded_graph encode_meta_graph(const Graph& current, const std::vector<const Graph*>& candidates)
 {
-    static Histogram& phase_histogram = Metrics_registry::global().histogram(
-        "xrlflow_rollout_phase_us", "RL rollout time by phase", duration_us_buckets(),
-        {{"phase", "gnn_encode"}});
+    Meta_encoder encoder;
+    return encoder.encode(current, candidates);
+}
+
+const Encoded_graph& Meta_encoder::encode(const Graph& current,
+                                          const std::vector<const Graph*>& candidates)
+{
+    static Histogram& phase_histogram = encode_histogram();
     const Scoped_timer_us timer(phase_histogram);
     const Span_scope span("rollout/gnn_encode");
-    Encoded_graph enc;
-    std::vector<float> edge_rows;
-    append_graph(enc, current, 0, edge_rows);
+    clear_encoding(enc_);
+    edge_rows_.clear();
+    append_graph(enc_, current, 0, edge_rows_, row_of_);
     for (std::size_t k = 0; k < candidates.size(); ++k) {
         XRL_EXPECTS(candidates[k] != nullptr);
-        append_graph(enc, *candidates[k], static_cast<std::int64_t>(k + 1), edge_rows);
+        append_graph(enc_, *candidates[k], static_cast<std::int64_t>(k + 1), edge_rows_, row_of_);
     }
-    enc.num_graphs = static_cast<std::int64_t>(candidates.size()) + 1;
-    finalise(enc, std::move(edge_rows));
-    return enc;
+    enc_.num_graphs = static_cast<std::int64_t>(candidates.size()) + 1;
+    finalise(enc_, edge_rows_);
+    return enc_;
 }
 
 } // namespace xrl

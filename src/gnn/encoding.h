@@ -43,4 +43,23 @@ Encoded_graph encode_graph_for_gnn(const Graph& graph);
 /// candidates.
 Encoded_graph encode_meta_graph(const Graph& current, const std::vector<const Graph*>& candidates);
 
+/// Reusable meta-graph encoder for the rollout hot loop: produces exactly
+/// the Encoded_graph encode_meta_graph would (bit-identical — the parity
+/// test in test_gnn holds it to that), but the output vectors and the
+/// row-mapping scratch persist across encode() calls, so a steady-state
+/// step reuses warm buffers instead of reallocating the whole encoding.
+/// Single-owner, like the candidate engine's step mode.
+class Meta_encoder {
+public:
+    /// Encode one state. The returned reference is invalidated by the next
+    /// encode() call; copy it (e.g. into a PPO transition) to keep it.
+    const Encoded_graph& encode(const Graph& current,
+                                const std::vector<const Graph*>& candidates);
+
+private:
+    Encoded_graph enc_;
+    std::vector<float> edge_rows_;
+    std::vector<std::int64_t> row_of_; ///< Node_id -> meta-graph row scratch.
+};
+
 } // namespace xrl

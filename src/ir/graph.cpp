@@ -112,7 +112,15 @@ const Shape& Graph::shape_of(Edge edge) const
 
 std::vector<std::vector<Edge_use>> Graph::build_users() const
 {
-    std::vector<std::vector<Edge_use>> users(nodes_.size());
+    std::vector<std::vector<Edge_use>> users;
+    build_users(users);
+    return users;
+}
+
+void Graph::build_users(std::vector<std::vector<Edge_use>>& users) const
+{
+    users.resize(nodes_.size());
+    for (auto& list : users) list.clear();
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         if (alive_[i] == 0) continue;
         const Node& n = nodes_[i];
@@ -120,7 +128,6 @@ std::vector<std::vector<Edge_use>> Graph::build_users() const
             users[static_cast<std::size_t>(n.inputs[slot].node)].push_back(
                 {static_cast<Node_id>(i), static_cast<std::int32_t>(slot)});
     }
-    return users;
 }
 
 std::vector<Node_id> Graph::topo_order() const
@@ -146,13 +153,38 @@ std::vector<Node_id> Graph::topo_order() const
     return order;
 }
 
+namespace {
+
+/// Per-thread buffers for the O(V) passes the rewrite epilogue runs once
+/// per materialised candidate (cycle check, canonical hash, DCE). No
+/// values survive a call — only the capacity is reused — and none of the
+/// passes call each other, so sharing one scratch per thread is safe.
+struct Traversal_scratch {
+    std::vector<std::uint8_t> colour;                     // DFS colouring / memo state
+    std::vector<std::pair<Node_id, std::uint32_t>> stack; // DFS frames (node, next slot)
+    std::vector<std::uint64_t> node_hash;                 // canonical_hash memo
+    std::vector<std::uint8_t> reachable;                  // DCE mask
+    std::vector<Node_id> id_stack;                        // DCE worklist
+};
+
+Traversal_scratch& traversal_scratch()
+{
+    thread_local Traversal_scratch scratch;
+    return scratch;
+}
+
+} // namespace
+
 bool Graph::is_acyclic() const
 {
     // Iterative three-colour DFS along input edges. Unlike Kahn's
     // algorithm this needs no use lists, which matters because the rewrite
     // epilogue runs this check once per candidate on the hot path.
-    std::vector<std::uint8_t> colour(nodes_.size(), 0); // 0 white, 1 grey, 2 black
-    std::vector<std::pair<Node_id, std::uint32_t>> stack; // node, next input slot
+    Traversal_scratch& scratch = traversal_scratch();
+    std::vector<std::uint8_t>& colour = scratch.colour;
+    colour.assign(nodes_.size(), 0); // 0 white, 1 grey, 2 black
+    std::vector<std::pair<Node_id, std::uint32_t>>& stack = scratch.stack; // node, next slot
+    stack.clear();
     for (std::size_t seed = 0; seed < nodes_.size(); ++seed) {
         if (alive_[seed] == 0 || colour[seed] != 0) continue;
         colour[seed] = 1;
@@ -185,9 +217,13 @@ std::uint64_t Graph::canonical_hash() const
     // the hash is defined over, with no topological sort or use lists.
     // Throws (like the topological sort it replaced) when that sub-DAG
     // contains a cycle.
-    std::vector<std::uint64_t> node_hash(nodes_.size(), 0);
-    std::vector<std::uint8_t> state(nodes_.size(), 0); // 0 new, 1 in progress, 2 done
-    std::vector<std::pair<Node_id, std::uint32_t>> stack; // node, next input slot
+    Traversal_scratch& scratch = traversal_scratch();
+    std::vector<std::uint64_t>& node_hash = scratch.node_hash;
+    node_hash.assign(nodes_.size(), 0);
+    std::vector<std::uint8_t>& state = scratch.colour;
+    state.assign(nodes_.size(), 0); // 0 new, 1 in progress, 2 done
+    std::vector<std::pair<Node_id, std::uint32_t>>& stack = scratch.stack; // node, next slot
+    stack.clear();
     for (const Edge& out : outputs_) {
         if (state[static_cast<std::size_t>(out.node)] == 2) continue;
         state[static_cast<std::size_t>(out.node)] = 1;
@@ -308,7 +344,30 @@ std::vector<std::uint8_t> Graph::reachable_mask() const
 
 int Graph::eliminate_dead_nodes()
 {
-    const std::vector<std::uint8_t> reachable = reachable_mask();
+    // Same traversal as reachable_mask(), but into per-thread scratch: DCE
+    // runs once per materialised candidate, so the mask and worklist must
+    // not be fresh allocations.
+    Traversal_scratch& scratch = traversal_scratch();
+    std::vector<std::uint8_t>& reachable = scratch.reachable;
+    reachable.assign(nodes_.size(), 0);
+    std::vector<Node_id>& stack = scratch.id_stack;
+    stack.clear();
+    for (const Edge& e : outputs_) {
+        if (reachable[static_cast<std::size_t>(e.node)] == 0) {
+            reachable[static_cast<std::size_t>(e.node)] = 1;
+            stack.push_back(e.node);
+        }
+    }
+    while (!stack.empty()) {
+        const Node_id id = stack.back();
+        stack.pop_back();
+        for (const Edge& e : nodes_[static_cast<std::size_t>(id)].inputs) {
+            if (reachable[static_cast<std::size_t>(e.node)] == 0) {
+                reachable[static_cast<std::size_t>(e.node)] = 1;
+                stack.push_back(e.node);
+            }
+        }
+    }
     // Tombstone unreachable nodes directly: every user of a dead node is
     // itself dead, so erase_node's per-node "no users" scan is redundant
     // here (it made DCE quadratic on the candidate-generation hot path).
@@ -324,11 +383,26 @@ int Graph::eliminate_dead_nodes()
     return removed;
 }
 
+namespace {
+
+/// Re-inference preserves structural sharing: sources keep their
+/// construction-time shapes, and any node whose inferred shapes equal its
+/// current ones keeps its Shape_list allocation (shared with every copy of
+/// the graph) instead of replacing it with an equal fresh one.
+bool keeps_existing_shapes(const Node& n)
+{
+    return (n.kind == Op_kind::input || n.kind == Op_kind::weight) && !n.output_shapes.empty();
+}
+
+} // namespace
+
 void Graph::infer_shapes()
 {
     for (const Node_id id : topo_order()) {
         Node& n = nodes_[static_cast<std::size_t>(id)];
-        n.output_shapes = infer_output_shapes(*this, id);
+        if (keeps_existing_shapes(n)) continue;
+        std::vector<Shape> inferred = infer_output_shapes(*this, id);
+        if (!n.output_shapes.equals(inferred)) n.output_shapes = Shape_list(std::move(inferred));
     }
 }
 
@@ -337,11 +411,14 @@ bool Graph::infer_shapes_appended(Node_id first_new)
     const std::size_t first = first_new > 0 ? static_cast<std::size_t>(first_new) : 0;
     for (std::size_t i = first; i < nodes_.size(); ++i) {
         if (alive_[i] == 0) continue;
+        if (keeps_existing_shapes(nodes_[i])) continue;
         for (const Edge& e : nodes_[i].inputs) {
             const Node& producer = nodes_[static_cast<std::size_t>(e.node)];
             if (static_cast<std::size_t>(e.port) >= producer.output_shapes.size()) return false;
         }
-        nodes_[i].output_shapes = infer_output_shapes(*this, static_cast<Node_id>(i));
+        std::vector<Shape> inferred = infer_output_shapes(*this, static_cast<Node_id>(i));
+        if (!nodes_[i].output_shapes.equals(inferred))
+            nodes_[i].output_shapes = Shape_list(std::move(inferred));
     }
     return true;
 }

@@ -34,6 +34,8 @@ struct Edge {
 struct Edge_use {
     Node_id user = invalid_node;
     std::int32_t input_index = 0;
+
+    bool operator==(const Edge_use&) const = default;
 };
 
 /// Immutable, structurally-shared list of a node's output shapes. Shape
@@ -62,6 +64,23 @@ public:
     auto begin() const { return items().begin(); }
     auto end() const { return items().end(); }
     std::vector<Shape> to_vector() const { return items(); }
+
+    /// Value equality against a freshly inferred shape vector — the
+    /// keep-if-equal guard shape inference uses to preserve structural
+    /// sharing across re-inference.
+    bool equals(const std::vector<Shape>& other) const
+    {
+        return items() == other;
+    }
+
+    /// True when both lists share one allocation (not merely equal values).
+    bool shares_storage_with(const Shape_list& other) const
+    {
+        return shapes_ != nullptr && shapes_ == other.shapes_;
+    }
+
+    /// Graphs referencing this list's allocation (0 for the empty list).
+    long use_count() const { return shapes_ == nullptr ? 0 : shapes_.use_count(); }
 
 private:
     const std::vector<Shape>& items() const
@@ -129,6 +148,10 @@ public:
 
     /// Uses of every node's outputs: users()[id] lists (user, input_index).
     std::vector<std::vector<Edge_use>> build_users() const;
+
+    /// Buffer-reusing variant: fills `users` in place (inner lists keep
+    /// their capacity), for callers that rebuild use lists per step.
+    void build_users(std::vector<std::vector<Edge_use>>& users) const;
 
     // -- structure queries ---------------------------------------------------
 

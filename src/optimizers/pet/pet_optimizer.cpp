@@ -33,9 +33,8 @@ class Pet_spatial_split_rule final : public Rewrite_rule {
 public:
     Pet_spatial_split_rule() : Rewrite_rule("pet-spatial-split") {}
 
-    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    void apply_all_into(const Graph& host, std::size_t limit, Graph_batch& out) const override
     {
-        std::vector<Graph> out;
         for (const Node_id id : host.node_ids()) {
             if (out.size() >= limit) break;
             const Node& conv = host.node(id);
@@ -43,9 +42,11 @@ public:
             if (conv.params.stride_h != 1 || conv.params.stride_w != 1) continue;
             const Shape& out_shape = host.shape_of({id, 0});
             if (out_shape[2] < 4) continue; // too small to be worth splitting
-            if (auto g = split_conv(host, id); g.has_value()) out.push_back(std::move(*g));
+            if (auto g = split_conv(host, id); g.has_value()) {
+                out.next() = std::move(*g);
+                out.keep();
+            }
         }
-        return out;
     }
 
 private:

@@ -25,13 +25,22 @@ bool is_graph_output(const Graph& g, Node_id id)
     return false;
 }
 
+/// Host use lists in per-thread reused storage: the fan-out-gated rules
+/// below rebuild them once per rule per step, so fresh vector-of-vectors
+/// allocations would land on the candidate-generation hot path.
+const std::vector<std::vector<Edge_use>>& host_users(const Graph& host)
+{
+    thread_local std::vector<std::vector<Edge_use>> users;
+    host.build_users(users);
+    return users;
+}
+
 class Merge_matmul_shared_lhs_rule final : public Rewrite_rule {
 public:
     Merge_matmul_shared_lhs_rule() : Rewrite_rule("merge-matmul-shared-lhs") {}
 
-    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    void apply_all_into(const Graph& host, std::size_t limit, Graph_batch& out) const override
     {
-        std::vector<Graph> out;
         std::vector<Node_id> matmuls;
         for (const Node_id id : host.node_ids())
             if (host.node(id).kind == Op_kind::matmul) matmuls.push_back(id);
@@ -47,18 +56,16 @@ public:
                 if (w1.size() != 2 || w2.size() != 2) continue;
                 if (w1[0] != w2[0]) continue;
                 if (m1.inputs[1] == m2.inputs[1]) continue; // degenerate
-                if (auto g = merge(host, matmuls[i], matmuls[j], w1[1], w2[1]); g.has_value())
-                    out.push_back(std::move(*g));
+                if (merge(out.next(), host, matmuls[i], matmuls[j], w1[1], w2[1])) out.keep();
             }
         }
-        return out;
     }
 
 private:
-    static std::optional<Graph> merge(const Graph& host, Node_id id1, Node_id id2,
-                                      std::int64_t n1, std::int64_t n2)
+    static bool merge(Graph& g, const Graph& host, Node_id id1, Node_id id2, std::int64_t n1,
+                      std::int64_t n2)
     {
-        Graph g = host;
+        g = host;
         // Copy edges/params by value before add_node, which may reallocate
         // the node storage.
         const Edge x = g.node(id1).inputs[0];
@@ -78,9 +85,7 @@ private:
 
         g.replace_all_uses({id1, 0}, {sp, 0});
         g.replace_all_uses({id2, 0}, {sp, 1});
-        if (!finalise_transformed(g, host, {{{id1, 0}, {sp, 0}}, {{id2, 0}, {sp, 1}}}))
-            return std::nullopt;
-        return g;
+        return finalise_transformed(g, host, {{{id1, 0}, {sp, 0}}, {{id2, 0}, {sp, 1}}});
     }
 };
 
@@ -88,9 +93,8 @@ class Merge_conv_shared_input_rule final : public Rewrite_rule {
 public:
     Merge_conv_shared_input_rule() : Rewrite_rule("merge-conv-shared-input") {}
 
-    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    void apply_all_into(const Graph& host, std::size_t limit, Graph_batch& out) const override
     {
-        std::vector<Graph> out;
         std::vector<Node_id> convs;
         for (const Node_id id : host.node_ids())
             if (host.node(id).kind == Op_kind::conv2d) convs.push_back(id);
@@ -107,18 +111,16 @@ public:
                 // Filter geometry must agree for filter-bank concatenation.
                 if (w1[1] != w2[1] || w1[2] != w2[2] || w1[3] != w2[3]) continue;
                 if (c1.inputs[1] == c2.inputs[1]) continue;
-                if (auto g = merge(host, convs[i], convs[j], w1[0], w2[0]); g.has_value())
-                    out.push_back(std::move(*g));
+                if (merge(out.next(), host, convs[i], convs[j], w1[0], w2[0])) out.keep();
             }
         }
-        return out;
     }
 
 private:
-    static std::optional<Graph> merge(const Graph& host, Node_id id1, Node_id id2,
-                                      std::int64_t k1, std::int64_t k2)
+    static bool merge(Graph& g, const Graph& host, Node_id id1, Node_id id2, std::int64_t k1,
+                      std::int64_t k2)
     {
-        Graph g = host;
+        g = host;
         const Edge x = g.node(id1).inputs[0];
         const Edge w1 = g.node(id1).inputs[1];
         const Edge w2 = g.node(id2).inputs[1];
@@ -135,9 +137,7 @@ private:
 
         g.replace_all_uses({id1, 0}, {sp, 0});
         g.replace_all_uses({id2, 0}, {sp, 1});
-        if (!finalise_transformed(g, host, {{{id1, 0}, {sp, 0}}, {{id2, 0}, {sp, 1}}}))
-            return std::nullopt;
-        return g;
+        return finalise_transformed(g, host, {{{id1, 0}, {sp, 0}}, {{id2, 0}, {sp, 1}}});
     }
 };
 
@@ -145,9 +145,8 @@ class Eliminate_split_concat_rule final : public Rewrite_rule {
 public:
     Eliminate_split_concat_rule() : Rewrite_rule("eliminate-split-concat") {}
 
-    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    void apply_all_into(const Graph& host, std::size_t limit, Graph_batch& out) const override
     {
-        std::vector<Graph> out;
         for (const Node_id id : host.node_ids()) {
             if (out.size() >= limit) break;
             const Node& cat = host.node(id);
@@ -168,13 +167,12 @@ public:
             }
             if (!in_order) continue;
 
-            Graph g = host;
+            Graph& g = out.next();
+            g = host;
             const Edge replacement = g.node(split_id).inputs[0];
             g.replace_all_uses({id, 0}, replacement);
-            if (finalise_transformed(g, host, {{{id, 0}, replacement}}))
-                out.push_back(std::move(g));
+            if (finalise_transformed(g, host, {{{id, 0}, replacement}})) out.keep();
         }
-        return out;
     }
 };
 
@@ -182,9 +180,8 @@ class Eliminate_concat_split_rule final : public Rewrite_rule {
 public:
     Eliminate_concat_split_rule() : Rewrite_rule("eliminate-concat-split") {}
 
-    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    void apply_all_into(const Graph& host, std::size_t limit, Graph_batch& out) const override
     {
-        std::vector<Graph> out;
         for (const Node_id id : host.node_ids()) {
             if (out.size() >= limit) break;
             const Node& sp = host.node(id);
@@ -204,7 +201,8 @@ public:
             }
             if (!sizes_match) continue;
 
-            Graph g = host;
+            Graph& g = out.next();
+            g = host;
             std::vector<Rewired_edge> rewired;
             rewired.reserve(cat.inputs.size());
             for (std::size_t piece = 0; piece < cat.inputs.size(); ++piece) {
@@ -213,9 +211,8 @@ public:
                 g.replace_all_uses(before, after);
                 rewired.push_back({before, after});
             }
-            if (finalise_transformed(g, host, rewired)) out.push_back(std::move(g));
+            if (finalise_transformed(g, host, rewired)) out.keep();
         }
-        return out;
     }
 };
 
@@ -223,10 +220,9 @@ class Fold_batch_norm_rule final : public Rewrite_rule {
 public:
     Fold_batch_norm_rule() : Rewrite_rule("fold-batch-norm-into-conv") {}
 
-    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    void apply_all_into(const Graph& host, std::size_t limit, Graph_batch& out) const override
     {
-        std::vector<Graph> out;
-        const auto users = host.build_users();
+        const auto& users = host_users(host);
         for (const Node_id id : host.node_ids()) {
             if (out.size() >= limit) break;
             const Node& bn = host.node(id);
@@ -238,15 +234,14 @@ public:
             // The conv output must feed only this batch norm.
             if (users[static_cast<std::size_t>(conv_id)].size() != 1) continue;
             if (is_graph_output(host, conv_id)) continue;
-            if (auto g = fold(host, id, conv_id); g.has_value()) out.push_back(std::move(*g));
+            if (fold(out.next(), host, id, conv_id)) out.keep();
         }
-        return out;
     }
 
 private:
-    static std::optional<Graph> fold(const Graph& host, Node_id bn_id, Node_id conv_id)
+    static bool fold(Graph& g, const Graph& host, Node_id bn_id, Node_id conv_id)
     {
-        Graph g = host;
+        g = host;
         const Node& bn = g.node(bn_id);
         const Node& conv = g.node(conv_id);
         const Edge x = conv.inputs[0];
@@ -281,8 +276,7 @@ private:
         const Node_id y = g.add_node(Op_kind::add, {{folded_conv, 0}, {bias_col, 0}});
 
         g.replace_all_uses({bn_id, 0}, {y, 0});
-        if (!finalise_transformed(g, host, {{{bn_id, 0}, {y, 0}}})) return std::nullopt;
-        return g;
+        return finalise_transformed(g, host, {{{bn_id, 0}, {y, 0}}});
     }
 };
 
@@ -290,10 +284,9 @@ class Merge_conv_add_enlarge_rule final : public Rewrite_rule {
 public:
     Merge_conv_add_enlarge_rule() : Rewrite_rule("merge-conv-add-enlarge") {}
 
-    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    void apply_all_into(const Graph& host, std::size_t limit, Graph_batch& out) const override
     {
-        std::vector<Graph> out;
-        const auto users = host.build_users();
+        const auto& users = host_users(host);
         for (const Node_id id : host.node_ids()) {
             if (out.size() >= limit) break;
             const Node& a = host.node(id);
@@ -306,13 +299,12 @@ public:
             // Try both orders: the larger kernel hosts the enlarged smaller one.
             for (const auto& [big, small] : {std::pair{lhs, rhs}, std::pair{rhs, lhs}}) {
                 if (!mergeable(host, users, id, big, small)) continue;
-                if (auto g = merge(host, id, big, small); g.has_value()) {
-                    out.push_back(std::move(*g));
+                if (merge(out.next(), host, id, big, small)) {
+                    out.keep();
                     break;
                 }
             }
         }
-        return out;
     }
 
 private:
@@ -344,9 +336,9 @@ private:
         return true;
     }
 
-    static std::optional<Graph> merge(const Graph& host, Node_id add_id, Node_id big, Node_id small)
+    static bool merge(Graph& g, const Graph& host, Node_id add_id, Node_id big, Node_id small)
     {
-        Graph g = host;
+        g = host;
         const Edge x = g.node(big).inputs[0];
         const Edge w_big = g.node(big).inputs[1];
         const Edge w_small = g.node(small).inputs[1];
@@ -361,8 +353,7 @@ private:
         const Node_id merged = g.add_node(Op_kind::conv2d, {x, {w_sum, 0}}, conv_params);
 
         g.replace_all_uses({add_id, 0}, {merged, 0});
-        if (!finalise_transformed(g, host, {{{add_id, 0}, {merged, 0}}})) return std::nullopt;
-        return g;
+        return finalise_transformed(g, host, {{{add_id, 0}, {merged, 0}}});
     }
 };
 
@@ -370,10 +361,9 @@ class Fold_embedding_projection_rule final : public Rewrite_rule {
 public:
     Fold_embedding_projection_rule() : Rewrite_rule("fold-embedding-projection") {}
 
-    std::vector<Graph> apply_all(const Graph& host, std::size_t limit) const override
+    void apply_all_into(const Graph& host, std::size_t limit, Graph_batch& out) const override
     {
-        std::vector<Graph> out;
-        const auto users = host.build_users();
+        const auto& users = host_users(host);
         for (const Node_id id : host.node_ids()) {
             if (out.size() >= limit) break;
             const Node& mm = host.node(id);
@@ -387,17 +377,16 @@ public:
             if (is_graph_output(host, emb_id)) continue;
             if (host.shape_of(mm.inputs[1]).size() != 2) continue;
 
-            Graph g = host;
+            Graph& g = out.next();
+            g = host;
             const Edge ids = g.node(emb_id).inputs[0];
             const Edge table = g.node(emb_id).inputs[1];
             const Edge projection = g.node(id).inputs[1];
             const Node_id folded_table = g.add_node(Op_kind::matmul, {table, projection});
             const Node_id folded = g.add_node(Op_kind::embedding, {ids, {folded_table, 0}});
             g.replace_all_uses({id, 0}, {folded, 0});
-            if (finalise_transformed(g, host, {{{id, 0}, {folded, 0}}}))
-                out.push_back(std::move(g));
+            if (finalise_transformed(g, host, {{{id, 0}, {folded, 0}}})) out.keep();
         }
-        return out;
     }
 };
 

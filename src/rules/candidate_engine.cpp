@@ -45,11 +45,7 @@ Candidate_engine::Candidate_engine(const Rule_set& rules, Candidate_engine_confi
 
 std::vector<Rewrite_candidate> Candidate_engine::enumerate(const Graph& host) const
 {
-    // Per-phase timing: histogram references resolve once (function-local
-    // statics), so the steady-state cost is two clock reads per phase.
     static Histogram& index_histogram = candidate_phase_histogram("index_build");
-    static Histogram& match_histogram = candidate_phase_histogram("match");
-    static Histogram& dedup_histogram = candidate_phase_histogram("dedup");
 
     std::optional<Host_index> index;
     {
@@ -57,12 +53,39 @@ std::vector<Rewrite_candidate> Candidate_engine::enumerate(const Graph& host) co
         const Span_scope span("candidates/index_build");
         index.emplace(host);
     }
-    std::vector<std::vector<Rewrite_candidate>> per_rule(rules_->size());
+    std::vector<Rewrite_candidate> records;
+    Enumerate_scratch scratch;
+    enumerate_into(host, *index, scratch, records);
+    // The scratch (and its bespoke batches) dies with this call, so slot
+    // references must become owned graphs before the records escape.
+    for (Rewrite_candidate& record : records) {
+        if (record.pre_built_slot < 0) continue;
+        Graph_batch& batch = scratch.bespoke[record.rule_index];
+        record.pre_built = std::make_shared<Graph>(
+            std::move(batch[static_cast<std::size_t>(record.pre_built_slot)]));
+        record.pre_built_slot = -1;
+    }
+    return records;
+}
+
+void Candidate_engine::enumerate_into(const Graph& host, const Host_index& index,
+                                      Enumerate_scratch& scratch,
+                                      std::vector<Rewrite_candidate>& out) const
+{
+    // Per-phase timing: histogram references resolve once (function-local
+    // statics), so the steady-state cost is two clock reads per phase.
+    static Histogram& match_histogram = candidate_phase_histogram("match");
+    static Histogram& dedup_histogram = candidate_phase_histogram("dedup");
+
+    std::vector<std::vector<Rewrite_candidate>>& per_rule = scratch.per_rule;
+    per_rule.resize(rules_->size());
+    for (auto& bucket : per_rule) bucket.clear();
+    scratch.bespoke.resize(rules_->size());
 
     const auto run_rule = [&](std::size_t rule_index) {
         std::vector<Rewrite_candidate>& bucket = per_rule[rule_index];
         if (const Pattern_rule* pattern_rule = pattern_rules_[rule_index]) {
-            auto matches = find_matches(host, *index, pattern_rule->pattern(),
+            auto matches = find_matches(host, index, pattern_rule->pattern(),
                                         config_.per_rule_limit);
             bucket.reserve(matches.size());
             for (Pattern_match& match : matches) {
@@ -73,13 +96,17 @@ std::vector<Rewrite_candidate> Candidate_engine::enumerate(const Graph& host) co
                 bucket.push_back(std::move(record));
             }
         } else {
-            auto graphs = (*rules_)[rule_index]->apply_all(host, config_.per_rule_limit);
-            bucket.reserve(graphs.size());
-            for (Graph& graph : graphs) {
+            // Bespoke rule: materialise eagerly into the rule's recycled
+            // batch; records carry slot indices, not owned graphs.
+            Graph_batch& batch = scratch.bespoke[rule_index];
+            batch.reset();
+            (*rules_)[rule_index]->apply_all_into(host, config_.per_rule_limit, batch);
+            bucket.reserve(batch.size());
+            for (std::size_t slot = 0; slot < batch.size(); ++slot) {
                 Rewrite_candidate record;
                 record.rule_index = rule_index;
-                record.fingerprint = graph.canonical_hash();
-                record.pre_built = std::make_shared<Graph>(std::move(graph));
+                record.fingerprint = batch[slot].canonical_hash();
+                record.pre_built_slot = static_cast<std::ptrdiff_t>(slot);
                 bucket.push_back(std::move(record));
             }
         }
@@ -102,19 +129,22 @@ std::vector<Rewrite_candidate> Candidate_engine::enumerate(const Graph& host) co
     const Span_scope span("candidates/dedup");
     std::size_t total = 0;
     for (const auto& bucket : per_rule) total += bucket.size();
-    std::vector<Rewrite_candidate> records;
-    records.reserve(total);
-    std::unordered_set<std::uint64_t> seen;
+    out.clear();
+    out.reserve(total);
+    std::unordered_set<std::uint64_t>& seen = scratch.seen;
+    seen.clear();
     seen.reserve(total);
     for (auto& bucket : per_rule)
         for (Rewrite_candidate& record : bucket)
-            if (seen.insert(record.fingerprint).second) records.push_back(std::move(record));
-    return records;
+            if (seen.insert(record.fingerprint).second) out.push_back(std::move(record));
 }
 
 std::optional<Graph> Candidate_engine::materialize(const Graph& host, Rewrite_candidate& candidate,
                                                    std::uint64_t* hash_out) const
 {
+    // Slot references are resolved (to owned graphs) before enumerate()
+    // returns; only step mode sees them, and it never calls materialize.
+    XRL_EXPECTS(candidate.pre_built_slot < 0);
     if (candidate.pre_built != nullptr) {
         if (hash_out != nullptr) *hash_out = candidate.fingerprint;
         Graph graph = std::move(*candidate.pre_built);
@@ -169,6 +199,83 @@ Candidate_engine::Generated Candidate_engine::generate(const Graph& host,
         out.candidates.push_back({std::move(*graph), static_cast<int>(record.rule_index), hash});
     }
     return out;
+}
+
+const Candidate_engine::Step_generated& Candidate_engine::generate_step(
+    const Graph& host, std::size_t max_total, const Step_candidate* via)
+{
+    static Histogram& index_histogram = candidate_phase_histogram("index_build");
+    static Histogram& materialise_histogram = candidate_phase_histogram("materialise");
+
+    // Index upkeep first: `via` points into last step's storage (its delta
+    // lives in a pool slot), so it must be consumed before any reuse below.
+    {
+        const Scoped_timer_us timer(index_histogram);
+        const Span_scope span("candidates/index_build");
+        if (index_ready_ && via != nullptr && via->delta != nullptr) {
+            index_.apply_delta(host, *via->delta);
+            if (config_.verify_incremental_index) {
+                const Host_index fresh(host);
+                XRL_ENSURES(index_.equals(fresh));
+            }
+        } else {
+            index_.rebuild(host);
+        }
+        index_ready_ = true;
+    }
+    const std::uint64_t host_hash = via != nullptr ? via->hash : host.canonical_hash();
+
+    // Reclaim last step's slots, then enumerate into the persistent record
+    // buffer (bespoke candidates live in step_scratch_'s per-rule batches
+    // until the next call).
+    for (Slot* slot : leased_) slot_pool_.release(slot);
+    leased_.clear();
+    enumerate_into(host, index_, step_scratch_, step_records_);
+
+    const Scoped_timer_us timer(materialise_histogram);
+    Span_scope span("candidates/materialise");
+    if (span.active()) span.annotate("enumerated", std::to_string(step_records_.size()));
+
+    step_.candidates.clear();
+    step_.enumerated = step_records_.size();
+    step_.truncated = 0;
+    step_seen_.clear();
+    step_seen_.insert(host_hash);
+
+    Slot* working = nullptr;
+    for (Rewrite_candidate& record : step_records_) {
+        if (step_.candidates.size() >= max_total) {
+            ++step_.truncated;
+            continue;
+        }
+        if (record.pre_built_slot >= 0) {
+            // Bespoke rule: already materialised during enumeration into
+            // the rule's batch (owned by step_scratch_, alive until the
+            // next call); the fingerprint is its canonical hash. No delta
+            // — choosing one forces an index rebuild next step.
+            if (!step_seen_.insert(record.fingerprint).second) continue;
+            const Graph* graph = &step_scratch_.bespoke[record.rule_index]
+                                                       [static_cast<std::size_t>(
+                                                           record.pre_built_slot)];
+            step_.candidates.push_back(
+                {graph, static_cast<int>(record.rule_index), record.fingerprint, nullptr});
+            continue;
+        }
+        const Pattern_rule* pattern_rule = pattern_rules_[record.rule_index];
+        XRL_EXPECTS(pattern_rule != nullptr);
+        if (working == nullptr) working = slot_pool_.acquire();
+        std::uint64_t hash = 0;
+        if (!apply_match_into(working->graph, host, pattern_rule->pattern(), record.match, &hash,
+                              &working->delta))
+            continue; // invalid site; `working` is reused for the next record
+        if (!step_seen_.insert(hash).second) continue;
+        step_.candidates.push_back(
+            {&working->graph, static_cast<int>(record.rule_index), hash, &working->delta});
+        leased_.push_back(working);
+        working = nullptr;
+    }
+    if (working != nullptr) slot_pool_.release(working);
+    return step_;
 }
 
 } // namespace xrl

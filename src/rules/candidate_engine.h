@@ -32,11 +32,13 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_set>
 #include <vector>
 
 #include "ir/graph.h"
 #include "rules/pattern.h"
 #include "rules/rule.h"
+#include "support/arena.h"
 #include "support/thread_pool.h"
 
 namespace xrl {
@@ -53,16 +55,31 @@ struct Candidate_engine_config {
     /// constructed per optimize call, and the serving layer shares the
     /// same pool). The result order is identical for every setting.
     std::size_t threads = 0;
+
+    /// Step mode only: after every incremental Host_index patch, rebuild
+    /// the index from scratch and assert exact equality. On by default in
+    /// debug builds; the A/B gate (test_incremental_index) turns it on
+    /// explicitly in release builds too.
+    bool verify_incremental_index =
+#ifndef NDEBUG
+        true;
+#else
+        false;
+#endif
 };
 
 /// A candidate discovered but not yet materialised: which rule, where, and
 /// a fingerprint that dedups repeat discoveries before the expensive
-/// apply_match. Non-pattern rules arrive pre-built (see file comment).
+/// apply_match. Non-pattern rules arrive pre-built (see file comment):
+/// either owned (`pre_built`, the public enumerate() API) or as a slot
+/// index into the engine-owned per-rule Graph_batch (`pre_built_slot`,
+/// step mode — the batch outlives the record there).
 struct Rewrite_candidate {
     std::size_t rule_index = 0;
     Pattern_match match;              ///< Pattern rules: the match site.
     std::uint64_t fingerprint = 0;    ///< Cheap pre-materialisation dedup key.
     std::shared_ptr<Graph> pre_built; ///< Non-pattern rules: the eager result.
+    std::ptrdiff_t pre_built_slot = -1; ///< Step mode: index into the rule's batch.
 };
 
 /// A materialised, canonically-deduplicated candidate.
@@ -104,11 +121,88 @@ public:
     /// materialisation fans out across the pool.
     Generated generate(const Graph& host, std::size_t max_total = SIZE_MAX) const;
 
+    /// One candidate of a step-mode generation. The graph lives in a pool
+    /// slot owned by the engine (or, for bespoke rules, in the engine's
+    /// record buffer) and stays valid until the next generate_step() call.
+    struct Step_candidate {
+        const Graph* graph = nullptr;
+        int rule_index = -1;
+        std::uint64_t hash = 0; ///< canonical_hash of `*graph`.
+        /// How `*graph` differs from the host (for the next step's index
+        /// patch); null for bespoke rules, which cannot report one.
+        const Rewrite_delta* delta = nullptr;
+    };
+
+    struct Step_generated {
+        std::vector<Step_candidate> candidates;
+        std::size_t enumerated = 0; ///< Records produced by enumeration.
+        std::size_t truncated = 0;  ///< Records never materialised: cap reached.
+    };
+
+    /// Step mode: generate() for a single-owner caller walking one evolving
+    /// host (the RL environment). Differences from generate():
+    ///   - candidate graphs are materialised into recycled pool slots
+    ///     (apply_match_into), so a steady-state step allocates ~nothing;
+    ///   - the Host_index persists across calls — pass the previous step's
+    ///     chosen candidate as `via` and the index is patched from its
+    ///     Rewrite_delta instead of rebuilt (pass null on the first step,
+    ///     after reset, or when the host changed some other way);
+    ///   - with `via`, the host's canonical hash for self-dedup comes from
+    ///     via->hash instead of being recomputed.
+    /// The returned reference and every candidate in it are invalidated by
+    /// the next generate_step() call; `via` is read before any step storage
+    /// is reused. NOT thread-safe — one owner per engine in step mode (see
+    /// docs/CONCURRENCY.md).
+    const Step_generated& generate_step(const Graph& host, std::size_t max_total = SIZE_MAX,
+                                        const Step_candidate* via = nullptr);
+
+    /// The persistent step-mode index (null before the first generate_step)
+    /// — exposed for the incremental-vs-rebuild A/B gate.
+    const Host_index* step_index() const { return index_ready_ ? &index_ : nullptr; }
+
+    /// Pool/arena statistics of the step-mode slot pool (bench artifacts).
+    const Pool_stats& step_pool_stats() const { return slot_pool_.stats(); }
+    const Arena_stats& step_arena_stats() const { return slot_pool_.arena_stats(); }
+
 private:
+    /// Reusable buffers for one enumeration pass: per-rule result slots,
+    /// the fingerprint-dedup set, and one recycled Graph_batch per bespoke
+    /// rule (their eagerly built candidates land in warm storage). Step
+    /// mode keeps one across calls so a steady-state enumeration allocates
+    /// nothing; bespoke records then reference the batches by slot index.
+    struct Enumerate_scratch {
+        std::vector<std::vector<Rewrite_candidate>> per_rule;
+        std::unordered_set<std::uint64_t> seen;
+        std::vector<Graph_batch> bespoke;
+    };
+
+    /// Match + fingerprint-dedup against a caller-provided index, writing
+    /// into `out` (cleared first, capacity reused). Shared by enumerate()
+    /// and generate_step().
+    void enumerate_into(const Graph& host, const Host_index& index, Enumerate_scratch& scratch,
+                        std::vector<Rewrite_candidate>& out) const;
+
+    /// A recycled materialisation target: the graph and the delta that
+    /// turns the host's index into the graph's.
+    struct Slot {
+        Graph graph;
+        Rewrite_delta delta;
+    };
+
     const Rule_set* rules_;
     Candidate_engine_config config_;
     std::vector<const Pattern_rule*> pattern_rules_; ///< Per rule; null = generic.
     Thread_pool* pool_ = nullptr; ///< The shared pool; null = serial.
+
+    // Step-mode state (single-owner; untouched by the const API).
+    Host_index index_;
+    bool index_ready_ = false;
+    Pool<Slot> slot_pool_;
+    Enumerate_scratch step_scratch_;
+    std::vector<Slot*> leased_;    ///< Slots backing step_.candidates.
+    std::vector<Rewrite_candidate> step_records_; ///< Keeps bespoke graphs alive.
+    std::unordered_set<std::uint64_t> step_seen_;
+    Step_generated step_;
 };
 
 class Histogram;

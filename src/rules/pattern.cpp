@@ -48,67 +48,231 @@ void Pattern::finalise()
     }
     for (const Node_id id : source.node_ids())
         XRL_EXPECTS(reachable.contains(id) || is_variable(source, id));
+
+    // Patterns are immutable once finalised, so the substitution hot path
+    // can reuse one topological sort of the target instead of recomputing
+    // it per materialised candidate.
+    target_order = target.topo_order();
 }
 
-Host_index::Host_index(const Graph& host) : users_(host.build_users())
+const Edge* Pattern_match::find_var(Node_id source_var) const
 {
-    for (const Node_id id : host.node_ids())
-        by_kind_[static_cast<std::size_t>(host.node(id).kind)].push_back(id);
+    const auto it = std::lower_bound(
+        var_bindings.begin(), var_bindings.end(), source_var,
+        [](const std::pair<Node_id, Edge>& entry, Node_id key) { return entry.first < key; });
+    if (it == var_bindings.end() || it->first != source_var) return nullptr;
+    return &it->second;
+}
+
+Node_id Pattern_match::mapped_node(Node_id source_node) const
+{
+    const auto it = std::lower_bound(
+        node_map.begin(), node_map.end(), source_node,
+        [](const std::pair<Node_id, Node_id>& entry, Node_id key) { return entry.first < key; });
+    if (it == node_map.end() || it->first != source_node) return invalid_node;
+    return it->second;
+}
+
+void Host_index::rebuild(const Graph& host)
+{
+    for (auto& bucket : by_kind_) bucket.clear();
+    const std::size_t capacity = host.capacity();
+    users_.resize(capacity);
+    for (auto& list : users_) list.clear();
+    kind_of_.assign(capacity, Op_kind::input);
+    // One ascending pass reproduces build_users() ordering exactly: each
+    // producer's use list ends up sorted by (user, slot).
+    for (std::size_t i = 0; i < capacity; ++i) {
+        const auto id = static_cast<Node_id>(i);
+        if (!host.is_alive(id)) continue;
+        const Node& n = host.node(id);
+        by_kind_[static_cast<std::size_t>(n.kind)].push_back(id);
+        kind_of_[i] = n.kind;
+        for (std::size_t slot = 0; slot < n.inputs.size(); ++slot)
+            users_[static_cast<std::size_t>(n.inputs[slot].node)].push_back(
+                {id, static_cast<std::int32_t>(slot)});
+    }
+}
+
+void Host_index::apply_delta(const Graph& new_host, const Rewrite_delta& delta)
+{
+    XRL_EXPECTS(delta.valid);
+    const std::size_t capacity = new_host.capacity();
+    XRL_EXPECTS(users_.size() <= capacity); // ids never shrink within a trajectory
+    users_.resize(capacity);
+    kind_of_.resize(capacity, Op_kind::input);
+    touched_.clear();
+
+    // Producers whose use lists may hold stale entries: inputs of removed
+    // nodes, and splice points whose uses were redirected.
+    std::vector<Node_id> affected = delta.stale_use_producers;
+    for (const Rewired_edge& rw : delta.rewired) affected.push_back(rw.before.node);
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+
+    // Filter each affected list against the post-rewrite graph: an entry
+    // (u, slot) survives where u is alive and still reads this producer at
+    // that slot; it moves when the slot was rewired to another producer
+    // (consulting the graph makes chained redirects converge); it dies with
+    // u. Filtering preserves the (user, slot) order of survivors.
+    std::vector<std::pair<Node_id, Edge_use>> moves;
+    for (const Node_id producer : affected) {
+        auto& list = users_[static_cast<std::size_t>(producer)];
+        if (!new_host.is_alive(producer)) {
+            // A removed splice point: every surviving use was redirected to
+            // the replacement producer, so move those before the `removed`
+            // pass below clears this list (dropping them would lose the
+            // replacement's uses entirely).
+            for (const Edge_use& use : list) {
+                if (!new_host.is_alive(use.user)) continue;
+                const Edge now =
+                    new_host.node(use.user).inputs[static_cast<std::size_t>(use.input_index)];
+                moves.emplace_back(now.node, use);
+            }
+            continue;
+        }
+        std::size_t write = 0;
+        for (const Edge_use& use : list) {
+            if (!new_host.is_alive(use.user)) continue;
+            const Edge now =
+                new_host.node(use.user).inputs[static_cast<std::size_t>(use.input_index)];
+            if (now.node == producer) {
+                list[write++] = use;
+            } else {
+                moves.emplace_back(now.node, use);
+            }
+        }
+        list.resize(write);
+    }
+    for (const auto& [producer, use] : moves) {
+        users_[static_cast<std::size_t>(producer)].push_back(use);
+        touched_.push_back(producer);
+    }
+
+    // Appended nodes: ids are larger than every existing one, so pushing
+    // ascending keeps the kind buckets sorted exactly as a rebuild would.
+    for (const Node_id added : delta.added) {
+        const Node& n = new_host.node(added);
+        by_kind_[static_cast<std::size_t>(n.kind)].push_back(added);
+        kind_of_[static_cast<std::size_t>(added)] = n.kind;
+        for (std::size_t slot = 0; slot < n.inputs.size(); ++slot) {
+            users_[static_cast<std::size_t>(n.inputs[slot].node)].push_back(
+                {added, static_cast<std::int32_t>(slot)});
+            touched_.push_back(n.inputs[slot].node);
+        }
+    }
+
+    // Removed nodes leave their kind bucket; nothing uses them any more.
+    for (const Node_id removed : delta.removed) {
+        auto& bucket = by_kind_[static_cast<std::size_t>(
+            kind_of_[static_cast<std::size_t>(removed)])];
+        const auto it = std::lower_bound(bucket.begin(), bucket.end(), removed);
+        XRL_ASSERT(it != bucket.end() && *it == removed);
+        bucket.erase(it);
+        users_[static_cast<std::size_t>(removed)].clear();
+    }
+
+    // Restore build_users() ordering on every list that gained entries.
+    std::sort(touched_.begin(), touched_.end());
+    touched_.erase(std::unique(touched_.begin(), touched_.end()), touched_.end());
+    for (const Node_id id : touched_) {
+        auto& list = users_[static_cast<std::size_t>(id)];
+        std::sort(list.begin(), list.end(), [](const Edge_use& a, const Edge_use& b) {
+            return a.user != b.user ? a.user < b.user : a.input_index < b.input_index;
+        });
+    }
 }
 
 namespace {
 
-/// Backtracking state with an undo log: bindings are recorded in trail
-/// vectors so a failed branch rolls back in O(branch size) instead of the
-/// O(state size) full copies the matcher used to make per root candidate
-/// and per commutative branch.
+/// Backtracking state with an undo log. Bindings live in flat vectors in
+/// insertion order — the vectors are their own trail, so rollback is a
+/// resize — and lookups are linear scans (patterns have a handful of
+/// nodes, where scanning beats hashing and nothing allocates per branch).
 struct Match_state {
-    std::unordered_map<Node_id, Edge> vars;      // source variable -> host edge
-    std::unordered_map<Node_id, Node_id> nodes;  // source internal -> host node
-    std::unordered_set<Node_id> used_host;
-    std::vector<Node_id> var_trail;              // vars keys, insertion order
-    std::vector<Node_id> node_trail;             // nodes keys, insertion order
+    std::vector<std::pair<Node_id, Edge>> vars;     // source variable -> host edge
+    std::vector<std::pair<Node_id, Node_id>> nodes; // source internal -> host node
+    std::vector<Node_id> used_host;                 // parallel to `nodes`
 
     struct Mark {
         std::size_t vars = 0;
         std::size_t nodes = 0;
     };
 
-    Mark mark() const { return {var_trail.size(), node_trail.size()}; }
+    Mark mark() const { return {vars.size(), nodes.size()}; }
+
+    const Edge* find_var(Node_id pattern_var) const
+    {
+        for (const auto& [var, edge] : vars)
+            if (var == pattern_var) return &edge;
+        return nullptr;
+    }
+
+    Node_id find_node(Node_id pattern_id) const
+    {
+        for (const auto& [pattern_node, host_node] : nodes)
+            if (pattern_node == pattern_id) return host_node;
+        return invalid_node;
+    }
+
+    bool host_used(Node_id host_id) const
+    {
+        return std::find(used_host.begin(), used_host.end(), host_id) != used_host.end();
+    }
 
     void bind_var(Node_id pattern_var, const Edge& host_edge)
     {
-        vars.emplace(pattern_var, host_edge);
-        var_trail.push_back(pattern_var);
+        vars.emplace_back(pattern_var, host_edge);
     }
 
     void bind_node(Node_id pattern_id, Node_id host_id)
     {
-        nodes.emplace(pattern_id, host_id);
-        used_host.insert(host_id);
-        node_trail.push_back(pattern_id);
+        nodes.emplace_back(pattern_id, host_id);
+        used_host.push_back(host_id);
     }
 
     void rollback(const Mark& m)
     {
-        while (var_trail.size() > m.vars) {
-            vars.erase(var_trail.back());
-            var_trail.pop_back();
-        }
-        while (node_trail.size() > m.nodes) {
-            const auto it = nodes.find(node_trail.back());
-            used_host.erase(it->second);
-            nodes.erase(it);
-            node_trail.pop_back();
-        }
+        vars.resize(m.vars);
+        nodes.resize(m.nodes);
+        used_host.resize(m.nodes);
+    }
+
+    void clear()
+    {
+        vars.clear();
+        nodes.clear();
+        used_host.clear();
     }
 };
+
+/// Per-thread matcher buffers: a Matcher lives for one find_matches call
+/// (one rule against one host) but runs once per rule per step, so its
+/// working vectors keep their capacity across calls. Results are excluded
+/// — they are moved out to the caller.
+struct Matcher_scratch {
+    Match_state state;
+    std::vector<Node_id> roots;
+    std::vector<Node_id> output_producers;
+    std::vector<std::uint64_t> seen;
+};
+
+Matcher_scratch& matcher_scratch()
+{
+    thread_local Matcher_scratch scratch;
+    return scratch;
+}
 
 class Matcher {
 public:
     Matcher(const Graph& host, const Host_index& index, const Pattern& pattern, std::size_t limit)
-        : host_(host), index_(index), pattern_(pattern), limit_(limit)
+        : host_(host), index_(index), pattern_(pattern), limit_(limit),
+          scratch_(matcher_scratch()), roots_(scratch_.roots), seen_(scratch_.seen)
     {
+        roots_.clear();
+        seen_.clear();
+        scratch_.output_producers.clear();
+        scratch_.state.clear();
         for (const Edge& e : pattern_.source.outputs()) {
             if (std::find(roots_.begin(), roots_.end(), e.node) == roots_.end() &&
                 !is_variable(pattern_.source, e.node))
@@ -118,8 +282,7 @@ public:
 
     std::vector<Pattern_match> run()
     {
-        Match_state state;
-        enumerate_roots(0, state);
+        enumerate_roots(0, scratch_.state);
         return std::move(results_);
     }
 
@@ -141,8 +304,7 @@ private:
     bool match_edge(Match_state& state, const Edge& pattern_edge, const Edge& host_edge)
     {
         if (is_variable(pattern_.source, pattern_edge.node)) {
-            const auto it = state.vars.find(pattern_edge.node);
-            if (it != state.vars.end()) return it->second == host_edge;
+            if (const Edge* bound = state.find_var(pattern_edge.node)) return *bound == host_edge;
             state.bind_var(pattern_edge.node, host_edge);
             return true;
         }
@@ -152,9 +314,9 @@ private:
 
     bool match_node(Match_state& state, Node_id pattern_id, Node_id host_id)
     {
-        const auto existing = state.nodes.find(pattern_id);
-        if (existing != state.nodes.end()) return existing->second == host_id;
-        if (state.used_host.contains(host_id)) return false;
+        const Node_id existing = state.find_node(pattern_id);
+        if (existing != invalid_node) return existing == host_id;
+        if (state.host_used(host_id)) return false;
 
         const Node& pn = pattern_.source.node(pattern_id);
         const Node& hn = host_.node(host_id);
@@ -211,42 +373,58 @@ private:
     {
         // Equal-params constraints between matched source nodes.
         for (const auto& [a, b] : pattern_.equal_params) {
-            const Node& ha = host_.node(state.nodes.at(a));
-            const Node& hb = host_.node(state.nodes.at(b));
+            const Node& ha = host_.node(state.find_node(a));
+            const Node& hb = host_.node(state.find_node(b));
             if (!(ha.params == hb.params)) return;
         }
 
         // Internal matched nodes that do not produce a pattern output must
         // have all their uses inside the match, and must not be graph
         // outputs (TASO's substitution validity condition).
-        std::unordered_set<Node_id> matched;
-        for (const auto& [pn, hn] : state.nodes) matched.insert(hn);
-        std::unordered_set<Node_id> output_producers;
+        const std::vector<Node_id>& matched = state.used_host;
+        std::vector<Node_id>& output_producers = scratch_.output_producers;
+        output_producers.clear();
         for (const Edge& e : pattern_.source.outputs()) {
             if (!is_variable(pattern_.source, e.node))
-                output_producers.insert(state.nodes.at(e.node));
+                output_producers.push_back(state.find_node(e.node));
         }
+        const auto contains = [](const std::vector<Node_id>& ids, Node_id id) {
+            return std::find(ids.begin(), ids.end(), id) != ids.end();
+        };
         for (const Node_id hn : matched) {
-            if (output_producers.contains(hn)) continue;
+            if (contains(output_producers, hn)) continue;
             for (const Edge_use& use : index_.users()[static_cast<std::size_t>(hn)])
-                if (!matched.contains(use.user)) return;
+                if (!contains(matched, use.user)) return;
             for (const Edge& out : host_.outputs())
                 if (out.node == hn) return;
         }
 
-        // Dedup identical matches reached via different search orders.
-        const std::uint64_t key = match_binding_key(state.vars, state.nodes);
-        if (!seen_.insert(key).second) return;
+        // Canonical (sorted-by-pattern-id) bindings; the sort keys are
+        // stable node ids, so the result order never depends on discovery
+        // order or allocation.
+        Pattern_match match;
+        match.var_bindings.assign(state.vars.begin(), state.vars.end());
+        std::sort(match.var_bindings.begin(), match.var_bindings.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        match.node_map.assign(state.nodes.begin(), state.nodes.end());
+        std::sort(match.node_map.begin(), match.node_map.end());
+        match.binding_key = match_binding_key(match.var_bindings, match.node_map);
 
-        results_.push_back(Pattern_match{state.vars, state.nodes, key});
+        // Dedup identical matches reached via different search orders. A
+        // linear scan over a flat vector: match counts are capped at the
+        // per-rule limit, far below hash-set break-even.
+        if (std::find(seen_.begin(), seen_.end(), match.binding_key) != seen_.end()) return;
+        seen_.push_back(match.binding_key);
+        results_.push_back(std::move(match));
     }
 
     const Graph& host_;
     const Host_index& index_;
     const Pattern& pattern_;
     std::size_t limit_;
-    std::vector<Node_id> roots_;
-    std::unordered_set<std::uint64_t> seen_;
+    Matcher_scratch& scratch_;
+    std::vector<Node_id>& roots_;
+    std::vector<std::uint64_t>& seen_;
     std::vector<Pattern_match> results_;
 };
 
@@ -255,23 +433,33 @@ bool edge_shape_known(const Graph& g, const Edge& e)
     return static_cast<std::size_t>(e.port) < g.node(e.node).output_shapes.size();
 }
 
+/// Per-thread scratch for apply_match_into: the buffers are tiny but the
+/// function runs once per materialised candidate, so fresh vectors would be
+/// the dominant allocation of the engine's hot loop.
+struct Apply_scratch {
+    std::vector<Edge> target_var_edges;
+    std::vector<Node_id> instantiated;
+    std::vector<Rewired_edge> rewired;
+};
+
+Apply_scratch& apply_scratch()
+{
+    thread_local Apply_scratch scratch;
+    return scratch;
+}
+
 } // namespace
 
-std::uint64_t match_binding_key(const std::unordered_map<Node_id, Edge>& var_bindings,
-                                const std::unordered_map<Node_id, Node_id>& node_map)
+std::uint64_t match_binding_key(const std::vector<std::pair<Node_id, Edge>>& var_bindings,
+                                const std::vector<std::pair<Node_id, Node_id>>& node_map)
 {
     std::uint64_t key = 0x811c9dc5ULL;
     auto mix = [&key](std::uint64_t v) { key = (key ^ v) * 0x100000001b3ULL; };
-    std::vector<std::pair<Node_id, Node_id>> sorted_nodes(node_map.begin(), node_map.end());
-    std::sort(sorted_nodes.begin(), sorted_nodes.end());
-    for (const auto& [pattern_node, host_node] : sorted_nodes) {
+    for (const auto& [pattern_node, host_node] : node_map) {
         mix(static_cast<std::uint64_t>(pattern_node));
         mix(static_cast<std::uint64_t>(host_node));
     }
-    std::vector<std::pair<Node_id, Edge>> sorted_vars(var_bindings.begin(), var_bindings.end());
-    std::sort(sorted_vars.begin(), sorted_vars.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
-    for (const auto& [pattern_var, edge] : sorted_vars) {
+    for (const auto& [pattern_var, edge] : var_bindings) {
         mix(static_cast<std::uint64_t>(pattern_var));
         mix(static_cast<std::uint64_t>(edge.node));
         mix(static_cast<std::uint64_t>(edge.port));
@@ -292,15 +480,38 @@ std::vector<Pattern_match> find_matches(const Graph& host, const Host_index& ind
 }
 
 bool finalise_rewrite(Graph& g, const Graph& host, Node_id first_new_node,
-                      const std::vector<Rewired_edge>& rewired, std::uint64_t* canonical_hash_out)
+                      const std::vector<Rewired_edge>& rewired, std::uint64_t* canonical_hash_out,
+                      Rewrite_delta* delta_out)
 {
     // Histogram only (no span): this runs once per materialised candidate —
     // span records would dominate the trace buffer without adding shape.
     static Histogram& finalise_histogram = candidate_phase_histogram("finalise_rewrite");
     const Scoped_timer_us timer(finalise_histogram);
+    if (delta_out != nullptr) delta_out->valid = false;
     try {
         if (!g.is_acyclic()) return false; // the rewrite closed a cycle
         g.eliminate_dead_nodes();
+
+        // The node set is final after dead-node elimination; record what
+        // changed relative to the host while the host is at hand.
+        if (delta_out != nullptr) {
+            delta_out->removed.clear();
+            delta_out->added.clear();
+            delta_out->stale_use_producers.clear();
+            delta_out->rewired = rewired;
+            const std::size_t first =
+                first_new_node > 0 ? static_cast<std::size_t>(first_new_node) : 0;
+            for (std::size_t i = 0; i < first && i < host.capacity(); ++i) {
+                const auto id = static_cast<Node_id>(i);
+                if (!host.is_alive(id) || g.is_alive(id)) continue;
+                delta_out->removed.push_back(id);
+                for (const Edge& e : host.node(id).inputs)
+                    delta_out->stale_use_producers.push_back(e.node);
+            }
+            for (std::size_t i = first; i < g.capacity(); ++i)
+                if (g.is_alive(static_cast<Node_id>(i)))
+                    delta_out->added.push_back(static_cast<Node_id>(i));
+        }
 
         // The appended nodes always need shapes; the rest of the graph is
         // untouched as long as every splice carries the same shape as the
@@ -322,6 +533,7 @@ bool finalise_rewrite(Graph& g, const Graph& host, Node_id first_new_node,
         // elimination cannot introduce a cycle — skip the re-check.
         g.validate(/*check_acyclic=*/false);
         if (canonical_hash_out != nullptr) *canonical_hash_out = g.canonical_hash();
+        if (delta_out != nullptr) delta_out->valid = true;
         return true;
     } catch (const Contract_violation&) {
         // Shape inference rejected this instantiation (the rule does not
@@ -338,28 +550,47 @@ std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern, cons
 std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern,
                                  const Pattern_match& match, std::uint64_t* canonical_hash_out)
 {
-    Graph out = host;
-    out.reserve(host.capacity() + pattern.target.size());
+    Graph out;
+    if (!apply_match_into(out, host, pattern, match, canonical_hash_out, nullptr))
+        return std::nullopt;
+    return out;
+}
+
+bool apply_match_into(Graph& out, const Graph& host, const Pattern& pattern,
+                      const Pattern_match& match, std::uint64_t* canonical_hash_out,
+                      Rewrite_delta* delta_out)
+{
+    XRL_EXPECTS(!pattern.target_order.empty()); // Pattern::finalise() was called
+    // Copy-assignment into a recycled `out` reuses its nested buffers
+    // (nodes, inputs, params, names) — the allocation-free hot path. The
+    // eighth-of-capacity slack amortises node-array regrowth across pool
+    // reuses: the host gains a few ids per accepted rewrite, so an exact
+    // reservation would reallocate on every recycle.
+    out = host;
+    out.reserve(host.capacity() + pattern.target.size() + host.capacity() / 8);
     const Node_id first_new = static_cast<Node_id>(host.capacity());
 
     // Map source variable index -> bound host edge, then target variable
     // node -> that edge. Target node ids are dense and tiny, so flat
     // vectors beat hash maps here.
     const std::size_t target_slots = pattern.target.capacity();
-    std::vector<Edge> target_var_edges(target_slots, Edge{invalid_node, 0});
+    Apply_scratch& scratch = apply_scratch();
+    std::vector<Edge>& target_var_edges = scratch.target_var_edges;
+    target_var_edges.assign(target_slots, Edge{invalid_node, 0});
     for (std::size_t i = 0; i < pattern.target_variables.size(); ++i) {
         const Node_id source_var = pattern.source_variables[i];
-        const auto it = match.var_bindings.find(source_var);
-        if (it == match.var_bindings.end()) {
+        const Edge* bound = match.find_var(source_var);
+        if (bound == nullptr) {
             // A variable unused by any matched edge (can happen when the
             // source output *is* the variable); nothing to bind.
             continue;
         }
-        target_var_edges[static_cast<std::size_t>(pattern.target_variables[i])] = it->second;
+        target_var_edges[static_cast<std::size_t>(pattern.target_variables[i])] = *bound;
     }
 
     // Instantiate target nodes in topological order.
-    std::vector<Node_id> instantiated(target_slots, invalid_node); // target node -> new host node
+    std::vector<Node_id>& instantiated = scratch.instantiated; // target node -> new host node
+    instantiated.assign(target_slots, invalid_node);
     auto resolve = [&](const Edge& target_edge) -> Edge {
         if (is_variable(pattern.target, target_edge.node)) {
             const Edge bound = target_var_edges[static_cast<std::size_t>(target_edge.node)];
@@ -372,7 +603,7 @@ std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern,
     };
 
     try {
-        for (const Node_id tid : pattern.target.topo_order()) {
+        for (const Node_id tid : pattern.target_order) {
             const Node& tn = pattern.target.node(tid);
             if (tn.kind == Op_kind::input) continue;
             if (tn.kind == Op_kind::constant) {
@@ -388,7 +619,8 @@ std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern,
             Op_params params = tn.params;
             const auto transfer = pattern.param_transfers.find(tid);
             if (transfer != pattern.param_transfers.end()) {
-                const Node_id matched_host = match.node_map.at(transfer->second.from_source_node);
+                const Node_id matched_host = match.mapped_node(transfer->second.from_source_node);
+                XRL_EXPECTS(matched_host != invalid_node);
                 params = host.node(matched_host).params;
                 if (transfer->second.set_activation.has_value())
                     params.activation = *transfer->second.set_activation;
@@ -398,15 +630,20 @@ std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern,
         }
 
         // Rewire each source output to the corresponding target output.
-        std::vector<Rewired_edge> rewired;
+        std::vector<Rewired_edge>& rewired = scratch.rewired;
+        rewired.clear();
         rewired.reserve(pattern.source.outputs().size());
         for (std::size_t k = 0; k < pattern.source.outputs().size(); ++k) {
             const Edge src_out = pattern.source.outputs()[k];
             Edge old_edge;
             if (is_variable(pattern.source, src_out.node)) {
-                old_edge = match.var_bindings.at(src_out.node);
+                const Edge* bound = match.find_var(src_out.node);
+                XRL_EXPECTS(bound != nullptr);
+                old_edge = *bound;
             } else {
-                old_edge = Edge{match.node_map.at(src_out.node), src_out.port};
+                const Node_id mapped = match.mapped_node(src_out.node);
+                XRL_EXPECTS(mapped != invalid_node);
+                old_edge = Edge{mapped, src_out.port};
             }
             const Edge new_edge = resolve(pattern.target.outputs()[k]);
             if (old_edge == new_edge) continue;
@@ -414,14 +651,12 @@ std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern,
             rewired.push_back({old_edge, new_edge});
         }
 
-        if (!finalise_rewrite(out, host, first_new, rewired, canonical_hash_out))
-            return std::nullopt;
+        return finalise_rewrite(out, host, first_new, rewired, canonical_hash_out, delta_out);
     } catch (const Contract_violation&) {
         // Instantiation itself rejected the site (unbound variable or a
         // malformed constant payload).
-        return std::nullopt;
+        return false;
     }
-    return out;
 }
 
 } // namespace xrl

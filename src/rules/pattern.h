@@ -59,38 +59,102 @@ struct Pattern {
     std::vector<Node_id> source_variables;
     std::vector<Node_id> target_variables;
 
+    /// Topological order of `target` (computed by finalise()): the pattern
+    /// is immutable after construction, so the substitution hot path reads
+    /// this instead of re-sorting the target per materialised candidate.
+    std::vector<Node_id> target_order;
+
     /// Validate structure and compute the variable lists. Call once after
     /// construction.
     void finalise();
 };
 
-/// A successful match of a pattern source against a host graph.
+/// A successful match of a pattern source against a host graph. Bindings
+/// are flat vectors sorted by pattern node id — stable op ids, never
+/// pointers or hash-map iteration order — so every consumer (fingerprints,
+/// materialisation order, the binding key) is deterministic by
+/// construction, independent of allocator behaviour.
 struct Pattern_match {
-    /// Source variable node -> host edge bound to it.
-    std::unordered_map<Node_id, Edge> var_bindings;
-    /// Source internal node -> host node.
-    std::unordered_map<Node_id, Node_id> node_map;
+    /// Source variable node -> host edge bound to it; sorted by first.
+    std::vector<std::pair<Node_id, Edge>> var_bindings;
+    /// Source internal node -> host node; sorted by first.
+    std::vector<std::pair<Node_id, Node_id>> node_map;
     /// match_binding_key of the two maps, filled by the matcher (which
     /// already computes it for its own dedup); the candidate engine reuses
     /// it for fingerprints instead of rehashing.
     std::uint64_t binding_key = 0;
+
+    /// Host edge bound to a source variable, or nullptr when unbound.
+    const Edge* find_var(Node_id source_var) const;
+    /// Host node matched to a source internal node, or invalid_node.
+    Node_id mapped_node(Node_id source_node) const;
 };
 
-/// Order-independent 64-bit key over a match's bindings. One definition
-/// serves both the matcher's own dedup of matches reached via different
-/// search orders and the candidate engine's pre-materialisation
-/// fingerprints — the two must never diverge.
-std::uint64_t match_binding_key(const std::unordered_map<Node_id, Edge>& var_bindings,
-                                const std::unordered_map<Node_id, Node_id>& node_map);
+/// Order-independent 64-bit key over a match's bindings (both sorted by
+/// pattern node id). One definition serves both the matcher's own dedup of
+/// matches reached via different search orders and the candidate engine's
+/// pre-materialisation fingerprints — the two must never diverge.
+std::uint64_t match_binding_key(const std::vector<std::pair<Node_id, Edge>>& var_bindings,
+                                const std::vector<std::pair<Node_id, Node_id>>& node_map);
+
+/// A splice point recorded by a rewrite: every use of `before` (an edge of
+/// the pre-rewrite graph) was redirected to `after`.
+struct Rewired_edge {
+    Edge before;
+    Edge after;
+};
+
+/// What one rewrite did to the host's node set, reported by
+/// finalise_rewrite: exactly the information needed to patch a Host_index
+/// in place instead of rebuilding it. Self-contained — the producer lists
+/// are snapshotted from the pre-rewrite host, so the patch needs no access
+/// to that graph (which the environment has already overwritten by the
+/// time the next step's index is needed).
+struct Rewrite_delta {
+    /// Host ids (< first_new_node) alive before the rewrite, dead after.
+    std::vector<Node_id> removed;
+    /// Appended ids (>= first_new_node) that survived dead-node elimination,
+    /// ascending.
+    std::vector<Node_id> added;
+    /// Producers of the removed nodes' inputs — every use list that may hold
+    /// an entry whose user died (apply_delta filters exactly these, plus the
+    /// rewired splice points, against the post-rewrite graph).
+    std::vector<Node_id> stale_use_producers;
+    /// The splice points (uses moved from before.node to after.node).
+    std::vector<Rewired_edge> rewired;
+    /// False: the producer could not describe the change (bespoke rules);
+    /// the index must be rebuilt.
+    bool valid = false;
+};
 
 /// Per-host acceleration structure, shareable across every rule matched
 /// against the same graph within one candidate-generation step: alive node
 /// ids bucketed by operator kind (so root enumeration visits only
 /// kind-compatible nodes) plus the host's use lists (the matcher's
-/// outside-use check). Invalidated by any mutation of the host.
+/// outside-use check). Invalidated by any mutation of the host — except
+/// via apply_delta, which patches buckets and use lists in place from a
+/// Rewrite_delta and is equivalent to a from-scratch rebuild (the A/B gate
+/// in test_incremental_index proves exact equality).
 class Host_index {
 public:
-    explicit Host_index(const Graph& host);
+    /// Empty index; call rebuild() before use.
+    Host_index() = default;
+    explicit Host_index(const Graph& host) { rebuild(host); }
+
+    /// Recompute from scratch, reusing this instance's storage.
+    void rebuild(const Graph& host);
+
+    /// Patch buckets and use lists for one rewrite step: `new_host` is the
+    /// post-rewrite graph (same id space grown by the appended nodes),
+    /// `delta` the change finalise_rewrite reported. Produces bit-identical
+    /// state to rebuild(new_host).
+    void apply_delta(const Graph& new_host, const Rewrite_delta& delta);
+
+    /// Exact structural equality (the incremental-vs-rebuild parity check).
+    bool equals(const Host_index& other) const
+    {
+        return by_kind_ == other.by_kind_ && users_ == other.users_;
+    }
 
     const std::vector<Node_id>& of_kind(Op_kind kind) const
     {
@@ -102,6 +166,11 @@ public:
 private:
     std::array<std::vector<Node_id>, static_cast<std::size_t>(Op_kind::count_)> by_kind_;
     std::vector<std::vector<Edge_use>> users_;
+    /// Kind per id slot — tombstoning wipes a node's kind from the graph,
+    /// so bucket removal must remember it here.
+    std::vector<Op_kind> kind_of_;
+    /// Scratch for apply_delta (ids whose use lists need re-sorting).
+    std::vector<Node_id> touched_;
 };
 
 /// Find (up to `limit`) matches of `pattern.source` in `host`.
@@ -132,12 +201,14 @@ std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern,
 std::optional<Graph> apply_match(const Graph& host, const Pattern& pattern,
                                  const Pattern_match& match, std::uint64_t* canonical_hash_out);
 
-/// A splice point recorded by a rewrite: every use of `before` (an edge of
-/// the pre-rewrite graph) was redirected to `after`.
-struct Rewired_edge {
-    Edge before;
-    Edge after;
-};
+/// Allocation-reusing variant: writes the result into `out` (a recycled
+/// pool slot keeps every nested buffer warm — the candidate engine's hot
+/// path). Returns false when the rewrite is invalid at this site, leaving
+/// `out` unspecified. Optionally reports the canonical hash and the
+/// Rewrite_delta for incremental Host_index maintenance.
+bool apply_match_into(Graph& out, const Graph& host, const Pattern& pattern,
+                      const Pattern_match& match, std::uint64_t* canonical_hash_out = nullptr,
+                      Rewrite_delta* delta_out = nullptr);
 
 /// Shared epilogue for substitution-style rewrites (pattern substitution
 /// and the bespoke shape-dependent rules). `g` is a copy of `host` that was
@@ -146,9 +217,11 @@ struct Rewired_edge {
 /// inference — incrementally over the appended nodes when every splice
 /// keeps the shape it replaced, the full pass otherwise — and validation.
 /// Returns false (graph state unspecified) when the rewrite is structurally
-/// invalid at this site; optionally reports the result's canonical hash.
+/// invalid at this site; optionally reports the result's canonical hash and
+/// the node-set delta relative to `host` (for incremental index upkeep).
 bool finalise_rewrite(Graph& g, const Graph& host, Node_id first_new_node,
                       const std::vector<Rewired_edge>& rewired,
-                      std::uint64_t* canonical_hash_out = nullptr);
+                      std::uint64_t* canonical_hash_out = nullptr,
+                      Rewrite_delta* delta_out = nullptr);
 
 } // namespace xrl

@@ -2,20 +2,24 @@
 
 namespace xrl {
 
+std::vector<Graph> Rewrite_rule::apply_all(const Graph& graph, std::size_t limit) const
+{
+    Graph_batch batch;
+    apply_all_into(graph, limit, batch);
+    return std::move(batch).take();
+}
+
 Pattern_rule::Pattern_rule(Pattern pattern) : Rewrite_rule(pattern.name), pattern_(std::move(pattern))
 {
     pattern_.finalise();
 }
 
-std::vector<Graph> Pattern_rule::apply_all(const Graph& graph, std::size_t limit) const
+void Pattern_rule::apply_all_into(const Graph& graph, std::size_t limit, Graph_batch& out) const
 {
-    std::vector<Graph> out;
     for (const Pattern_match& match : find_matches(graph, pattern_, limit)) {
         if (out.size() >= limit) break;
-        if (auto transformed = apply_match(graph, pattern_, match); transformed.has_value())
-            out.push_back(std::move(*transformed));
+        if (apply_match_into(out.next(), graph, pattern_, match)) out.keep();
     }
-    return out;
 }
 
 } // namespace xrl

@@ -1,6 +1,7 @@
 #include "serve/telemetry.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/check.h"
 
@@ -8,14 +9,20 @@ namespace xrl {
 
 namespace {
 
-/// Nearest-rank percentile of an unsorted sample (copied, partially sorted).
+/// Nearest-rank percentile of an unsorted sample (copied, partially sorted):
+/// the smallest value with at least ceil(p * N) samples at or below it. The
+/// previous `p * (N - 1)` truncation under-read small reservoirs — p95 of
+/// {10, 20} returned 10 — and nearest-rank is exact for N = 1 and N = 2,
+/// which the telemetry regression test pins down.
 double percentile(std::vector<double> sample, double p)
 {
     if (sample.empty()) return 0.0;
-    const auto rank = static_cast<std::size_t>(p * static_cast<double>(sample.size() - 1));
-    std::nth_element(sample.begin(), sample.begin() + static_cast<std::ptrdiff_t>(rank),
+    const auto n = static_cast<double>(sample.size());
+    const auto ceiled = static_cast<std::size_t>(std::ceil(p * n));
+    const std::size_t rank = std::clamp<std::size_t>(ceiled, 1, sample.size());
+    std::nth_element(sample.begin(), sample.begin() + static_cast<std::ptrdiff_t>(rank - 1),
                      sample.end());
-    return sample[rank];
+    return sample[rank - 1];
 }
 
 } // namespace

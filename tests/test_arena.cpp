@@ -1,0 +1,160 @@
+// Unit tests for the hot-loop allocators (support/arena.h): the chunked
+// monotonic Arena, its allocator adapter, and the recycled-slot Pool the
+// candidate engine materialises step candidates into.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/arena.h"
+#include "support/check.h"
+
+namespace xrl {
+namespace {
+
+TEST(Arena, BumpAllocatesWithinOneChunk)
+{
+    Arena arena(1024);
+    void* a = arena.allocate(100);
+    void* b = arena.allocate(100);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(arena.stats().chunks, 1u);
+    EXPECT_EQ(arena.stats().reserved_bytes, 1024u);
+    EXPECT_EQ(arena.stats().allocations, 2u);
+    EXPECT_EQ(arena.stats().live_bytes, 200u);
+}
+
+TEST(Arena, RespectsAlignment)
+{
+    // Up to alignof(max_align_t) — the strongest the chunk base guarantees.
+    constexpr std::size_t align = alignof(std::max_align_t);
+    Arena arena(1024);
+    arena.allocate(1, 1);
+    void* p = arena.allocate(8, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u);
+}
+
+TEST(Arena, GrowsByOneChunkWhenFullAndSizesOversizedRequests)
+{
+    Arena arena(256);
+    arena.allocate(200);
+    arena.allocate(200); // does not fit chunk 1
+    EXPECT_EQ(arena.stats().chunks, 2u);
+    // A request larger than the chunk size gets its own chunk.
+    arena.allocate(10000);
+    EXPECT_EQ(arena.stats().chunks, 3u);
+    EXPECT_GE(arena.stats().reserved_bytes, 256u + 256u + 10000u);
+}
+
+TEST(Arena, ResetRecyclesChunksWithoutReleasingThem)
+{
+    Arena arena(256);
+    arena.allocate(200);
+    arena.allocate(200);
+    const std::size_t reserved = arena.stats().reserved_bytes;
+    ASSERT_EQ(arena.stats().chunks, 2u);
+
+    arena.reset();
+    EXPECT_EQ(arena.stats().live_bytes, 0u);
+    EXPECT_EQ(arena.stats().resets, 1u);
+    // Memory is retained — reset() frees nothing.
+    EXPECT_EQ(arena.stats().chunks, 2u);
+    EXPECT_EQ(arena.stats().reserved_bytes, reserved);
+
+    // The next cycle is served from the warm chunks: no growth.
+    void* p = arena.allocate(200);
+    EXPECT_NE(p, nullptr);
+    arena.allocate(200);
+    EXPECT_EQ(arena.stats().chunks, 2u);
+    EXPECT_EQ(arena.stats().reserved_bytes, reserved);
+}
+
+TEST(Arena, HighWaterTracksThePeakAcrossResetCycles)
+{
+    Arena arena(4096);
+    arena.allocate(300);
+    arena.allocate(300);
+    EXPECT_EQ(arena.stats().high_water_bytes, 600u);
+    arena.reset();
+    arena.allocate(100);
+    // Peak persists across the reset even though live dropped.
+    EXPECT_EQ(arena.stats().live_bytes, 100u);
+    EXPECT_EQ(arena.stats().high_water_bytes, 600u);
+    arena.reset();
+    arena.allocate(700);
+    EXPECT_EQ(arena.stats().high_water_bytes, 700u);
+}
+
+TEST(Arena, RejectsNonPowerOfTwoAlignment)
+{
+    Arena arena;
+    EXPECT_THROW(arena.allocate(8, 3), Contract_violation);
+}
+
+TEST(Arena_allocator, BacksAVectorForOneResetCycle)
+{
+    Arena arena;
+    std::vector<int, Arena_allocator<int>> v{Arena_allocator<int>(arena)};
+    for (int i = 0; i < 100; ++i) v.push_back(i);
+    EXPECT_EQ(v.size(), 100u);
+    EXPECT_EQ(v[99], 99);
+    EXPECT_GT(arena.stats().allocations, 0u);
+    // deallocate is a no-op: live bytes only ever grow until reset.
+    const std::size_t live = arena.stats().live_bytes;
+    v.clear();
+    v.shrink_to_fit();
+    EXPECT_EQ(arena.stats().live_bytes, live);
+}
+
+TEST(Pool, ReusesReleasedSlotsAndTheirBuffers)
+{
+    Pool<std::vector<std::string>> pool;
+    auto* slot = pool.acquire();
+    slot->assign(64, std::string(128, 'x'));
+    const auto* stable_data = slot->data();
+    pool.release(slot);
+
+    auto* again = pool.acquire();
+    // Same slot back, with its element buffer intact for reuse.
+    EXPECT_EQ(again, slot);
+    EXPECT_EQ(again->data(), stable_data);
+
+    EXPECT_EQ(pool.stats().slots, 1u);
+    EXPECT_EQ(pool.stats().acquires, 2u);
+    EXPECT_EQ(pool.stats().reuses, 1u);
+    pool.release(again);
+}
+
+TEST(Pool, HighWaterTracksPeakConcurrentSlots)
+{
+    Pool<int> pool;
+    auto* a = pool.acquire();
+    auto* b = pool.acquire();
+    auto* c = pool.acquire();
+    EXPECT_EQ(pool.stats().in_use, 3u);
+    EXPECT_EQ(pool.stats().high_water_slots, 3u);
+    pool.release(a);
+    pool.release(b);
+    EXPECT_EQ(pool.stats().in_use, 1u);
+    EXPECT_EQ(pool.stats().high_water_slots, 3u);
+    // Re-acquiring below the peak never raises it.
+    auto* d = pool.acquire();
+    EXPECT_EQ(pool.stats().high_water_slots, 3u);
+    pool.release(c);
+    pool.release(d);
+    EXPECT_EQ(pool.stats().slots, 3u);
+}
+
+TEST(Pool, ReleaseWithoutAcquireIsAContractViolation)
+{
+    Pool<int> pool;
+    int stray = 0;
+    EXPECT_THROW(pool.release(&stray), Contract_violation);
+    EXPECT_THROW(pool.release(nullptr), Contract_violation);
+}
+
+} // namespace
+} // namespace xrl

@@ -142,8 +142,8 @@ TEST(Candidate_engine, EnvironmentCandidatesMatchLegacyPath)
     for (int step = 0; step < 3; ++step) {
         ASSERT_EQ(engine_env.candidates().size(), legacy_env.candidates().size());
         for (std::size_t i = 0; i < engine_env.candidates().size(); ++i) {
-            EXPECT_EQ(engine_env.candidates()[i].graph.canonical_hash(),
-                      legacy_env.candidates()[i].graph.canonical_hash());
+            EXPECT_EQ(engine_env.candidates()[i].graph->canonical_hash(),
+                      legacy_env.candidates()[i].graph->canonical_hash());
             EXPECT_EQ(engine_env.candidates()[i].rule_index,
                       legacy_env.candidates()[i].rule_index);
         }
@@ -151,6 +151,46 @@ TEST(Candidate_engine, EnvironmentCandidatesMatchLegacyPath)
         engine_env.step(0);
         legacy_env.step(0);
     }
+}
+
+/// One scripted step-mode rollout: deterministic action picks, recording
+/// every step's full candidate order as (hash, rule_index) pairs.
+std::vector<std::vector<std::pair<std::uint64_t, int>>> scripted_rollout(const Graph& initial,
+                                                                         int steps)
+{
+    const Rule_set rules = standard_rule_corpus();
+    Candidate_engine engine(rules, Candidate_engine_config{4, 1});
+    std::vector<std::vector<std::pair<std::uint64_t, int>>> trace;
+
+    Graph host = initial;
+    const Candidate_engine::Step_candidate* via = nullptr;
+    Candidate_engine::Step_candidate chosen;
+    std::uint64_t lcg = 0x2545f4914f6cdd1dULL;
+    for (int step = 0; step < steps; ++step) {
+        const Candidate_engine::Step_generated& generated = engine.generate_step(host, 32, via);
+        auto& row = trace.emplace_back();
+        row.reserve(generated.candidates.size());
+        for (const Candidate_engine::Step_candidate& c : generated.candidates)
+            row.emplace_back(c.hash, c.rule_index);
+        if (generated.candidates.empty()) break;
+        lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+        chosen = generated.candidates[(lcg >> 33) % generated.candidates.size()];
+        host = *chosen.graph;
+        via = &chosen;
+    }
+    return trace;
+}
+
+TEST(Candidate_engine, SameRolloutTwiceYieldsIdenticalCandidateOrder)
+{
+    // Candidate ordering must not depend on anything run-varying (pointer
+    // values, hash-set iteration, pool-slot identity): two identical
+    // rollouts in one process see identical candidate lists at every step.
+    const Graph bert = make_bert(Scale::smoke, 32);
+    const auto first = scripted_rollout(bert, 25);
+    const auto second = scripted_rollout(bert, 25);
+    ASSERT_GT(first.size(), 1u);
+    EXPECT_EQ(first, second);
 }
 
 TEST(Candidate_engine, HandlesRulelessCorpus)

@@ -200,7 +200,7 @@ TEST(Environment, CandidateDedupKeepsSetSmall)
     Env_fixture f;
     Environment env(fusable_chain(), f.rules, f.sim);
     std::set<std::uint64_t> hashes;
-    for (const Candidate& c : env.candidates()) hashes.insert(c.graph.canonical_hash());
+    for (const Candidate& c : env.candidates()) hashes.insert(c.graph->canonical_hash());
     EXPECT_EQ(hashes.size(), env.candidates().size());
 }
 

@@ -195,6 +195,89 @@ TEST(GnnEncoder, GradientsReachAllParameters)
     EXPECT_GE(touched, static_cast<int>(encoder.parameters().size()) - 1);
 }
 
+/// Field-by-field bitwise equality of two encodings (EXPECT_EQ on floats:
+/// the Meta_encoder's warm-buffer reuse must not perturb a single bit).
+void expect_encodings_identical(const Encoded_graph& a, const Encoded_graph& b)
+{
+    EXPECT_EQ(a.node_kinds, b.node_kinds);
+    EXPECT_EQ(a.edge_src, b.edge_src);
+    EXPECT_EQ(a.edge_dst, b.edge_dst);
+    EXPECT_EQ(a.attn_src, b.attn_src);
+    EXPECT_EQ(a.attn_dst, b.attn_dst);
+    EXPECT_EQ(a.node_graph, b.node_graph);
+    EXPECT_EQ(a.num_nodes, b.num_nodes);
+    EXPECT_EQ(a.num_graphs, b.num_graphs);
+    ASSERT_EQ(a.edge_features.shape(), b.edge_features.shape());
+    for (std::int64_t i = 0; i < a.edge_features.volume(); ++i)
+        EXPECT_EQ(a.edge_features.at(i), b.edge_features.at(i)) << "edge feature " << i;
+}
+
+TEST(Encoding, MetaEncoderMatchesFreeFunctionBitExactly)
+{
+    // Distinct member graphs so a row-offset bug cannot hide behind
+    // identical encodings; candidate sets grow *and* shrink across calls so
+    // stale tail entries in the reused buffers would be caught.
+    const Graph current = make_bert(Scale::smoke, 16);
+    const Graph a = small_graph();
+    Graph_builder b2;
+    const Edge x = b2.input({2, 16});
+    const Edge w = b2.weight({16, 4});
+    const Graph b = b2.finish({b2.matmul(x, w, Activation::relu)});
+
+    Meta_encoder encoder;
+    const std::vector<std::vector<const Graph*>> calls = {
+        {&a}, {&a, &b, &a}, {&b}, {}, {&b, &a}};
+    for (const auto& candidates : calls) {
+        const Encoded_graph& warm = encoder.encode(current, candidates);
+        const Encoded_graph fresh = encode_meta_graph(current, candidates);
+        expect_encodings_identical(warm, fresh);
+    }
+}
+
+TEST(GnnEncoder, BatchedMemberRowsMatchSingleCandidateEncoding)
+{
+    // The one-batched-forward optimisation is only sound because the GNN
+    // treats meta-graph members as disjoint components: member k's
+    // embedding in a K-candidate batch must equal (bit-identically) the
+    // candidate row of a current+that-candidate-only encoding.
+    Gnn_config config;
+    config.hidden_dim = 16;
+    config.global_dim = 12;
+    config.num_gat_layers = 2;
+    Rng rng(27);
+    Gnn_encoder encoder(config, rng);
+
+    const Graph current = small_graph();
+    Graph_builder b1;
+    const Edge x1 = b1.input({4, 8});
+    const Edge w1 = b1.weight({8, 8});
+    const Graph fused = b1.finish({b1.matmul(x1, w1, Activation::relu)});
+    Graph_builder b2;
+    const Edge x2 = b2.input({2, 4});
+    const Graph unary = b2.finish({b2.relu(b2.relu(x2))});
+    const std::vector<const Graph*> candidates = {&fused, &unary, &fused};
+
+    Tape batched_tape;
+    const auto batched =
+        encoder(batched_tape, encode_meta_graph(current, candidates));
+    const Tensor& rows = batched_tape.value(batched.graph_embeddings);
+    ASSERT_EQ(rows.dim(0), static_cast<std::int64_t>(candidates.size()) + 1);
+
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
+        Tape tape;
+        const auto single = encoder(tape, encode_meta_graph(current, {candidates[k]}));
+        const Tensor& pair = tape.value(single.graph_embeddings);
+        ASSERT_EQ(pair.dim(0), 2);
+        for (std::int64_t c = 0; c < rows.dim(1); ++c) {
+            // Member 0 (the current graph) and member k+1 (the candidate).
+            EXPECT_EQ(rows.at(c), pair.at(c)) << "current row, col " << c;
+            EXPECT_EQ(rows.at((static_cast<std::int64_t>(k) + 1) * rows.dim(1) + c),
+                      pair.at(rows.dim(1) + c))
+                << "candidate " << k << ", col " << c;
+        }
+    }
+}
+
 TEST(GnnEncoder, HandlesRealModelGraph)
 {
     const Graph model = make_squeezenet(Scale::smoke, 64);

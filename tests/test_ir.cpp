@@ -156,6 +156,45 @@ TEST(Graph, EliminateDeadNodesKeepsInputs)
     EXPECT_NO_THROW(g.validate());
 }
 
+TEST(Graph, ShapeListsAreStructurallySharedAcrossCopies)
+{
+    // Candidate materialisation copies the host graph per candidate; the
+    // copies must share one Shape_list allocation per node, not clone them.
+    const Graph g = dense_layer_graph();
+    const Graph copy1 = g;
+    const Graph copy2 = copy1;
+    for (const Node_id id : g.node_ids()) {
+        const Shape_list& original = g.node(id).output_shapes;
+        EXPECT_TRUE(copy1.node(id).output_shapes.shares_storage_with(original));
+        EXPECT_TRUE(copy2.node(id).output_shapes.shares_storage_with(original));
+        EXPECT_EQ(original.use_count(), 3);
+    }
+}
+
+TEST(Graph, ReinferenceKeepsStructuralSharingWhenShapesAreUnchanged)
+{
+    // The keep-if-equal guard in infer_shapes(): re-inferring identical
+    // shapes must not allocate fresh lists (which would silently unshare
+    // every candidate copy and resurrect the per-node allocation churn).
+    const Graph g = dense_layer_graph();
+    Graph copy = g;
+    copy.infer_shapes();
+    for (const Node_id id : g.node_ids()) {
+        const Shape_list& original = g.node(id).output_shapes;
+        EXPECT_TRUE(copy.node(id).output_shapes.shares_storage_with(original));
+        EXPECT_EQ(original.use_count(), 2);
+    }
+
+    // A graph extended after the copy still shares the untouched prefix.
+    Graph extended = g;
+    const Node_id appended = extended.add_node(Op_kind::relu, {extended.outputs().front()});
+    extended.set_outputs({{appended, 0}});
+    extended.infer_shapes();
+    for (const Node_id id : g.node_ids())
+        EXPECT_TRUE(extended.node(id).output_shapes.shares_storage_with(
+            g.node(id).output_shapes));
+}
+
 TEST(Graph, CanonicalHashEqualForIsomorphicConstruction)
 {
     const Graph a = dense_layer_graph();

@@ -20,6 +20,7 @@
 #include "ir/builder.h"
 #include "serve/router.h"
 #include "serve/server.h"
+#include "serve/telemetry.h"
 
 namespace xrl {
 namespace {
@@ -877,6 +878,32 @@ TEST(OptimizationRouter, RoutedResultsBitIdenticalToDirectPerDeviceServiceCalls)
 // ---------------------------------------------------------------------------
 // Service concurrency hooks
 // ---------------------------------------------------------------------------
+
+TEST(Telemetry, PercentileIsNearestRankOnTinyReservoirs)
+{
+    // Regression pin for the nearest-rank fix: the old `p * (N - 1)`
+    // truncation under-read small reservoirs (p95 of {10, 20} returned 10).
+    // Exact expected values, no tolerance.
+    Telemetry telemetry(/*latency_reservoir=*/8, "percentile-test");
+
+    // Empty reservoir: percentiles are defined as 0.
+    Server_stats stats = telemetry.snapshot(0, 0, 0);
+    EXPECT_EQ(stats.p50_latency_ms, 0.0);
+    EXPECT_EQ(stats.p95_latency_ms, 0.0);
+
+    // One sample: every percentile is that sample.
+    telemetry.on_finish("taso", Job_state::done, /*latency_seconds=*/0.005, 0.0, false);
+    stats = telemetry.snapshot(0, 0, 0);
+    EXPECT_EQ(stats.p50_latency_ms, 5.0);
+    EXPECT_EQ(stats.p95_latency_ms, 5.0);
+
+    // Two samples {5, 20}: p50 is the first (rank ceil(0.5*2) = 1), p95 the
+    // second (rank ceil(0.95*2) = 2).
+    telemetry.on_finish("taso", Job_state::done, /*latency_seconds=*/0.020, 0.0, false);
+    stats = telemetry.snapshot(0, 0, 0);
+    EXPECT_EQ(stats.p50_latency_ms, 5.0);
+    EXPECT_EQ(stats.p95_latency_ms, 20.0);
+}
 
 TEST(OptimizationService, ConcurrentSameBackendCallsWidenInstancePool)
 {
